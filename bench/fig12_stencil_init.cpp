@@ -1,0 +1,11 @@
+// Figure 12: Stencil initialization time (init time).
+#include "app_benches.h"
+
+int main() {
+  using namespace visrt::bench;
+  FigureSpec spec{"Figure 12", "Stencil initialization time", "points/s", false};
+  run_figure(spec, [](const SystemConfig& sys, std::uint32_t nodes) {
+    return run_stencil(sys, nodes);
+  });
+  return 0;
+}

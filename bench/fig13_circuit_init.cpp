@@ -1,0 +1,11 @@
+// Figure 13: Circuit initialization time (init time).
+#include "app_benches.h"
+
+int main() {
+  using namespace visrt::bench;
+  FigureSpec spec{"Figure 13", "Circuit initialization time", "wires/s", false};
+  run_figure(spec, [](const SystemConfig& sys, std::uint32_t nodes) {
+    return run_circuit(sys, nodes);
+  });
+  return 0;
+}

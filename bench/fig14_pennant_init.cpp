@@ -1,0 +1,11 @@
+// Figure 14: Pennant initialization time (init time).
+#include "app_benches.h"
+
+int main() {
+  using namespace visrt::bench;
+  FigureSpec spec{"Figure 14", "Pennant initialization time", "zones/s", false};
+  run_figure(spec, [](const SystemConfig& sys, std::uint32_t nodes) {
+    return run_pennant(sys, nodes);
+  });
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 15: Stencil weak scaling (weak scaling).
+#include "app_benches.h"
+
+int main() {
+  using namespace visrt::bench;
+  FigureSpec spec{"Figure 15", "Stencil weak scaling", "points/s", true};
+  run_figure(spec, [](const SystemConfig& sys, std::uint32_t nodes) {
+    return run_stencil(sys, nodes);
+  });
+  return 0;
+}

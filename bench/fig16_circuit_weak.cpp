@@ -1,0 +1,11 @@
+// Figure 16: Circuit weak scaling (weak scaling).
+#include "app_benches.h"
+
+int main() {
+  using namespace visrt::bench;
+  FigureSpec spec{"Figure 16", "Circuit weak scaling", "wires/s", true};
+  run_figure(spec, [](const SystemConfig& sys, std::uint32_t nodes) {
+    return run_circuit(sys, nodes);
+  });
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 17: Pennant weak scaling (weak scaling).
+#include "app_benches.h"
+
+int main() {
+  using namespace visrt::bench;
+  FigureSpec spec{"Figure 17", "Pennant weak scaling", "zones/s", true};
+  run_figure(spec, [](const SystemConfig& sys, std::uint32_t nodes) {
+    return run_pennant(sys, nodes);
+  });
+  return 0;
+}

@@ -1,0 +1,114 @@
+// algorithm_comparison: a pocket version of the paper's evaluation — runs
+// the Figure-1 graph program across machine sizes and prints a side-by-side
+// table of simulated iteration times for all three visibility algorithms,
+// with and without DCR, plus the tracing extension.
+//
+// Usage: ./algorithm_comparison [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "realm/reduction_ops.h"
+#include "runtime/runtime.h"
+
+using namespace visrt;
+
+namespace {
+
+struct Result {
+  double init_ms;
+  double steady_ms;
+  std::size_t messages;
+};
+
+Result run(Algorithm algorithm, bool dcr, bool trace, std::uint32_t nodes,
+           int iterations) {
+  RuntimeConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.dcr = dcr;
+  cfg.track_values = false; // timing-only sweep
+  cfg.machine.num_nodes = nodes;
+  Runtime rt(cfg);
+
+  // One piece per node, Figure-1 style: disjoint primary + aliased ghosts.
+  coord_t piece = 4096;
+  coord_t total = piece * nodes;
+  RegionHandle region = rt.create_region(IntervalSet(0, total - 1), "N");
+  std::vector<IntervalSet> p, g;
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    coord_t lo = static_cast<coord_t>(i) * piece;
+    p.push_back(IntervalSet(lo, lo + piece - 1));
+    coord_t left = (lo + total - 64) % total;
+    coord_t right = (lo + piece) % total;
+    g.push_back(IntervalSet{{left, left + 63}, {right, right + 63}});
+  }
+  PartitionHandle primary = rt.create_partition(region, std::move(p), "P");
+  PartitionHandle ghost = rt.create_partition(region, std::move(g), "G");
+  FieldID up = rt.add_field(region, "up", 0.0);
+  FieldID down = rt.add_field(region, "down", 0.0);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    if (trace) rt.begin_trace(0);
+    IndexLaunch t1;
+    t1.name = "t1";
+    t1.requirements = {IndexReq{primary, up, Privilege::read_write()},
+                       IndexReq{ghost, down, Privilege::reduce(kRedopSum)}};
+    t1.work_items = piece;
+    rt.index_launch(t1);
+    IndexLaunch t2;
+    t2.name = "t2";
+    t2.requirements = {IndexReq{primary, down, Privilege::read_write()},
+                       IndexReq{ghost, up, Privilege::reduce(kRedopSum)}};
+    t2.work_items = piece;
+    rt.index_launch(t2);
+    if (trace) rt.end_trace();
+    rt.end_iteration();
+  }
+
+  RunStats stats = rt.finish();
+  return Result{stats.init_time_s * 1e3, stats.steady_iter_s * 1e3,
+                stats.messages};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  int iterations = argc > 1 ? std::atoi(argv[1]) : 5;
+  std::vector<std::uint32_t> nodes_list{1, 4, 16, 64, 256};
+
+  struct System {
+    const char* label;
+    Algorithm algorithm;
+    bool dcr;
+    bool trace;
+  };
+  std::vector<System> systems = {
+      {"Paint  noDCR", Algorithm::Paint, false, false},
+      {"Warnck noDCR", Algorithm::Warnock, false, false},
+      {"Raycst noDCR", Algorithm::RayCast, false, false},
+      {"Warnck DCR  ", Algorithm::Warnock, true, false},
+      {"Raycst DCR  ", Algorithm::RayCast, true, false},
+      {"Raycst trace", Algorithm::RayCast, false, true},
+  };
+
+  std::printf("Figure-1 graph program, %d iterations, one piece per node.\n",
+              iterations);
+  std::printf("Steady-state iteration time (simulated ms/iteration):\n\n");
+  std::printf("%-14s", "system\\nodes");
+  for (std::uint32_t n : nodes_list) std::printf("%10u", n);
+  std::printf("\n");
+  for (const System& sys : systems) {
+    std::printf("%-14s", sys.label);
+    for (std::uint32_t n : nodes_list) {
+      Result r = run(sys.algorithm, sys.dcr, sys.trace, n, iterations);
+      std::printf("%10.3f", r.steady_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nLower is better; flat rows weak-scale perfectly.  The\n"
+              "orderings mirror the paper's Figures 15-17: the painter\n"
+              "degrades first, Warnock and ray casting survive until the\n"
+              "central analysis node saturates, and DCR (or the tracing\n"
+              "extension) keeps the iteration time flat.\n");
+  return 0;
+}

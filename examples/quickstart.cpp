@@ -1,0 +1,149 @@
+// quickstart: the paper's Figure 1 program, verbatim.
+//
+// A graph's nodes live in a region N with fields `up` and `down`.  A
+// disjoint primary partition P and an aliased ghost partition G provide two
+// views of the same data.  Tasks t1/t2 alternate read-writing their piece
+// through P while reducing into neighbours through G; the runtime discovers
+// all parallelism and keeps both views coherent.
+//
+// Run:  ./quickstart
+#include <cstdio>
+
+#include "realm/reduction_ops.h"
+#include "runtime/runtime.h"
+
+using namespace visrt;
+
+namespace {
+
+// A tiny ring-of-pieces graph: 3 pieces of 10 nodes; the ghost nodes of a
+// piece are the two boundary nodes of each neighbouring piece, so G is
+// aliased (a node can be ghost for both neighbours).
+struct Graph {
+  RegionHandle n;
+  PartitionHandle p, g;
+  FieldID up, down;
+};
+
+Graph build_graph(Runtime& rt) {
+  Graph graph;
+  graph.n = rt.create_region(IntervalSet(0, 29), "N");
+  graph.p = rt.create_partition(
+      graph.n, {IntervalSet(0, 9), IntervalSet(10, 19), IntervalSet(20, 29)},
+      "P");
+  graph.g = rt.create_partition(
+      graph.n,
+      {IntervalSet{{10, 11}, {28, 29}},   // ghosts of piece 0
+       IntervalSet{{8, 9}, {20, 21}},     // ghosts of piece 1
+       IntervalSet{{18, 19}, {0, 1}}},    // ghosts of piece 2
+      "G");
+  graph.up = rt.add_field(graph.n, "up", 1.0);
+  graph.down = rt.add_field(graph.n, "down", 1.0);
+  return graph;
+}
+
+// task t1(p<Node>, g<Node>): read-write p.up, reduce::+ g.down
+void launch_t1(Runtime& rt, const Graph& graph, std::size_t i) {
+  TaskLaunch t;
+  t.name = "t1";
+  t.requirements = {
+      RegionReq{rt.subregion(graph.p, i), graph.up,
+                Privilege::read_write()},
+      RegionReq{rt.subregion(graph.g, i), graph.down,
+                Privilege::reduce(kRedopSum)}};
+  t.mapped_node = static_cast<NodeID>(i % rt.num_nodes());
+  t.work_items = 12;
+  t.fn = [](TaskContext& ctx) {
+    ctx.data(0).for_each([](coord_t, double& v) { v = 2 * v + 1; });
+    ctx.data(1).for_each([](coord_t n, double& v) {
+      v += static_cast<double>(n % 3) + 1;
+    });
+  };
+  rt.launch(std::move(t));
+}
+
+// task t2(p<Node>, g<Node>): read-write p.down, reduce::+ g.up
+void launch_t2(Runtime& rt, const Graph& graph, std::size_t i) {
+  TaskLaunch t;
+  t.name = "t2";
+  t.requirements = {
+      RegionReq{rt.subregion(graph.p, i), graph.down,
+                Privilege::read_write()},
+      RegionReq{rt.subregion(graph.g, i), graph.up,
+                Privilege::reduce(kRedopSum)}};
+  t.mapped_node = static_cast<NodeID>(i % rt.num_nodes());
+  t.work_items = 12;
+  t.fn = [](TaskContext& ctx) {
+    ctx.data(0).for_each([](coord_t, double& v) { v = v / 2; });
+    ctx.data(1).for_each([](coord_t, double& v) { v += 0.5; });
+  };
+  rt.launch(std::move(t));
+}
+
+struct ProgramResult {
+  RegionData<double> up, down;
+  bool operator==(const ProgramResult&) const = default;
+};
+
+ProgramResult run_program(Algorithm algorithm, bool print) {
+  RuntimeConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.machine.num_nodes = 3;
+  Runtime rt(cfg);
+  Graph graph = build_graph(rt);
+
+  // while (*) { for i: t1(P[i],G[i]); for i: t2(P[i],G[i]) }
+  for (int iter = 0; iter < 3; ++iter) {
+    for (std::size_t i = 0; i < 3; ++i) launch_t1(rt, graph, i);
+    for (std::size_t i = 0; i < 3; ++i) launch_t2(rt, graph, i);
+    rt.end_iteration();
+  }
+
+  if (print) {
+    std::printf("region tree:\n%s\n", rt.forest().to_string(graph.n).c_str());
+    const DepGraph& d = rt.dep_graph();
+    std::printf("launches: %zu, dependence edges: %zu, critical path: %zu "
+                "tasks (out of %zu)\n",
+                d.task_count(), d.edge_count(), d.critical_path(),
+                d.task_count());
+    std::printf("-> the analysis found %zu-way parallelism per phase\n\n",
+                d.task_count() / d.critical_path());
+    // The dependences of the paper's Figure 5 discussion: within a phase
+    // the three tasks are parallel, across phases they are ordered where
+    // data overlaps.
+    for (LaunchID t = 0; t < 6; ++t) {
+      std::printf("task %llu depends on:", static_cast<unsigned long long>(t));
+      for (LaunchID p : d.preds(t))
+        std::printf(" %llu", static_cast<unsigned long long>(p));
+      std::printf("\n");
+    }
+  }
+
+  ProgramResult result{rt.observe(graph.n, graph.up),
+                       rt.observe(graph.n, graph.down)};
+  if (print) {
+    RunStats stats = rt.finish();
+    std::printf("\nsimulated on %u nodes: total %.3f ms, %zu messages, "
+                "%.1f KiB moved\n",
+                rt.num_nodes(), stats.total_time_s * 1e3, stats.messages,
+                static_cast<double>(stats.message_bytes) / 1024.0);
+  }
+  return result;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== visrt quickstart: the paper's Figure 1 program ==\n\n");
+  ProgramResult ray = run_program(Algorithm::RayCast, /*print=*/true);
+
+  // All three visibility algorithms implement the same apparently-
+  // sequential semantics: their results are identical.
+  ProgramResult paint = run_program(Algorithm::Paint, false);
+  ProgramResult warnock = run_program(Algorithm::Warnock, false);
+  ProgramResult oracle = run_program(Algorithm::Reference, false);
+  bool agree = ray == paint && ray == warnock && ray == oracle;
+  std::printf("\npainter == warnock == raycast == sequential oracle: %s\n",
+              agree ? "yes" : "NO (bug!)");
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,186 @@
+// visrt_cli: run any benchmark application under any configuration from
+// the command line and print the run statistics — a one-stop driver for
+// poking at the system.
+//
+// Usage:
+//   visrt_cli <app> <algorithm> [options]
+//     app        stencil | circuit | pennant
+//     algorithm  paint | warnock | raycast | naive-paint | naive-warnock |
+//                naive-raycast | reference
+//   options:
+//     --nodes N        simulated machine size (default 4)
+//     --pieces N       pieces (default = nodes; apps round to their grid)
+//     --iters N        iterations (default 5)
+//     --dcr            enable dynamic control replication
+//     --trace          enable the tracing extension
+//     --no-values      analysis-only mode (skip kernels and validation)
+//     --size N         per-piece problem scale (default app-specific)
+//     --chrome-trace F write a chrome://tracing JSON timeline to file F
+//
+// Examples:
+//   visrt_cli circuit warnock --nodes 64 --dcr --no-values
+//   visrt_cli stencil raycast --trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "apps/circuit.h"
+#include "apps/pennant.h"
+#include "apps/stencil.h"
+
+using namespace visrt;
+
+namespace {
+
+std::optional<Algorithm> parse_algorithm(const std::string& name) {
+  for (Algorithm a :
+       {Algorithm::Paint, Algorithm::Warnock, Algorithm::RayCast,
+        Algorithm::NaivePaint, Algorithm::NaiveWarnock,
+        Algorithm::NaiveRayCast, Algorithm::Reference}) {
+    if (name == algorithm_name(a)) return a;
+  }
+  return std::nullopt;
+}
+
+struct Options {
+  std::string app;
+  Algorithm algorithm = Algorithm::RayCast;
+  std::uint32_t nodes = 4;
+  std::uint32_t pieces = 0; // 0: use nodes
+  int iters = 5;
+  bool dcr = false;
+  bool trace = false;
+  bool values = true;
+  coord_t size = 0; // 0: app default
+  std::string chrome_trace; // empty: no timeline export
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: visrt_cli <stencil|circuit|pennant> <algorithm> "
+               "[--nodes N] [--pieces N] [--iters N] [--dcr] [--trace] "
+               "[--no-values] [--size N]\n");
+  return 2;
+}
+
+void maybe_export_trace(const Runtime& rt, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  rt.export_chrome_trace(out);
+  std::printf("timeline written to %s\n", path.c_str());
+}
+
+void print_stats(const Runtime& rt, const RunStats& stats, bool validated,
+                 bool values) {
+  std::printf("launches           %zu\n", stats.launches);
+  std::printf("dependence edges   %zu\n", stats.dep_edges);
+  std::printf("critical path      %zu tasks\n", stats.critical_path);
+  std::printf("traced launches    %zu\n", rt.traced_launches());
+  std::printf("messages           %zu (%.1f KiB)\n", stats.messages,
+              static_cast<double>(stats.message_bytes) / 1024.0);
+  std::printf("analysis cpu       %.3f ms (all nodes)\n",
+              stats.analysis_cpu_s * 1e3);
+  std::printf("eqsets live/total  %zu/%zu\n", stats.engine.live_eqsets,
+              stats.engine.total_eqsets_created);
+  std::printf("composite views    %zu/%zu\n",
+              stats.engine.live_composite_views,
+              stats.engine.total_composite_views);
+  std::printf("init time          %.3f ms\n", stats.init_time_s * 1e3);
+  std::printf("steady iteration   %.3f ms\n", stats.steady_iter_s * 1e3);
+  std::printf("total time         %.3f ms\n", stats.total_time_s * 1e3);
+  if (values) {
+    std::printf("validation         %s\n", validated ? "PASS" : "FAIL");
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  Options opt;
+  opt.app = argv[1];
+  auto algorithm = parse_algorithm(argv[2]);
+  if (!algorithm) return usage();
+  opt.algorithm = *algorithm;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> long {
+      return ++i < argc ? std::atol(argv[i]) : 0;
+    };
+    if (arg == "--nodes") opt.nodes = static_cast<std::uint32_t>(next());
+    else if (arg == "--pieces") opt.pieces = static_cast<std::uint32_t>(next());
+    else if (arg == "--iters") opt.iters = static_cast<int>(next());
+    else if (arg == "--dcr") opt.dcr = true;
+    else if (arg == "--trace") opt.trace = true;
+    else if (arg == "--no-values") opt.values = false;
+    else if (arg == "--size") opt.size = next();
+    else if (arg == "--chrome-trace" && i + 1 < argc)
+      opt.chrome_trace = argv[++i];
+    else return usage();
+  }
+  if (opt.pieces == 0) opt.pieces = opt.nodes;
+
+  RuntimeConfig cfg;
+  cfg.algorithm = opt.algorithm;
+  cfg.dcr = opt.dcr;
+  cfg.track_values = opt.values;
+  cfg.machine.num_nodes = opt.nodes;
+  Runtime rt(cfg);
+
+  std::printf("== visrt: %s on %s%s%s, %u pieces, %u simulated nodes ==\n",
+              opt.app.c_str(), algorithm_name(opt.algorithm),
+              opt.dcr ? " +DCR" : "", opt.trace ? " +tracing" : "",
+              opt.pieces, opt.nodes);
+
+  bool validated = false;
+  if (opt.app == "stencil") {
+    apps::StencilConfig acfg;
+    std::uint32_t px = 1;
+    while (px * px < opt.pieces) px *= 2;
+    acfg.pieces_x = px;
+    acfg.pieces_y = std::max<std::uint32_t>(1, opt.pieces / px);
+    acfg.tile_rows = acfg.tile_cols = opt.size > 0 ? opt.size : 16;
+    acfg.iterations = opt.iters;
+    acfg.trace = opt.trace;
+    apps::StencilApp app(rt, acfg);
+    app.run();
+    if (opt.values) validated = app.validate();
+    print_stats(rt, rt.finish(), validated, opt.values);
+    maybe_export_trace(rt, opt.chrome_trace);
+  } else if (opt.app == "circuit") {
+    apps::CircuitConfig acfg;
+    acfg.pieces = opt.pieces;
+    acfg.nodes_per_piece = opt.size > 0 ? opt.size : 24;
+    acfg.wires_per_piece = 2 * acfg.nodes_per_piece;
+    acfg.iterations = opt.iters;
+    acfg.trace = opt.trace;
+    apps::CircuitApp app(rt, acfg);
+    app.run();
+    if (opt.values)
+      validated = app.validate(opt.algorithm == Algorithm::Paint ? 1e-9 : 0);
+    print_stats(rt, rt.finish(), validated, opt.values);
+    maybe_export_trace(rt, opt.chrome_trace);
+  } else if (opt.app == "pennant") {
+    apps::PennantConfig acfg;
+    std::uint32_t px = 1;
+    while (px * px < opt.pieces) px *= 2;
+    acfg.pieces_x = px;
+    acfg.pieces_y = std::max<std::uint32_t>(1, opt.pieces / px);
+    acfg.zones_per_piece_x = acfg.zones_per_piece_y =
+        opt.size > 0 ? opt.size : 8;
+    acfg.iterations = opt.iters;
+    acfg.trace = opt.trace;
+    apps::PennantApp app(rt, acfg);
+    app.run();
+    if (opt.values)
+      validated = app.validate(opt.algorithm == Algorithm::Paint ? 1e-9 : 0);
+    print_stats(rt, rt.finish(), validated, opt.values);
+    maybe_export_trace(rt, opt.chrome_trace);
+  } else {
+    return usage();
+  }
+  return (!opt.values || validated) ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace visrt {
+
+[[noreturn]] void invariant_failure(std::string_view what,
+                                    std::source_location loc) {
+  std::fprintf(stderr, "visrt invariant violated: %.*s at %s:%u\n",
+               static_cast<int>(what.size()), what.data(), loc.file_name(),
+               loc.line());
+  std::abort();
+}
+
+} // namespace visrt

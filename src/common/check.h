@@ -1,0 +1,42 @@
+// visrt/common/check.h
+//
+// Lightweight runtime checking.  visrt is a research runtime: internal
+// invariant violations are programming errors and abort loudly rather than
+// limping on.  `require` is used for conditions that depend on user input
+// (it throws), `invariant` for conditions that should be impossible (it
+// aborts).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace visrt {
+
+/// Thrown when a caller violates an API precondition.
+class ApiError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Verify a user-facing precondition; throws ApiError when violated.
+inline void require(bool cond, std::string_view what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw ApiError(std::string(what) + " [" + loc.file_name() + ":" +
+                   std::to_string(loc.line()) + "]");
+  }
+}
+
+[[noreturn]] void invariant_failure(
+    std::string_view what,
+    std::source_location loc = std::source_location::current());
+
+/// Verify an internal invariant; aborts with a message when violated.
+inline void invariant(bool cond, std::string_view what,
+                      std::source_location loc = std::source_location::current()) {
+  if (!cond) invariant_failure(what, loc);
+}
+
+} // namespace visrt

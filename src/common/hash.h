@@ -1,0 +1,27 @@
+// visrt/common/hash.h
+//
+// Hash-combining helpers for composite keys used in memoization tables.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace visrt {
+
+/// Combine a value's hash into a running seed (boost::hash_combine recipe,
+/// widened for 64-bit seeds).
+template <typename T>
+void hash_combine(std::size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+          (seed >> 2);
+}
+
+/// Hash an arbitrary pack of values into one size_t.
+template <typename... Ts>
+std::size_t hash_all(const Ts&... values) {
+  std::size_t seed = 0;
+  (hash_combine(seed, values), ...);
+  return seed;
+}
+
+} // namespace visrt

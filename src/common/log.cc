@@ -1,0 +1,40 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace visrt {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warning};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+  case LogLevel::Debug: return "DEBUG";
+  case LogLevel::Info: return "INFO";
+  case LogLevel::Warning: return "WARN";
+  case LogLevel::Error: return "ERROR";
+  case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+} // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (level < log_level() || message.empty()) return;
+  std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[visrt:%s] %s: %s\n", component.c_str(),
+               level_name(level), message.c_str());
+}
+
+} // namespace visrt

@@ -1,0 +1,43 @@
+// visrt/common/log.h
+//
+// Minimal leveled logging to stderr.  Off by default above Warning so tests
+// and benchmarks stay quiet; examples flip the level to Info for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace visrt {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line (used by the Logger helper; callable directly too).
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style log statement builder:
+///   Logger(LogLevel::Info, "runtime") << "mapped task " << id;
+class Logger {
+public:
+  Logger(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T> Logger& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+} // namespace visrt

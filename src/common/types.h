@@ -1,0 +1,41 @@
+// visrt/common/types.h
+//
+// Fundamental scalar types and identifiers shared by every visrt module.
+// Kept deliberately tiny: anything that needs more context lives in the
+// module that owns the concept.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace visrt {
+
+/// Coordinate type for points in index spaces.  Signed 64-bit, matching
+/// Legion's `coord_t`; negative coordinates are legal.
+using coord_t = std::int64_t;
+
+/// Identifies a field of a region (e.g. `Node::up` in the paper's Figure 1).
+using FieldID = std::uint32_t;
+
+/// Identifies a registered reduction operator (e.g. `reduce+`).
+/// Zero is reserved for "no reduction".
+using ReductionOpID = std::uint32_t;
+inline constexpr ReductionOpID kNoReduction = 0;
+
+/// Identifies a task *launch* (a dynamic instance of a task, i.e. one entry
+/// of the stream the runtime analyzes).  Launch IDs increase in program
+/// order, so they double as the paper's global clock (Section 3.1).
+using LaunchID = std::uint64_t;
+inline constexpr LaunchID kInvalidLaunch =
+    std::numeric_limits<LaunchID>::max();
+
+/// Identifies a node of the (simulated) distributed machine.
+using NodeID = std::uint32_t;
+
+/// Virtual time in the discrete-event simulation, in nanoseconds.
+using SimTime = std::int64_t;
+
+/// Identifies a logical region-tree node (region or partition handle).
+using RegionTreeID = std::uint32_t;
+
+} // namespace visrt

@@ -1,0 +1,87 @@
+#include "geom/bvh.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace visrt {
+
+Bvh::Bvh(std::vector<Item> items) {
+  std::erase_if(items, [](const Item& it) { return it.bounds.empty(); });
+  item_count_ = items.size();
+  if (items.empty()) return;
+  items_ = std::move(items);
+  nodes_.reserve(items_.size() * 2);
+  build(items_, 0, static_cast<std::uint32_t>(items_.size()));
+}
+
+std::uint32_t Bvh::build(std::vector<Item>& items, std::uint32_t begin,
+                         std::uint32_t end) {
+  invariant(begin < end, "bvh build on empty range");
+  std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  Interval bounds = items[begin].bounds;
+  for (std::uint32_t i = begin + 1; i < end; ++i) {
+    bounds.lo = std::min(bounds.lo, items[i].bounds.lo);
+    bounds.hi = std::max(bounds.hi, items[i].bounds.hi);
+  }
+  nodes_[index].bounds = bounds;
+
+  if (end - begin <= kLeafSize) {
+    nodes_[index].item_begin = begin;
+    nodes_[index].item_end = end;
+    return index;
+  }
+
+  std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(items.begin() + begin, items.begin() + mid,
+                   items.begin() + end, [](const Item& a, const Item& b) {
+                     return a.bounds.lo + a.bounds.hi <
+                            b.bounds.lo + b.bounds.hi;
+                   });
+  std::uint32_t left = build(items, begin, mid);
+  std::uint32_t right = build(items, mid, end);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void Bvh::query_node(std::uint32_t node, const Interval& q,
+                     BvhQueryResult& out) const {
+  const Node& n = nodes_[node];
+  ++out.nodes_visited;
+  if (!n.bounds.overlaps(q)) return;
+  if (n.item_begin < n.item_end) {
+    for (std::uint32_t i = n.item_begin; i < n.item_end; ++i) {
+      if (items_[i].bounds.overlaps(q)) out.items.push_back(items_[i].payload);
+    }
+    return;
+  }
+  query_node(n.left, q, out);
+  query_node(n.right, q, out);
+}
+
+BvhQueryResult Bvh::query(const Interval& q) const {
+  BvhQueryResult out;
+  if (!nodes_.empty() && !q.empty()) query_node(0, q, out);
+  return out;
+}
+
+BvhQueryResult Bvh::query(const IntervalSet& q) const {
+  BvhQueryResult out;
+  if (nodes_.empty() || q.empty()) return out;
+  for (const Interval& iv : q.intervals()) {
+    BvhQueryResult part;
+    query_node(0, iv, part);
+    out.nodes_visited += part.nodes_visited;
+    out.items.insert(out.items.end(), part.items.begin(), part.items.end());
+  }
+  // A payload may match several query intervals; deduplicate.
+  std::sort(out.items.begin(), out.items.end());
+  out.items.erase(std::unique(out.items.begin(), out.items.end()),
+                  out.items.end());
+  return out;
+}
+
+} // namespace visrt

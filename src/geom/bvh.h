@@ -1,0 +1,69 @@
+// visrt/geom/bvh.h
+//
+// A bounding volume hierarchy over items with 1-D interval bounds.
+// Warnock's algorithm (Section 6.1 of the paper) uses the history of
+// equivalence-set refinements as a BVH to find the equivalence sets that
+// compose a region; ray casting reuses the same traversal.  Queries report
+// how many tree nodes were visited so the simulator can charge analysis
+// time proportional to the real traversal work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/interval_set.h"
+
+namespace visrt {
+
+/// Result of a BVH query: matching item payloads plus traversal cost.
+struct BvhQueryResult {
+  std::vector<std::uint64_t> items;  ///< payloads of intersecting leaves
+  std::size_t nodes_visited = 0;     ///< tree nodes touched by the query
+};
+
+/// Static BVH built once over a set of (bounds, payload) items.
+/// Rebuildable; used where the item set changes rarely (raycast's
+/// disjoint-complete partition BVH) or via full rebuilds (K-d fallback).
+class Bvh {
+public:
+  struct Item {
+    Interval bounds;
+    std::uint64_t payload = 0;
+  };
+
+  Bvh() = default;
+
+  /// Build from items (empty-bounded items are dropped).
+  explicit Bvh(std::vector<Item> items);
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t item_count() const { return item_count_; }
+
+  /// All items whose bounds overlap the query interval.
+  BvhQueryResult query(const Interval& q) const;
+
+  /// All items whose bounds overlap any interval of the query set.
+  BvhQueryResult query(const IntervalSet& q) const;
+
+private:
+  struct Node {
+    Interval bounds;
+    // Leaf when item_begin < item_end; internal node otherwise.
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t item_begin = 0;
+    std::uint32_t item_end = 0;
+  };
+
+  std::uint32_t build(std::vector<Item>& items, std::uint32_t begin,
+                      std::uint32_t end);
+  void query_node(std::uint32_t node, const Interval& q,
+                  BvhQueryResult& out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Item> items_;
+  std::size_t item_count_ = 0;
+  static constexpr std::uint32_t kLeafSize = 4;
+};
+
+} // namespace visrt

@@ -1,0 +1,180 @@
+#include "geom/interval_set.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace visrt {
+
+IntervalSet::IntervalSet(coord_t lo, coord_t hi) {
+  if (lo <= hi) intervals_.push_back(Interval{lo, hi});
+}
+
+IntervalSet::IntervalSet(std::initializer_list<Interval> intervals)
+    : IntervalSet(from_intervals(std::vector<Interval>(intervals))) {}
+
+IntervalSet IntervalSet::from_intervals(std::vector<Interval> intervals) {
+  std::erase_if(intervals, [](const Interval& iv) { return iv.empty(); });
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  IntervalSet out;
+  for (const Interval& iv : intervals) {
+    if (!out.intervals_.empty() && iv.lo <= out.intervals_.back().hi + 1) {
+      out.intervals_.back().hi = std::max(out.intervals_.back().hi, iv.hi);
+    } else {
+      out.intervals_.push_back(iv);
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::from_points(std::vector<coord_t> points) {
+  std::vector<Interval> ivs;
+  ivs.reserve(points.size());
+  for (coord_t p : points) ivs.push_back(Interval{p, p});
+  return from_intervals(std::move(ivs));
+}
+
+coord_t IntervalSet::volume() const {
+  coord_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.size();
+  return total;
+}
+
+Interval IntervalSet::bounds() const {
+  if (intervals_.empty()) return Interval{};
+  return Interval{intervals_.front().lo, intervals_.back().hi};
+}
+
+bool IntervalSet::contains(coord_t p) const {
+  // Binary search for the first interval with hi >= p.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), p,
+      [](const Interval& iv, coord_t v) { return iv.hi < v; });
+  return it != intervals_.end() && it->contains(p);
+}
+
+bool IntervalSet::contains(const IntervalSet& o) const {
+  // Each of o's intervals must be covered by a single interval of ours
+  // (normalization guarantees no interval of o spans a gap of ours if and
+  // only if coverage holds interval-by-interval).
+  std::size_t i = 0;
+  for (const Interval& need : o.intervals_) {
+    while (i < intervals_.size() && intervals_[i].hi < need.lo) ++i;
+    if (i == intervals_.size() || !intervals_[i].covers(need)) return false;
+  }
+  return true;
+}
+
+bool IntervalSet::overlaps(const Interval& o) const {
+  if (o.empty()) return false;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), o.lo,
+      [](const Interval& iv, coord_t v) { return iv.hi < v; });
+  return it != intervals_.end() && it->lo <= o.hi;
+}
+
+bool IntervalSet::overlaps(const IntervalSet& o) const {
+  std::size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < o.intervals_.size()) {
+    if (intervals_[i].overlaps(o.intervals_[j])) return true;
+    if (intervals_[i].hi < o.intervals_[j].hi) ++i;
+    else ++j;
+  }
+  return false;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& o) const {
+  IntervalSet out;
+  out.intervals_.reserve(intervals_.size() + o.intervals_.size());
+  std::size_t i = 0, j = 0;
+  auto push = [&out](const Interval& iv) {
+    if (!out.intervals_.empty() && iv.lo <= out.intervals_.back().hi + 1) {
+      out.intervals_.back().hi = std::max(out.intervals_.back().hi, iv.hi);
+    } else {
+      out.intervals_.push_back(iv);
+    }
+  };
+  while (i < intervals_.size() || j < o.intervals_.size()) {
+    if (j == o.intervals_.size() ||
+        (i < intervals_.size() && intervals_[i].lo <= o.intervals_[j].lo)) {
+      push(intervals_[i++]);
+    } else {
+      push(o.intervals_[j++]);
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& o) const {
+  IntervalSet out;
+  std::size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < o.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = o.intervals_[j];
+    coord_t lo = std::max(a.lo, b.lo);
+    coord_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.intervals_.push_back(Interval{lo, hi});
+    if (a.hi < b.hi) ++i;
+    else ++j;
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& o) const {
+  IntervalSet out;
+  std::size_t j = 0;
+  for (Interval rest : intervals_) {
+    while (j < o.intervals_.size() && o.intervals_[j].hi < rest.lo) ++j;
+    std::size_t k = j;
+    while (!rest.empty() && k < o.intervals_.size() &&
+           o.intervals_[k].lo <= rest.hi) {
+      const Interval& cut = o.intervals_[k];
+      if (cut.lo > rest.lo) {
+        out.intervals_.push_back(Interval{rest.lo, cut.lo - 1});
+      }
+      rest.lo = cut.hi + 1;
+      ++k;
+    }
+    if (!rest.empty()) out.intervals_.push_back(rest);
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::shifted(coord_t delta) const {
+  IntervalSet out;
+  out.intervals_.reserve(intervals_.size());
+  for (const Interval& iv : intervals_)
+    out.intervals_.push_back(Interval{iv.lo + delta, iv.hi + delta});
+  return out;
+}
+
+IntervalSet IntervalSet::grown(coord_t radius) const {
+  require(radius >= 0, "grow radius must be non-negative");
+  std::vector<Interval> grownv;
+  grownv.reserve(intervals_.size());
+  for (const Interval& iv : intervals_)
+    grownv.push_back(Interval{iv.lo - radius, iv.hi + radius});
+  return from_intervals(std::move(grownv));
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  os << '{';
+  bool first = true;
+  for (const Interval& iv : set.intervals()) {
+    if (!first) os << ',';
+    first = false;
+    os << '[' << iv.lo << ',' << iv.hi << ']';
+  }
+  return os << '}';
+}
+
+} // namespace visrt

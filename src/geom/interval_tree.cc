@@ -1,0 +1,82 @@
+#include "geom/interval_tree.h"
+
+#include <algorithm>
+
+namespace visrt {
+
+void IntervalTree::insert(const Interval& bounds, std::uint64_t payload) {
+  if (bounds.empty()) return;
+  insert_at(root_, Item{bounds, payload});
+  ++size_;
+}
+
+void IntervalTree::insert_at(std::unique_ptr<Node>& node, const Item& item) {
+  if (!node) {
+    node = std::make_unique<Node>();
+    node->split = item.bounds.lo + (item.bounds.hi - item.bounds.lo) / 2;
+    node->straddling.push_back(item);
+    return;
+  }
+  if (item.bounds.hi < node->split) {
+    insert_at(node->left, item);
+  } else if (item.bounds.lo > node->split) {
+    insert_at(node->right, item);
+  } else {
+    node->straddling.push_back(item);
+  }
+}
+
+std::size_t IntervalTree::remove(std::uint64_t payload) {
+  std::size_t removed = remove_at(root_, payload);
+  size_ -= removed;
+  return removed;
+}
+
+std::size_t IntervalTree::remove_at(std::unique_ptr<Node>& node,
+                                    std::uint64_t payload) {
+  if (!node) return 0;
+  std::size_t before = node->straddling.size();
+  std::erase_if(node->straddling,
+                [payload](const Item& it) { return it.payload == payload; });
+  std::size_t removed = before - node->straddling.size();
+  removed += remove_at(node->left, payload);
+  removed += remove_at(node->right, payload);
+  // Collapse empty leaves to keep the tree from accumulating dead nodes.
+  if (node->straddling.empty() && !node->left && !node->right) node.reset();
+  return removed;
+}
+
+void IntervalTree::query_node(const Node* node, const Interval& q,
+                              IntervalTreeQueryResult& out) const {
+  if (node == nullptr) return;
+  ++out.nodes_visited;
+  for (const Item& item : node->straddling) {
+    if (item.bounds.overlaps(q)) out.items.push_back(item.payload);
+  }
+  if (q.lo < node->split) query_node(node->left.get(), q, out);
+  if (q.hi > node->split) query_node(node->right.get(), q, out);
+}
+
+IntervalTreeQueryResult IntervalTree::query(const Interval& q) const {
+  IntervalTreeQueryResult out;
+  if (!q.empty()) query_node(root_.get(), q, out);
+  std::sort(out.items.begin(), out.items.end());
+  out.items.erase(std::unique(out.items.begin(), out.items.end()),
+                  out.items.end());
+  return out;
+}
+
+IntervalTreeQueryResult IntervalTree::query(const IntervalSet& q) const {
+  IntervalTreeQueryResult out;
+  for (const Interval& iv : q.intervals()) {
+    IntervalTreeQueryResult part = query(iv);
+    out.nodes_visited += part.nodes_visited;
+    out.items.insert(out.items.end(), part.items.begin(), part.items.end());
+  }
+  std::sort(out.items.begin(), out.items.end());
+  out.items.erase(std::unique(out.items.begin(), out.items.end()),
+                  out.items.end());
+  return out;
+}
+
+} // namespace visrt

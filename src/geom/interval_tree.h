@@ -1,0 +1,64 @@
+// visrt/geom/interval_tree.h
+//
+// A dynamic interval tree (the 1-D instantiation of the K-d tree the paper
+// falls back to in Section 7.1 when no disjoint-and-complete partition
+// subtree exists).  Unlike the static Bvh, items can be inserted and
+// removed as equivalence sets are created and pruned by dominating writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/interval_set.h"
+
+namespace visrt {
+
+/// Result of an interval-tree query, with traversal cost for the simulator.
+struct IntervalTreeQueryResult {
+  std::vector<std::uint64_t> items;
+  std::size_t nodes_visited = 0;
+};
+
+/// Centered interval tree: each node stores a split coordinate, the items
+/// straddling it, and children for items wholly left/right of the split.
+class IntervalTree {
+public:
+  IntervalTree() = default;
+
+  /// Insert an item; empty bounds are ignored.  Payloads need not be unique
+  /// across items, but remove() erases all items with the given payload.
+  void insert(const Interval& bounds, std::uint64_t payload);
+
+  /// Remove every item carrying `payload`; returns the number removed.
+  std::size_t remove(std::uint64_t payload);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// All payloads whose bounds overlap `q`.
+  IntervalTreeQueryResult query(const Interval& q) const;
+  IntervalTreeQueryResult query(const IntervalSet& q) const;
+
+private:
+  struct Item {
+    Interval bounds;
+    std::uint64_t payload;
+  };
+  struct Node {
+    coord_t split;
+    std::vector<Item> straddling;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  void insert_at(std::unique_ptr<Node>& node, const Item& item);
+  std::size_t remove_at(std::unique_ptr<Node>& node, std::uint64_t payload);
+  void query_node(const Node* node, const Interval& q,
+                  IntervalTreeQueryResult& out) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+} // namespace visrt

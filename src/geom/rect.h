@@ -1,0 +1,136 @@
+// visrt/geom/rect.h
+//
+// N-dimensional points and rectangles, plus row-major linearization of
+// rectangles into IntervalSets.  Applications describe their data in the
+// natural dimensionality (the stencil benchmark is 2-D, Pennant's mesh
+// entities are 1-D id spaces); the coherence analyses always operate on the
+// linearized 1-D form.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/check.h"
+#include "geom/interval_set.h"
+
+namespace visrt {
+
+/// An N-dimensional integer point.
+template <int N> struct Point {
+  static_assert(N >= 1 && N <= 3, "visrt supports 1-3 dimensional spaces");
+  std::array<coord_t, N> x{};
+
+  coord_t& operator[](int d) { return x[static_cast<std::size_t>(d)]; }
+  coord_t operator[](int d) const { return x[static_cast<std::size_t>(d)]; }
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// An N-dimensional axis-aligned box with inclusive bounds.
+template <int N> struct Rect {
+  Point<N> lo;
+  Point<N> hi;
+
+  /// Empty iff any dimension is inverted.
+  bool empty() const {
+    for (int d = 0; d < N; ++d)
+      if (lo[d] > hi[d]) return true;
+    return false;
+  }
+
+  coord_t volume() const {
+    if (empty()) return 0;
+    coord_t v = 1;
+    for (int d = 0; d < N; ++d) v *= hi[d] - lo[d] + 1;
+    return v;
+  }
+
+  bool contains(const Point<N>& p) const {
+    for (int d = 0; d < N; ++d)
+      if (p[d] < lo[d] || p[d] > hi[d]) return false;
+    return true;
+  }
+
+  /// Intersection; may be empty.
+  Rect intersect(const Rect& o) const {
+    Rect out;
+    for (int d = 0; d < N; ++d) {
+      out.lo[d] = lo[d] > o.lo[d] ? lo[d] : o.lo[d];
+      out.hi[d] = hi[d] < o.hi[d] ? hi[d] : o.hi[d];
+    }
+    return out;
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Maps N-dimensional points within a fixed base rectangle to 1-D
+/// coordinates (row-major), so rectangles become IntervalSets: one interval
+/// per contiguous row segment.  All regions of one region tree share the
+/// tree root's Linearizer, making linearized coordinates comparable.
+template <int N> class Linearizer {
+public:
+  explicit Linearizer(Rect<N> base) : base_(base) {
+    require(!base.empty(), "Linearizer base rectangle must be non-empty");
+    coord_t stride = 1;
+    for (int d = N - 1; d >= 0; --d) {
+      stride_[static_cast<std::size_t>(d)] = stride;
+      stride *= base.hi[d] - base.lo[d] + 1;
+    }
+  }
+
+  const Rect<N>& base() const { return base_; }
+
+  coord_t linearize(const Point<N>& p) const {
+    coord_t idx = 0;
+    for (int d = 0; d < N; ++d) {
+      idx += (p[d] - base_.lo[d]) * stride_[static_cast<std::size_t>(d)];
+    }
+    return idx;
+  }
+
+  Point<N> delinearize(coord_t idx) const {
+    Point<N> p;
+    for (int d = 0; d < N; ++d) {
+      coord_t s = stride_[static_cast<std::size_t>(d)];
+      p[d] = base_.lo[d] + idx / s;
+      idx %= s;
+    }
+    return p;
+  }
+
+  /// Linearize a sub-rectangle (clamped to the base) into an IntervalSet:
+  /// one interval per row in the innermost dimension.
+  IntervalSet linearize(const Rect<N>& r) const {
+    Rect<N> c = r.intersect(base_);
+    if (c.empty()) return IntervalSet{};
+    std::vector<Interval> rows;
+    Point<N> cursor = c.lo;
+    for (;;) {
+      Point<N> row_end = cursor;
+      row_end[N - 1] = c.hi[N - 1];
+      rows.push_back(Interval{linearize(cursor), linearize(row_end)});
+      // Advance to the next row (odometer over dims 0..N-2).
+      int d = N - 2;
+      for (; d >= 0; --d) {
+        if (cursor[d] < c.hi[d]) {
+          ++cursor[d];
+          break;
+        }
+        cursor[d] = c.lo[d];
+      }
+      if (d < 0) break;
+    }
+    return IntervalSet::from_intervals(std::move(rows));
+  }
+
+private:
+  Rect<N> base_;
+  std::array<coord_t, N> stride_{};
+};
+
+/// Convenience: 1-D rectangles linearize to themselves.
+inline IntervalSet to_interval_set(coord_t lo, coord_t hi) {
+  return IntervalSet(lo, hi);
+}
+
+} // namespace visrt

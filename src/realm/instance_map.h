@@ -1,0 +1,75 @@
+// visrt/realm/instance_map.h
+//
+// Tracks, for one field, which nodes of the machine hold valid physical
+// copies of which points, plus outstanding (lazily applied) reduction
+// buffers.  The runtime consults it when a task is mapped to a node to plan
+// the copies and reduction applications that realize the coherence the
+// analysis proved necessary — the "implicit communication" of Section 2.
+//
+// This plays the role of Realm's instance/copy engine in the paper's stack:
+// the visibility algorithms decide *what* must be coherent; the instance
+// map decides *which bytes move between which nodes* to achieve it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "geom/interval_set.h"
+
+namespace visrt {
+
+/// One planned transfer: move `points` worth of the field from src to dst.
+/// kind distinguishes plain copies from reduction-buffer applications.
+struct CopyPlan {
+  enum class Kind : std::uint8_t { Copy, ApplyReduction };
+  Kind kind = Kind::Copy;
+  NodeID src = 0;
+  NodeID dst = 0;
+  IntervalSet points;
+  ReductionOpID redop = kNoReduction; ///< ApplyReduction only
+};
+
+class InstanceMap {
+public:
+  /// `nodes` machine nodes.  The initial contents (a fill) are considered
+  /// valid everywhere — fills are deferred and instantiated per instance
+  /// without bulk copies, as in Realm; `home` is kept for bookkeeping.
+  InstanceMap(std::uint32_t nodes, NodeID home, IntervalSet domain);
+
+  /// Plan the data movement needed before a task on `dst` can read
+  /// `domain`: copies of points not valid at dst, plus application of any
+  /// pending reduction buffers overlapping the domain.  Updates validity:
+  /// after the plan executes, dst holds a valid copy of all of `domain`;
+  /// points whose value changed by reduction application are valid *only*
+  /// at dst.
+  std::vector<CopyPlan> plan_read(NodeID dst, const IntervalSet& domain);
+
+  /// Record that a task wrote `domain` at `node`: node becomes the sole
+  /// valid holder of those points, and overlapping pending reductions are
+  /// dropped (they are occluded by the write in any later materialization
+  /// the analysis would have already ordered before it).
+  void record_write(NodeID node, const IntervalSet& domain);
+
+  /// Record a lazily-buffered reduction produced at `node` over `domain`.
+  void record_reduction(NodeID node, const IntervalSet& domain,
+                        ReductionOpID redop);
+
+  /// Points currently valid at a node (for tests / stats).
+  const IntervalSet& valid_at(NodeID node) const;
+  std::size_t pending_reductions() const { return pending_.size(); }
+
+private:
+  struct PendingReduction {
+    NodeID node;
+    IntervalSet domain;
+    ReductionOpID redop;
+    LaunchID order; ///< creation order; applications preserve it
+  };
+
+  std::vector<IntervalSet> valid_; // per node
+  std::vector<PendingReduction> pending_;
+  LaunchID next_order_ = 0;
+};
+
+} // namespace visrt

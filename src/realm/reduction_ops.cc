@@ -1,0 +1,60 @@
+#include "realm/reduction_ops.h"
+
+#include <deque>
+#include <limits>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace visrt {
+namespace {
+
+double fold_sum(double x, double v) { return x + v; }
+double fold_prod(double x, double v) { return x * v; }
+double fold_min(double x, double v) { return x < v ? x : v; }
+double fold_max(double x, double v) { return x > v ? x : v; }
+
+struct Registry {
+  std::mutex mutex;
+  // deque: stable references across registration of new operators.
+  std::deque<ReductionOp> ops;
+
+  Registry() {
+    ops.push_back(ReductionOp{kNoReduction, 0.0, nullptr, "none"});
+    ops.push_back(ReductionOp{kRedopSum, 0.0, fold_sum, "sum"});
+    ops.push_back(ReductionOp{kRedopProd, 1.0, fold_prod, "prod"});
+    ops.push_back(ReductionOp{
+        kRedopMin, std::numeric_limits<double>::infinity(), fold_min, "min"});
+    ops.push_back(ReductionOp{kRedopMax,
+                              -std::numeric_limits<double>::infinity(),
+                              fold_max, "max"});
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+} // namespace
+
+const ReductionOp& reduction_op(ReductionOpID id) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  require(id != kNoReduction && id < r.ops.size(),
+          "unknown reduction operator id");
+  return r.ops[id];
+}
+
+ReductionOpID register_reduction(double identity,
+                                 double (*fold)(double, double),
+                                 std::string_view name) {
+  require(fold != nullptr, "reduction fold function must be provided");
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  ReductionOpID id = static_cast<ReductionOpID>(r.ops.size());
+  r.ops.push_back(ReductionOp{id, identity, fold, std::string(name)});
+  return id;
+}
+
+} // namespace visrt

@@ -1,0 +1,41 @@
+// visrt/realm/reduction_ops.h
+//
+// Registry of reduction operators.  The paper (Section 4) requires every
+// reduction operator to have an identity so partial accumulations can be
+// folded lazily; this registry records (identity, fold) pairs over double
+// (visrt field element type) and lets applications register their own,
+// like Pennant's distinct operators for force sums and dt minima.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace visrt {
+
+/// One registered reduction operator over double.
+struct ReductionOp {
+  ReductionOpID id = kNoReduction;
+  double identity = 0.0;
+  /// fold(contribution, current) -> new value.  Argument order follows the
+  /// paper's b(f_x, v) = f(x, v).
+  double (*fold)(double contribution, double current) = nullptr;
+  std::string name;
+};
+
+/// Built-in operators, registered on first use of the registry.
+inline constexpr ReductionOpID kRedopSum = 1;
+inline constexpr ReductionOpID kRedopProd = 2;
+inline constexpr ReductionOpID kRedopMin = 3;
+inline constexpr ReductionOpID kRedopMax = 4;
+
+/// Look up an operator; throws ApiError for unknown ids.
+const ReductionOp& reduction_op(ReductionOpID id);
+
+/// Register a custom operator; returns its fresh id.
+ReductionOpID register_reduction(double identity,
+                                 double (*fold)(double, double),
+                                 std::string_view name);
+
+} // namespace visrt

@@ -1,0 +1,93 @@
+#include "region/dependent_partitioning.h"
+
+#include "common/check.h"
+
+namespace visrt {
+
+std::vector<IntervalSet> partition_equally(const IntervalSet& domain,
+                                           std::size_t colors) {
+  require(colors >= 1, "partition_equally needs at least one color");
+  coord_t volume = domain.volume();
+  std::vector<std::vector<coord_t>> points(colors);
+  coord_t base = volume / static_cast<coord_t>(colors);
+  coord_t extra = volume % static_cast<coord_t>(colors);
+  // First `extra` colors get base+1 points, the rest get base.
+  std::size_t color = 0;
+  coord_t taken = 0;
+  coord_t quota = base + (extra > 0 ? 1 : 0);
+  domain.for_each_point([&](coord_t p) {
+    if (taken == quota && color + 1 < colors) {
+      ++color;
+      taken = 0;
+      quota = base + (static_cast<coord_t>(color) < extra ? 1 : 0);
+    }
+    points[color].push_back(p);
+    ++taken;
+  });
+  std::vector<IntervalSet> out;
+  out.reserve(colors);
+  for (auto& pts : points)
+    out.push_back(IntervalSet::from_points(std::move(pts)));
+  return out;
+}
+
+std::vector<IntervalSet> partition_by_field(const IntervalSet& domain,
+                                            std::size_t colors,
+                                            const ColorFn& color_of) {
+  require(static_cast<bool>(color_of), "partition_by_field needs a coloring");
+  std::vector<std::vector<coord_t>> points(colors);
+  domain.for_each_point([&](coord_t p) {
+    std::size_t c = color_of(p);
+    if (c < colors) points[c].push_back(p);
+  });
+  std::vector<IntervalSet> out;
+  out.reserve(colors);
+  for (auto& pts : points)
+    out.push_back(IntervalSet::from_points(std::move(pts)));
+  return out;
+}
+
+std::vector<IntervalSet> image(std::span<const IntervalSet> parts,
+                               const PointerFn& ptr) {
+  require(static_cast<bool>(ptr), "image needs a pointer function");
+  std::vector<IntervalSet> out;
+  out.reserve(parts.size());
+  std::vector<coord_t> targets;
+  for (const IntervalSet& part : parts) {
+    std::vector<coord_t> points;
+    part.for_each_point([&](coord_t p) {
+      targets.clear();
+      ptr(p, targets);
+      points.insert(points.end(), targets.begin(), targets.end());
+    });
+    out.push_back(IntervalSet::from_points(std::move(points)));
+  }
+  return out;
+}
+
+std::vector<IntervalSet> preimage(std::span<const IntervalSet> dest_parts,
+                                  const IntervalSet& source_domain,
+                                  const PointerFn& ptr) {
+  require(static_cast<bool>(ptr), "preimage needs a pointer function");
+  std::vector<std::vector<coord_t>> points(dest_parts.size());
+  std::vector<coord_t> targets;
+  source_domain.for_each_point([&](coord_t p) {
+    targets.clear();
+    ptr(p, targets);
+    for (std::size_t c = 0; c < dest_parts.size(); ++c) {
+      for (coord_t d : targets) {
+        if (dest_parts[c].contains(d)) {
+          points[c].push_back(p);
+          break;
+        }
+      }
+    }
+  });
+  std::vector<IntervalSet> out;
+  out.reserve(dest_parts.size());
+  for (auto& pts : points)
+    out.push_back(IntervalSet::from_points(std::move(pts)));
+  return out;
+}
+
+} // namespace visrt

@@ -1,0 +1,66 @@
+// visrt/region/dependent_partitioning.h
+//
+// Dependent partitioning operators, after Treichler et al., "Dependent
+// Partitioning" (OOPSLA 2016) — reference [25] of the paper.  The paper's
+// programs "name the subregions by creating partitions [23, 25]"; these
+// operators compute partitions *from data*:
+//
+//   partition_equally   — blocked partition of a domain (independent);
+//   partition_by_field  — color each point by an application function of
+//                         its field value;
+//   image               — push a partition of a source region through a
+//                         pointer field onto a destination region (the
+//                         ghost partition of the circuit benchmark is the
+//                         image of each piece's wires through their
+//                         endpoint pointers, minus the piece's own nodes);
+//   preimage            — pull a partition of a destination region back
+//                         through a pointer field onto the source region.
+//
+// All operators are pure set computations over linearized coordinates; the
+// results feed RegionTreeForest::create_partition, which classifies them
+// as disjoint/aliased and complete/incomplete.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/interval_set.h"
+
+namespace visrt {
+
+/// Pointer field: the destination coordinate(s) a source point refers to.
+/// Multi-valued to support structures like wires with two endpoints; leave
+/// `out` empty for points that point nowhere.
+using PointerFn = std::function<void(coord_t point, std::vector<coord_t>& out)>;
+
+/// Coloring function for partition_by_field: which subregion a point
+/// belongs to, or kNoColor to leave it out of every subregion.
+inline constexpr std::size_t kNoColor = static_cast<std::size_t>(-1);
+using ColorFn = std::function<std::size_t(coord_t point)>;
+
+/// Split `domain` into `colors` blocks of near-equal volume (the trailing
+/// blocks are one point smaller when the volume does not divide evenly).
+/// The result is always disjoint and complete.
+std::vector<IntervalSet> partition_equally(const IntervalSet& domain,
+                                           std::size_t colors);
+
+/// Color every point of `domain` by `color_of`.  Points mapped to kNoColor
+/// or to a color >= `colors` are dropped (the result may be incomplete);
+/// the result is always disjoint.
+std::vector<IntervalSet> partition_by_field(const IntervalSet& domain,
+                                            std::size_t colors,
+                                            const ColorFn& color_of);
+
+/// image(parts, ptr)[c] = { d : exists p in parts[c], d in ptr(p) }.
+/// Images of overlapping or pointer-aliased parts may alias.
+std::vector<IntervalSet> image(std::span<const IntervalSet> parts,
+                               const PointerFn& ptr);
+
+/// preimage(dest_parts, source_domain, ptr)[c] =
+///   { p in source_domain : ptr(p) intersects dest_parts[c] }.
+std::vector<IntervalSet> preimage(std::span<const IntervalSet> dest_parts,
+                                  const IntervalSet& source_domain,
+                                  const PointerFn& ptr);
+
+} // namespace visrt

@@ -1,0 +1,184 @@
+// visrt/region/region_data.h
+//
+// RegionData<T> is the paper's notion of a region as "a set of pairs
+// {<i, v>}" (Section 4): a domain of points plus a value at each point.
+// The coherence algorithms manipulate these with exactly the operators the
+// pseudocode uses:
+//
+//   X/Y      -> restricted(Y)            (subset of X sharing points with Y)
+//   X\Y      -> restricted(dom(X) - Y)   (subset of X not sharing points)
+//   X (+) Y  -> overwrite_from(Y)        (union, Y's values win on overlap)
+//   f(X/Y, Y/X) -> fold_from(f, Y)       (pointwise reduction on overlap)
+//
+// Storage is dense per interval of the (normalized) domain, giving O(runs)
+// rather than O(points) bookkeeping for the common case of mostly
+// contiguous regions.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "geom/interval_set.h"
+
+namespace visrt {
+
+template <typename T> class RegionData {
+public:
+  /// Empty region.
+  RegionData() = default;
+
+  /// Region over `domain` with every value initialized to `fill`.
+  static RegionData filled(IntervalSet domain, const T& fill) {
+    RegionData r;
+    r.domain_ = std::move(domain);
+    r.rebuild_offsets();
+    r.values_.assign(static_cast<std::size_t>(r.domain_.volume()), fill);
+    return r;
+  }
+
+  /// Region over `domain` with values produced by `gen(point)`.
+  template <typename Gen>
+  static RegionData generate(IntervalSet domain, Gen&& gen) {
+    RegionData r;
+    r.domain_ = std::move(domain);
+    r.rebuild_offsets();
+    r.values_.reserve(static_cast<std::size_t>(r.domain_.volume()));
+    r.domain_.for_each_point(
+        [&](coord_t p) { r.values_.push_back(gen(p)); });
+    return r;
+  }
+
+  const IntervalSet& domain() const { return domain_; }
+  bool empty() const { return domain_.empty(); }
+  coord_t volume() const { return domain_.volume(); }
+
+  /// Value at point p; p must be in the domain.
+  const T& at(coord_t p) const { return values_[offset_of(p)]; }
+  T& at(coord_t p) { return values_[offset_of(p)]; }
+
+  /// X/Y: the sub-region of this region over domain() ∩ other.
+  RegionData restricted(const IntervalSet& other) const {
+    RegionData out;
+    out.domain_ = domain_.intersect(other);
+    out.rebuild_offsets();
+    out.values_.resize(static_cast<std::size_t>(out.domain_.volume()));
+    copy_overlap(*this, out);
+    return out;
+  }
+
+  /// X\Y: the sub-region of this region over domain() - other.
+  RegionData subtracted(const IntervalSet& other) const {
+    RegionData out;
+    out.domain_ = domain_.subtract(other);
+    out.rebuild_offsets();
+    out.values_.resize(static_cast<std::size_t>(out.domain_.volume()));
+    copy_overlap(*this, out);
+    return out;
+  }
+
+  /// In-place (X (+) src)/X : overwrite this region's values with src's on
+  /// the shared points; the domain is unchanged.
+  void overwrite_from(const RegionData& src) {
+    for_each_shared_run(src, [](T* dst, const T* s, coord_t n) {
+      for (coord_t i = 0; i < n; ++i) dst[i] = s[i];
+    });
+  }
+
+  /// In-place pointwise fold on shared points: this[p] = f(src[p], this[p]).
+  /// Argument order matches the paper's b(f_x, v) = f(x, v).
+  template <typename Fold>
+  void fold_from(Fold&& f, const RegionData& src) {
+    for_each_shared_run(src, [&f](T* dst, const T* s, coord_t n) {
+      for (coord_t i = 0; i < n; ++i) dst[i] = f(s[i], dst[i]);
+    });
+  }
+
+  /// X (+) Y as a new region: union domain, Y's values win on overlap.
+  RegionData merged_with(const RegionData& other) const {
+    RegionData out;
+    out.domain_ = domain_.unite(other.domain_);
+    out.rebuild_offsets();
+    out.values_.resize(static_cast<std::size_t>(out.domain_.volume()));
+    copy_overlap(*this, out);
+    copy_overlap(other, out);
+    return out;
+  }
+
+  /// Set every value in the domain.
+  void fill(const T& v) {
+    std::fill(values_.begin(), values_.end(), v);
+  }
+
+  /// Pointwise equality over identical domains.
+  friend bool operator==(const RegionData& a, const RegionData& b) {
+    return a.domain_ == b.domain_ && a.values_ == b.values_;
+  }
+
+  /// Apply fn(point, value&) to every element in ascending point order.
+  template <typename Fn> void for_each(Fn&& fn) {
+    std::size_t k = 0;
+    for (const Interval& iv : domain_.intervals())
+      for (coord_t p = iv.lo; p <= iv.hi; ++p) fn(p, values_[k++]);
+  }
+  template <typename Fn> void for_each(Fn&& fn) const {
+    std::size_t k = 0;
+    for (const Interval& iv : domain_.intervals())
+      for (coord_t p = iv.lo; p <= iv.hi; ++p) fn(p, values_[k++]);
+  }
+
+private:
+  std::size_t offset_of(coord_t p) const {
+    const auto& ivs = domain_.intervals();
+    auto it = std::lower_bound(
+        ivs.begin(), ivs.end(), p,
+        [](const Interval& iv, coord_t v) { return iv.hi < v; });
+    invariant(it != ivs.end() && it->contains(p),
+              "RegionData::at point outside domain");
+    std::size_t k = static_cast<std::size_t>(it - ivs.begin());
+    return static_cast<std::size_t>(offsets_[k] + (p - it->lo));
+  }
+
+  void rebuild_offsets() {
+    offsets_.clear();
+    coord_t off = 0;
+    for (const Interval& iv : domain_.intervals()) {
+      offsets_.push_back(off);
+      off += iv.size();
+    }
+  }
+
+  /// Find the contiguous run of `p..p+len` in this region's storage.
+  /// The run is guaranteed to fit in one stored interval when it came from
+  /// an intersection with the domain.
+  const T* run_at(coord_t p) const {
+    return values_.data() + offset_of(p);
+  }
+  T* run_at(coord_t p) { return values_.data() + offset_of(p); }
+
+  /// Apply op(dst_run, src_run, len) to every maximal shared run.
+  template <typename RunOp>
+  void for_each_shared_run(const RegionData& src, RunOp&& op) {
+    IntervalSet shared = domain_.intersect(src.domain_);
+    for (const Interval& iv : shared.intervals()) {
+      op(run_at(iv.lo), src.run_at(iv.lo), iv.size());
+    }
+  }
+
+  /// Copy values of `from` into `to` on their shared domain.
+  static void copy_overlap(const RegionData& from, RegionData& to) {
+    IntervalSet shared = from.domain_.intersect(to.domain_);
+    for (const Interval& iv : shared.intervals()) {
+      const T* s = from.run_at(iv.lo);
+      T* d = to.run_at(iv.lo);
+      for (coord_t i = 0; i < iv.size(); ++i) d[i] = s[i];
+    }
+  }
+
+  IntervalSet domain_;
+  std::vector<T> values_;
+  std::vector<coord_t> offsets_; // storage offset of each domain interval
+};
+
+} // namespace visrt

@@ -1,0 +1,213 @@
+#include "region/region_tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace visrt {
+
+bool all_pairwise_disjoint(std::span<const IntervalSet> sets) {
+  // Sweep all intervals tagged by owner; an overlap between intervals of
+  // different owners falsifies disjointness.  O(total intervals log).
+  struct Tagged {
+    Interval iv;
+    std::size_t owner;
+  };
+  std::vector<Tagged> all;
+  for (std::size_t k = 0; k < sets.size(); ++k)
+    for (const Interval& iv : sets[k].intervals())
+      all.push_back(Tagged{iv, k});
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return a.iv.lo < b.iv.lo;
+  });
+  // Track the furthest-reaching interval seen so far and, from a different
+  // owner, the second-furthest; intervals of one owner never overlap each
+  // other (IntervalSet normalization), so only cross-owner reach matters.
+  coord_t max_hi = 0;
+  std::size_t max_owner = SIZE_MAX;
+  coord_t other_hi = 0;
+  bool any = false, any_other = false;
+  for (const Tagged& t : all) {
+    if (any && t.iv.lo <= max_hi && t.owner != max_owner) return false;
+    if (any_other && t.iv.lo <= other_hi) return false;
+    if (!any || t.iv.hi > max_hi) {
+      if (any && max_owner != t.owner &&
+          (!any_other || max_hi > other_hi)) {
+        other_hi = max_hi;
+        any_other = true;
+      }
+      max_hi = t.iv.hi;
+      max_owner = t.owner;
+      any = true;
+    } else if (t.owner != max_owner && (!any_other || t.iv.hi > other_hi)) {
+      other_hi = t.iv.hi;
+      any_other = true;
+    }
+  }
+  return true;
+}
+
+RegionHandle RegionTreeForest::create_root(IntervalSet domain,
+                                           std::string name) {
+  RegionNode node;
+  node.domain = std::move(domain);
+  node.name = std::move(name);
+  node.depth = 0;
+  regions_.push_back(std::move(node));
+  return RegionHandle{static_cast<std::uint32_t>(regions_.size() - 1)};
+}
+
+PartitionHandle RegionTreeForest::create_partition(
+    RegionHandle parent, std::vector<IntervalSet> subspaces,
+    std::string name) {
+  const RegionNode& parent_node = region(parent);
+  IntervalSet all_union;
+  for (const IntervalSet& s : subspaces) {
+    require(parent_node.domain.contains(s),
+            "partition subspace escapes the parent region");
+    all_union = all_union.unite(s);
+  }
+
+  PartitionNode pnode;
+  pnode.parent = parent;
+  pnode.name = std::move(name);
+  pnode.disjoint = all_pairwise_disjoint(subspaces);
+  pnode.complete = (all_union == parent_node.domain);
+  PartitionHandle ph{static_cast<std::uint32_t>(partitions_.size())};
+
+  for (std::size_t color = 0; color < subspaces.size(); ++color) {
+    RegionNode child;
+    child.domain = std::move(subspaces[color]);
+    child.name = pnode.name + "[" + std::to_string(color) + "]";
+    child.parent = ph;
+    child.depth = parent_node.depth + 1;
+    pnode.children.push_back(
+        RegionHandle{static_cast<std::uint32_t>(regions_.size())});
+    regions_.push_back(std::move(child));
+  }
+
+  partitions_.push_back(std::move(pnode));
+  region(parent).partitions.push_back(ph);
+  return ph;
+}
+
+RegionHandle RegionTreeForest::subregion(PartitionHandle h,
+                                         std::size_t color) const {
+  const PartitionNode& p = partition(h);
+  require(color < p.children.size(), "partition color out of range");
+  return p.children[color];
+}
+
+std::size_t RegionTreeForest::partition_size(PartitionHandle h) const {
+  return partition(h).children.size();
+}
+
+const IntervalSet& RegionTreeForest::domain(RegionHandle h) const {
+  return region(h).domain;
+}
+
+std::string_view RegionTreeForest::name(RegionHandle h) const {
+  return region(h).name;
+}
+
+std::string_view RegionTreeForest::name(PartitionHandle h) const {
+  return partition(h).name;
+}
+
+bool RegionTreeForest::is_root(RegionHandle h) const {
+  return !region(h).parent.valid();
+}
+
+RegionHandle RegionTreeForest::root_of(RegionHandle h) const {
+  while (!is_root(h)) h = parent_region(h);
+  return h;
+}
+
+PartitionHandle RegionTreeForest::parent_partition(RegionHandle h) const {
+  return region(h).parent;
+}
+
+RegionHandle RegionTreeForest::parent_region(RegionHandle h) const {
+  PartitionHandle p = region(h).parent;
+  return p.valid() ? partition(p).parent : RegionHandle{};
+}
+
+RegionHandle RegionTreeForest::parent_of(PartitionHandle h) const {
+  return partition(h).parent;
+}
+
+std::span<const PartitionHandle>
+RegionTreeForest::partitions(RegionHandle h) const {
+  return region(h).partitions;
+}
+
+std::span<const RegionHandle>
+RegionTreeForest::children(PartitionHandle h) const {
+  return partition(h).children;
+}
+
+bool RegionTreeForest::is_disjoint(PartitionHandle h) const {
+  return partition(h).disjoint;
+}
+
+bool RegionTreeForest::is_complete(PartitionHandle h) const {
+  return partition(h).complete;
+}
+
+std::vector<RegionHandle>
+RegionTreeForest::path_from_root(RegionHandle h) const {
+  std::vector<RegionHandle> path;
+  for (RegionHandle r = h; r.valid(); r = parent_region(r)) path.push_back(r);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+unsigned RegionTreeForest::depth(RegionHandle h) const {
+  return region(h).depth;
+}
+
+std::string RegionTreeForest::to_string(RegionHandle root) const {
+  std::ostringstream os;
+  // Depth-first rendering with indentation.
+  auto render = [&](auto&& self, RegionHandle r, unsigned indent) -> void {
+    os << std::string(indent * 2, ' ') << name(r) << ' '
+       << domain(r).to_string() << '\n';
+    for (PartitionHandle ph : region(r).partitions) {
+      const PartitionNode& p = partition(ph);
+      os << std::string((indent + 1) * 2, ' ') << "partition " << p.name
+         << (p.disjoint ? " disjoint" : " aliased")
+         << (p.complete ? " complete" : " incomplete") << '\n';
+      for (RegionHandle child : p.children) self(self, child, indent + 2);
+    }
+  };
+  render(render, root, 0);
+  return os.str();
+}
+
+const RegionTreeForest::RegionNode&
+RegionTreeForest::region(RegionHandle h) const {
+  require(h.valid() && h.index < regions_.size(), "invalid region handle");
+  return regions_[h.index];
+}
+
+RegionTreeForest::RegionNode& RegionTreeForest::region(RegionHandle h) {
+  require(h.valid() && h.index < regions_.size(), "invalid region handle");
+  return regions_[h.index];
+}
+
+const RegionTreeForest::PartitionNode&
+RegionTreeForest::partition(PartitionHandle h) const {
+  require(h.valid() && h.index < partitions_.size(),
+          "invalid partition handle");
+  return partitions_[h.index];
+}
+
+RegionTreeForest::PartitionNode&
+RegionTreeForest::partition(PartitionHandle h) {
+  require(h.valid() && h.index < partitions_.size(),
+          "invalid partition handle");
+  return partitions_[h.index];
+}
+
+} // namespace visrt

@@ -1,0 +1,118 @@
+// visrt/region/region_tree.h
+//
+// The region tree (paper Figure 2(c)): a root region holding all data, with
+// any number of partitions, each an array of subregions which may in turn
+// be partitioned.  Partitions carry the two properties the coherence
+// algorithms care about:
+//   - disjoint:  no two subregions share a point (the primary partition);
+//   - complete:  the subregions cover the parent (aliased ghost partitions
+//                are typically neither disjoint nor complete).
+//
+// The forest owns every tree; regions and partitions are referenced by
+// cheap copyable handles.  Domains are immutable after creation, matching
+// the paper's setting (partitions are created once, then a long task stream
+// uses them).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "geom/interval_set.h"
+
+namespace visrt {
+
+/// Handle to a region node in a RegionTreeForest.
+struct RegionHandle {
+  std::uint32_t index = UINT32_MAX;
+  bool valid() const { return index != UINT32_MAX; }
+  friend bool operator==(const RegionHandle&, const RegionHandle&) = default;
+};
+
+/// Handle to a partition node in a RegionTreeForest.
+struct PartitionHandle {
+  std::uint32_t index = UINT32_MAX;
+  bool valid() const { return index != UINT32_MAX; }
+  friend bool operator==(const PartitionHandle&,
+                         const PartitionHandle&) = default;
+};
+
+/// Owns all region trees of one runtime.
+class RegionTreeForest {
+public:
+  /// Create the root region of a new tree over the given (linearized)
+  /// domain.
+  RegionHandle create_root(IntervalSet domain, std::string name);
+
+  /// Partition `parent` into the given subspaces.  Each subspace must be a
+  /// subset of the parent's domain.  Disjointness and completeness are
+  /// computed here.
+  PartitionHandle create_partition(RegionHandle parent,
+                                   std::vector<IntervalSet> subspaces,
+                                   std::string name);
+
+  /// The color-th subregion of a partition.
+  RegionHandle subregion(PartitionHandle partition, std::size_t color) const;
+  std::size_t partition_size(PartitionHandle partition) const;
+
+  const IntervalSet& domain(RegionHandle region) const;
+  std::string_view name(RegionHandle region) const;
+  std::string_view name(PartitionHandle partition) const;
+
+  /// Structural navigation.
+  bool is_root(RegionHandle region) const;
+  RegionHandle root_of(RegionHandle region) const;
+  /// Partition this region is a subregion of; invalid for roots.
+  PartitionHandle parent_partition(RegionHandle region) const;
+  /// Region one level up (through the parent partition); invalid for roots.
+  RegionHandle parent_region(RegionHandle region) const;
+  RegionHandle parent_of(PartitionHandle partition) const;
+  std::span<const PartitionHandle> partitions(RegionHandle region) const;
+  std::span<const RegionHandle> children(PartitionHandle partition) const;
+
+  bool is_disjoint(PartitionHandle partition) const;
+  bool is_complete(PartitionHandle partition) const;
+
+  /// Regions from the root down to `region`, inclusive.
+  std::vector<RegionHandle> path_from_root(RegionHandle region) const;
+  /// Tree depth (root = 0, counted in region levels).
+  unsigned depth(RegionHandle region) const;
+
+  std::size_t num_regions() const { return regions_.size(); }
+  std::size_t num_partitions() const { return partitions_.size(); }
+
+  /// Multi-line rendering of a tree for debugging and the explorer example.
+  std::string to_string(RegionHandle root) const;
+
+private:
+  struct RegionNode {
+    IntervalSet domain;
+    std::string name;
+    PartitionHandle parent;            // invalid for roots
+    std::vector<PartitionHandle> partitions;
+    unsigned depth = 0;
+  };
+  struct PartitionNode {
+    RegionHandle parent;
+    std::string name;
+    std::vector<RegionHandle> children;
+    bool disjoint = false;
+    bool complete = false;
+  };
+
+  const RegionNode& region(RegionHandle h) const;
+  RegionNode& region(RegionHandle h);
+  const PartitionNode& partition(PartitionHandle h) const;
+  PartitionNode& partition(PartitionHandle h);
+
+  std::vector<RegionNode> regions_;
+  std::vector<PartitionNode> partitions_;
+};
+
+/// True when no two of the given sets share a point.
+bool all_pairwise_disjoint(std::span<const IntervalSet> sets);
+
+} // namespace visrt

@@ -1,0 +1,381 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "sim/trace_export.h"
+#include "visibility/history.h"
+
+namespace visrt {
+
+namespace {
+/// Metadata request size for a remote analysis step.
+constexpr std::uint64_t kRequestBytes = 128;
+/// Bytes per field element moved by the copy engine.
+constexpr std::uint64_t kElementBytes = 8;
+} // namespace
+
+Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
+  config_.machine.validate();
+  EngineConfig ec;
+  ec.track_values = config_.track_values;
+  ec.forest = &forest_;
+  engine_ = make_engine(config_.algorithm, ec);
+  issue_tail_.assign(config_.machine.num_nodes, sim::kInvalidOp);
+}
+
+RegionHandle Runtime::create_region(IntervalSet domain, std::string name) {
+  return forest_.create_root(std::move(domain), std::move(name));
+}
+
+PartitionHandle Runtime::create_partition(RegionHandle parent,
+                                          std::vector<IntervalSet> subspaces,
+                                          std::string name) {
+  return forest_.create_partition(parent, std::move(subspaces),
+                                  std::move(name));
+}
+
+RegionHandle Runtime::subregion(PartitionHandle partition,
+                                std::size_t color) const {
+  return forest_.subregion(partition, color);
+}
+
+FieldID Runtime::add_field(RegionHandle root, std::string name,
+                           double initial) {
+  return add_field(root, std::move(name),
+                   [initial](coord_t) { return initial; });
+}
+
+FieldID Runtime::add_field(RegionHandle root, std::string name,
+                           const std::function<double(coord_t)>& init) {
+  require(forest_.is_root(root), "fields are registered on root regions");
+  FieldID field = next_field_++;
+  RegionData<double> data;
+  if (config_.track_values) {
+    data = RegionData<double>::generate(forest_.domain(root), init);
+  }
+  engine_->initialize_field(root, field, std::move(data), /*home=*/0);
+  field_info_.emplace(
+      field, FieldInfo{root, std::move(name),
+                       InstanceMap(config_.machine.num_nodes, 0,
+                                   forest_.domain(root))});
+  return field;
+}
+
+std::vector<sim::OpID> Runtime::emit_steps(
+    std::span<const AnalysisStep> steps, NodeID analysis_node,
+    sim::OpID head) {
+  // Local steps chain on the analyzing node; remote steps are issued
+  // concurrently (one request/compute/response round trip per metadata
+  // owner — Legion sends per-owner messages asynchronously and only the
+  // task execution waits for all of them).
+  std::vector<sim::OpID> tails;
+  sim::OpID local_tail = head;
+  for (const AnalysisStep& step : steps) {
+    SimTime cost = step.counters.cpu_ns(config_.costs);
+    if (step.owner == analysis_node) {
+      std::vector<sim::OpID> deps;
+      if (local_tail != sim::kInvalidOp) deps.push_back(local_tail);
+      local_tail = graph_.compute(analysis_node, cost, deps,
+                                  sim::OpCategory::Analysis);
+      continue;
+    }
+    std::vector<sim::OpID> deps;
+    if (head != sim::kInvalidOp) deps.push_back(head);
+    sim::OpID request = graph_.message(analysis_node, step.owner,
+                                       kRequestBytes, deps,
+                                       sim::OpCategory::Analysis);
+    sim::OpID remote =
+        graph_.compute(step.owner, cost, std::array{request},
+                       sim::OpCategory::Analysis);
+    tails.push_back(graph_.message(step.owner, analysis_node,
+                                   kRequestBytes + step.meta_bytes,
+                                   std::array{remote},
+                                   sim::OpCategory::Analysis));
+  }
+  if (local_tail != sim::kInvalidOp) tails.push_back(local_tail);
+  return tails;
+}
+
+LaunchID Runtime::launch(TaskLaunch launch) {
+  require(!launch.requirements.empty(), "a task needs at least one region");
+  require(launch.mapped_node < config_.machine.num_nodes,
+          "task mapped to a nonexistent node");
+  LaunchID id = next_launch_++;
+  deps_.add_task(id);
+  exec_op_.push_back(sim::kInvalidOp);
+
+  NodeID analysis_node = config_.dcr ? launch.mapped_node : 0;
+  AnalysisContext ctx{id, launch.mapped_node, analysis_node};
+
+  // Tracing: record the launch fingerprint while capturing; verify it
+  // while replaying.  Any mismatch invalidates the template and falls
+  // back to full analysis, as Legion's tracing does.
+  bool replay = false;
+  if (active_trace_ != nullptr) {
+    if (replaying_) {
+      TraceState& tr = *active_trace_;
+      if (tr.cursor < tr.entries.size() &&
+          tr.entries[tr.cursor].requirements == launch.requirements &&
+          tr.entries[tr.cursor].mapped_node == launch.mapped_node) {
+        ++tr.cursor;
+        replay = true;
+        ++traced_launches_;
+      } else {
+        tr.phase = TraceState::Phase::Invalid;
+        replaying_ = false;
+      }
+    } else if (active_trace_->phase == TraceState::Phase::Capturing) {
+      active_trace_->entries.push_back(
+          TraceEntry{launch.requirements, launch.mapped_node});
+    }
+  }
+
+  // Launch issue: serialized on the analyzing node in program order (the
+  // top-level task enumerates subtasks sequentially; with DCR each shard
+  // enumerates only its own).  A traced replay pays only the template
+  // lookup.
+  SimTime issue_cost =
+      replay ? config_.costs.trace_replay_ns
+             : config_.costs.requirement_base_ns *
+                       static_cast<SimTime>(launch.requirements.size()) +
+                   (config_.dcr ? config_.costs.dcr_shard_ns : 0);
+  std::vector<sim::OpID> issue_deps;
+  if (issue_tail_[analysis_node] != sim::kInvalidOp)
+    issue_deps.push_back(issue_tail_[analysis_node]);
+  sim::OpID issue = graph_.compute(analysis_node, issue_cost, issue_deps,
+                                   sim::OpCategory::Runtime);
+
+  // Analyze every requirement: materialize (dependences + current values)
+  // and plan the implicit communication.
+  std::vector<Requirement> reqs;
+  std::vector<PhysicalRegion> phys;
+  std::vector<LaunchID> all_deps;
+  std::vector<sim::OpID> analysis_tails;
+  std::vector<sim::OpID> copy_ops;
+
+  for (const RegionReq& rr : launch.requirements) {
+    Requirement req{rr.region, rr.field, rr.privilege};
+    reqs.push_back(req);
+    MaterializeResult mr = engine_->materialize(req, ctx);
+    for (LaunchID d : mr.dependences) add_dependence(all_deps, d);
+    // Under trace replay the analysis result is memoized: the engine still
+    // runs (semantics stay exact and its state advances) but no analysis
+    // work or messages are charged to the machine.
+    std::vector<sim::OpID> req_tails =
+        replay ? std::vector<sim::OpID>{issue}
+               : emit_steps(mr.steps, analysis_node, issue);
+    phys.emplace_back(req, std::move(mr.data));
+
+    // Data movement: reads and read-writes need the current version at the
+    // mapped node; reductions accumulate locally into a fresh buffer.
+    // Copies start once this requirement's analysis and the producing
+    // tasks (its dependences) have finished.
+    auto fit = field_info_.find(rr.field);
+    require(fit != field_info_.end(), "launch uses an unregistered field");
+    if (!req.privilege.is_reduce()) {
+      const IntervalSet& dom = forest_.domain(req.region);
+      std::vector<CopyPlan> plans =
+          fit->second.instances.plan_read(launch.mapped_node, dom);
+      std::vector<sim::OpID> copy_deps = req_tails;
+      for (LaunchID d : mr.dependences) {
+        if (d < exec_op_.size() && exec_op_[d] != sim::kInvalidOp)
+          copy_deps.push_back(exec_op_[d]);
+      }
+      for (const CopyPlan& plan : plans) {
+        std::uint64_t bytes =
+            static_cast<std::uint64_t>(plan.points.volume()) * kElementBytes;
+        sim::OpID copy = graph_.message(
+            plan.src, plan.dst, bytes, copy_deps,
+            plan.kind == CopyPlan::Kind::Copy ? sim::OpCategory::Copy
+                                              : sim::OpCategory::Reduction);
+        copy_ops.push_back(copy);
+      }
+    }
+    analysis_tails.insert(analysis_tails.end(), req_tails.begin(),
+                          req_tails.end());
+  }
+
+  // Dependence edges (program-order semantics) into both the dependence
+  // graph and the work graph.
+  deps_.add_edges(id, all_deps);
+  std::vector<sim::OpID> exec_deps = analysis_tails;
+  for (sim::OpID c : copy_ops) exec_deps.push_back(c);
+  for (LaunchID d : all_deps) {
+    if (exec_op_[d] != sim::kInvalidOp) exec_deps.push_back(exec_op_[d]);
+  }
+  SimTime exec_cost = config_.costs.task_launch_ns +
+                      config_.costs.task_element_ns *
+                          static_cast<SimTime>(launch.work_items);
+  sim::OpID exec = graph_.compute(launch.mapped_node, exec_cost, exec_deps,
+                                  sim::OpCategory::TaskExec);
+  exec_op_[id] = exec;
+  current_iteration_execs_.push_back(exec);
+
+  // Execute the task body for real.
+  if (config_.track_values && launch.fn) {
+    TaskContext tc(id, phys);
+    launch.fn(tc);
+  }
+
+  // Commit results and update instance validity.  Commit messages are
+  // asynchronous too; the iteration marker (not the next launch) joins
+  // them.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Requirement& req = reqs[i];
+    std::vector<AnalysisStep> steps =
+        engine_->commit(req, phys[i].data(), ctx);
+    if (!replay) {
+      std::vector<sim::OpID> commit_tails =
+          emit_steps(steps, analysis_node, exec);
+      current_iteration_execs_.insert(current_iteration_execs_.end(),
+                                      commit_tails.begin(),
+                                      commit_tails.end());
+    }
+
+    FieldInfo& fi = field_info_.at(req.field);
+    const IntervalSet& dom = forest_.domain(req.region);
+    if (req.privilege.is_write()) {
+      fi.instances.record_write(launch.mapped_node, dom);
+    } else if (req.privilege.is_reduce()) {
+      fi.instances.record_reduction(launch.mapped_node, dom,
+                                    req.privilege.redop);
+    }
+  }
+  // Program order on the analyzing node is the issue chain alone; the
+  // remote analysis traffic of one launch overlaps the next launch's
+  // analysis, as in Legion's asynchronous runtime.
+  issue_tail_[analysis_node] = issue;
+  ++launches_this_iteration_;
+  return id;
+}
+
+std::vector<LaunchID> Runtime::index_launch(const IndexLaunch& launch) {
+  require(!launch.requirements.empty(),
+          "an index launch needs at least one region requirement");
+  std::size_t colors = forest_.partition_size(launch.requirements[0].partition);
+  for (const IndexReq& req : launch.requirements) {
+    require(forest_.partition_size(req.partition) == colors,
+            "index launch partitions must have matching color counts");
+  }
+  std::vector<LaunchID> ids;
+  ids.reserve(colors);
+  for (std::size_t color = 0; color < colors; ++color) {
+    TaskLaunch point;
+    point.name = launch.name;
+    for (const IndexReq& req : launch.requirements) {
+      point.requirements.push_back(RegionReq{
+          forest_.subregion(req.partition, color), req.field,
+          req.privilege});
+    }
+    point.mapped_node =
+        launch.mapping
+            ? launch.mapping(color)
+            : static_cast<NodeID>(color % config_.machine.num_nodes);
+    point.work_items = launch.work_items;
+    if (launch.fn) {
+      auto fn = launch.fn;
+      point.fn = [fn, color](TaskContext& ctx) { fn(ctx, color); };
+    }
+    ids.push_back(this->launch(std::move(point)));
+  }
+  return ids;
+}
+
+void Runtime::begin_trace(std::uint32_t id) {
+  if (!config_.enable_tracing) return;
+  require(active_trace_ == nullptr, "traces cannot nest");
+  TraceState& tr = traces_[id];
+  active_trace_ = &tr;
+  tr.cursor = 0;
+  replaying_ = tr.phase == TraceState::Phase::Ready;
+}
+
+void Runtime::end_trace() {
+  if (!config_.enable_tracing) return;
+  require(active_trace_ != nullptr, "end_trace without begin_trace");
+  TraceState& tr = *active_trace_;
+  if (replaying_) {
+    // A replay that ended early saw a shorter sequence: stale template.
+    if (tr.cursor != tr.entries.size())
+      tr.phase = TraceState::Phase::Invalid;
+  } else if (tr.phase == TraceState::Phase::Capturing) {
+    tr.phase = TraceState::Phase::Ready;
+  }
+  active_trace_ = nullptr;
+  replaying_ = false;
+}
+
+void Runtime::end_iteration() {
+  // Under DCR every shard enumerates the full launch stream of the
+  // iteration; charge that enumeration on every node's analysis chain.
+  if (config_.dcr && launches_this_iteration_ > 0) {
+    SimTime cost = config_.costs.dcr_stream_ns *
+                   static_cast<SimTime>(launches_this_iteration_);
+    for (NodeID n = 0; n < config_.machine.num_nodes; ++n) {
+      std::vector<sim::OpID> deps;
+      if (issue_tail_[n] != sim::kInvalidOp) deps.push_back(issue_tail_[n]);
+      issue_tail_[n] =
+          graph_.compute(n, cost, deps, sim::OpCategory::Runtime);
+      current_iteration_execs_.push_back(issue_tail_[n]);
+    }
+  }
+  launches_this_iteration_ = 0;
+  std::vector<sim::OpID> deps = std::move(current_iteration_execs_);
+  current_iteration_execs_.clear();
+  if (last_marker_ != sim::kInvalidOp) deps.push_back(last_marker_);
+  sim::OpID marker = graph_.marker(0, deps);
+  iteration_markers_.push_back(marker);
+  last_marker_ = marker;
+}
+
+RegionData<double> Runtime::observe(RegionHandle region, FieldID field) {
+  require(config_.track_values, "observe requires value tracking");
+  LaunchID id = next_launch_++;
+  deps_.add_task(id);
+  exec_op_.push_back(sim::kInvalidOp);
+  AnalysisContext ctx{id, 0, 0};
+  Requirement req{region, field, Privilege::read()};
+  MaterializeResult mr = engine_->materialize(req, ctx);
+  deps_.add_edges(id, mr.dependences);
+  engine_->commit(req, mr.data, ctx);
+  return std::move(mr.data);
+}
+
+void Runtime::export_chrome_trace(std::ostream& os) const {
+  sim::ReplayResult r = sim::replay(graph_, config_.machine);
+  sim::export_chrome_trace(graph_, r, config_.machine, os);
+}
+
+RunStats Runtime::finish() {
+  if (!current_iteration_execs_.empty()) end_iteration();
+  sim::ReplayResult r = sim::replay(graph_, config_.machine);
+
+  RunStats stats;
+  stats.launches = next_launch_;
+  stats.iterations = iteration_markers_.size();
+  stats.dep_edges = deps_.edge_count();
+  stats.critical_path = deps_.critical_path();
+  stats.messages = graph_.message_count();
+  stats.message_bytes = graph_.total_message_bytes();
+  stats.analysis_cpu_s =
+      static_cast<double>(graph_.total_cost(sim::OpCategory::Analysis)) * 1e-9;
+  stats.engine = engine_->stats();
+  stats.total_time_s = static_cast<double>(r.makespan) * 1e-9;
+  if (!iteration_markers_.empty()) {
+    stats.init_time_s =
+        static_cast<double>(r.finish_of(iteration_markers_.front())) * 1e-9;
+    if (iteration_markers_.size() > 1) {
+      double steady = static_cast<double>(
+                          r.finish_of(iteration_markers_.back()) -
+                          r.finish_of(iteration_markers_.front())) *
+                      1e-9;
+      stats.steady_iter_s =
+          steady / static_cast<double>(iteration_markers_.size() - 1);
+    }
+  }
+  return stats;
+}
+
+} // namespace visrt

@@ -1,0 +1,259 @@
+// visrt/runtime/runtime.h
+//
+// The implicitly parallel tasking runtime: the user-facing façade playing
+// Legion's role in the paper.  Applications create regions, partitions and
+// fields, then launch a sequential stream of tasks with privileges on
+// (sub)regions; the runtime
+//
+//   1. runs the configured visibility algorithm to compute dependences and
+//      coherent task inputs (Sections 5-7),
+//   2. plans the implicit communication (copies, lazy reduction
+//      applications) through the instance map,
+//   3. executes task bodies against real buffers (when value tracking is
+//      on) so results can be validated against serial references, and
+//   4. records every analysis step, message, copy and task execution into
+//      a work graph that the discrete-event simulator schedules onto the
+//      configured machine, yielding the initialization-time and
+//      weak-scaling measurements of Section 8.
+//
+// Dynamic control replication (DCR, [4] in the paper) is modeled by
+// analyzing each launch on the node the task is mapped to instead of
+// funneling every analysis through node 0.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "realm/instance_map.h"
+#include "region/region_tree.h"
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+#include "sim/replay.h"
+#include "sim/work_graph.h"
+#include "visibility/dep_graph.h"
+#include "visibility/engine.h"
+
+namespace visrt {
+
+struct RuntimeConfig {
+  Algorithm algorithm = Algorithm::RayCast;
+  /// Shard the top-level task's analysis across nodes (DCR).
+  bool dcr = false;
+  /// Honor begin_trace()/end_trace() (dynamic tracing, [15] in the paper:
+  /// memoizes the dependence/coherence analyses of a repeated launch
+  /// sequence).  The paper's experiments run without tracing; visrt
+  /// implements it as an extension — see bench/ext_tracing.
+  bool enable_tracing = true;
+  /// Execute task bodies on real data (on for examples/tests; off for
+  /// large analysis-only benchmark sweeps).
+  bool track_values = true;
+  sim::MachineConfig machine;
+  sim::CostModel costs;
+};
+
+/// A task body's view of one region requirement: the materialized values,
+/// writable according to the privilege.
+class PhysicalRegion {
+public:
+  PhysicalRegion(Requirement req, RegionData<double> data)
+      : req_(req), data_(std::move(data)) {}
+
+  const Requirement& requirement() const { return req_; }
+  /// Materialized (current) values; for reduce privileges this buffer is
+  /// identity-filled and the task folds its contributions into it.
+  RegionData<double>& data() { return data_; }
+  const RegionData<double>& data() const { return data_; }
+
+private:
+  Requirement req_;
+  RegionData<double> data_;
+};
+
+/// Handed to a task body during execution.
+class TaskContext {
+public:
+  TaskContext(LaunchID id, std::vector<PhysicalRegion>& regions)
+      : id_(id), regions_(regions) {}
+
+  LaunchID launch_id() const { return id_; }
+  std::size_t region_count() const { return regions_.size(); }
+  PhysicalRegion& region(std::size_t i) { return regions_.at(i); }
+  /// Shorthand for region(i).data().
+  RegionData<double>& data(std::size_t i) { return regions_.at(i).data(); }
+
+private:
+  LaunchID id_;
+  std::vector<PhysicalRegion>& regions_;
+};
+
+using TaskFn = std::function<void(TaskContext&)>;
+
+/// One region requirement of a launch (user-facing form).
+struct RegionReq {
+  RegionHandle region;
+  FieldID field = 0;
+  Privilege privilege;
+  friend bool operator==(const RegionReq&, const RegionReq&) = default;
+};
+
+/// One region requirement of an index launch: each point task `color`
+/// receives `subregion(partition, color)` with the given privilege.
+struct IndexReq {
+  PartitionHandle partition;
+  FieldID field = 0;
+  Privilege privilege;
+};
+
+/// Description of an index launch: one point task per color of the launch
+/// partition(s), the idiomatic way the paper's programs map loops like
+/// `for i = 1..3 t1(P[i], G[i])` onto the runtime.
+struct IndexLaunch {
+  std::string name;
+  /// All partitions must have the same number of subregions.
+  std::vector<IndexReq> requirements;
+  /// Body for point task `color`; may be empty when values are off.
+  std::function<void(TaskContext&, std::size_t color)> fn;
+  /// Node for point task `color`; defaults to color % num_nodes.
+  std::function<NodeID(std::size_t color)> mapping;
+  /// Elements the leaf kernel touches, per point task.
+  coord_t work_items = 0;
+};
+
+/// Description of one task launch.
+struct TaskLaunch {
+  std::string name;
+  std::vector<RegionReq> requirements;
+  /// Task body; may be empty when value tracking is off.
+  TaskFn fn;
+  /// Node (processor) the task is mapped to.
+  NodeID mapped_node = 0;
+  /// Number of elements the leaf kernel touches (execution cost model).
+  coord_t work_items = 0;
+};
+
+/// Results of a finished run.
+struct RunStats {
+  double init_time_s = 0;    ///< start to end of first iteration
+  double total_time_s = 0;   ///< start to last task finish
+  double steady_iter_s = 0;  ///< average post-init iteration time
+  std::size_t iterations = 0;
+  std::size_t launches = 0;
+  std::size_t dep_edges = 0;
+  std::size_t critical_path = 0;
+  std::size_t messages = 0;
+  std::uint64_t message_bytes = 0;
+  double analysis_cpu_s = 0; ///< total analysis CPU across all nodes
+  EngineStats engine;
+};
+
+class Runtime {
+public:
+  explicit Runtime(RuntimeConfig config);
+
+  std::uint32_t num_nodes() const { return config_.machine.num_nodes; }
+  const RegionTreeForest& forest() const { return forest_; }
+  const DepGraph& dep_graph() const { return deps_; }
+  const sim::WorkGraph& work_graph() const { return graph_; }
+  EngineStats engine_stats() const { return engine_->stats(); }
+
+  /// Create the root region of a new tree.
+  RegionHandle create_region(IntervalSet domain, std::string name);
+  PartitionHandle create_partition(RegionHandle parent,
+                                   std::vector<IntervalSet> subspaces,
+                                   std::string name);
+  RegionHandle subregion(PartitionHandle partition, std::size_t color) const;
+
+  /// Register a field on a root region with a constant initial value.
+  FieldID add_field(RegionHandle root, std::string name,
+                    double initial = 0.0);
+  /// Register a field initialized per point.
+  FieldID add_field(RegionHandle root, std::string name,
+                    const std::function<double(coord_t)>& init);
+
+  /// Launch a task.  Analysis happens immediately (the stream is analyzed
+  /// in program order); execution cost lands in the work graph.
+  LaunchID launch(TaskLaunch launch);
+
+  /// Launch one point task per partition color (see IndexLaunch).
+  /// Returns the launch ids in color order.
+  std::vector<LaunchID> index_launch(const IndexLaunch& launch);
+
+  /// Mark an application iteration boundary (used for the init-time /
+  /// steady-state split of Section 8).
+  void end_iteration();
+
+  /// Dynamic tracing: bracket a launch sequence that repeats identically.
+  /// The first execution of trace `id` captures a fingerprint of the
+  /// sequence while analyzing normally; each later execution whose
+  /// sequence matches replays the memoized analysis — the engines still
+  /// run (semantics stay exact) but the simulated machine is charged only
+  /// a small per-launch replay cost and no analysis messages.  A sequence
+  /// mismatch invalidates the trace and falls back to full analysis.
+  void begin_trace(std::uint32_t id);
+  void end_trace();
+  /// Launches whose analysis was replayed from a trace so far.
+  std::size_t traced_launches() const { return traced_launches_; }
+
+  /// Current values of a field over a region — a read-only observation
+  /// through the coherence engine (counts as a launch).
+  RegionData<double> observe(RegionHandle region, FieldID field);
+
+  /// Replay the work graph onto the machine and compute statistics.
+  RunStats finish();
+
+  /// Replay the work graph and write it as a Chrome trace
+  /// (chrome://tracing / Perfetto JSON) for timeline inspection.
+  void export_chrome_trace(std::ostream& os) const;
+
+private:
+  /// Analysis steps -> work-graph ops; returns the tails every consumer
+  /// of the analysis (copies, the task execution) must wait on.
+  std::vector<sim::OpID> emit_steps(std::span<const AnalysisStep> steps,
+                                    NodeID analysis_node, sim::OpID head);
+
+  RuntimeConfig config_;
+  RegionTreeForest forest_;
+  std::unique_ptr<CoherenceEngine> engine_;
+  DepGraph deps_;
+  sim::WorkGraph graph_;
+
+  struct FieldInfo {
+    RegionHandle root;
+    std::string name;
+    InstanceMap instances;
+  };
+  std::unordered_map<FieldID, FieldInfo> field_info_;
+  FieldID next_field_ = 0;
+  LaunchID next_launch_ = 0;
+
+  /// Fingerprint of one launch inside a trace template.
+  struct TraceEntry {
+    std::vector<RegionReq> requirements;
+    NodeID mapped_node = 0;
+  };
+  struct TraceState {
+    enum class Phase { Capturing, Ready, Invalid };
+    Phase phase = Phase::Capturing;
+    std::vector<TraceEntry> entries;
+    std::size_t cursor = 0; ///< position within the current replay
+  };
+  /// The active trace (nullptr when not tracing) and whether the current
+  /// execution of it is a replay.
+  TraceState* active_trace_ = nullptr;
+  bool replaying_ = false;
+  std::unordered_map<std::uint32_t, TraceState> traces_;
+  std::size_t traced_launches_ = 0;
+
+  std::vector<sim::OpID> exec_op_;        ///< per launch
+  std::vector<sim::OpID> issue_tail_;     ///< per node: analysis chain tail
+  std::vector<sim::OpID> iteration_markers_;
+  std::vector<sim::OpID> current_iteration_execs_;
+  sim::OpID last_marker_ = sim::kInvalidOp;
+  std::size_t launches_this_iteration_ = 0;
+};
+
+} // namespace visrt

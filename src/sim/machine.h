@@ -1,0 +1,40 @@
+// visrt/sim/machine.h
+//
+// Description of the simulated distributed machine.  This stands in for the
+// Piz Daint system of the paper's evaluation: N nodes, each a sequential
+// analysis processor (Legion runs one analysis thread per node in the
+// paper's configuration) with a NIC attached to a full-bisection network
+// modeled by per-message latency and per-byte bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace visrt::sim {
+
+/// Static machine parameters.  Defaults approximate a Cray Aries-class
+/// interconnect (1.3 us latency, ~10 GB/s per NIC).
+struct MachineConfig {
+  std::uint32_t num_nodes = 1;
+  SimTime network_latency_ns = 1300;
+  double network_bytes_per_ns = 10.0; // 10 GB/s
+  /// Fixed software overhead charged on the receiving CPU per message
+  /// (active-message handler dispatch).
+  SimTime message_handler_ns = 300;
+
+  void validate() const {
+    require(num_nodes >= 1, "machine needs at least one node");
+    require(network_bytes_per_ns > 0, "bandwidth must be positive");
+  }
+
+  /// Wire time for a message of the given size.
+  SimTime wire_time(std::uint64_t bytes) const {
+    return network_latency_ns +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                network_bytes_per_ns);
+  }
+};
+
+} // namespace visrt::sim

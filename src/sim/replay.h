@@ -1,0 +1,30 @@
+// visrt/sim/replay.h
+//
+// Discrete-event scheduler that replays a WorkGraph onto a MachineConfig.
+// Each node's CPU executes its compute ops sequentially in order of
+// readiness; each node's NIC serializes outgoing (and incoming) transfers.
+// The result assigns every op a finish time; the makespan (or the finish
+// time of a designated marker) is the simulated wall-clock measurement the
+// benchmarks report.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/work_graph.h"
+
+namespace visrt::sim {
+
+/// Per-run replay results.
+struct ReplayResult {
+  std::vector<SimTime> finish; ///< finish time per op, indexed by OpID
+  SimTime makespan = 0;        ///< max finish time over all ops
+  std::vector<SimTime> node_busy; ///< CPU busy time per node
+
+  SimTime finish_of(OpID id) const { return finish[id]; }
+};
+
+/// Schedule the graph.  Deterministic: ties broken by op id.
+ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine);
+
+} // namespace visrt::sim

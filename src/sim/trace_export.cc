@@ -1,0 +1,104 @@
+#include "sim/trace_export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace visrt::sim {
+
+namespace {
+
+const char* category_name(std::uint8_t category) {
+  switch (static_cast<OpCategory>(category)) {
+  case OpCategory::Other: return "other";
+  case OpCategory::Analysis: return "analysis";
+  case OpCategory::TaskExec: return "task";
+  case OpCategory::Copy: return "copy";
+  case OpCategory::Reduction: return "reduction";
+  case OpCategory::Runtime: return "runtime";
+  }
+  return "?";
+}
+
+/// Track id within a node: 0 = runtime CPU, 1 = accelerator, 2 = NIC.
+int track_of(const Op& op) {
+  if (op.kind == OpKind::Message) return 2;
+  return op.category == static_cast<std::uint8_t>(OpCategory::TaskExec) ? 1
+                                                                        : 0;
+}
+
+const char* track_name(int track) {
+  switch (track) {
+  case 0: return "cpu";
+  case 1: return "accel";
+  default: return "nic";
+  }
+}
+
+} // namespace
+
+void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
+                         const MachineConfig& machine, std::ostream& os) {
+  os << "[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << line;
+  };
+
+  // Thread-name metadata: one row per (node, track).
+  for (NodeID node = 0; node < machine.num_nodes; ++node) {
+    for (int track = 0; track < 3; ++track) {
+      std::ostringstream line;
+      line << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << node
+           << ",\"tid\":" << track << ",\"args\":{\"name\":\"node" << node
+           << "/" << track_name(track) << "\"}}";
+      emit(line.str());
+    }
+  }
+
+  for (OpID id = 0; id < graph.size(); ++id) {
+    const Op& op = graph.op(id);
+    if (op.kind == OpKind::Marker) continue;
+    SimTime finish = result.finish[id];
+    SimTime duration;
+    NodeID row_node;
+    if (op.kind == OpKind::Message) {
+      duration = std::max<SimTime>(
+          machine.message_handler_ns,
+          machine.wire_time(op.bytes) + machine.message_handler_ns);
+      row_node = op.dst;
+    } else {
+      duration = op.cost;
+      row_node = op.node;
+    }
+    if (duration <= 0) continue;
+    SimTime start = finish - duration;
+    if (start < 0) start = 0;
+    std::ostringstream line;
+    // Chrome traces use microseconds; keep nanosecond resolution as
+    // fractional microseconds.
+    line << "{\"ph\":\"X\",\"name\":\"" << category_name(op.category)
+         << "\",\"cat\":\"" << category_name(op.category)
+         << "\",\"pid\":" << row_node << ",\"tid\":" << track_of(op)
+         << ",\"ts\":" << static_cast<double>(start) / 1000.0
+         << ",\"dur\":" << static_cast<double>(duration) / 1000.0
+         << ",\"args\":{\"op\":" << id;
+    if (op.kind == OpKind::Message) {
+      line << ",\"src\":" << op.node << ",\"bytes\":" << op.bytes;
+    }
+    line << "}}";
+    emit(line.str());
+  }
+  os << "\n]\n";
+}
+
+std::string chrome_trace_json(const WorkGraph& graph,
+                              const ReplayResult& result,
+                              const MachineConfig& machine) {
+  std::ostringstream os;
+  export_chrome_trace(graph, result, machine, os);
+  return os.str();
+}
+
+} // namespace visrt::sim

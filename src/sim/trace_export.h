@@ -1,0 +1,31 @@
+// visrt/sim/trace_export.h
+//
+// Export a replayed work graph as a Chrome trace (the JSON array format of
+// chrome://tracing / Perfetto): one row per simulated node resource
+// (runtime CPU, accelerator, NIC), one complete event per operation.
+// Useful for eyeballing exactly where the painter's node-0 bottleneck or
+// Warnock's refinement chain sits on the timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/machine.h"
+#include "sim/replay.h"
+#include "sim/work_graph.h"
+
+namespace visrt::sim {
+
+/// Write the trace JSON for `graph` as scheduled by `result` to `os`.
+/// Compute ops appear on their node's "cpu" or "accel" track (by
+/// category), messages on the destination node's "nic" track; durations are
+/// reconstructed from op costs and finish times.
+void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
+                         const MachineConfig& machine, std::ostream& os);
+
+/// Convenience: render to a string (tests, small graphs).
+std::string chrome_trace_json(const WorkGraph& graph,
+                              const ReplayResult& result,
+                              const MachineConfig& machine);
+
+} // namespace visrt::sim

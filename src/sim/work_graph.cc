@@ -1,0 +1,72 @@
+#include "sim/work_graph.h"
+
+#include "common/check.h"
+
+namespace visrt::sim {
+
+OpID WorkGraph::push(Op op, std::span<const OpID> deps) {
+  op.dep_begin = static_cast<std::uint32_t>(deps_.size());
+  op.dep_count = static_cast<std::uint32_t>(deps.size());
+  OpID id = static_cast<OpID>(ops_.size());
+  for (OpID d : deps) {
+    invariant(d < id, "work graph dependence must refer to an earlier op");
+    deps_.push_back(d);
+  }
+  ops_.push_back(op);
+  return id;
+}
+
+OpID WorkGraph::compute(NodeID node, SimTime cost, std::span<const OpID> deps,
+                        OpCategory category) {
+  Op op;
+  op.kind = OpKind::Compute;
+  op.node = node;
+  op.cost = cost;
+  op.category = static_cast<std::uint8_t>(category);
+  return push(op, deps);
+}
+
+OpID WorkGraph::message(NodeID src, NodeID dst, std::uint64_t bytes,
+                        std::span<const OpID> deps, OpCategory category) {
+  Op op;
+  op.kind = OpKind::Message;
+  op.node = src;
+  op.dst = dst;
+  op.bytes = bytes;
+  op.category = static_cast<std::uint8_t>(category);
+  return push(op, deps);
+}
+
+OpID WorkGraph::marker(NodeID node, std::span<const OpID> deps) {
+  Op op;
+  op.kind = OpKind::Marker;
+  op.node = node;
+  op.category = static_cast<std::uint8_t>(OpCategory::Other);
+  return push(op, deps);
+}
+
+SimTime WorkGraph::total_cost(OpCategory category) const {
+  SimTime total = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::Compute &&
+        op.category == static_cast<std::uint8_t>(category))
+      total += op.cost;
+  }
+  return total;
+}
+
+std::uint64_t WorkGraph::total_message_bytes() const {
+  std::uint64_t total = 0;
+  for (const Op& op : ops_)
+    if (op.kind == OpKind::Message) total += op.bytes;
+  return total;
+}
+
+std::size_t WorkGraph::message_count() const {
+  std::size_t n = 0;
+  for (const Op& op : ops_)
+    if (op.kind == OpKind::Message) ++n;
+  return n;
+}
+
+} // namespace visrt::sim

@@ -1,0 +1,93 @@
+// visrt/sim/work_graph.h
+//
+// The work graph is the interface between the (exact, program-order)
+// dependence/coherence analyses and the timing simulation.  Every unit of
+// work the runtime would perform on the real machine — an analysis step on
+// some node's runtime thread, a message between nodes, a data copy, a leaf
+// task execution — is recorded as an operation with a placement, a cost and
+// explicit dependences.  The Replayer (sim/replay.h) then schedules the
+// graph onto the machine model to obtain virtual wall-clock times.
+//
+// This trace-driven split keeps semantic correctness (what depends on what,
+// who reads which values) decoupled from performance modeling, and makes
+// the emitted work itself a testable artifact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace visrt::sim {
+
+/// Index of an operation within a WorkGraph.
+using OpID = std::uint32_t;
+inline constexpr OpID kInvalidOp = std::numeric_limits<OpID>::max();
+
+enum class OpKind : std::uint8_t {
+  Compute, ///< CPU time on one node (analysis step or leaf task)
+  Message, ///< network transfer src -> dst (metadata or bulk data)
+  Marker,  ///< zero-cost synchronization point (e.g. "iteration boundary")
+};
+
+/// One recorded operation.
+struct Op {
+  OpKind kind = OpKind::Compute;
+  NodeID node = 0;        ///< Compute/Marker: placement.  Message: source.
+  NodeID dst = 0;         ///< Message only: destination.
+  SimTime cost = 0;       ///< Compute: CPU nanoseconds.
+  std::uint64_t bytes = 0;///< Message only: payload size.
+  std::uint32_t dep_begin = 0; ///< range into WorkGraph::deps_
+  std::uint32_t dep_count = 0;
+  std::uint8_t category = 0;   ///< caller-defined bucket for statistics
+};
+
+/// Caller-defined operation categories used for reporting.
+enum class OpCategory : std::uint8_t {
+  Other = 0,
+  Analysis,
+  TaskExec,
+  Copy,
+  Reduction,
+  Runtime,
+};
+
+/// Append-only DAG of operations.
+class WorkGraph {
+public:
+  /// Record CPU work on a node.  Dependences must refer to earlier ops.
+  OpID compute(NodeID node, SimTime cost, std::span<const OpID> deps,
+               OpCategory category = OpCategory::Analysis);
+
+  /// Record a message.  Finish time (at the destination) includes wire time
+  /// and the receive handler cost from the machine config.
+  OpID message(NodeID src, NodeID dst, std::uint64_t bytes,
+               std::span<const OpID> deps,
+               OpCategory category = OpCategory::Runtime);
+
+  /// Record a zero-cost marker joining its dependences.
+  OpID marker(NodeID node, std::span<const OpID> deps);
+
+  std::size_t size() const { return ops_.size(); }
+  const Op& op(OpID id) const { return ops_[id]; }
+  std::span<const OpID> deps(OpID id) const {
+    const Op& o = ops_[id];
+    return {deps_.data() + o.dep_begin, o.dep_count};
+  }
+
+  /// Sum of CPU cost in a category (machine-independent work metric).
+  SimTime total_cost(OpCategory category) const;
+  std::uint64_t total_message_bytes() const;
+  std::size_t message_count() const;
+
+private:
+  OpID push(Op op, std::span<const OpID> deps);
+
+  std::vector<Op> ops_;
+  std::vector<OpID> deps_;
+};
+
+} // namespace visrt::sim

@@ -1,0 +1,68 @@
+#include "visibility/dep_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace visrt {
+
+void DepGraph::add_task(LaunchID id) {
+  require(id == preds_.size(), "launches must be registered in order");
+  preds_.emplace_back();
+}
+
+void DepGraph::add_edges(LaunchID to, std::span<const LaunchID> froms) {
+  require(to < preds_.size(), "unknown destination launch");
+  std::vector<LaunchID>& p = preds_[to];
+  for (LaunchID f : froms) {
+    require(f < to, "dependence must point backwards in program order");
+    if (std::find(p.begin(), p.end(), f) == p.end()) {
+      p.push_back(f);
+      ++edges_;
+    }
+  }
+  std::sort(p.begin(), p.end());
+}
+
+std::span<const LaunchID> DepGraph::preds(LaunchID id) const {
+  require(id < preds_.size(), "unknown launch");
+  return preds_[id];
+}
+
+bool DepGraph::has_edge(LaunchID from, LaunchID to) const {
+  require(to < preds_.size(), "unknown launch");
+  return std::binary_search(preds_[to].begin(), preds_[to].end(), from);
+}
+
+bool DepGraph::reaches(LaunchID from, LaunchID to) const {
+  if (from >= to) return false;
+  // Backwards DFS from `to`; ids below `from` cannot reach it.
+  std::vector<LaunchID> stack{to};
+  std::vector<bool> seen(preds_.size(), false);
+  while (!stack.empty()) {
+    LaunchID cur = stack.back();
+    stack.pop_back();
+    for (LaunchID p : preds_[cur]) {
+      if (p == from) return true;
+      if (p > from && !seen[p]) {
+        seen[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t DepGraph::critical_path() const {
+  std::vector<std::size_t> depth(preds_.size(), 1);
+  std::size_t best = preds_.empty() ? 0 : 1;
+  for (LaunchID id = 0; id < preds_.size(); ++id) {
+    for (LaunchID p : preds_[id]) {
+      depth[id] = std::max(depth[id], depth[p] + 1);
+    }
+    best = std::max(best, depth[id]);
+  }
+  return best;
+}
+
+} // namespace visrt

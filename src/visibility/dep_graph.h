@@ -1,0 +1,47 @@
+// visrt/visibility/dep_graph.h
+//
+// The dependence DAG produced by an analysis run: nodes are launches, edges
+// point from a prior task to a later task that must observe its effects.
+// Used by the runtime to order task executions in the work graph, and by
+// the tests to check soundness (every interfering pair is transitively
+// ordered) and precision (non-interfering pairs are not directly ordered).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace visrt {
+
+class DepGraph {
+public:
+  /// Register a launch (ids must be registered in increasing order).
+  void add_task(LaunchID id);
+
+  /// Add edges from each of `froms` to `to`; duplicates are ignored.
+  void add_edges(LaunchID to, std::span<const LaunchID> froms);
+
+  std::size_t task_count() const { return preds_.size(); }
+  std::size_t edge_count() const { return edges_; }
+
+  /// Direct predecessors of a launch.
+  std::span<const LaunchID> preds(LaunchID id) const;
+
+  /// Is there a direct edge from -> to?
+  bool has_edge(LaunchID from, LaunchID to) const;
+
+  /// Is `from` ordered before `to` through any path?
+  bool reaches(LaunchID from, LaunchID to) const;
+
+  /// Length (in tasks) of the longest chain — the analysis' view of the
+  /// critical path; a measure of how much parallelism was discovered.
+  std::size_t critical_path() const;
+
+private:
+  std::vector<std::vector<LaunchID>> preds_; // indexed by LaunchID
+  std::size_t edges_ = 0;
+};
+
+} // namespace visrt

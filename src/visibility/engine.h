@@ -1,0 +1,173 @@
+// visrt/visibility/engine.h
+//
+// The common framework of Section 4: every coherence algorithm provides
+// `materialize` and `commit` plus an implementation of the runtime state S.
+// A CoherenceEngine is that triple for all fields of all region trees of
+// one runtime.
+//
+// Engines do two jobs at once:
+//   1. Semantics: produce the current values of a requested region
+//      (materialize), record task results (commit), and report the prior
+//      launches the requesting task depends on.
+//   2. Accounting: report *where* (which node owns the metadata touched)
+//      and *how much* work each step performed, as AnalysisSteps, so the
+//      runtime can attribute analysis time and messages onto the simulated
+//      machine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "region/region_data.h"
+#include "region/region_tree.h"
+#include "sim/cost_model.h"
+#include "visibility/privilege.h"
+
+namespace visrt {
+
+/// One region requirement of a task launch: a region (by handle), one
+/// field, and the privilege the task holds on it.
+struct Requirement {
+  RegionHandle region;
+  FieldID field = 0;
+  Privilege privilege;
+};
+
+/// Identity of one analyzed launch: the task (the paper's global clock),
+/// the node the task is mapped to (first-touch owner for new metadata),
+/// and the node performing the analysis (node 0 without DCR; the owning
+/// shard with DCR).
+struct AnalysisContext {
+  LaunchID task = kInvalidLaunch;
+  NodeID mapped_node = 0;
+  NodeID analysis_node = 0;
+};
+
+/// Work counters for one analysis step; converted to CPU nanoseconds by the
+/// simulator's cost model.
+struct AnalysisCounters {
+  std::uint64_t history_entries = 0;     ///< history entries examined
+  std::uint64_t composite_child_tests = 0;
+  std::uint64_t composite_captures = 0;  ///< node histories captured
+  std::uint64_t eqset_refines = 0;       ///< equivalence-set splits
+  std::uint64_t refine_intervals = 0;    ///< domain intervals restricted
+  std::uint64_t eqset_visits = 0;        ///< equivalence sets touched
+  std::uint64_t accel_nodes = 0;         ///< BVH / K-d nodes traversed
+  std::uint64_t interval_ops = 0;        ///< interval-set algebra intervals
+  std::uint64_t eqsets_created = 0;
+  std::uint64_t eqsets_pruned = 0;
+
+  SimTime cpu_ns(const sim::CostModel& m) const {
+    return static_cast<SimTime>(
+        history_entries * static_cast<std::uint64_t>(m.history_entry_ns) +
+        composite_child_tests *
+            static_cast<std::uint64_t>(m.composite_child_test_ns) +
+        composite_captures *
+            static_cast<std::uint64_t>(m.composite_capture_ns) +
+        eqset_refines * static_cast<std::uint64_t>(m.eqset_refine_ns) +
+        refine_intervals * static_cast<std::uint64_t>(m.refine_interval_ns) +
+        eqset_visits * static_cast<std::uint64_t>(m.eqset_visit_ns) +
+        accel_nodes * static_cast<std::uint64_t>(m.accel_node_ns) +
+        interval_ops * static_cast<std::uint64_t>(m.interval_op_ns) +
+        eqsets_created * static_cast<std::uint64_t>(m.eqset_create_ns) +
+        eqsets_pruned * static_cast<std::uint64_t>(m.eqset_prune_ns));
+  }
+
+  AnalysisCounters& operator+=(const AnalysisCounters& o) {
+    history_entries += o.history_entries;
+    composite_child_tests += o.composite_child_tests;
+    composite_captures += o.composite_captures;
+    eqset_refines += o.eqset_refines;
+    refine_intervals += o.refine_intervals;
+    eqset_visits += o.eqset_visits;
+    accel_nodes += o.accel_nodes;
+    interval_ops += o.interval_ops;
+    eqsets_created += o.eqsets_created;
+    eqsets_pruned += o.eqsets_pruned;
+    return *this;
+  }
+};
+
+/// One unit of analysis work attributed to the node that owns the metadata
+/// it touched.  Steps on nodes other than the analyzing node cost a
+/// round-trip message pair in the simulation.
+struct AnalysisStep {
+  NodeID owner = 0;
+  AnalysisCounters counters;
+  std::uint64_t meta_bytes = 0; ///< metadata shipped back (views, histories)
+};
+
+/// Result of materializing one requirement.
+struct MaterializeResult {
+  /// Current values over the requirement's domain (read / read-write), or
+  /// identity-filled values (reduce).  Empty when value tracking is off.
+  RegionData<double> data;
+  /// Launches the requesting task depends on (sorted, unique).
+  std::vector<LaunchID> dependences;
+  /// Attributed analysis work.
+  std::vector<AnalysisStep> steps;
+};
+
+/// Aggregate engine state counters, reported by the benchmarks.
+struct EngineStats {
+  std::size_t live_eqsets = 0;
+  std::size_t total_eqsets_created = 0;
+  std::size_t live_composite_views = 0;
+  std::size_t total_composite_views = 0;
+  std::size_t history_entries = 0;
+};
+
+/// The three algorithms of the paper, plus the naive pseudocode versions
+/// (Figures 7, 9, 11) and the sequential oracle used for testing.
+enum class Algorithm {
+  Paint,
+  Warnock,
+  RayCast,
+  NaivePaint,
+  NaiveWarnock,
+  NaiveRayCast,
+  Reference,
+};
+
+const char* algorithm_name(Algorithm a);
+
+struct EngineConfig {
+  /// Track and return actual region values.  Off for analysis-only
+  /// benchmark runs where only dependences / costs matter.
+  bool track_values = true;
+  /// Forest the requirements' region handles resolve against (non-owning;
+  /// must outlive the engine).
+  const RegionTreeForest* forest = nullptr;
+};
+
+class CoherenceEngine {
+public:
+  virtual ~CoherenceEngine() = default;
+
+  /// Register a field on a root region with its initial contents: the
+  /// paper's initial state [<read-write, A>].  `home` is the node that
+  /// initially owns the metadata (and the data).
+  virtual void initialize_field(RegionHandle root, FieldID field,
+                                RegionData<double> initial, NodeID home) = 0;
+
+  /// Compute the current contents of the requirement's region and the
+  /// dependences of the launch described by `ctx`.
+  virtual MaterializeResult materialize(const Requirement& req,
+                                        const AnalysisContext& ctx) = 0;
+
+  /// Record the task's committed region contents into the state.
+  /// `result` is ignored when value tracking is off.
+  virtual std::vector<AnalysisStep> commit(const Requirement& req,
+                                           const RegionData<double>& result,
+                                           const AnalysisContext& ctx) = 0;
+
+  virtual EngineStats stats() const = 0;
+};
+
+/// Factory for all algorithm variants.
+std::unique_ptr<CoherenceEngine> make_engine(Algorithm algorithm,
+                                             const EngineConfig& config);
+
+} // namespace visrt

@@ -1,0 +1,56 @@
+// visrt/visibility/privilege.h
+//
+// Privileges (paper Section 4): each region argument of a task carries one
+// of read, read-write, or reduce_f.  Two privileges interfere when tasks
+// holding them on overlapping data could produce different results if
+// reordered; the only non-interfering combinations are read/read and
+// reductions with the same operator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace visrt {
+
+enum class PrivilegeKind : std::uint8_t { Read, ReadWrite, Reduce };
+
+struct Privilege {
+  PrivilegeKind kind = PrivilegeKind::Read;
+  ReductionOpID redop = kNoReduction; ///< set iff kind == Reduce
+
+  static Privilege read() { return Privilege{PrivilegeKind::Read, 0}; }
+  static Privilege read_write() {
+    return Privilege{PrivilegeKind::ReadWrite, 0};
+  }
+  static Privilege reduce(ReductionOpID op) {
+    return Privilege{PrivilegeKind::Reduce, op};
+  }
+
+  bool is_read() const { return kind == PrivilegeKind::Read; }
+  bool is_write() const { return kind == PrivilegeKind::ReadWrite; }
+  bool is_reduce() const { return kind == PrivilegeKind::Reduce; }
+
+  friend bool operator==(const Privilege&, const Privilege&) = default;
+};
+
+/// Interference test: could two tasks with these privileges on overlapping
+/// data observe or produce different results if reordered?
+inline bool interferes(const Privilege& a, const Privilege& b) {
+  if (a.is_read() && b.is_read()) return false;
+  if (a.is_reduce() && b.is_reduce() && a.redop == b.redop) return false;
+  return true;
+}
+
+inline std::string to_string(const Privilege& p) {
+  switch (p.kind) {
+  case PrivilegeKind::Read: return "read";
+  case PrivilegeKind::ReadWrite: return "read-write";
+  case PrivilegeKind::Reduce:
+    return "reduce#" + std::to_string(p.redop);
+  }
+  return "?";
+}
+
+} // namespace visrt

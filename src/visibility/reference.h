@@ -1,0 +1,49 @@
+// visrt/visibility/reference.h
+//
+// The sequential oracle: executes the task stream against a single master
+// copy of every field in program order, exactly as the apparently-
+// sequential semantics of Section 3.1 defines (the blending function B over
+// the operation sequence).  Dependence analysis is the naive O(n) scan of
+// all prior operations.  Every other engine must agree with this one; it is
+// the ground truth for the cross-algorithm property tests.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "visibility/engine.h"
+#include "visibility/history.h"
+
+namespace visrt {
+
+class ReferenceEngine final : public CoherenceEngine {
+public:
+  explicit ReferenceEngine(const EngineConfig& config) : config_(config) {}
+
+  void initialize_field(RegionHandle root, FieldID field,
+                        RegionData<double> initial, NodeID home) override;
+  MaterializeResult materialize(const Requirement& req,
+                                const AnalysisContext& ctx) override;
+  std::vector<AnalysisStep> commit(const Requirement& req,
+                                   const RegionData<double>& result,
+                                   const AnalysisContext& ctx) override;
+  EngineStats stats() const override;
+
+private:
+  struct OpRecord {
+    LaunchID task;
+    Privilege priv;
+    IntervalSet dom;
+  };
+  struct FieldState {
+    RegionHandle root;
+    NodeID home = 0;
+    RegionData<double> master; ///< current value of every point
+    std::vector<OpRecord> ops; ///< all operations, in program order
+  };
+
+  EngineConfig config_;
+  std::unordered_map<FieldID, FieldState> fields_;
+};
+
+} // namespace visrt

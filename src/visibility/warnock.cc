@@ -1,0 +1,242 @@
+#include "visibility/warnock.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace visrt {
+
+namespace {
+/// Serialized size of one history entry shipped in a response.
+constexpr std::uint64_t kEntryMetaBytes = 32;
+} // namespace
+
+WarnockEngine::WarnockEngine(const EngineConfig& config)
+    : WarnockEngine(config, Options{}) {}
+
+void WarnockEngine::initialize_field(RegionHandle root, FieldID field,
+                                     RegionData<double> initial,
+                                     NodeID home) {
+  FieldState fs;
+  fs.root = root;
+  fs.home = home;
+  EqSetNode eq;
+  eq.dom = config_.forest->domain(root);
+  eq.owner = home;
+  HistEntry init;
+  init.task = kInvalidLaunch;
+  init.priv = Privilege::read_write();
+  init.dom = eq.dom;
+  init.owner = home;
+  if (config_.track_values) {
+    require(initial.domain() == eq.dom,
+            "initial data must cover the root region");
+    init.values = std::move(initial);
+  }
+  eq.history.push_back(std::move(init));
+  fs.nodes.push_back(std::move(eq));
+  fs.total_created = 1;
+  fs.live = 1;
+  fields_.emplace(field, std::move(fs));
+}
+
+WarnockEngine::FieldState& WarnockEngine::field_state(FieldID field) {
+  auto it = fields_.find(field);
+  require(it != fields_.end(), "access to unregistered field");
+  return it->second;
+}
+
+std::vector<std::uint32_t> WarnockEngine::lookup(FieldState& fs,
+                                                 const Requirement& req,
+                                                 const IntervalSet& dom,
+                                                 AnalysisCounters& local) {
+  // Entry points: memoized sets from the last use of this region, or the
+  // refinement-tree root.  Refinement is monotone so memoized nodes are
+  // always ancestors-or-equal of the current leaves.
+  std::vector<std::uint32_t> stack;
+  if (options_.memoize) {
+    auto mit = fs.memo.find(req.region.index);
+    if (mit != fs.memo.end()) stack = mit->second;
+  }
+  if (stack.empty()) stack.push_back(0);
+
+  std::vector<std::uint32_t> leaves;
+  while (!stack.empty()) {
+    std::uint32_t id = stack.back();
+    stack.pop_back();
+    const EqSetNode& n = fs.nodes[id];
+    // BVH traversal tests bounding volumes; the precise domain test is
+    // charged as a single interval op (the common case rejects or accepts
+    // on the bounds).
+    ++local.accel_nodes;
+    ++local.interval_ops;
+    if (!n.dom.bounds().overlaps(dom.bounds())) continue;
+    if (!n.dom.overlaps(dom)) continue;
+    if (n.live) {
+      leaves.push_back(id);
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end());
+  leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+  return leaves;
+}
+
+void WarnockEngine::refine_leaf(FieldState& fs, std::uint32_t id,
+                                const IntervalSet& cut, NodeID inside_owner,
+                                std::vector<AnalysisStep>& steps) {
+  EqSetNode& n = fs.nodes[id];
+  invariant(n.live, "refining a non-live equivalence set");
+  // The set's owner performs the split: one message round trip.
+  AnalysisStep step;
+  step.owner = n.owner;
+  ++step.counters.eqset_refines;
+  step.counters.refine_intervals +=
+      n.dom.interval_count() + cut.interval_count();
+  step.meta_bytes = 64;
+  steps.push_back(std::move(step));
+
+  EqSetNode inside, outside;
+  inside.dom = n.dom.intersect(cut);
+  outside.dom = n.dom.subtract(cut);
+  inside.owner = inside_owner;
+  outside.owner = n.owner;
+  for (HistEntry& e : n.history) {
+    HistEntry in, out;
+    in.task = out.task = e.task;
+    in.priv = out.priv = e.priv;
+    in.owner = out.owner = e.owner;
+    in.dom = inside.dom;
+    out.dom = outside.dom;
+    if (config_.track_values && e.values.has_value()) {
+      in.values = e.values->restricted(inside.dom);
+      out.values = e.values->restricted(outside.dom);
+    }
+    inside.history.push_back(std::move(in));
+    outside.history.push_back(std::move(out));
+  }
+  n.history.clear();
+  n.live = false;
+  n.left = static_cast<std::uint32_t>(fs.nodes.size());
+  n.right = n.left + 1;
+  fs.nodes.push_back(std::move(inside));
+  fs.nodes.push_back(std::move(outside));
+  fs.total_created += 2;
+  fs.live += 1; // one leaf became two
+}
+
+MaterializeResult WarnockEngine::materialize(const Requirement& req,
+                                             const AnalysisContext& ctx) {
+  FieldState& fs = field_state(req.field);
+  const IntervalSet& dom = config_.forest->domain(req.region);
+
+  MaterializeResult out;
+  AnalysisCounters local;
+
+  std::vector<std::uint32_t> leaves = lookup(fs, req, dom, local);
+
+  // Refine every partially-overlapping leaf; keep the inside children.
+  std::vector<std::uint32_t> inside_ids;
+  inside_ids.reserve(leaves.size());
+  for (std::uint32_t id : leaves) {
+    if (dom.contains(fs.nodes[id].dom)) {
+      inside_ids.push_back(id);
+    } else {
+      refine_leaf(fs, id, dom, ctx.mapped_node, out.steps);
+      inside_ids.push_back(fs.nodes[id].left);
+    }
+  }
+  if (options_.memoize) fs.memo[req.region.index] = inside_ids;
+
+  // Visit each constituent set — one message round trip per set.  Every
+  // equivalence set is an independent distributed object (as in Legion),
+  // so analysis traffic is proportional to the number of sets touched;
+  // this is exactly the effect the paper credits for ray casting's
+  // advantage ("it maintains fewer total equivalence sets in its lists").
+  bool paint_values = config_.track_values && !req.privilege.is_reduce();
+  RegionData<double> data;
+  for (std::uint32_t id : inside_ids) {
+    EqSetNode& n = fs.nodes[id];
+    if (n.dom.empty()) continue;
+    AnalysisStep step;
+    step.owner = n.owner;
+    ++step.counters.eqset_visits;
+    RegionData<double> piece;
+    if (paint_values) piece = RegionData<double>::filled(n.dom, 0.0);
+    for (const HistEntry& e : n.history) {
+      if (entry_depends(e, n.dom, req.privilege, step.counters))
+        add_dependence(out.dependences, e.task);
+      if (paint_values && e.values.has_value())
+        paint_entry(piece, e, step.counters);
+    }
+    step.meta_bytes = 64 + kEntryMetaBytes * n.history.size();
+    out.steps.push_back(std::move(step));
+    if (paint_values)
+      data = data.empty() ? std::move(piece) : data.merged_with(piece);
+  }
+
+  if (config_.track_values) {
+    if (req.privilege.is_reduce()) {
+      out.data = RegionData<double>::filled(
+          dom, reduction_op(req.privilege.redop).identity);
+    } else {
+      out.data = std::move(data);
+      invariant(out.data.domain() == dom,
+                "equivalence sets failed to cover the requested region");
+    }
+  }
+
+  out.steps.push_back(AnalysisStep{ctx.analysis_node, local, 0});
+  return out;
+}
+
+std::vector<AnalysisStep> WarnockEngine::commit(
+    const Requirement& req, const RegionData<double>& result,
+    const AnalysisContext& ctx) {
+  FieldState& fs = field_state(req.field);
+  const IntervalSet& dom = config_.forest->domain(req.region);
+
+  AnalysisCounters local;
+  std::vector<AnalysisStep> steps;
+  std::vector<std::uint32_t> leaves = lookup(fs, req, dom, local);
+
+  // Registering the committed operation piggybacks on the materialize
+  // round trip already paid for each set; commit itself is local
+  // bookkeeping.
+  for (std::uint32_t id : leaves) {
+    EqSetNode& n = fs.nodes[id];
+    if (n.dom.empty()) continue;
+    invariant(dom.contains(n.dom),
+              "commit found an unrefined equivalence set");
+    ++local.interval_ops;
+    HistEntry e;
+    e.task = ctx.task;
+    e.priv = req.privilege;
+    e.dom = n.dom;
+    e.owner = ctx.mapped_node;
+    if (config_.track_values && !req.privilege.is_read()) {
+      e.values = result.restricted(n.dom);
+    }
+    if (req.privilege.is_write()) n.history.clear();
+    n.history.push_back(std::move(e));
+  }
+
+  steps.push_back(AnalysisStep{ctx.analysis_node, local, 0});
+  return steps;
+}
+
+EngineStats WarnockEngine::stats() const {
+  EngineStats s;
+  for (const auto& [field, fs] : fields_) {
+    s.live_eqsets += fs.live;
+    s.total_eqsets_created += fs.total_created;
+    for (const EqSetNode& n : fs.nodes) {
+      if (n.live) s.history_entries += n.history.size();
+    }
+  }
+  return s;
+}
+
+} // namespace visrt

@@ -1,0 +1,78 @@
+// Tests for geom/bvh.h: correctness against brute force, traversal cost.
+#include "geom/bvh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace visrt {
+namespace {
+
+TEST(Bvh, EmptyTree) {
+  Bvh bvh;
+  EXPECT_TRUE(bvh.empty());
+  BvhQueryResult r = bvh.query(Interval{0, 100});
+  EXPECT_TRUE(r.items.empty());
+  EXPECT_EQ(r.nodes_visited, 0u);
+}
+
+TEST(Bvh, SingleItem) {
+  Bvh bvh({Bvh::Item{{10, 20}, 7}});
+  EXPECT_EQ(bvh.item_count(), 1u);
+  EXPECT_EQ(bvh.query(Interval{15, 30}).items,
+            (std::vector<std::uint64_t>{7}));
+  EXPECT_TRUE(bvh.query(Interval{21, 30}).items.empty());
+  EXPECT_TRUE(bvh.query(Interval{0, 9}).items.empty());
+}
+
+TEST(Bvh, DropsEmptyBounds) {
+  Bvh bvh({Bvh::Item{{10, 5}, 1}, Bvh::Item{{0, 3}, 2}});
+  EXPECT_EQ(bvh.item_count(), 1u);
+}
+
+TEST(Bvh, QueryIntervalSetDeduplicates) {
+  Bvh bvh({Bvh::Item{{0, 100}, 1}});
+  // Two query intervals both hit the same item.
+  BvhQueryResult r = bvh.query(IntervalSet{{0, 5}, {50, 60}});
+  EXPECT_EQ(r.items, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(Bvh, MatchesBruteForceRandom) {
+  Rng rng(77);
+  std::vector<Bvh::Item> items;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    coord_t lo = rng.range(0, 5000);
+    items.push_back(Bvh::Item{{lo, lo + rng.range(0, 80)}, i});
+  }
+  Bvh bvh(items);
+  for (int q = 0; q < 200; ++q) {
+    coord_t lo = rng.range(0, 5000);
+    Interval query{lo, lo + rng.range(0, 200)};
+    std::vector<std::uint64_t> expect;
+    for (const auto& it : items)
+      if (it.bounds.overlaps(query)) expect.push_back(it.payload);
+    std::sort(expect.begin(), expect.end());
+    BvhQueryResult r = bvh.query(query);
+    std::sort(r.items.begin(), r.items.end());
+    EXPECT_EQ(r.items, expect);
+  }
+}
+
+TEST(Bvh, TraversalIsLogarithmicForPointQueries) {
+  // Disjoint unit-spaced items: a point query should visit O(log n) nodes,
+  // far fewer than the total node count.
+  std::vector<Bvh::Item> items;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    coord_t lo = static_cast<coord_t>(i) * 10;
+    items.push_back(Bvh::Item{{lo, lo + 5}, i});
+  }
+  Bvh bvh(items);
+  BvhQueryResult r = bvh.query(Interval{20481, 20484});
+  EXPECT_LE(r.items.size(), 1u);
+  EXPECT_LT(r.nodes_visited, 64u);
+}
+
+} // namespace
+} // namespace visrt

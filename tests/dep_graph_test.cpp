@@ -1,0 +1,81 @@
+// Tests for visibility/dep_graph.h.
+#include "visibility/dep_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <array>
+
+namespace visrt {
+namespace {
+
+TEST(DepGraph, EmptyGraph) {
+  DepGraph g;
+  EXPECT_EQ(g.task_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.critical_path(), 0u);
+}
+
+TEST(DepGraph, ChainCriticalPath) {
+  DepGraph g;
+  for (LaunchID i = 0; i < 5; ++i) {
+    g.add_task(i);
+    if (i > 0) g.add_edges(i, std::array{i - 1});
+  }
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.critical_path(), 5u);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(3, 2));
+  EXPECT_TRUE(g.reaches(0, 4));
+  EXPECT_FALSE(g.reaches(4, 0));
+}
+
+TEST(DepGraph, ParallelTasksShortCriticalPath) {
+  DepGraph g;
+  g.add_task(0);
+  for (LaunchID i = 1; i <= 8; ++i) {
+    g.add_task(i);
+    g.add_edges(i, std::array{LaunchID{0}});
+  }
+  EXPECT_EQ(g.critical_path(), 2u);
+  EXPECT_FALSE(g.reaches(1, 2)); // siblings unordered
+}
+
+TEST(DepGraph, TransitiveReachability) {
+  DepGraph g;
+  for (LaunchID i = 0; i < 6; ++i) g.add_task(i);
+  g.add_edges(2, std::array{LaunchID{0}});
+  g.add_edges(4, std::array{LaunchID{2}});
+  g.add_edges(5, std::array{LaunchID{4}, LaunchID{1}});
+  EXPECT_TRUE(g.reaches(0, 5));
+  EXPECT_TRUE(g.reaches(1, 5));
+  EXPECT_FALSE(g.reaches(3, 5));
+  EXPECT_FALSE(g.reaches(0, 1));
+}
+
+TEST(DepGraph, DuplicateEdgesIgnored) {
+  DepGraph g;
+  g.add_task(0);
+  g.add_task(1);
+  g.add_edges(1, std::array{LaunchID{0}});
+  g.add_edges(1, std::array{LaunchID{0}});
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(DepGraph, ForwardEdgeRejected) {
+  DepGraph g;
+  g.add_task(0);
+  g.add_task(1);
+  EXPECT_THROW(g.add_edges(0, std::array{LaunchID{1}}), ApiError);
+  EXPECT_THROW(g.add_edges(1, std::array{LaunchID{1}}), ApiError);
+}
+
+TEST(DepGraph, OutOfOrderRegistrationRejected) {
+  DepGraph g;
+  g.add_task(0);
+  EXPECT_THROW(g.add_task(2), ApiError);
+}
+
+} // namespace
+} // namespace visrt

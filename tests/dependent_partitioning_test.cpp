@@ -1,0 +1,180 @@
+// Tests for region/dependent_partitioning.h: the [25] operators that
+// compute partitions from data.
+#include "region/dependent_partitioning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "region/region_tree.h"
+
+namespace visrt {
+namespace {
+
+TEST(PartitionEqually, EvenSplit) {
+  IntervalSet dom(0, 99);
+  auto parts = partition_equally(dom, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const IntervalSet& p : parts) EXPECT_EQ(p.volume(), 25);
+  EXPECT_TRUE(all_pairwise_disjoint(parts));
+  IntervalSet u;
+  for (const IntervalSet& p : parts) u = u.unite(p);
+  EXPECT_EQ(u, dom);
+}
+
+TEST(PartitionEqually, UnevenSplitSpreadsRemainder) {
+  IntervalSet dom(0, 9);
+  auto parts = partition_equally(dom, 3);
+  EXPECT_EQ(parts[0].volume(), 4); // 10 = 4 + 3 + 3
+  EXPECT_EQ(parts[1].volume(), 3);
+  EXPECT_EQ(parts[2].volume(), 3);
+}
+
+TEST(PartitionEqually, FragmentedDomain) {
+  IntervalSet dom{{0, 3}, {10, 13}, {20, 23}};
+  auto parts = partition_equally(dom, 3);
+  for (const IntervalSet& p : parts) EXPECT_EQ(p.volume(), 4);
+  EXPECT_TRUE(all_pairwise_disjoint(parts));
+}
+
+TEST(PartitionEqually, MoreColorsThanPoints) {
+  auto parts = partition_equally(IntervalSet(0, 1), 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].volume() + parts[1].volume() + parts[2].volume() +
+                parts[3].volume(),
+            2);
+}
+
+TEST(PartitionByField, ColorsPartitionTheDomain) {
+  IntervalSet dom(0, 29);
+  auto parts = partition_by_field(
+      dom, 3, [](coord_t p) { return static_cast<std::size_t>(p % 3); });
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_TRUE(all_pairwise_disjoint(parts));
+  for (const IntervalSet& p : parts) EXPECT_EQ(p.volume(), 10);
+  EXPECT_TRUE(parts[0].contains(0));
+  EXPECT_TRUE(parts[1].contains(1));
+  EXPECT_TRUE(parts[2].contains(2));
+}
+
+TEST(PartitionByField, NoColorDropsPoints) {
+  IntervalSet dom(0, 9);
+  auto parts = partition_by_field(dom, 2, [](coord_t p) {
+    return p < 4 ? static_cast<std::size_t>(0)
+                 : (p < 8 ? static_cast<std::size_t>(1) : kNoColor);
+  });
+  EXPECT_EQ(parts[0], IntervalSet(0, 3));
+  EXPECT_EQ(parts[1], IntervalSet(4, 7));
+  // 8, 9 dropped: partition incomplete.
+  IntervalSet u = parts[0].unite(parts[1]);
+  EXPECT_FALSE(u.contains(8));
+}
+
+TEST(Image, PushesPartsThroughPointers) {
+  // Two source parts, each point maps to 2*p in the destination.
+  std::vector<IntervalSet> parts{IntervalSet(0, 2), IntervalSet(3, 5)};
+  auto img = image(parts, [](coord_t p, std::vector<coord_t>& out) {
+    out.push_back(2 * p);
+  });
+  EXPECT_EQ(img[0], IntervalSet::from_points({0, 2, 4}));
+  EXPECT_EQ(img[1], IntervalSet::from_points({6, 8, 10}));
+}
+
+TEST(Image, MultiValuedPointersAlias) {
+  // Wires with two endpoints: images of different parts may share nodes.
+  std::vector<IntervalSet> parts{IntervalSet(0, 0), IntervalSet(1, 1)};
+  auto img = image(parts, [](coord_t, std::vector<coord_t>& out) {
+    out.push_back(7); // both wires touch node 7
+  });
+  EXPECT_EQ(img[0], IntervalSet(7, 7));
+  EXPECT_EQ(img[1], IntervalSet(7, 7));
+  EXPECT_FALSE(all_pairwise_disjoint(img));
+}
+
+TEST(Image, EmptyPointerMeansEmptyImage) {
+  std::vector<IntervalSet> parts{IntervalSet(0, 3)};
+  auto img = image(parts, [](coord_t, std::vector<coord_t>&) {});
+  EXPECT_TRUE(img[0].empty());
+}
+
+TEST(Preimage, PullsPartsBackThroughPointers) {
+  // Destination halves; source points map to p+10.
+  std::vector<IntervalSet> dest{IntervalSet(10, 14), IntervalSet(15, 19)};
+  auto pre = preimage(dest, IntervalSet(0, 9),
+                      [](coord_t p, std::vector<coord_t>& out) {
+                        out.push_back(p + 10);
+                      });
+  EXPECT_EQ(pre[0], IntervalSet(0, 4));
+  EXPECT_EQ(pre[1], IntervalSet(5, 9));
+}
+
+TEST(Preimage, MultiValuedPointAppearsInSeveralParts) {
+  std::vector<IntervalSet> dest{IntervalSet(0, 4), IntervalSet(5, 9)};
+  auto pre = preimage(dest, IntervalSet(0, 0),
+                      [](coord_t, std::vector<coord_t>& out) {
+                        out.push_back(2);
+                        out.push_back(7);
+                      });
+  EXPECT_TRUE(pre[0].contains(0));
+  EXPECT_TRUE(pre[1].contains(0));
+}
+
+TEST(DependentPartitioning, ImagePreimageAdjointness) {
+  // p in preimage(dest)[c]  <=>  ptr(p) intersects dest[c]; and the image
+  // of the preimage is contained in dest (restricted to reachable points).
+  Rng rng(99);
+  IntervalSet source(0, 79);
+  std::vector<coord_t> table(80);
+  for (auto& t : table) t = rng.range(0, 59);
+  PointerFn ptr = [&table](coord_t p, std::vector<coord_t>& out) {
+    out.push_back(table[static_cast<std::size_t>(p)]);
+  };
+  std::vector<IntervalSet> dest{IntervalSet(0, 19), IntervalSet(20, 39),
+                                IntervalSet(40, 59)};
+  auto pre = preimage(dest, source, ptr);
+  // Adjointness point by point.
+  for (std::size_t c = 0; c < dest.size(); ++c) {
+    source.for_each_point([&](coord_t p) {
+      bool in_pre = pre[c].contains(p);
+      bool maps_in = dest[c].contains(table[static_cast<std::size_t>(p)]);
+      EXPECT_EQ(in_pre, maps_in) << "c=" << c << " p=" << p;
+    });
+  }
+  // image(preimage(dest)) subset of dest.
+  auto img = image(pre, ptr);
+  for (std::size_t c = 0; c < dest.size(); ++c) {
+    EXPECT_TRUE(dest[c].contains(img[c]));
+  }
+}
+
+TEST(DependentPartitioning, CircuitStyleGhosts) {
+  // The circuit recipe: ghost nodes of a piece = image of its wires
+  // through both endpoints, minus the piece's own nodes.
+  // 2 pieces of 4 nodes; wires: piece 0 {0-1, 1-5}, piece 1 {4-6, 7-2}.
+  std::vector<IntervalSet> wire_parts{IntervalSet(0, 1), IntervalSet(2, 3)};
+  struct Wire {
+    coord_t src, dst;
+  };
+  std::vector<Wire> wires{{0, 1}, {1, 5}, {4, 6}, {7, 2}};
+  PointerFn endpoints = [&wires](coord_t w, std::vector<coord_t>& out) {
+    out.push_back(wires[static_cast<std::size_t>(w)].src);
+    out.push_back(wires[static_cast<std::size_t>(w)].dst);
+  };
+  auto touched = image(wire_parts, endpoints);
+  std::vector<IntervalSet> own{IntervalSet(0, 3), IntervalSet(4, 7)};
+  IntervalSet ghost0 = touched[0].subtract(own[0]);
+  IntervalSet ghost1 = touched[1].subtract(own[1]);
+  EXPECT_EQ(ghost0, IntervalSet(5, 5)); // wire 1 reaches node 5
+  EXPECT_EQ(ghost1, IntervalSet(2, 2)); // wire 3 reaches node 2
+}
+
+TEST(DependentPartitioning, Validation) {
+  EXPECT_THROW(partition_equally(IntervalSet(0, 9), 0), ApiError);
+  EXPECT_THROW(partition_by_field(IntervalSet(0, 9), 2, nullptr), ApiError);
+  std::vector<IntervalSet> parts{IntervalSet(0, 1)};
+  EXPECT_THROW(image(parts, nullptr), ApiError);
+  EXPECT_THROW(preimage(parts, IntervalSet(0, 1), nullptr), ApiError);
+}
+
+} // namespace
+} // namespace visrt

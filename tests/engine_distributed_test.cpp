@@ -1,0 +1,148 @@
+// Distribution-invariance tests at the engine level: where the analysis
+// runs (node 0 vs. the mapped shard, as under DCR) and where tasks are
+// mapped must never change the semantics — only the attribution of the
+// analysis work.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine_harness.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt {
+namespace {
+
+struct Program {
+  RegionTreeForest forest;
+  RegionHandle root;
+  std::vector<RegionHandle> regions;
+
+  explicit Program(Rng& rng) {
+    root = forest.create_root(IntervalSet(0, 127), "A");
+    regions.push_back(root);
+    std::vector<IntervalSet> p, g;
+    for (coord_t i = 0; i < 4; ++i) {
+      p.push_back(IntervalSet(i * 32, i * 32 + 31));
+      coord_t lo = rng.range(0, 100);
+      g.push_back(IntervalSet(lo, lo + rng.range(4, 20)));
+    }
+    PartitionHandle ph = forest.create_partition(root, std::move(p), "P");
+    PartitionHandle gh = forest.create_partition(root, std::move(g), "G");
+    for (std::size_t i = 0; i < 4; ++i) {
+      regions.push_back(forest.subregion(ph, i));
+      regions.push_back(forest.subregion(gh, i));
+    }
+  }
+};
+
+struct Op {
+  Requirement req;
+  NodeID mapped;
+};
+
+std::vector<Op> random_ops(Program& prog, Rng& rng, int n) {
+  std::vector<Op> ops;
+  for (int t = 0; t < n; ++t) {
+    Op op;
+    op.req.region = prog.regions[rng.below(prog.regions.size())];
+    op.req.field = 0;
+    double roll = rng.uniform();
+    if (roll < 0.3) op.req.privilege = Privilege::read();
+    else if (roll < 0.6) op.req.privilege = Privilege::read_write();
+    else op.req.privilege = Privilege::reduce(kRedopSum);
+    op.mapped = static_cast<NodeID>(rng.below(4));
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+using Param = std::tuple<Algorithm, std::uint64_t>;
+class DistributionInvariance : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DistributionInvariance, AnalysisPlacementDoesNotChangeSemantics) {
+  auto [algorithm, seed] = GetParam();
+  Rng rng(seed);
+  Program prog(rng);
+  auto ops = random_ops(prog, rng, 40);
+
+  EngineConfig config;
+  config.forest = &prog.forest;
+  auto centralized = make_engine(algorithm, config); // analysis at node 0
+  auto sharded = make_engine(algorithm, config);     // analysis at mapped
+
+  auto init = RegionData<double>::generate(
+      prog.forest.domain(prog.root),
+      [](coord_t p) { return static_cast<double>(p % 9); });
+  centralized->initialize_field(prog.root, 0, init, 0);
+  sharded->initialize_field(prog.root, 0, init, 0);
+
+  LaunchID id = 0;
+  for (const Op& op : ops) {
+    AnalysisContext c0{id, op.mapped, 0};
+    AnalysisContext cm{id, op.mapped, op.mapped};
+    auto a = centralized->materialize(op.req, c0);
+    auto b = sharded->materialize(op.req, cm);
+    EXPECT_EQ(a.dependences, b.dependences) << "launch " << id;
+    EXPECT_EQ(a.data, b.data) << "launch " << id;
+    if (op.req.privilege.is_write()) {
+      a.data.for_each([id](coord_t p, double& v) {
+        v = static_cast<double>((p + static_cast<coord_t>(id)) % 17);
+      });
+      b.data = a.data;
+    } else if (op.req.privilege.is_reduce()) {
+      a.data.for_each([](coord_t, double& v) { v += 1.0; });
+      b.data = a.data;
+    }
+    centralized->commit(op.req, a.data, c0);
+    sharded->commit(op.req, b.data, cm);
+    ++id;
+  }
+  EXPECT_EQ(centralized->stats().live_eqsets, sharded->stats().live_eqsets);
+}
+
+TEST_P(DistributionInvariance, TotalAnalysisWorkIndependentOfPlacement) {
+  // The *sum* of the reported counters must be the same whether the work
+  // lands locally or at remote owners; only the owner attribution moves.
+  auto [algorithm, seed] = GetParam();
+  Rng rng(seed ^ 0xfeed);
+  Program prog(rng);
+  auto ops = random_ops(prog, rng, 30);
+
+  EngineConfig config;
+  config.forest = &prog.forest;
+  config.track_values = false;
+
+  auto total_visits = [&](NodeID analysis_of(NodeID mapped)) {
+    auto engine = make_engine(algorithm, config);
+    engine->initialize_field(prog.root, 0, RegionData<double>{}, 0);
+    std::uint64_t visits = 0;
+    LaunchID id = 0;
+    for (const Op& op : ops) {
+      AnalysisContext ctx{id++, op.mapped, analysis_of(op.mapped)};
+      auto mr = engine->materialize(op.req, ctx);
+      for (const AnalysisStep& s : mr.steps) visits += s.counters.eqset_visits;
+      engine->commit(op.req, mr.data, ctx);
+    }
+    return visits;
+  };
+  std::uint64_t central = total_visits([](NodeID) { return NodeID{0}; });
+  std::uint64_t shard = total_visits([](NodeID m) { return m; });
+  EXPECT_EQ(central, shard);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = algorithm_name(std::get<0>(info.param));
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name + "_s" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DistributionInvariance,
+    ::testing::Combine(::testing::Values(Algorithm::Paint,
+                                         Algorithm::Warnock,
+                                         Algorithm::RayCast),
+                       ::testing::Values<std::uint64_t>(3, 17, 4242)),
+    param_name);
+
+} // namespace
+} // namespace visrt

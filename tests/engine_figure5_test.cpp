@@ -1,0 +1,315 @@
+// The paper's running example, end to end: the graph program of Figure 1,
+// its task stream of Figure 5, the dependences of Section 3.2, and the
+// structural behaviour the paper illustrates in Figures 8 and 10 —
+// exercised against every engine.
+//
+// The "graph" is the paper's: a node region N with fields up/down, a
+// disjoint complete primary partition P and an aliased ghost partition G
+// where G[i] covers nodes adjacent to P[i] in the other pieces.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "engine_harness.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt {
+namespace {
+
+using testing::EngineHarness;
+
+struct Figure1Program {
+  RegionTreeForest forest;
+  RegionHandle n;
+  PartitionHandle p, g;
+  std::array<RegionHandle, 3> pr, gr;
+  FieldID up = 0, down = 1;
+
+  Figure1Program() {
+    // 30 nodes, 3 pieces of 10.  Ghost of piece i: the 2 boundary nodes of
+    // each neighbouring piece (aliased: G[0] and G[2] both include nodes of
+    // piece 1).
+    n = forest.create_root(IntervalSet(0, 29), "N");
+    p = forest.create_partition(
+        n, {IntervalSet(0, 9), IntervalSet(10, 19), IntervalSet(20, 29)},
+        "P");
+    g = forest.create_partition(
+        n,
+        {IntervalSet(10, 11),                 // ghosts of piece 0
+         IntervalSet{{8, 9}, {20, 21}},       // ghosts of piece 1
+         IntervalSet(18, 19)},                // ghosts of piece 2
+        "G");
+    for (std::size_t i = 0; i < 3; ++i) {
+      pr[i] = forest.subregion(p, i);
+      gr[i] = forest.subregion(g, i);
+    }
+  }
+};
+
+class Figure5Test : public ::testing::TestWithParam<Algorithm> {
+protected:
+  /// t1(P[i], G[i]): read-write P[i].up, reduce+ G[i].down.
+  /// t2(P[i], G[i]): read-write P[i].down, reduce+ G[i].up.
+  testing::EngineHarness::TaskResult launch_t1(EngineHarness& h,
+                                               Figure1Program& prog,
+                                               std::size_t i) {
+    return h.run(
+        {Requirement{prog.pr[i], prog.up, Privilege::read_write()},
+         Requirement{prog.gr[i], prog.down, Privilege::reduce(kRedopSum)}},
+        [](std::vector<RegionData<double>>& bufs) {
+          bufs[0].for_each([](coord_t, double& v) { v += 1.0; });
+          bufs[1].for_each([](coord_t, double& v) { v += 2.0; });
+        },
+        /*mapped_node=*/static_cast<NodeID>(i));
+  }
+  testing::EngineHarness::TaskResult launch_t2(EngineHarness& h,
+                                               Figure1Program& prog,
+                                               std::size_t i) {
+    return h.run(
+        {Requirement{prog.pr[i], prog.down, Privilege::read_write()},
+         Requirement{prog.gr[i], prog.up, Privilege::reduce(kRedopSum)}},
+        [](std::vector<RegionData<double>>& bufs) {
+          bufs[0].for_each([](coord_t, double& v) { v += 1.0; });
+          bufs[1].for_each([](coord_t, double& v) { v += 2.0; });
+        },
+        /*mapped_node=*/static_cast<NodeID>(i));
+  }
+};
+
+TEST_P(Figure5Test, DependenceStructureOfSection32) {
+  Figure1Program prog;
+  EngineHarness h(GetParam(), &prog.forest);
+  h.init_field(prog.n, prog.up,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+  h.init_field(prog.n, prog.down,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+
+  // Figure 5: t0..t2 = t1(P[i],G[i]); t3..t5 = t2(P[i],G[i]);
+  //           t6..t8 = t1(P[i],G[i]) again.
+  for (std::size_t i = 0; i < 3; ++i) launch_t1(h, prog, i);
+  for (std::size_t i = 0; i < 3; ++i) launch_t2(h, prog, i);
+  for (std::size_t i = 0; i < 3; ++i) launch_t1(h, prog, i);
+
+  const DepGraph& d = h.deps();
+  // "the system will discover that there are no dependences between tasks
+  //  t0-2, t3-5, and t6-8, allowing those groups to execute in parallel"
+  for (LaunchID a = 0; a < 9; a += 3) {
+    for (LaunchID i = a; i < a + 3; ++i)
+      for (LaunchID j = i + 1; j < a + 3; ++j)
+        EXPECT_FALSE(d.reaches(i, j))
+            << "tasks " << i << " and " << j << " should be parallel";
+  }
+  // t3 = t2(P[0],G[0]) reduces to G[0].up = {10,11}, written by t1 through
+  // P[1].up, and writes P[0].down which t1 reduced through G[1].down={8,9}.
+  EXPECT_TRUE(d.reaches(1, 3));
+  EXPECT_FALSE(d.reaches(0, 3)); // no shared data with t0
+  EXPECT_FALSE(d.reaches(2, 3));
+  // t4 = t2(P[1],G[1]) touches data of both neighbouring pieces.
+  EXPECT_TRUE(d.reaches(0, 4));
+  EXPECT_TRUE(d.reaches(2, 4));
+  // t6 = t1(P[0],G[0]) again: reads P[0].up written by t0 and reduced by
+  // t4 (G[1].up covers {8,9}); t3 shares nothing with it.
+  EXPECT_TRUE(d.reaches(0, 6));
+  EXPECT_TRUE(d.reaches(4, 6));
+  EXPECT_FALSE(d.reaches(3, 6));
+  // t7 = t1(P[1],G[1]) depends on both neighbouring t2s.
+  EXPECT_TRUE(d.reaches(3, 7));
+  EXPECT_TRUE(d.reaches(5, 7));
+  EXPECT_EQ(d.critical_path(), 3u);
+}
+
+TEST_P(Figure5Test, CoherentValuesAcrossPhases) {
+  Figure1Program prog;
+  EngineHarness h(GetParam(), &prog.forest);
+  h.init_field(prog.n, prog.up,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+  h.init_field(prog.n, prog.down,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+
+  // Two full iterations of the Figure 1 while-loop.
+  for (int iter = 0; iter < 2; ++iter) {
+    for (std::size_t i = 0; i < 3; ++i) launch_t1(h, prog, i);
+    for (std::size_t i = 0; i < 3; ++i) launch_t2(h, prog, i);
+  }
+
+  // Read back the whole region through a read task and check the expected
+  // values.  up[p] = 2 (two t1 writes of +1) ... plus reductions of +2 per
+  // covering ghost region per t2 round applied before the second t1's
+  // read-write... The t1 body is v += 1 on the *current* value, so writes
+  // do not reset the reductions; compute the expectation by simulation
+  // against the reference engine instead of by hand.
+  // Identical program driven through the reference (oracle) engine.
+  Figure1Program ref_prog;
+  EngineHarness ref(Algorithm::Reference, &ref_prog.forest);
+  ref.init_field(ref_prog.n, ref_prog.up,
+                 RegionData<double>::filled(
+                     ref_prog.forest.domain(ref_prog.n), 0.0));
+  ref.init_field(ref_prog.n, ref_prog.down,
+                 RegionData<double>::filled(
+                     ref_prog.forest.domain(ref_prog.n), 0.0));
+  for (int iter = 0; iter < 2; ++iter) {
+    for (std::size_t i = 0; i < 3; ++i) launch_t1(ref, ref_prog, i);
+    for (std::size_t i = 0; i < 3; ++i) launch_t2(ref, ref_prog, i);
+  }
+
+  for (FieldID f : {prog.up, prog.down}) {
+    auto got = h.run({Requirement{prog.n, f, Privilege::read()}}, nullptr);
+    auto want =
+        ref.run({Requirement{ref_prog.n, f, Privilege::read()}}, nullptr);
+    EXPECT_EQ(got.materialized[0], want.materialized[0])
+        << "field " << f << " diverged from sequential semantics";
+  }
+}
+
+TEST_P(Figure5Test, SteadyStateDoesNotGrowStateUnboundedly) {
+  Figure1Program prog;
+  EngineHarness h(GetParam(), &prog.forest);
+  h.init_field(prog.n, prog.up,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+  h.init_field(prog.n, prog.down,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+
+  auto iteration = [&] {
+    for (std::size_t i = 0; i < 3; ++i) launch_t1(h, prog, i);
+    for (std::size_t i = 0; i < 3; ++i) launch_t2(h, prog, i);
+  };
+  for (int k = 0; k < 3; ++k) iteration();
+  EngineStats after3 = h.engine().stats();
+  for (int k = 0; k < 6; ++k) iteration();
+  EngineStats after9 = h.engine().stats();
+
+  // Equivalence-set engines: the set structure stabilizes after the first
+  // iteration (Section 6: "each subsequent iteration uses the same
+  // regions, so no further refinements are needed").
+  if (GetParam() == Algorithm::Warnock ||
+      GetParam() == Algorithm::NaiveWarnock ||
+      GetParam() == Algorithm::RayCast ||
+      GetParam() == Algorithm::NaiveRayCast) {
+    EXPECT_EQ(after9.live_eqsets, after3.live_eqsets);
+  }
+  // Histories must not grow linearly forever (writes occlude); allow some
+  // slack for reduce entries awaiting the next write.
+  EXPECT_LE(after9.history_entries, after3.history_entries * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, Figure5Test,
+    ::testing::Values(Algorithm::NaivePaint, Algorithm::NaiveWarnock,
+                      Algorithm::NaiveRayCast, Algorithm::Paint,
+                      Algorithm::Warnock, Algorithm::RayCast,
+                      Algorithm::Reference),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name = algorithm_name(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// Structural expectations from the paper's figures -------------------------
+
+TEST(Figure10, WarnockRefinementMatchesPaper) {
+  // After t0..t5 Warnock's algorithm has refined N.up into the equivalence
+  // sets of Figure 10; subsequent iterations add none.
+  Figure1Program prog;
+  EngineHarness h(Algorithm::NaiveWarnock, &prog.forest);
+  h.init_field(prog.n, prog.up,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+
+  auto t1_up = [&](std::size_t i) {
+    h.run({Requirement{prog.pr[i], prog.up, Privilege::read_write()}},
+          [](std::vector<RegionData<double>>& bufs) {
+            bufs[0].for_each([](coord_t, double& v) { v += 1; });
+          });
+  };
+  auto t2_up = [&](std::size_t i) {
+    h.run({Requirement{prog.gr[i], prog.up, Privilege::reduce(kRedopSum)}},
+          [](std::vector<RegionData<double>>& bufs) {
+            bufs[0].for_each([](coord_t, double& v) { v += 2; });
+          });
+  };
+
+  for (std::size_t i = 0; i < 3; ++i) t1_up(i);
+  for (std::size_t i = 0; i < 3; ++i) t2_up(i);
+  EngineStats after_first = h.engine().stats();
+  // The P refinement gives 3 sets; each ghost region then splits the piece
+  // sets it overlaps.  The exact count depends on the ghost shapes; what
+  // matters is stability from here on.
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < 3; ++i) t1_up(i);
+    for (std::size_t i = 0; i < 3; ++i) t2_up(i);
+  }
+  EngineStats later = h.engine().stats();
+  EXPECT_EQ(later.live_eqsets, after_first.live_eqsets);
+  EXPECT_EQ(later.total_eqsets_created, after_first.total_eqsets_created);
+  EXPECT_GT(after_first.live_eqsets, 3u); // ghosts refined beyond P
+}
+
+TEST(Figure10, RayCastCoalescesBackToPrimaryPieces) {
+  // Ray casting produces the same refinements while ghosts are in use, but
+  // the next round of read-writes on P[i] coalesces each piece back to a
+  // single equivalence set (Section 7: "the write privilege causes any
+  // refinements and their histories of P[1] to be discarded").
+  Figure1Program prog;
+  EngineHarness h(Algorithm::RayCast, &prog.forest);
+  h.init_field(prog.n, prog.up,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+
+  auto write_p = [&](std::size_t i) {
+    h.run({Requirement{prog.pr[i], prog.up, Privilege::read_write()}},
+          [](std::vector<RegionData<double>>& bufs) {
+            bufs[0].for_each([](coord_t, double& v) { v += 1; });
+          });
+  };
+  auto reduce_g = [&](std::size_t i) {
+    h.run({Requirement{prog.gr[i], prog.up, Privilege::reduce(kRedopSum)}},
+          [](std::vector<RegionData<double>>& bufs) {
+            bufs[0].for_each([](coord_t, double& v) { v += 2; });
+          });
+  };
+
+  for (std::size_t i = 0; i < 3; ++i) write_p(i);
+  EXPECT_EQ(h.engine().stats().live_eqsets, 3u); // exactly the P pieces
+  for (std::size_t i = 0; i < 3; ++i) reduce_g(i);
+  std::size_t with_ghosts = h.engine().stats().live_eqsets;
+  EXPECT_GT(with_ghosts, 3u);
+  // Second round of writes coalesces back to the three pieces.
+  for (std::size_t i = 0; i < 3; ++i) write_p(i);
+  EXPECT_EQ(h.engine().stats().live_eqsets, 3u);
+}
+
+TEST(Figure8, PainterCreatesCompositeViewsOnPartitionCrossing) {
+  Figure1Program prog;
+  EngineHarness h(Algorithm::Paint, &prog.forest);
+  h.init_field(prog.n, prog.up,
+               RegionData<double>::filled(prog.forest.domain(prog.n), 0.0));
+
+  auto write_p = [&](std::size_t i) {
+    h.run({Requirement{prog.pr[i], prog.up, Privilege::read_write()}},
+          [](std::vector<RegionData<double>>& bufs) {
+            bufs[0].for_each([](coord_t, double& v) { v += 1; });
+          });
+  };
+  auto reduce_g = [&](std::size_t i) {
+    h.run({Requirement{prog.gr[i], prog.up, Privilege::reduce(kRedopSum)}},
+          [](std::vector<RegionData<double>>& bufs) {
+            bufs[0].for_each([](coord_t, double& v) { v += 2; });
+          });
+  };
+
+  // t0-t2 record in P leaves: no views needed (disjoint partition).
+  for (std::size_t i = 0; i < 3; ++i) write_p(i);
+  EXPECT_EQ(h.engine().stats().total_composite_views, 0u);
+  // t3 crosses to the ghost partition: V0 of the P subtree (Figure 8(b)).
+  reduce_g(0);
+  EXPECT_EQ(h.engine().stats().total_composite_views, 1u);
+  // t4, t5 use the same reduction privilege: no further views.
+  reduce_g(1);
+  reduce_g(2);
+  EXPECT_EQ(h.engine().stats().total_composite_views, 1u);
+  // Crossing back to P creates V1 of the G subtree (Figure 8(c)).
+  write_p(0);
+  EXPECT_EQ(h.engine().stats().total_composite_views, 2u);
+}
+
+} // namespace
+} // namespace visrt

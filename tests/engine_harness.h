@@ -1,0 +1,79 @@
+// Shared test harness: drives a CoherenceEngine through the run_task
+// protocol of the paper's Figure 6 (materialize every argument, run the
+// body, commit every argument) and records the dependences it reports.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "visibility/dep_graph.h"
+#include "visibility/engine.h"
+
+namespace visrt::testing {
+
+/// A task body: receives the materialized buffers, one per requirement.
+using Body = std::function<void(std::vector<RegionData<double>>&)>;
+
+class EngineHarness {
+public:
+  EngineHarness(Algorithm algorithm, const RegionTreeForest* forest,
+                bool track_values = true) {
+    EngineConfig config;
+    config.forest = forest;
+    config.track_values = track_values;
+    engine_ = make_engine(algorithm, config);
+  }
+
+  CoherenceEngine& engine() { return *engine_; }
+  const DepGraph& deps() const { return deps_; }
+  LaunchID next_launch() const { return next_; }
+
+  void init_field(RegionHandle root, FieldID field,
+                  RegionData<double> initial) {
+    engine_->initialize_field(root, field, std::move(initial), 0);
+  }
+
+  struct TaskResult {
+    LaunchID id;
+    std::vector<LaunchID> dependences;            // union over requirements
+    std::vector<RegionData<double>> materialized; // pre-body values
+  };
+
+  /// Figure 6 run_task.  The body mutates the materialized buffers in
+  /// place; read-privilege buffers must be left untouched.
+  TaskResult run(const std::vector<Requirement>& reqs, const Body& body,
+                 NodeID mapped_node = 0, NodeID analysis_node = 0) {
+    LaunchID id = next_++;
+    deps_.add_task(id);
+    AnalysisContext ctx{id, mapped_node, analysis_node};
+    TaskResult result;
+    result.id = id;
+
+    std::vector<RegionData<double>> buffers;
+    for (const Requirement& req : reqs) {
+      MaterializeResult mr = engine_->materialize(req, ctx);
+      for (LaunchID d : mr.dependences) {
+        auto it = std::lower_bound(result.dependences.begin(),
+                                   result.dependences.end(), d);
+        if (it == result.dependences.end() || *it != d)
+          result.dependences.insert(it, d);
+      }
+      buffers.push_back(std::move(mr.data));
+    }
+    result.materialized = buffers;
+    if (body) body(buffers);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      engine_->commit(reqs[i], buffers[i], ctx);
+    }
+    deps_.add_edges(id, result.dependences);
+    return result;
+  }
+
+private:
+  std::unique_ptr<CoherenceEngine> engine_;
+  DepGraph deps_;
+  LaunchID next_ = 0;
+};
+
+} // namespace visrt::testing

@@ -1,0 +1,248 @@
+// Randomized cross-algorithm property tests: every engine must agree with
+// the sequential oracle on
+//   (1) materialized values (apparently-sequential semantics, Section 3.1),
+//   (2) dependence soundness — every interfering pair of launches is
+//       transitively ordered in the engine's dependence DAG, and
+//   (3) dependence precision — every direct edge the engine reports is a
+//       truly interfering pair (no false direct dependences).
+//
+// Streams are generated over the paper's region structure (a disjoint
+// complete primary partition, an aliased incomplete ghost partition, and a
+// nested partition) with random privileges, reduction operators and
+// task bodies.  Values are integer-valued doubles so sum/min/max folds are
+// exact and order-insensitive for same-operator groups.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "engine_harness.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt {
+namespace {
+
+using testing::EngineHarness;
+
+struct RandomProgram {
+  RegionTreeForest forest;
+  RegionHandle root;
+  std::vector<RegionHandle> regions; // candidate task arguments
+  std::vector<FieldID> fields{0, 1};
+
+  explicit RandomProgram(Rng& rng) {
+    constexpr coord_t kSize = 160;
+    root = forest.create_root(IntervalSet(0, kSize - 1), "A");
+    regions.push_back(root);
+
+    // Primary partition: 4 disjoint complete pieces.
+    std::vector<IntervalSet> primary;
+    for (coord_t i = 0; i < 4; ++i)
+      primary.push_back(IntervalSet(i * 40, i * 40 + 39));
+    PartitionHandle p =
+        forest.create_partition(root, std::move(primary), "P");
+    for (std::size_t i = 0; i < 4; ++i)
+      regions.push_back(forest.subregion(p, i));
+
+    // Ghost partition: random aliased blocks (possibly overlapping).
+    std::vector<IntervalSet> ghost;
+    for (int i = 0; i < 4; ++i) {
+      coord_t lo = rng.range(0, kSize - 20);
+      coord_t hi = lo + rng.range(5, 30);
+      ghost.push_back(IntervalSet(lo, std::min(hi, kSize - 1)));
+    }
+    PartitionHandle g = forest.create_partition(root, std::move(ghost), "G");
+    for (std::size_t i = 0; i < 4; ++i)
+      regions.push_back(forest.subregion(g, i));
+
+    // Nested partition under P[0].
+    PartitionHandle nested = forest.create_partition(
+        forest.subregion(p, 0), {IntervalSet(0, 19), IntervalSet(20, 39)},
+        "P0sub");
+    regions.push_back(forest.subregion(nested, 0));
+    regions.push_back(forest.subregion(nested, 1));
+  }
+};
+
+struct StreamOp {
+  std::vector<Requirement> reqs;
+  NodeID mapped;
+};
+
+std::vector<StreamOp> random_stream(RandomProgram& prog, Rng& rng,
+                                    int length) {
+  std::vector<StreamOp> stream;
+  for (int t = 0; t < length; ++t) {
+    StreamOp op;
+    op.mapped = static_cast<NodeID>(rng.below(4));
+    int nreqs = rng.chance(0.4) ? 2 : 1;
+    for (int r = 0; r < nreqs; ++r) {
+      Requirement req;
+      req.region = prog.regions[rng.below(prog.regions.size())];
+      // Two requirements of one task use distinct fields (the paper's
+      // restriction on aliased interfering arguments, Section 4).
+      req.field = nreqs == 2 ? static_cast<FieldID>(r)
+                             : prog.fields[rng.below(2)];
+      double roll = rng.uniform();
+      if (roll < 0.3) {
+        req.privilege = Privilege::read();
+      } else if (roll < 0.6) {
+        req.privilege = Privilege::read_write();
+      } else {
+        static const ReductionOpID ops[3] = {kRedopSum, kRedopMin,
+                                             kRedopMax};
+        req.privilege = Privilege::reduce(ops[rng.below(3)]);
+      }
+      op.reqs.push_back(req);
+    }
+    stream.push_back(std::move(op));
+  }
+  return stream;
+}
+
+/// Deterministic task body keyed by launch id: writes and reductions use
+/// integer values so every fold is exact.
+testing::Body make_body(const std::vector<Requirement>& reqs, LaunchID id) {
+  return [reqs, id](std::vector<RegionData<double>>& bufs) {
+    for (std::size_t i = 0; i < bufs.size(); ++i) {
+      const Privilege& priv = reqs[i].privilege;
+      if (priv.is_write()) {
+        bufs[i].for_each([&](coord_t p, double& v) {
+          v = static_cast<double>((p * 7 + static_cast<coord_t>(id) * 13 +
+                                   static_cast<coord_t>(i)) %
+                                  1001);
+        });
+      } else if (priv.is_reduce()) {
+        const ReductionOp& op = reduction_op(priv.redop);
+        bufs[i].for_each([&](coord_t p, double& v) {
+          double contribution = static_cast<double>(
+              (p * 3 + static_cast<coord_t>(id) * 5) % 97);
+          v = op.fold(contribution, v);
+        });
+      }
+      // Reads leave the buffer untouched.
+    }
+  };
+}
+
+/// Interference between two launches' requirement lists (precise, per
+/// point): true when some pair of requirements on the same field overlaps
+/// with interfering privileges.
+bool launches_interfere(const RegionTreeForest& forest,
+                        const std::vector<Requirement>& a,
+                        const std::vector<Requirement>& b) {
+  for (const Requirement& ra : a) {
+    for (const Requirement& rb : b) {
+      if (ra.field != rb.field) continue;
+      if (!interferes(ra.privilege, rb.privilege)) continue;
+      if (forest.domain(ra.region).overlaps(forest.domain(rb.region)))
+        return true;
+    }
+  }
+  return false;
+}
+
+using PropertyParam = std::tuple<Algorithm, std::uint64_t>;
+
+class EngineProperty : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(EngineProperty, AgreesWithSequentialOracle) {
+  auto [algorithm, seed] = GetParam();
+  Rng rng(seed);
+  RandomProgram prog(rng);
+  auto stream = random_stream(prog, rng, 50);
+
+  EngineHarness subject(algorithm, &prog.forest);
+  EngineHarness oracle(Algorithm::Reference, &prog.forest);
+  for (FieldID f : prog.fields) {
+    auto init = RegionData<double>::generate(
+        prog.forest.domain(prog.root),
+        [](coord_t p) { return static_cast<double>(p % 11); });
+    subject.init_field(prog.root, f, init);
+    oracle.init_field(prog.root, f, init);
+  }
+
+  std::vector<std::vector<Requirement>> launched;
+  for (const StreamOp& op : stream) {
+    LaunchID id = subject.next_launch();
+    testing::Body body = make_body(op.reqs, id);
+    auto got = subject.run(op.reqs, body, op.mapped, /*analysis=*/0);
+    auto want = oracle.run(op.reqs, body, op.mapped, 0);
+
+    // (1) Values: identical materialization for every requirement.
+    ASSERT_EQ(got.materialized.size(), want.materialized.size());
+    for (std::size_t i = 0; i < got.materialized.size(); ++i) {
+      EXPECT_EQ(got.materialized[i], want.materialized[i])
+          << algorithm_name(algorithm) << " diverged at launch " << id
+          << " requirement " << i << " (" << to_string(op.reqs[i].privilege)
+          << " on " << prog.forest.name(op.reqs[i].region) << ")";
+    }
+
+    // (3) Precision: every direct dependence is a real interference.
+    for (LaunchID d : got.dependences) {
+      EXPECT_TRUE(
+          launches_interfere(prog.forest, launched[d], op.reqs))
+          << algorithm_name(algorithm) << ": false dependence " << d
+          << " -> " << id;
+    }
+    launched.push_back(op.reqs);
+  }
+
+  // (2) Soundness: all interfering pairs are transitively ordered.
+  const DepGraph& d = subject.deps();
+  for (LaunchID i = 0; i < launched.size(); ++i) {
+    for (LaunchID j = i + 1; j < launched.size(); ++j) {
+      if (launches_interfere(prog.forest, launched[i], launched[j])) {
+        EXPECT_TRUE(d.reaches(i, j))
+            << algorithm_name(algorithm) << ": missed ordering " << i
+            << " before " << j;
+      }
+    }
+  }
+}
+
+TEST_P(EngineProperty, AnalysisOnlyModeMatchesDependences) {
+  // With value tracking off (benchmark mode) the dependence DAG must be
+  // identical to the tracked run.
+  auto [algorithm, seed] = GetParam();
+  if (algorithm == Algorithm::Reference) GTEST_SKIP();
+  Rng rng(seed ^ 0x5eed);
+  RandomProgram prog(rng);
+  auto stream = random_stream(prog, rng, 40);
+
+  EngineHarness tracked(algorithm, &prog.forest, /*track_values=*/true);
+  EngineHarness untracked(algorithm, &prog.forest, /*track_values=*/false);
+  for (FieldID f : prog.fields) {
+    tracked.init_field(prog.root, f,
+                       RegionData<double>::filled(
+                           prog.forest.domain(prog.root), 0.0));
+    untracked.init_field(prog.root, f, RegionData<double>{});
+  }
+
+  for (const StreamOp& op : stream) {
+    LaunchID id = tracked.next_launch();
+    auto a = tracked.run(op.reqs, make_body(op.reqs, id), op.mapped, 0);
+    auto b = untracked.run(op.reqs, nullptr, op.mapped, 0);
+    EXPECT_EQ(a.dependences, b.dependences)
+        << algorithm_name(algorithm) << " launch " << id;
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name = algorithm_name(std::get<0>(info.param));
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, EngineProperty,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::NaivePaint, Algorithm::NaiveWarnock,
+                          Algorithm::NaiveRayCast, Algorithm::Paint,
+                          Algorithm::Warnock, Algorithm::RayCast),
+        ::testing::Values<std::uint64_t>(1, 7, 42, 99, 1234, 777777)),
+    param_name);
+
+} // namespace
+} // namespace visrt

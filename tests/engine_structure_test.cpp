@@ -1,0 +1,242 @@
+// Structural unit tests for engine mechanics not covered by the Figure-5
+// or property suites: ray casting's acceleration-structure selection and
+// shifting, natural K-d fallback, deeply nested region trees for the
+// painter, and fragmented/sparse regions.
+#include <gtest/gtest.h>
+
+#include "engine_harness.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt {
+namespace {
+
+using testing::EngineHarness;
+
+// --- Ray casting: acceleration structure selection ------------------------
+
+TEST(RayCastStructure, NaturalKdFallbackWithoutDisjointCompletePartition) {
+  // Only an aliased, incomplete partition exists: ray casting must fall
+  // back to the interval tree and still be correct.
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 59), "A");
+  PartitionHandle aliased = forest.create_partition(
+      root, {IntervalSet(0, 39), IntervalSet(20, 59)}, "aliased");
+  ASSERT_FALSE(forest.is_disjoint(aliased));
+
+  EngineHarness ray(Algorithm::RayCast, &forest);
+  EngineHarness oracle(Algorithm::Reference, &forest);
+  for (auto* h : {&ray, &oracle}) {
+    h->init_field(root, 0,
+                  RegionData<double>::filled(forest.domain(root), 1.0));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      Requirement rw{forest.subregion(aliased, i), 0,
+                     Privilege::read_write()};
+      auto body = [round, i](std::vector<RegionData<double>>& bufs) {
+        bufs[0].for_each([round, i](coord_t p, double& v) {
+          v = v + static_cast<double>(p % 5 + round + static_cast<int>(i));
+        });
+      };
+      auto a = ray.run({rw}, body);
+      auto b = oracle.run({rw}, body);
+      EXPECT_EQ(a.materialized[0], b.materialized[0]);
+    }
+  }
+}
+
+TEST(RayCastStructure, PartitionShiftRebuildsAcceleration) {
+  // The application switches between two different disjoint-and-complete
+  // partitions: Section 7.1 says the runtime shifts the equivalence sets
+  // to the new subtree.  Values must stay exact across the shift.
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 59), "A");
+  PartitionHandle by3 = forest.create_partition(
+      root, {IntervalSet(0, 19), IntervalSet(20, 39), IntervalSet(40, 59)},
+      "by3");
+  PartitionHandle by2 = forest.create_partition(
+      root, {IntervalSet(0, 29), IntervalSet(30, 59)}, "by2");
+  ASSERT_TRUE(forest.is_disjoint(by3) && forest.is_complete(by3));
+  ASSERT_TRUE(forest.is_disjoint(by2) && forest.is_complete(by2));
+
+  EngineHarness ray(Algorithm::RayCast, &forest);
+  EngineHarness oracle(Algorithm::Reference, &forest);
+  for (auto* h : {&ray, &oracle}) {
+    h->init_field(root, 0,
+                  RegionData<double>::filled(forest.domain(root), 0.0));
+  }
+  auto bump = [](std::vector<RegionData<double>>& bufs) {
+    bufs[0].for_each([](coord_t p, double& v) {
+      v = 2 * v + static_cast<double>(p % 3);
+    });
+  };
+  for (int round = 0; round < 3; ++round) {
+    // Alternate partitions between phases.
+    for (std::size_t i = 0; i < 3; ++i) {
+      Requirement rw{forest.subregion(by3, i), 0, Privilege::read_write()};
+      auto a = ray.run({rw}, bump);
+      auto b = oracle.run({rw}, bump);
+      EXPECT_EQ(a.materialized[0], b.materialized[0]);
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+      Requirement rw{forest.subregion(by2, i), 0, Privilege::read_write()};
+      auto a = ray.run({rw}, bump);
+      auto b = oracle.run({rw}, bump);
+      EXPECT_EQ(a.materialized[0], b.materialized[0]);
+    }
+  }
+  // After the write phases through by2, coalescing bounds the live sets.
+  EXPECT_LE(ray.engine().stats().live_eqsets, 3u);
+}
+
+TEST(RayCastStructure, SparseScatteredRegions) {
+  // Highly fragmented (point-wise) regions through the K-d fallback.
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 99), "A");
+  std::vector<IntervalSet> scattered;
+  for (coord_t c = 0; c < 4; ++c) {
+    std::vector<coord_t> pts;
+    for (coord_t p = c; p < 100; p += 4) pts.push_back(p);
+    scattered.push_back(IntervalSet::from_points(std::move(pts)));
+  }
+  PartitionHandle strided =
+      forest.create_partition(root, std::move(scattered), "strided");
+  ASSERT_TRUE(forest.is_disjoint(strided) && forest.is_complete(strided));
+
+  EngineHarness ray(Algorithm::RayCast, &forest);
+  EngineHarness oracle(Algorithm::Reference, &forest);
+  for (auto* h : {&ray, &oracle}) {
+    h->init_field(root, 0,
+                  RegionData<double>::filled(forest.domain(root), 3.0));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    Requirement rw{forest.subregion(strided, i), 0, Privilege::read_write()};
+    auto body = [i](std::vector<RegionData<double>>& bufs) {
+      bufs[0].for_each([i](coord_t, double& v) {
+        v += static_cast<double>(i + 1);
+      });
+    };
+    auto a = ray.run({rw}, body);
+    auto b = oracle.run({rw}, body);
+    EXPECT_EQ(a.materialized[0], b.materialized[0]);
+  }
+  auto a = ray.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  auto b = oracle.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  EXPECT_EQ(a.materialized[0], b.materialized[0]);
+}
+
+// --- Painter: deep nesting -------------------------------------------------
+
+TEST(PaintStructure, DeeplyNestedPartitions) {
+  // A three-level tree: accesses bounce between levels, forcing closes in
+  // both directions (ancestor accesses after leaf accesses and vice
+  // versa).
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 63), "A");
+  PartitionHandle top = forest.create_partition(
+      root, {IntervalSet(0, 31), IntervalSet(32, 63)}, "top");
+  std::vector<RegionHandle> leaves;
+  for (std::size_t i = 0; i < 2; ++i) {
+    RegionHandle mid = forest.subregion(top, i);
+    coord_t lo = static_cast<coord_t>(i) * 32;
+    PartitionHandle sub = forest.create_partition(
+        mid, {IntervalSet(lo, lo + 15), IntervalSet(lo + 16, lo + 31)},
+        "sub" + std::to_string(i));
+    leaves.push_back(forest.subregion(sub, 0));
+    leaves.push_back(forest.subregion(sub, 1));
+  }
+
+  EngineHarness paint(Algorithm::Paint, &forest);
+  EngineHarness oracle(Algorithm::Reference, &forest);
+  for (auto* h : {&paint, &oracle}) {
+    h->init_field(root, 0,
+                  RegionData<double>::filled(forest.domain(root), 0.0));
+  }
+  auto bump = [](std::vector<RegionData<double>>& bufs) {
+    bufs[0].for_each([](coord_t p, double& v) {
+      v = v * 2 + static_cast<double>(p % 7);
+    });
+  };
+  // Leaves, then the root, then middles, then leaves again.
+  for (RegionHandle leaf : leaves) {
+    auto a = paint.run({Requirement{leaf, 0, Privilege::read_write()}}, bump);
+    auto b = oracle.run({Requirement{leaf, 0, Privilege::read_write()}},
+                        bump);
+    EXPECT_EQ(a.materialized[0], b.materialized[0]);
+  }
+  {
+    auto a = paint.run({Requirement{root, 0, Privilege::read_write()}}, bump);
+    auto b =
+        oracle.run({Requirement{root, 0, Privilege::read_write()}}, bump);
+    EXPECT_EQ(a.materialized[0], b.materialized[0]);
+    // Closing the whole tree into the root created composite views.
+    EXPECT_GT(paint.engine().stats().total_composite_views, 0u);
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    RegionHandle mid = forest.subregion(top, i);
+    auto a = paint.run({Requirement{mid, 0, Privilege::read_write()}}, bump);
+    auto b = oracle.run({Requirement{mid, 0, Privilege::read_write()}}, bump);
+    EXPECT_EQ(a.materialized[0], b.materialized[0]);
+  }
+  for (RegionHandle leaf : leaves) {
+    auto a = paint.run({Requirement{leaf, 0, Privilege::read()}}, nullptr);
+    auto b = oracle.run({Requirement{leaf, 0, Privilege::read()}}, nullptr);
+    EXPECT_EQ(a.materialized[0], b.materialized[0]);
+  }
+}
+
+TEST(PaintStructure, ReadOnlySubtreesAreNotCaptured) {
+  // Reads in a sibling subtree do not interfere with reads elsewhere: no
+  // composite views should be created for read-read crossings.
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 19), "A");
+  PartitionHandle p = forest.create_partition(
+      root, {IntervalSet(0, 9), IntervalSet(10, 19)}, "p");
+  PartitionHandle q = forest.create_partition(
+      root, {IntervalSet(5, 14)}, "q");
+
+  EngineHarness paint(Algorithm::Paint, &forest);
+  paint.init_field(root, 0,
+                   RegionData<double>::filled(forest.domain(root), 1.0));
+  paint.run({Requirement{forest.subregion(p, 0), 0, Privilege::read()}},
+            nullptr);
+  paint.run({Requirement{forest.subregion(p, 1), 0, Privilege::read()}},
+            nullptr);
+  paint.run({Requirement{forest.subregion(q, 0), 0, Privilege::read()}},
+            nullptr);
+  EXPECT_EQ(paint.engine().stats().total_composite_views, 0u);
+}
+
+// --- Warnock: stability of the refinement tree ----------------------------
+
+TEST(WarnockStructure, RepeatedRegionsNeverRefineTwice) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 47), "A");
+  PartitionHandle p = forest.create_partition(
+      root, {IntervalSet(0, 15), IntervalSet(16, 31), IntervalSet(32, 47)},
+      "p");
+  PartitionHandle g = forest.create_partition(
+      root, {IntervalSet(12, 19), IntervalSet(28, 35)}, "g");
+
+  EngineHarness h(Algorithm::Warnock, &forest, /*track_values=*/false);
+  h.init_field(root, 0, RegionData<double>{});
+
+  auto one_round = [&] {
+    for (std::size_t i = 0; i < 3; ++i)
+      h.run({Requirement{forest.subregion(p, i), 0,
+                         Privilege::read_write()}},
+            nullptr);
+    for (std::size_t i = 0; i < 2; ++i)
+      h.run({Requirement{forest.subregion(g, i), 0,
+                         Privilege::reduce(kRedopSum)}},
+            nullptr);
+  };
+  one_round();
+  std::size_t created = h.engine().stats().total_eqsets_created;
+  for (int round = 0; round < 5; ++round) one_round();
+  EXPECT_EQ(h.engine().stats().total_eqsets_created, created)
+      << "steady-state rounds must not refine further";
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,137 @@
+// Edge-coordinate tests: negative domains, far-apart coordinates, and
+// 3-D linearization flowing through a full coherence engine.
+#include <gtest/gtest.h>
+
+#include "engine_harness.h"
+#include "geom/rect.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt {
+namespace {
+
+using testing::EngineHarness;
+
+TEST(GeomEdge, NegativeCoordinateRegionsThroughEngines) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(-50, 49), "A");
+  PartitionHandle halves = forest.create_partition(
+      root, {IntervalSet(-50, -1), IntervalSet(0, 49)}, "halves");
+  EXPECT_TRUE(forest.is_disjoint(halves));
+  EXPECT_TRUE(forest.is_complete(halves));
+
+  for (Algorithm a : {Algorithm::Paint, Algorithm::Warnock,
+                      Algorithm::RayCast}) {
+    EngineHarness h(a, &forest);
+    EngineHarness oracle(Algorithm::Reference, &forest);
+    auto init = RegionData<double>::generate(
+        forest.domain(root),
+        [](coord_t p) { return static_cast<double>(p); });
+    h.init_field(root, 0, init);
+    oracle.init_field(root, 0, init);
+    for (std::size_t i = 0; i < 2; ++i) {
+      Requirement rw{forest.subregion(halves, i), 0,
+                     Privilege::read_write()};
+      auto body = [](std::vector<RegionData<double>>& b) {
+        b[0].for_each([](coord_t p, double& v) {
+          v = v * 2 + static_cast<double>(p < 0 ? -p : p) * 0.5;
+        });
+      };
+      auto x = h.run({rw}, body);
+      auto y = oracle.run({rw}, body);
+      EXPECT_EQ(x.materialized[0], y.materialized[0]) << algorithm_name(a);
+    }
+    auto x = h.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+    auto y = oracle.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+    EXPECT_EQ(x.materialized[0], y.materialized[0]) << algorithm_name(a);
+  }
+}
+
+TEST(GeomEdge, FarApartFragments) {
+  // Regions with pieces separated by billions of points: the interval
+  // representation must stay O(fragments), not O(volume).
+  RegionTreeForest forest;
+  constexpr coord_t kFar = 3'000'000'000LL;
+  IntervalSet dom{{0, 9}, {kFar, kFar + 9}};
+  RegionHandle root = forest.create_root(dom, "A");
+  PartitionHandle parts = forest.create_partition(
+      root, {IntervalSet(0, 9), IntervalSet(kFar, kFar + 9)}, "parts");
+
+  EngineHarness h(Algorithm::RayCast, &forest);
+  h.init_field(root, 0, RegionData<double>::filled(dom, 1.0));
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto r = h.run({Requirement{forest.subregion(parts, i), 0,
+                                Privilege::read_write()}},
+                   [](std::vector<RegionData<double>>& b) {
+                     b[0].for_each([](coord_t, double& v) { v += 1; });
+                   });
+    EXPECT_TRUE(r.dependences.empty());
+  }
+  auto r = h.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  EXPECT_EQ(r.materialized[0].at(0), 2.0);
+  EXPECT_EQ(r.materialized[0].at(kFar + 9), 2.0);
+  EXPECT_EQ(r.materialized[0].volume(), 20);
+}
+
+TEST(GeomEdge, ThreeDimensionalLinearizationThroughEngine) {
+  // A 4x4x4 volume partitioned into 2x2x2 octants via Linearizer<3>.
+  Linearizer<3> lin(Rect<3>{{0, 0, 0}, {3, 3, 3}});
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(lin.linearize(lin.base()), "vol");
+  std::vector<IntervalSet> octants;
+  for (coord_t z = 0; z < 2; ++z)
+    for (coord_t y = 0; y < 2; ++y)
+      for (coord_t x = 0; x < 2; ++x)
+        octants.push_back(lin.linearize(Rect<3>{
+            {2 * z, 2 * y, 2 * x}, {2 * z + 1, 2 * y + 1, 2 * x + 1}}));
+  PartitionHandle oct = forest.create_partition(root, octants, "oct");
+  EXPECT_TRUE(forest.is_disjoint(oct));
+  EXPECT_TRUE(forest.is_complete(oct));
+
+  EngineHarness h(Algorithm::Warnock, &forest);
+  h.init_field(root, 0,
+               RegionData<double>::filled(forest.domain(root), 0.0));
+  for (std::size_t i = 0; i < 8; ++i) {
+    h.run({Requirement{forest.subregion(oct, i), 0,
+                       Privilege::read_write()}},
+          [i](std::vector<RegionData<double>>& b) {
+            b[0].for_each([i](coord_t, double& v) {
+              v = static_cast<double>(i);
+            });
+          });
+  }
+  auto r = h.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  // Each linearized point belongs to exactly one octant; spot-check the
+  // corner points.
+  EXPECT_EQ(r.materialized[0].at(lin.linearize(Point<3>{{0, 0, 0}})), 0.0);
+  EXPECT_EQ(r.materialized[0].at(lin.linearize(Point<3>{{3, 3, 3}})), 7.0);
+  EXPECT_EQ(r.materialized[0].at(lin.linearize(Point<3>{{0, 3, 0}})), 2.0);
+  EXPECT_EQ(r.materialized[0].at(lin.linearize(Point<3>{{3, 0, 3}})), 5.0);
+}
+
+TEST(GeomEdge, LinearizerWithNegativeBase) {
+  Linearizer<2> lin(Rect<2>{{-4, -4}, {3, 3}});
+  EXPECT_EQ(lin.linearize(Point<2>{{-4, -4}}), 0);
+  EXPECT_EQ(lin.linearize(Point<2>{{3, 3}}), 63);
+  for (coord_t r = -4; r <= 3; ++r)
+    for (coord_t c = -4; c <= 3; ++c)
+      EXPECT_EQ(lin.delinearize(lin.linearize(Point<2>{{r, c}})),
+                (Point<2>{{r, c}}));
+}
+
+TEST(GeomEdge, SinglePointRegions) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(5, 5), "one");
+  EngineHarness h(Algorithm::RayCast, &forest);
+  h.init_field(root, 0, RegionData<double>::filled(IntervalSet(5, 5), 9.0));
+  auto w = h.run({Requirement{root, 0, Privilege::read_write()}},
+                 [](std::vector<RegionData<double>>& b) {
+                   EXPECT_EQ(b[0].at(5), 9.0);
+                   b[0].at(5) = 11.0;
+                 });
+  auto r = h.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  EXPECT_EQ(r.dependences, std::vector<LaunchID>{w.id});
+  EXPECT_EQ(r.materialized[0].at(5), 11.0);
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,176 @@
+// Tests for Runtime::index_launch — one point task per partition color.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "realm/reduction_ops.h"
+#include "runtime/runtime.h"
+
+namespace visrt {
+namespace {
+
+RuntimeConfig make_config(std::uint32_t nodes) {
+  RuntimeConfig cfg;
+  cfg.machine.num_nodes = nodes;
+  return cfg;
+}
+
+TEST(IndexLaunch, OnePointTaskPerColor) {
+  Runtime rt(make_config(2));
+  RegionHandle r = rt.create_region(IntervalSet(0, 29), "r");
+  PartitionHandle p = rt.create_partition(
+      r, {IntervalSet(0, 9), IntervalSet(10, 19), IntervalSet(20, 29)}, "p");
+  FieldID f = rt.add_field(r, "f", 0.0);
+
+  IndexLaunch launch;
+  launch.name = "fill";
+  launch.requirements = {IndexReq{p, f, Privilege::read_write()}};
+  launch.work_items = 10;
+  launch.fn = [](TaskContext& ctx, std::size_t color) {
+    ctx.data(0).for_each([color](coord_t, double& v) {
+      v = static_cast<double>(color + 1);
+    });
+  };
+  std::vector<LaunchID> ids = rt.index_launch(launch);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0] + 1, ids[1]);
+  EXPECT_EQ(ids[1] + 1, ids[2]);
+
+  RegionData<double> out = rt.observe(r, f);
+  EXPECT_EQ(out.at(5), 1.0);
+  EXPECT_EQ(out.at(15), 2.0);
+  EXPECT_EQ(out.at(25), 3.0);
+}
+
+TEST(IndexLaunch, MultiplePartitionsZippedByColor) {
+  // The paper's `t1(P[i], G[i])` loop as one index launch.
+  Runtime rt(make_config(3));
+  RegionHandle r = rt.create_region(IntervalSet(0, 29), "r");
+  PartitionHandle p = rt.create_partition(
+      r, {IntervalSet(0, 9), IntervalSet(10, 19), IntervalSet(20, 29)}, "p");
+  PartitionHandle g = rt.create_partition(
+      r, {IntervalSet(10, 11), IntervalSet{{8, 9}, {20, 21}},
+          IntervalSet(18, 19)},
+      "g");
+  FieldID f = rt.add_field(r, "f", 0.0);
+
+  IndexLaunch launch;
+  launch.name = "t1";
+  launch.requirements = {IndexReq{p, f, Privilege::read_write()},
+                         IndexReq{g, f, Privilege::reduce(kRedopSum)}};
+  launch.fn = [](TaskContext& ctx, std::size_t) {
+    ctx.data(0).for_each([](coord_t, double& v) { v += 1.0; });
+    ctx.data(1).for_each([](coord_t, double& v) { v += 10.0; });
+  };
+  rt.index_launch(launch);
+
+  RegionData<double> out = rt.observe(r, f);
+  EXPECT_EQ(out.at(0), 1.0);   // written only
+  EXPECT_EQ(out.at(10), 11.0); // written by p[1], reduced via g[0]
+  EXPECT_EQ(out.at(8), 11.0);  // written by p[0], reduced via g[1]
+}
+
+TEST(IndexLaunch, DefaultMappingRoundRobins) {
+  Runtime rt(make_config(2));
+  RegionHandle r = rt.create_region(IntervalSet(0, 39), "r");
+  PartitionHandle p = rt.create_partition(
+      r,
+      {IntervalSet(0, 9), IntervalSet(10, 19), IntervalSet(20, 29),
+       IntervalSet(30, 39)},
+      "p");
+  FieldID f = rt.add_field(r, "f", 0.0);
+
+  IndexLaunch launch;
+  launch.name = "w";
+  launch.requirements = {IndexReq{p, f, Privilege::read_write()}};
+  rt.index_launch(launch);
+
+  // Execution ops alternate between the two nodes.
+  const sim::WorkGraph& g = rt.work_graph();
+  std::vector<NodeID> exec_nodes;
+  for (sim::OpID id = 0; id < g.size(); ++id) {
+    const sim::Op& op = g.op(id);
+    if (op.kind == sim::OpKind::Compute &&
+        op.category == static_cast<std::uint8_t>(sim::OpCategory::TaskExec))
+      exec_nodes.push_back(op.node);
+  }
+  EXPECT_EQ(exec_nodes, (std::vector<NodeID>{0, 1, 0, 1}));
+}
+
+TEST(IndexLaunch, CustomMapping) {
+  Runtime rt(make_config(4));
+  RegionHandle r = rt.create_region(IntervalSet(0, 19), "r");
+  PartitionHandle p = rt.create_partition(
+      r, {IntervalSet(0, 9), IntervalSet(10, 19)}, "p");
+  FieldID f = rt.add_field(r, "f", 0.0);
+
+  IndexLaunch launch;
+  launch.name = "w";
+  launch.requirements = {IndexReq{p, f, Privilege::read_write()}};
+  launch.mapping = [](std::size_t) { return NodeID{3}; };
+  rt.index_launch(launch);
+
+  const sim::WorkGraph& g = rt.work_graph();
+  for (sim::OpID id = 0; id < g.size(); ++id) {
+    const sim::Op& op = g.op(id);
+    if (op.kind == sim::OpKind::Compute &&
+        op.category ==
+            static_cast<std::uint8_t>(sim::OpCategory::TaskExec)) {
+      EXPECT_EQ(op.node, 3u);
+    }
+  }
+}
+
+TEST(IndexLaunch, MismatchedColorCountsRejected) {
+  Runtime rt(make_config(1));
+  RegionHandle r = rt.create_region(IntervalSet(0, 29), "r");
+  PartitionHandle p3 = rt.create_partition(
+      r, {IntervalSet(0, 9), IntervalSet(10, 19), IntervalSet(20, 29)},
+      "p3");
+  PartitionHandle p2 =
+      rt.create_partition(r, {IntervalSet(0, 14), IntervalSet(15, 29)}, "p2");
+  FieldID f = rt.add_field(r, "f", 0.0);
+
+  IndexLaunch launch;
+  launch.name = "bad";
+  launch.requirements = {IndexReq{p3, f, Privilege::read()},
+                         IndexReq{p2, f, Privilege::read()}};
+  EXPECT_THROW(rt.index_launch(launch), ApiError);
+  EXPECT_THROW(rt.index_launch(IndexLaunch{}), ApiError);
+}
+
+TEST(IndexLaunch, EquivalentToManualLoop) {
+  auto run = [](bool use_index) {
+    Runtime rt(make_config(3));
+    RegionHandle r = rt.create_region(IntervalSet(0, 29), "r");
+    PartitionHandle p = rt.create_partition(
+        r, {IntervalSet(0, 9), IntervalSet(10, 19), IntervalSet(20, 29)},
+        "p");
+    FieldID f = rt.add_field(r, "f", 1.0);
+    auto body = [](TaskContext& ctx, std::size_t color) {
+      ctx.data(0).for_each([color](coord_t pt, double& v) {
+        v = v * 2 + static_cast<double>(color) + static_cast<double>(pt % 3);
+      });
+    };
+    if (use_index) {
+      IndexLaunch launch;
+      launch.name = "k";
+      launch.requirements = {IndexReq{p, f, Privilege::read_write()}};
+      launch.fn = body;
+      rt.index_launch(launch);
+    } else {
+      for (std::size_t color = 0; color < 3; ++color) {
+        rt.launch(TaskLaunch{
+            "k",
+            {RegionReq{rt.subregion(p, color), f, Privilege::read_write()}},
+            [body, color](TaskContext& ctx) { body(ctx, color); },
+            static_cast<NodeID>(color % 3),
+            0});
+      }
+    }
+    return rt.observe(r, f);
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+} // namespace
+} // namespace visrt

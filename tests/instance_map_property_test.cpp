@@ -1,0 +1,89 @@
+// Randomized property tests for realm/instance_map.h against a simple
+// model: after any sequence of reads/writes/reductions,
+//   - every requested read is fully covered by planned copies plus local
+//     validity,
+//   - at least one node holds a valid copy of every point,
+//   - pending reductions never target points a later write overwrote.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "realm/instance_map.h"
+
+namespace visrt {
+namespace {
+
+IntervalSet random_sub(Rng& rng, coord_t universe) {
+  coord_t lo = rng.range(0, universe - 2);
+  return IntervalSet(lo, lo + rng.range(0, (universe - 1 - lo) / 2));
+}
+
+class InstanceMapProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(InstanceMapProperty, InvariantsHoldUnderRandomTraffic) {
+  Rng rng(GetParam());
+  constexpr coord_t kUniverse = 200;
+  constexpr std::uint32_t kNodes = 4;
+  IntervalSet domain(0, kUniverse - 1);
+  InstanceMap map(kNodes, 0, domain);
+
+  // Model: the set of valid points per node (validity only; values are the
+  // engines' business).
+  std::vector<IntervalSet> model(kNodes, domain);
+
+  for (int step = 0; step < 300; ++step) {
+    NodeID node = static_cast<NodeID>(rng.below(kNodes));
+    IntervalSet sub = random_sub(rng, kUniverse);
+    double roll = rng.uniform();
+    if (roll < 0.45) {
+      // Read: plan must cover exactly the points missing at `node`, and
+      // every copy source must be valid there per the model.
+      IntervalSet missing = sub.subtract(model[node]);
+      auto plans = map.plan_read(node, sub);
+      IntervalSet copied;
+      for (const CopyPlan& p : plans) {
+        EXPECT_EQ(p.dst, node);
+        if (p.kind == CopyPlan::Kind::Copy) {
+          EXPECT_TRUE(model[p.src].contains(p.points))
+              << "copy from a stale source";
+          copied = copied.unite(p.points);
+        }
+      }
+      EXPECT_EQ(copied, missing);
+      model[node] = model[node].unite(sub);
+      // ApplyReduction plans change values: points become valid only at
+      // the reader.
+      for (const CopyPlan& p : plans) {
+        if (p.kind == CopyPlan::Kind::ApplyReduction) {
+          for (NodeID n = 0; n < kNodes; ++n) {
+            if (n != node) model[n] = model[n].subtract(p.points);
+          }
+        }
+      }
+    } else if (roll < 0.8) {
+      map.record_write(node, sub);
+      for (NodeID n = 0; n < kNodes; ++n) {
+        model[n] = n == node ? model[n].unite(sub) : model[n].subtract(sub);
+      }
+    } else {
+      map.record_reduction(node, sub, 1);
+    }
+
+    // Global invariants.
+    IntervalSet anywhere;
+    for (NodeID n = 0; n < kNodes; ++n) {
+      EXPECT_EQ(map.valid_at(n), model[n]) << "node " << n << " step "
+                                           << step;
+      anywhere = anywhere.unite(map.valid_at(n));
+    }
+    EXPECT_EQ(anywhere, domain) << "some points valid nowhere";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstanceMapProperty,
+                         ::testing::Values(5, 77, 901, 20240707));
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,120 @@
+// Tests for realm/instance_map.h: validity tracking, copy planning, and
+// lazy reduction application — the implicit-communication model.
+#include "realm/instance_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace visrt {
+namespace {
+
+TEST(InstanceMap, InitialFillValidEverywhere) {
+  // Fills are deferred and instantiated per instance without bulk copies,
+  // so the initial contents are valid on every node.
+  InstanceMap m(4, 0, IntervalSet(0, 99));
+  EXPECT_EQ(m.valid_at(0), IntervalSet(0, 99));
+  EXPECT_EQ(m.valid_at(3), IntervalSet(0, 99));
+}
+
+TEST(InstanceMap, ReadAtHomeNeedsNoCopies) {
+  InstanceMap m(4, 0, IntervalSet(0, 99));
+  auto plans = m.plan_read(0, IntervalSet(10, 20));
+  EXPECT_TRUE(plans.empty());
+}
+
+TEST(InstanceMap, ReadAfterRemoteWriteCopiesFromWriterOnly) {
+  InstanceMap m(4, 0, IntervalSet(0, 99));
+  m.record_write(1, IntervalSet(10, 20));
+  auto plans = m.plan_read(2, IntervalSet(10, 20));
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].kind, CopyPlan::Kind::Copy);
+  EXPECT_EQ(plans[0].src, 1u);
+  EXPECT_EQ(plans[0].dst, 2u);
+  EXPECT_EQ(plans[0].points, IntervalSet(10, 20));
+  // Destination now also holds a valid copy: re-reading is free.
+  EXPECT_TRUE(m.plan_read(2, IntervalSet(12, 18)).empty());
+  EXPECT_TRUE(m.valid_at(2).contains(IntervalSet(10, 20)));
+}
+
+TEST(InstanceMap, WriteInvalidatesOtherHolders) {
+  InstanceMap m(3, 0, IntervalSet(0, 99));
+  (void)m.plan_read(1, IntervalSet(0, 99)); // replicate everywhere
+  m.record_write(2, IntervalSet(40, 60));
+  EXPECT_EQ(m.valid_at(0), (IntervalSet{{0, 39}, {61, 99}}));
+  EXPECT_EQ(m.valid_at(1), (IntervalSet{{0, 39}, {61, 99}}));
+  EXPECT_TRUE(m.valid_at(2).contains(IntervalSet(40, 60)));
+}
+
+TEST(InstanceMap, ReadAfterRemoteWriteFetchesFromWriter) {
+  InstanceMap m(3, 0, IntervalSet(0, 99));
+  m.record_write(2, IntervalSet(40, 60));
+  auto plans = m.plan_read(1, IntervalSet(50, 70));
+  // Only 50..60 moves (from node 2); 61..70 is still valid locally.
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].src, 2u);
+  EXPECT_EQ(plans[0].points, IntervalSet(50, 60));
+}
+
+TEST(InstanceMap, PendingReductionsApplyOnRead) {
+  InstanceMap m(3, 0, IntervalSet(0, 99));
+  m.record_reduction(1, IntervalSet(10, 30), 1);
+  m.record_reduction(2, IntervalSet(20, 40), 1);
+  EXPECT_EQ(m.pending_reductions(), 2u);
+  auto plans = m.plan_read(0, IntervalSet(0, 50));
+  // No copies needed (node 0 holds the base) but both buffers apply.
+  std::size_t applies = 0;
+  for (const auto& p : plans) {
+    if (p.kind == CopyPlan::Kind::ApplyReduction) {
+      ++applies;
+      EXPECT_EQ(p.dst, 0u);
+      EXPECT_EQ(p.redop, 1u);
+    }
+  }
+  EXPECT_EQ(applies, 2u);
+  EXPECT_EQ(m.pending_reductions(), 0u);
+  // Reduced points are now valid only at the reader.
+  EXPECT_TRUE(m.valid_at(0).contains(IntervalSet(10, 40)));
+}
+
+TEST(InstanceMap, PartialReductionApplicationKeepsRemainder) {
+  InstanceMap m(2, 0, IntervalSet(0, 99));
+  m.record_reduction(1, IntervalSet(10, 40), 1);
+  auto plans = m.plan_read(0, IntervalSet(0, 20));
+  std::size_t applies = 0;
+  for (const auto& p : plans)
+    if (p.kind == CopyPlan::Kind::ApplyReduction) {
+      ++applies;
+      EXPECT_EQ(p.points, IntervalSet(10, 20));
+    }
+  EXPECT_EQ(applies, 1u);
+  EXPECT_EQ(m.pending_reductions(), 1u); // 21..40 still pending
+}
+
+TEST(InstanceMap, WriteDropsOverlappingPendingReductions) {
+  InstanceMap m(2, 0, IntervalSet(0, 99));
+  m.record_reduction(1, IntervalSet(10, 40), 1);
+  m.record_write(0, IntervalSet(0, 50));
+  EXPECT_EQ(m.pending_reductions(), 0u);
+  EXPECT_TRUE(m.plan_read(0, IntervalSet(0, 50)).empty());
+}
+
+TEST(InstanceMap, ReductionApplicationInvalidatesOtherCopies) {
+  InstanceMap m(3, 0, IntervalSet(0, 99));
+  (void)m.plan_read(1, IntervalSet(0, 99));
+  m.record_reduction(2, IntervalSet(10, 20), 1);
+  (void)m.plan_read(1, IntervalSet(0, 99));
+  // Node 0's copy of 10..20 is stale now.
+  EXPECT_EQ(m.valid_at(0), (IntervalSet{{0, 9}, {21, 99}}));
+  EXPECT_EQ(m.valid_at(1), IntervalSet(0, 99));
+}
+
+TEST(InstanceMap, OutOfRangeNodesRejected) {
+  InstanceMap m(2, 0, IntervalSet(0, 9));
+  EXPECT_THROW(m.plan_read(5, IntervalSet(0, 1)), ApiError);
+  EXPECT_THROW(m.record_write(5, IntervalSet(0, 1)), ApiError);
+  EXPECT_THROW(InstanceMap(2, 7, IntervalSet(0, 9)), ApiError);
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,254 @@
+// Tests for geom/interval_set.h: normalization, algebra, and randomized
+// property checks against a brute-force bitset model.
+#include "geom/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+#include "common/rng.h"
+
+namespace visrt {
+namespace {
+
+TEST(IntervalSet, DefaultIsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.volume(), 0);
+  EXPECT_EQ(s.interval_count(), 0u);
+  EXPECT_TRUE(s.bounds().empty());
+}
+
+TEST(IntervalSet, SingleInterval) {
+  IntervalSet s(3, 7);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.volume(), 5);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_FALSE(s.contains(8));
+}
+
+TEST(IntervalSet, InvertedBoundsMakeEmptySet) {
+  IntervalSet s(5, 4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, NormalizationMergesAdjacent) {
+  IntervalSet s{{0, 3}, {4, 6}};
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.volume(), 7);
+}
+
+TEST(IntervalSet, NormalizationMergesOverlapping) {
+  IntervalSet s{{0, 5}, {3, 9}, {20, 22}};
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_EQ(s.volume(), 13);
+}
+
+TEST(IntervalSet, NormalizationKeepsGaps) {
+  IntervalSet s{{0, 3}, {5, 6}};
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(IntervalSet, FromPoints) {
+  IntervalSet s = IntervalSet::from_points({5, 1, 2, 3, 9});
+  EXPECT_EQ(s.interval_count(), 3u);
+  EXPECT_EQ(s.volume(), 5);
+  EXPECT_TRUE(s.contains(1) && s.contains(2) && s.contains(3));
+  EXPECT_TRUE(s.contains(5) && s.contains(9));
+}
+
+TEST(IntervalSet, UniteDisjoint) {
+  IntervalSet a(0, 4), b(10, 14);
+  IntervalSet u = a | b;
+  EXPECT_EQ(u.volume(), 10);
+  EXPECT_EQ(u.interval_count(), 2u);
+}
+
+TEST(IntervalSet, UniteOverlapping) {
+  IntervalSet a(0, 6), b(4, 10);
+  EXPECT_EQ((a | b), IntervalSet(0, 10));
+}
+
+TEST(IntervalSet, IntersectBasic) {
+  IntervalSet a(0, 6), b(4, 10);
+  EXPECT_EQ((a & b), IntervalSet(4, 6));
+}
+
+TEST(IntervalSet, IntersectDisjointIsEmpty) {
+  IntervalSet a(0, 3), b(5, 9);
+  EXPECT_TRUE((a & b).empty());
+}
+
+TEST(IntervalSet, SubtractSplitsInterval) {
+  IntervalSet a(0, 10), b(3, 6);
+  IntervalSet d = a - b;
+  EXPECT_EQ(d, (IntervalSet{{0, 2}, {7, 10}}));
+}
+
+TEST(IntervalSet, SubtractEverything) {
+  IntervalSet a(2, 8);
+  EXPECT_TRUE((a - IntervalSet(0, 20)).empty());
+}
+
+TEST(IntervalSet, SubtractNothing) {
+  IntervalSet a(2, 8);
+  EXPECT_EQ(a - IntervalSet(9, 20), a);
+}
+
+TEST(IntervalSet, ContainsSet) {
+  IntervalSet big{{0, 10}, {20, 30}};
+  EXPECT_TRUE(big.contains(IntervalSet(2, 5)));
+  EXPECT_TRUE(big.contains((IntervalSet{{0, 10}, {22, 25}})));
+  EXPECT_FALSE(big.contains(IntervalSet(8, 12)));
+  EXPECT_FALSE(big.contains(IntervalSet(15, 16)));
+  EXPECT_TRUE(big.contains(IntervalSet{})); // empty subset of anything
+}
+
+TEST(IntervalSet, OverlapsSet) {
+  IntervalSet a{{0, 3}, {10, 13}};
+  EXPECT_TRUE(a.overlaps(IntervalSet(3, 5)));
+  EXPECT_TRUE(a.overlaps(IntervalSet(12, 20)));
+  EXPECT_FALSE(a.overlaps(IntervalSet(4, 9)));
+  EXPECT_FALSE(a.overlaps(IntervalSet{}));
+}
+
+TEST(IntervalSet, BoundsSpanGaps) {
+  IntervalSet a{{2, 3}, {10, 13}};
+  EXPECT_EQ(a.bounds(), (Interval{2, 13}));
+}
+
+TEST(IntervalSet, NegativeCoordinates) {
+  IntervalSet a(-10, -2);
+  EXPECT_EQ(a.volume(), 9);
+  EXPECT_TRUE(a.contains(-5));
+  IntervalSet b(-4, 4);
+  EXPECT_EQ((a & b), IntervalSet(-4, -2));
+}
+
+TEST(IntervalSet, ForEachPointVisitsAscending) {
+  IntervalSet a{{0, 2}, {5, 6}};
+  std::vector<coord_t> pts;
+  a.for_each_point([&](coord_t p) { pts.push_back(p); });
+  EXPECT_EQ(pts, (std::vector<coord_t>{0, 1, 2, 5, 6}));
+}
+
+TEST(IntervalSet, ToStringRendering) {
+  IntervalSet a{{0, 2}, {5, 5}};
+  EXPECT_EQ(a.to_string(), "{[0,2],[5,5]}");
+  EXPECT_EQ(IntervalSet{}.to_string(), "{}");
+}
+
+TEST(IntervalSet, ShiftedTranslates) {
+  IntervalSet a{{0, 2}, {10, 11}};
+  EXPECT_EQ(a.shifted(5), (IntervalSet{{5, 7}, {15, 16}}));
+  EXPECT_EQ(a.shifted(-3), (IntervalSet{{-3, -1}, {7, 8}}));
+  EXPECT_EQ(a.shifted(0), a);
+  EXPECT_TRUE(IntervalSet{}.shifted(100).empty());
+}
+
+TEST(IntervalSet, GrownDilates) {
+  IntervalSet a{{5, 6}, {20, 20}};
+  EXPECT_EQ(a.grown(2), (IntervalSet{{3, 8}, {18, 22}}));
+  // Growth merges intervals whose gaps close.
+  IntervalSet b{{0, 1}, {4, 5}};
+  EXPECT_EQ(b.grown(1), IntervalSet(-1, 6));
+  EXPECT_EQ(b.grown(0), b);
+  EXPECT_THROW(b.grown(-1), ApiError);
+}
+
+// --- Randomized property tests against a std::set<coord_t> model --------
+
+IntervalSet random_set(Rng& rng, coord_t universe, int max_intervals) {
+  std::vector<Interval> ivs;
+  int n = static_cast<int>(rng.below(static_cast<std::uint64_t>(max_intervals) + 1));
+  for (int i = 0; i < n; ++i) {
+    coord_t lo = rng.range(0, universe - 1);
+    coord_t hi = lo + rng.range(0, universe / 4);
+    ivs.push_back(Interval{lo, std::min(hi, universe - 1)});
+  }
+  return IntervalSet::from_intervals(std::move(ivs));
+}
+
+std::set<coord_t> to_model(const IntervalSet& s) {
+  std::set<coord_t> m;
+  s.for_each_point([&](coord_t p) { m.insert(p); });
+  return m;
+}
+
+struct AlgebraCase {
+  std::uint64_t seed;
+};
+
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, MatchesSetModel) {
+  Rng rng(GetParam());
+  constexpr coord_t kUniverse = 200;
+  for (int round = 0; round < 20; ++round) {
+    IntervalSet a = random_set(rng, kUniverse, 6);
+    IntervalSet b = random_set(rng, kUniverse, 6);
+    std::set<coord_t> ma = to_model(a), mb = to_model(b);
+
+    // union
+    std::set<coord_t> mu = ma;
+    mu.insert(mb.begin(), mb.end());
+    EXPECT_EQ(to_model(a | b), mu);
+
+    // intersection
+    std::set<coord_t> mi;
+    for (coord_t p : ma)
+      if (mb.count(p)) mi.insert(p);
+    EXPECT_EQ(to_model(a & b), mi);
+
+    // difference
+    std::set<coord_t> md;
+    for (coord_t p : ma)
+      if (!mb.count(p)) md.insert(p);
+    EXPECT_EQ(to_model(a - b), md);
+
+    // predicates
+    EXPECT_EQ(a.overlaps(b), !mi.empty());
+    EXPECT_EQ(a.contains(b), std::includes(ma.begin(), ma.end(), mb.begin(),
+                                           mb.end()));
+    EXPECT_EQ(a.volume(), static_cast<coord_t>(ma.size()));
+
+    // normalization invariants
+    IntervalSet ab = a | b;
+    const auto& ivs = ab.intervals();
+    for (std::size_t k = 1; k < ivs.size(); ++k) {
+      EXPECT_GT(ivs[k].lo, ivs[k - 1].hi + 1) << "adjacent or overlapping";
+    }
+  }
+}
+
+TEST_P(IntervalSetProperty, AlgebraicIdentities) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  constexpr coord_t kUniverse = 150;
+  for (int round = 0; round < 20; ++round) {
+    IntervalSet a = random_set(rng, kUniverse, 5);
+    IntervalSet b = random_set(rng, kUniverse, 5);
+    IntervalSet c = random_set(rng, kUniverse, 5);
+    // De Morgan-ish over a universe U: a - b = a & (U - b)
+    IntervalSet u(0, kUniverse);
+    EXPECT_EQ(a - b, a & (u - b));
+    // distributivity: a & (b | c) == (a & b) | (a & c)
+    EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+    // subtraction then union restores: (a - b) | (a & b) == a
+    EXPECT_EQ((a - b) | (a & b), a);
+    // idempotence
+    EXPECT_EQ(a | a, a);
+    EXPECT_EQ(a & a, a);
+    EXPECT_TRUE((a - a).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 42, 1234, 99999));
+
+} // namespace
+} // namespace visrt

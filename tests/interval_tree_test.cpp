@@ -1,0 +1,91 @@
+// Tests for geom/interval_tree.h: dynamic insert/remove/query correctness.
+#include "geom/interval_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+
+namespace visrt {
+namespace {
+
+TEST(IntervalTree, EmptyTree) {
+  IntervalTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.query(Interval{0, 10}).items.empty());
+}
+
+TEST(IntervalTree, InsertAndQuery) {
+  IntervalTree t;
+  t.insert({0, 10}, 1);
+  t.insert({5, 15}, 2);
+  t.insert({20, 30}, 3);
+  EXPECT_EQ(t.size(), 3u);
+  auto r = t.query(Interval{8, 9});
+  EXPECT_EQ(r.items, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(t.query(Interval{16, 19}).items.size(), 0u);
+  EXPECT_EQ(t.query(Interval{25, 25}).items,
+            (std::vector<std::uint64_t>{3}));
+}
+
+TEST(IntervalTree, IgnoresEmptyBounds) {
+  IntervalTree t;
+  t.insert({10, 5}, 1);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(IntervalTree, RemoveByPayload) {
+  IntervalTree t;
+  t.insert({0, 10}, 1);
+  t.insert({5, 15}, 2);
+  EXPECT_EQ(t.remove(1), 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.query(Interval{0, 20}).items,
+            (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(t.remove(1), 0u); // already gone
+}
+
+TEST(IntervalTree, QueryIntervalSet) {
+  IntervalTree t;
+  t.insert({0, 3}, 1);
+  t.insert({10, 13}, 2);
+  t.insert({20, 23}, 3);
+  auto r = t.query(IntervalSet{{2, 11}, {22, 30}});
+  EXPECT_EQ(r.items, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(IntervalTree, MatchesBruteForceWithChurn) {
+  Rng rng(123);
+  IntervalTree t;
+  std::map<std::uint64_t, Interval> model;
+  std::uint64_t next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (model.empty() || rng.chance(0.6)) {
+      coord_t lo = rng.range(0, 2000);
+      Interval iv{lo, lo + rng.range(0, 50)};
+      t.insert(iv, next_id);
+      model[next_id] = iv;
+      ++next_id;
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.below(model.size())));
+      EXPECT_EQ(t.remove(it->first), 1u);
+      model.erase(it);
+    }
+    if (step % 50 == 0) {
+      coord_t lo = rng.range(0, 2000);
+      Interval q{lo, lo + rng.range(0, 100)};
+      std::vector<std::uint64_t> expect;
+      for (const auto& [id, iv] : model)
+        if (iv.overlaps(q)) expect.push_back(id);
+      std::sort(expect.begin(), expect.end());
+      EXPECT_EQ(t.query(q).items, expect);
+    }
+    EXPECT_EQ(t.size(), model.size());
+  }
+}
+
+} // namespace
+} // namespace visrt

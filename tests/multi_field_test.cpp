@@ -1,0 +1,158 @@
+// Multi-field and multi-tree behaviour: the analyses are independent per
+// field (the paper's up/down fields never interfere) and per region tree
+// (circuit keeps nodes and wires in separate trees).
+#include <gtest/gtest.h>
+
+#include "engine_harness.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt {
+namespace {
+
+using testing::EngineHarness;
+
+class MultiField : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(MultiField, FieldsNeverInterfere) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 19), "A");
+  EngineHarness h(GetParam(), &forest);
+  for (FieldID f = 0; f < 3; ++f) {
+    h.init_field(root, f,
+                 RegionData<double>::filled(forest.domain(root), 0.0));
+  }
+
+  // Writers on three different fields of the same points: no dependences.
+  for (FieldID f = 0; f < 3; ++f) {
+    auto r = h.run({Requirement{root, f, Privilege::read_write()}},
+                   [f](std::vector<RegionData<double>>& bufs) {
+                     bufs[0].for_each([f](coord_t, double& v) {
+                       v = static_cast<double>(f + 1);
+                     });
+                   });
+    EXPECT_TRUE(r.dependences.empty()) << "field " << f;
+  }
+  // A reader of field 1 depends only on field 1's writer.
+  auto r = h.run({Requirement{root, 1, Privilege::read()}}, nullptr);
+  EXPECT_EQ(r.dependences, std::vector<LaunchID>{1});
+  r.materialized[0].for_each(
+      [](coord_t, const double& v) { EXPECT_EQ(v, 2.0); });
+}
+
+TEST_P(MultiField, TreesNeverInterfere) {
+  RegionTreeForest forest;
+  RegionHandle a = forest.create_root(IntervalSet(0, 9), "A");
+  RegionHandle b = forest.create_root(IntervalSet(0, 9), "B");
+  EngineHarness h(GetParam(), &forest);
+  h.init_field(a, 0, RegionData<double>::filled(forest.domain(a), 0.0));
+  h.init_field(b, 1, RegionData<double>::filled(forest.domain(b), 0.0));
+
+  // Same coordinates, different trees, different fields: independent.
+  auto w1 = h.run({Requirement{a, 0, Privilege::read_write()}},
+                  [](std::vector<RegionData<double>>& bufs) {
+                    bufs[0].fill(7.0);
+                  });
+  auto w2 = h.run({Requirement{b, 1, Privilege::read_write()}},
+                  [](std::vector<RegionData<double>>& bufs) {
+                    bufs[0].fill(9.0);
+                  });
+  EXPECT_TRUE(w2.dependences.empty());
+  auto ra = h.run({Requirement{a, 0, Privilege::read()}}, nullptr);
+  EXPECT_EQ(ra.dependences, std::vector<LaunchID>{w1.id});
+  ra.materialized[0].for_each(
+      [](coord_t, const double& v) { EXPECT_EQ(v, 7.0); });
+  (void)w2;
+}
+
+TEST_P(MultiField, MixedPrivilegesAcrossFieldsInOneTask) {
+  // The paper's t1: read-write one field, reduce another, same points.
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 9), "A");
+  EngineHarness h(GetParam(), &forest);
+  h.init_field(root, 0, RegionData<double>::filled(forest.domain(root), 1.0));
+  h.init_field(root, 1, RegionData<double>::filled(forest.domain(root), 1.0));
+
+  auto t = h.run(
+      {Requirement{root, 0, Privilege::read_write()},
+       Requirement{root, 1, Privilege::reduce(kRedopSum)}},
+      [](std::vector<RegionData<double>>& bufs) {
+        bufs[0].for_each([](coord_t, double& v) { v *= 3; });
+        bufs[1].for_each([](coord_t, double& v) { v += 5; });
+      });
+  EXPECT_TRUE(t.dependences.empty());
+  auto r0 = h.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  auto r1 = h.run({Requirement{root, 1, Privilege::read()}}, nullptr);
+  r0.materialized[0].for_each(
+      [](coord_t, const double& v) { EXPECT_EQ(v, 3.0); });
+  r1.materialized[0].for_each(
+      [](coord_t, const double& v) { EXPECT_EQ(v, 6.0); });
+}
+
+TEST_P(MultiField, DifferentReductionOperatorsInterfere) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 9), "A");
+  EngineHarness h(GetParam(), &forest);
+  h.init_field(root, 0, RegionData<double>::filled(forest.domain(root), 4.0));
+
+  auto sum = h.run({Requirement{root, 0, Privilege::reduce(kRedopSum)}},
+                   [](std::vector<RegionData<double>>& bufs) {
+                     bufs[0].for_each([](coord_t, double& v) { v += 10; });
+                   });
+  auto min = h.run({Requirement{root, 0, Privilege::reduce(kRedopMin)}},
+                   [](std::vector<RegionData<double>>& bufs) {
+                     bufs[0].for_each([](coord_t, double& v) {
+                       v = std::min(v, 6.0);
+                     });
+                   });
+  // Different operators interfere: min must be ordered after sum.
+  EXPECT_EQ(min.dependences, std::vector<LaunchID>{sum.id});
+  auto r = h.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  // 4 + 10 = 14, then min(14, 6) = 6.
+  r.materialized[0].for_each(
+      [](coord_t, const double& v) { EXPECT_EQ(v, 6.0); });
+}
+
+TEST_P(MultiField, MinAndMaxReductionsViaRegistry) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 4), "A");
+  EngineHarness h(GetParam(), &forest);
+  h.init_field(root, 0, RegionData<double>::filled(forest.domain(root), 0.0));
+
+  // Two same-operator max reductions run independently (no dependence) and
+  // combine correctly regardless of order.
+  auto a = h.run({Requirement{root, 0, Privilege::reduce(kRedopMax)}},
+                 [](std::vector<RegionData<double>>& bufs) {
+                   bufs[0].for_each([](coord_t p, double& v) {
+                     v = std::max(v, static_cast<double>(p));
+                   });
+                 });
+  auto b = h.run({Requirement{root, 0, Privilege::reduce(kRedopMax)}},
+                 [](std::vector<RegionData<double>>& bufs) {
+                   bufs[0].for_each([](coord_t p, double& v) {
+                     v = std::max(v, 3.0 - static_cast<double>(p));
+                   });
+                 });
+  EXPECT_TRUE(b.dependences.empty());
+  (void)a;
+  auto r = h.run({Requirement{root, 0, Privilege::read()}}, nullptr);
+  r.materialized[0].for_each([](coord_t p, const double& v) {
+    EXPECT_EQ(v, std::max({0.0, static_cast<double>(p),
+                           3.0 - static_cast<double>(p)}));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, MultiField,
+    ::testing::Values(Algorithm::NaivePaint, Algorithm::NaiveWarnock,
+                      Algorithm::NaiveRayCast, Algorithm::Paint,
+                      Algorithm::Warnock, Algorithm::RayCast,
+                      Algorithm::Reference),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name = algorithm_name(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+} // namespace
+} // namespace visrt

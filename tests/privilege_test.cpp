@@ -1,0 +1,56 @@
+// Tests for visibility/privilege.h: the interference relation of Section 4.
+#include "visibility/privilege.h"
+
+#include <gtest/gtest.h>
+
+namespace visrt {
+namespace {
+
+TEST(Privilege, Constructors) {
+  EXPECT_TRUE(Privilege::read().is_read());
+  EXPECT_TRUE(Privilege::read_write().is_write());
+  Privilege r = Privilege::reduce(3);
+  EXPECT_TRUE(r.is_reduce());
+  EXPECT_EQ(r.redop, 3u);
+}
+
+TEST(Privilege, ReadReadDoesNotInterfere) {
+  EXPECT_FALSE(interferes(Privilege::read(), Privilege::read()));
+}
+
+TEST(Privilege, SameReductionDoesNotInterfere) {
+  EXPECT_FALSE(interferes(Privilege::reduce(1), Privilege::reduce(1)));
+}
+
+TEST(Privilege, DifferentReductionsInterfere) {
+  EXPECT_TRUE(interferes(Privilege::reduce(1), Privilege::reduce(2)));
+}
+
+TEST(Privilege, WritesInterfereWithEverything) {
+  Privilege w = Privilege::read_write();
+  EXPECT_TRUE(interferes(w, Privilege::read()));
+  EXPECT_TRUE(interferes(w, w));
+  EXPECT_TRUE(interferes(w, Privilege::reduce(1)));
+}
+
+TEST(Privilege, ReadVsReduceInterferes) {
+  EXPECT_TRUE(interferes(Privilege::read(), Privilege::reduce(1)));
+  EXPECT_TRUE(interferes(Privilege::reduce(1), Privilege::read()));
+}
+
+TEST(Privilege, InterferenceIsSymmetric) {
+  std::vector<Privilege> all{Privilege::read(), Privilege::read_write(),
+                             Privilege::reduce(1), Privilege::reduce(2)};
+  for (const Privilege& a : all)
+    for (const Privilege& b : all)
+      EXPECT_EQ(interferes(a, b), interferes(b, a));
+}
+
+TEST(Privilege, ToString) {
+  EXPECT_EQ(to_string(Privilege::read()), "read");
+  EXPECT_EQ(to_string(Privilege::read_write()), "read-write");
+  EXPECT_EQ(to_string(Privilege::reduce(4)), "reduce#4");
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,97 @@
+// Tests for geom/rect.h: points, rectangles, and row-major linearization.
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace visrt {
+namespace {
+
+TEST(Rect, VolumeAndEmpty) {
+  Rect<2> r{{0, 0}, {3, 4}};
+  EXPECT_EQ(r.volume(), 20);
+  EXPECT_FALSE(r.empty());
+  Rect<2> e{{2, 2}, {1, 5}};
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.volume(), 0);
+}
+
+TEST(Rect, Contains) {
+  Rect<3> r{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(r.contains(Point<3>{{1, 2, 0}}));
+  EXPECT_FALSE(r.contains(Point<3>{{1, 3, 0}}));
+}
+
+TEST(Rect, Intersect) {
+  Rect<2> a{{0, 0}, {5, 5}};
+  Rect<2> b{{3, 4}, {9, 9}};
+  Rect<2> i = a.intersect(b);
+  EXPECT_EQ(i, (Rect<2>{{3, 4}, {5, 5}}));
+  Rect<2> far{{10, 10}, {12, 12}};
+  EXPECT_TRUE(a.intersect(far).empty());
+}
+
+TEST(Linearizer, RoundTrip1D) {
+  Linearizer<1> lin(Rect<1>{{10}, {29}});
+  EXPECT_EQ(lin.linearize(Point<1>{{10}}), 0);
+  EXPECT_EQ(lin.linearize(Point<1>{{29}}), 19);
+  for (coord_t p = 10; p <= 29; ++p) {
+    EXPECT_EQ(lin.delinearize(lin.linearize(Point<1>{{p}}))[0], p);
+  }
+}
+
+TEST(Linearizer, RoundTrip2D) {
+  Linearizer<2> lin(Rect<2>{{0, 0}, {7, 9}});
+  coord_t expect = 0;
+  for (coord_t i = 0; i <= 7; ++i) {
+    for (coord_t j = 0; j <= 9; ++j) {
+      Point<2> p{{i, j}};
+      EXPECT_EQ(lin.linearize(p), expect);
+      EXPECT_EQ(lin.delinearize(expect), p);
+      ++expect;
+    }
+  }
+}
+
+TEST(Linearizer, RectToIntervalsRowMajor) {
+  Linearizer<2> lin(Rect<2>{{0, 0}, {3, 9}}); // 4 rows of 10
+  IntervalSet s = lin.linearize(Rect<2>{{1, 2}, {2, 5}});
+  // rows 1 and 2, columns 2..5 -> [12,15] and [22,25]
+  EXPECT_EQ(s, (IntervalSet{{12, 15}, {22, 25}}));
+  EXPECT_EQ(s.volume(), 8);
+}
+
+TEST(Linearizer, FullRowsMerge) {
+  Linearizer<2> lin(Rect<2>{{0, 0}, {3, 9}});
+  // Full-width rows are contiguous in the linearization and merge.
+  IntervalSet s = lin.linearize(Rect<2>{{1, 0}, {2, 9}});
+  EXPECT_EQ(s, IntervalSet(10, 29));
+}
+
+TEST(Linearizer, ClampsToBase) {
+  Linearizer<2> lin(Rect<2>{{0, 0}, {3, 3}});
+  IntervalSet s = lin.linearize(Rect<2>{{-5, -5}, {0, 10}});
+  EXPECT_EQ(s, IntervalSet(0, 3)); // only row 0 survives
+}
+
+TEST(Linearizer, DisjointRowsOfNonFullWidth) {
+  Linearizer<2> lin(Rect<2>{{0, 0}, {2, 4}});
+  IntervalSet s = lin.linearize(Rect<2>{{0, 1}, {2, 2}});
+  EXPECT_EQ(s.interval_count(), 3u);
+  EXPECT_EQ(s.volume(), 6);
+}
+
+TEST(Linearizer, ThreeDimensional) {
+  Linearizer<3> lin(Rect<3>{{0, 0, 0}, {1, 2, 3}});
+  EXPECT_EQ(lin.linearize(Point<3>{{0, 0, 0}}), 0);
+  EXPECT_EQ(lin.linearize(Point<3>{{1, 2, 3}}), 23);
+  IntervalSet s = lin.linearize(Rect<3>{{0, 0, 1}, {1, 2, 2}});
+  EXPECT_EQ(s.volume(), 12);
+  EXPECT_EQ(s.interval_count(), 6u); // 2*3 partial rows
+}
+
+TEST(Linearizer, RejectsEmptyBase) {
+  EXPECT_THROW(Linearizer<1>(Rect<1>{{5}, {4}}), ApiError);
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,58 @@
+// Tests for realm/reduction_ops.h: built-ins, identities, registration.
+#include "realm/reduction_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace visrt {
+namespace {
+
+TEST(ReductionOps, SumHasZeroIdentity) {
+  const ReductionOp& op = reduction_op(kRedopSum);
+  EXPECT_EQ(op.identity, 0.0);
+  EXPECT_EQ(op.fold(3.0, 4.0), 7.0);
+  EXPECT_EQ(op.fold(op.identity, 42.0), 42.0);
+  EXPECT_EQ(op.name, "sum");
+}
+
+TEST(ReductionOps, ProdHasOneIdentity) {
+  const ReductionOp& op = reduction_op(kRedopProd);
+  EXPECT_EQ(op.identity, 1.0);
+  EXPECT_EQ(op.fold(3.0, 4.0), 12.0);
+  EXPECT_EQ(op.fold(op.identity, 42.0), 42.0);
+}
+
+TEST(ReductionOps, MinMaxIdentities) {
+  const ReductionOp& mn = reduction_op(kRedopMin);
+  EXPECT_EQ(mn.identity, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(mn.fold(3.0, 4.0), 3.0);
+  EXPECT_EQ(mn.fold(mn.identity, -5.0), -5.0);
+  const ReductionOp& mx = reduction_op(kRedopMax);
+  EXPECT_EQ(mx.identity, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(mx.fold(3.0, 4.0), 4.0);
+}
+
+TEST(ReductionOps, UnknownIdThrows) {
+  EXPECT_THROW(reduction_op(kNoReduction), ApiError);
+  EXPECT_THROW(reduction_op(9999), ApiError);
+}
+
+TEST(ReductionOps, RegisterCustomOperator) {
+  ReductionOpID id = register_reduction(
+      0.0, [](double x, double v) { return x + 2 * v; }, "weird");
+  const ReductionOp& op = reduction_op(id);
+  EXPECT_EQ(op.fold(1.0, 3.0), 7.0);
+  EXPECT_EQ(op.name, "weird");
+  // Built-ins still resolve after registration (stable references).
+  EXPECT_EQ(reduction_op(kRedopSum).fold(1.0, 1.0), 2.0);
+}
+
+TEST(ReductionOps, RegistrationRequiresFold) {
+  EXPECT_THROW(register_reduction(0.0, nullptr, "nope"), ApiError);
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,125 @@
+// Randomized property tests for RegionData<T> against a std::map model —
+// the region-with-values algebra underlying every engine.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "region/region_data.h"
+
+namespace visrt {
+namespace {
+
+using Model = std::map<coord_t, double>;
+
+IntervalSet random_domain(Rng& rng, coord_t universe) {
+  std::vector<Interval> ivs;
+  int n = static_cast<int>(rng.below(5)) + 1;
+  for (int i = 0; i < n; ++i) {
+    coord_t lo = rng.range(0, universe - 1);
+    ivs.push_back(Interval{lo, std::min(lo + rng.range(0, 20), universe - 1)});
+  }
+  return IntervalSet::from_intervals(std::move(ivs));
+}
+
+RegionData<double> from_model(const IntervalSet& dom, const Model& m) {
+  return RegionData<double>::generate(dom, [&m](coord_t p) {
+    auto it = m.find(p);
+    return it != m.end() ? it->second : 0.0;
+  });
+}
+
+Model to_model(const RegionData<double>& r) {
+  Model m;
+  r.for_each([&m](coord_t p, const double& v) { m[p] = v; });
+  return m;
+}
+
+class RegionDataProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionDataProperty, OperationsMatchMapModel) {
+  Rng rng(GetParam());
+  constexpr coord_t kUniverse = 120;
+  for (int round = 0; round < 25; ++round) {
+    IntervalSet da = random_domain(rng, kUniverse);
+    IntervalSet db = random_domain(rng, kUniverse);
+    Model ma, mb;
+    da.for_each_point(
+        [&](coord_t p) { ma[p] = static_cast<double>(rng.range(-50, 50)); });
+    db.for_each_point(
+        [&](coord_t p) { mb[p] = static_cast<double>(rng.range(-50, 50)); });
+    RegionData<double> a = from_model(da, ma);
+    RegionData<double> b = from_model(db, mb);
+
+    // restricted: keep a's values on da ∩ db.
+    {
+      Model expect;
+      for (const auto& [p, v] : ma)
+        if (mb.count(p)) expect[p] = v;
+      EXPECT_EQ(to_model(a.restricted(db)), expect);
+    }
+    // subtracted: keep a's values off db.
+    {
+      Model expect;
+      for (const auto& [p, v] : ma)
+        if (!mb.count(p)) expect[p] = v;
+      EXPECT_EQ(to_model(a.subtracted(db)), expect);
+    }
+    // overwrite_from: b's values win on the overlap, domain unchanged.
+    {
+      RegionData<double> c = a;
+      c.overwrite_from(b);
+      Model expect = ma;
+      for (auto& [p, v] : expect)
+        if (mb.count(p)) v = mb[p];
+      EXPECT_EQ(to_model(c), expect);
+    }
+    // fold_from with +: pointwise sum on the overlap.
+    {
+      RegionData<double> c = a;
+      c.fold_from([](double x, double v) { return x + v; }, b);
+      Model expect = ma;
+      for (auto& [p, v] : expect)
+        if (mb.count(p)) v += mb[p];
+      EXPECT_EQ(to_model(c), expect);
+    }
+    // merged_with: union domain, b's values win.
+    {
+      Model expect = ma;
+      for (const auto& [p, v] : mb) expect[p] = v;
+      EXPECT_EQ(to_model(a.merged_with(b)), expect);
+    }
+    // round trip: restricted + subtracted partitions a exactly.
+    {
+      Model got = to_model(a.restricted(db));
+      Model rest = to_model(a.subtracted(db));
+      got.insert(rest.begin(), rest.end());
+      EXPECT_EQ(got, ma);
+    }
+  }
+}
+
+TEST_P(RegionDataProperty, PaintIdentityFromPaper) {
+  // The paper's read-write paint step R := (R (+) R')/R equals
+  // overwrite_from (Section 5's algebra).
+  Rng rng(GetParam() ^ 0x9999);
+  constexpr coord_t kUniverse = 100;
+  for (int round = 0; round < 15; ++round) {
+    IntervalSet da = random_domain(rng, kUniverse);
+    IntervalSet db = random_domain(rng, kUniverse);
+    RegionData<double> r = RegionData<double>::generate(
+        da, [&rng](coord_t) { return static_cast<double>(rng.range(0, 9)); });
+    RegionData<double> rp = RegionData<double>::generate(
+        db, [&rng](coord_t) { return static_cast<double>(rng.range(10, 19)); });
+    RegionData<double> lhs = r.merged_with(rp).restricted(r.domain());
+    RegionData<double> rhs = r;
+    rhs.overwrite_from(rp);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionDataProperty,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,130 @@
+// Tests for region/region_data.h: the paper's region algebra over values.
+#include "region/region_data.h"
+
+#include <gtest/gtest.h>
+
+namespace visrt {
+namespace {
+
+TEST(RegionData, FilledAndAt) {
+  auto r = RegionData<double>::filled(IntervalSet{{0, 2}, {10, 11}}, 7.0);
+  EXPECT_EQ(r.volume(), 5);
+  EXPECT_EQ(r.at(0), 7.0);
+  EXPECT_EQ(r.at(11), 7.0);
+  r.at(10) = 3.0;
+  EXPECT_EQ(r.at(10), 3.0);
+  EXPECT_EQ(r.at(11), 7.0);
+}
+
+TEST(RegionData, GenerateUsesPointValues) {
+  auto r = RegionData<double>::generate(
+      IntervalSet{{5, 7}, {20, 20}},
+      [](coord_t p) { return static_cast<double>(p * 2); });
+  EXPECT_EQ(r.at(5), 10.0);
+  EXPECT_EQ(r.at(7), 14.0);
+  EXPECT_EQ(r.at(20), 40.0);
+}
+
+TEST(RegionData, RestrictedKeepsValues) {
+  auto r = RegionData<double>::generate(
+      IntervalSet(0, 9), [](coord_t p) { return static_cast<double>(p); });
+  auto sub = r.restricted(IntervalSet{{2, 4}, {8, 12}});
+  EXPECT_EQ(sub.domain(), (IntervalSet{{2, 4}, {8, 9}}));
+  EXPECT_EQ(sub.at(3), 3.0);
+  EXPECT_EQ(sub.at(9), 9.0);
+}
+
+TEST(RegionData, SubtractedKeepsValues) {
+  auto r = RegionData<double>::generate(
+      IntervalSet(0, 9), [](coord_t p) { return static_cast<double>(p); });
+  auto sub = r.subtracted(IntervalSet(3, 6));
+  EXPECT_EQ(sub.domain(), (IntervalSet{{0, 2}, {7, 9}}));
+  EXPECT_EQ(sub.at(2), 2.0);
+  EXPECT_EQ(sub.at(7), 7.0);
+}
+
+TEST(RegionData, OverwriteFromTakesSourceValuesOnOverlap) {
+  auto dst = RegionData<double>::filled(IntervalSet(0, 9), 1.0);
+  auto src = RegionData<double>::filled(IntervalSet(5, 14), 2.0);
+  dst.overwrite_from(src);
+  EXPECT_EQ(dst.domain(), IntervalSet(0, 9)); // domain unchanged
+  EXPECT_EQ(dst.at(4), 1.0);
+  EXPECT_EQ(dst.at(5), 2.0);
+  EXPECT_EQ(dst.at(9), 2.0);
+}
+
+TEST(RegionData, FoldFromAppliesPointwise) {
+  auto dst = RegionData<double>::filled(IntervalSet(0, 9), 10.0);
+  auto src = RegionData<double>::generate(
+      IntervalSet(3, 12), [](coord_t p) { return static_cast<double>(p); });
+  dst.fold_from([](double x, double v) { return x + v; }, src);
+  EXPECT_EQ(dst.at(2), 10.0);
+  EXPECT_EQ(dst.at(3), 13.0);
+  EXPECT_EQ(dst.at(9), 19.0);
+}
+
+TEST(RegionData, MergedWithPrefersOtherValues) {
+  auto a = RegionData<double>::filled(IntervalSet(0, 5), 1.0);
+  auto b = RegionData<double>::filled(IntervalSet(4, 9), 2.0);
+  auto m = a.merged_with(b);
+  EXPECT_EQ(m.domain(), IntervalSet(0, 9));
+  EXPECT_EQ(m.at(3), 1.0);
+  EXPECT_EQ(m.at(4), 2.0); // other wins on overlap
+  EXPECT_EQ(m.at(9), 2.0);
+}
+
+TEST(RegionData, MergedWithDisjointFragments) {
+  auto a = RegionData<double>::filled(IntervalSet{{0, 1}, {6, 7}}, 1.0);
+  auto b = RegionData<double>::filled(IntervalSet(3, 4), 2.0);
+  auto m = a.merged_with(b);
+  EXPECT_EQ(m.domain(), (IntervalSet{{0, 1}, {3, 4}, {6, 7}}));
+  EXPECT_EQ(m.at(0), 1.0);
+  EXPECT_EQ(m.at(3), 2.0);
+  EXPECT_EQ(m.at(7), 1.0);
+}
+
+TEST(RegionData, EqualityIsDomainAndValues) {
+  auto a = RegionData<double>::filled(IntervalSet(0, 3), 1.0);
+  auto b = RegionData<double>::filled(IntervalSet(0, 3), 1.0);
+  EXPECT_EQ(a, b);
+  b.at(2) = 9.0;
+  EXPECT_FALSE(a == b);
+  auto c = RegionData<double>::filled(IntervalSet(0, 4), 1.0);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RegionData, ForEachVisitsInOrder) {
+  auto r = RegionData<double>::generate(
+      IntervalSet{{0, 1}, {5, 5}},
+      [](coord_t p) { return static_cast<double>(p); });
+  std::vector<coord_t> pts;
+  std::vector<double> vals;
+  r.for_each([&](coord_t p, double& v) {
+    pts.push_back(p);
+    vals.push_back(v);
+  });
+  EXPECT_EQ(pts, (std::vector<coord_t>{0, 1, 5}));
+  EXPECT_EQ(vals, (std::vector<double>{0.0, 1.0, 5.0}));
+}
+
+TEST(RegionData, PaperAlgebraIdentity) {
+  // (R (+) R')/R == overwrite_from on the shared domain, values from R'.
+  auto r = RegionData<double>::filled(IntervalSet(0, 9), 0.0);
+  auto rp = RegionData<double>::generate(
+      IntervalSet(4, 14), [](coord_t p) { return static_cast<double>(p); });
+  auto merged_then_restricted = rp.merged_with(RegionData<double>{})
+                                    .merged_with(rp); // rp itself
+  auto lhs = r.merged_with(rp).restricted(r.domain());
+  auto rhs = r;
+  rhs.overwrite_from(rp);
+  EXPECT_EQ(lhs, rhs);
+  (void)merged_then_restricted;
+}
+
+TEST(RegionDataDeathTest, AtOutsideDomainAborts) {
+  auto r = RegionData<double>::filled(IntervalSet(0, 3), 1.0);
+  EXPECT_DEATH({ (void)r.at(10); }, "outside domain");
+}
+
+} // namespace
+} // namespace visrt

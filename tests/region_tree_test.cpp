@@ -1,0 +1,148 @@
+// Tests for region/region_tree.h: tree construction, disjoint/complete
+// classification, navigation.
+#include "region/region_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace visrt {
+namespace {
+
+TEST(AllPairwiseDisjoint, Basics) {
+  std::vector<IntervalSet> a{IntervalSet(0, 4), IntervalSet(5, 9)};
+  EXPECT_TRUE(all_pairwise_disjoint(a));
+  std::vector<IntervalSet> b{IntervalSet(0, 5), IntervalSet(5, 9)};
+  EXPECT_FALSE(all_pairwise_disjoint(b));
+  std::vector<IntervalSet> c{IntervalSet(0, 9), IntervalSet(3, 4)};
+  EXPECT_FALSE(all_pairwise_disjoint(c));
+  // An interval that reaches past an intermediate one.
+  std::vector<IntervalSet> d{IntervalSet(0, 100), IntervalSet(200, 300),
+                             IntervalSet(150, 160)};
+  EXPECT_TRUE(all_pairwise_disjoint(d));
+  std::vector<IntervalSet> e{IntervalSet(0, 100), IntervalSet(200, 300),
+                             IntervalSet(90, 110)};
+  EXPECT_FALSE(all_pairwise_disjoint(e));
+}
+
+TEST(AllPairwiseDisjoint, LongReachAcrossSeveral) {
+  // First interval spans everything; overlap detected even with sets
+  // starting later sorted in between.
+  std::vector<IntervalSet> s{IntervalSet(0, 1000), IntervalSet(10, 20)};
+  EXPECT_FALSE(all_pairwise_disjoint(s));
+  std::vector<IntervalSet> t{IntervalSet{{0, 5}, {100, 1000}},
+                             IntervalSet(10, 20), IntervalSet(30, 40)};
+  EXPECT_TRUE(all_pairwise_disjoint(t));
+}
+
+TEST(AllPairwiseDisjoint, MultiIntervalOwners) {
+  std::vector<IntervalSet> s{IntervalSet{{0, 4}, {10, 14}},
+                             IntervalSet{{5, 9}, {15, 19}}};
+  EXPECT_TRUE(all_pairwise_disjoint(s));
+  std::vector<IntervalSet> u{IntervalSet{{0, 4}, {10, 14}},
+                             IntervalSet{{5, 10}}};
+  EXPECT_FALSE(all_pairwise_disjoint(u));
+}
+
+class RegionTreeFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    root_ = forest_.create_root(IntervalSet(0, 99), "N");
+    // Primary: disjoint and complete.
+    primary_ = forest_.create_partition(
+        root_,
+        {IntervalSet(0, 33), IntervalSet(34, 66), IntervalSet(67, 99)}, "P");
+    // Ghost: aliased (overlapping) and incomplete.
+    ghost_ = forest_.create_partition(
+        root_, {IntervalSet(30, 40), IntervalSet(25, 70), IntervalSet(60, 72)},
+        "G");
+  }
+  RegionTreeForest forest_;
+  RegionHandle root_;
+  PartitionHandle primary_, ghost_;
+};
+
+TEST_F(RegionTreeFixture, RootProperties) {
+  EXPECT_TRUE(forest_.is_root(root_));
+  EXPECT_EQ(forest_.domain(root_).volume(), 100);
+  EXPECT_EQ(forest_.name(root_), "N");
+  EXPECT_EQ(forest_.depth(root_), 0u);
+  EXPECT_EQ(forest_.partitions(root_).size(), 2u);
+}
+
+TEST_F(RegionTreeFixture, PartitionClassification) {
+  EXPECT_TRUE(forest_.is_disjoint(primary_));
+  EXPECT_TRUE(forest_.is_complete(primary_));
+  EXPECT_FALSE(forest_.is_disjoint(ghost_));
+  EXPECT_FALSE(forest_.is_complete(ghost_));
+}
+
+TEST_F(RegionTreeFixture, SubregionNavigation) {
+  RegionHandle p1 = forest_.subregion(primary_, 1);
+  EXPECT_EQ(forest_.domain(p1), IntervalSet(34, 66));
+  EXPECT_EQ(forest_.name(p1), "P[1]");
+  EXPECT_EQ(forest_.depth(p1), 1u);
+  EXPECT_FALSE(forest_.is_root(p1));
+  EXPECT_EQ(forest_.parent_partition(p1), primary_);
+  EXPECT_EQ(forest_.parent_region(p1), root_);
+  EXPECT_EQ(forest_.root_of(p1), root_);
+}
+
+TEST_F(RegionTreeFixture, PathFromRoot) {
+  RegionHandle g2 = forest_.subregion(ghost_, 2);
+  auto path = forest_.path_from_root(g2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], root_);
+  EXPECT_EQ(path[1], g2);
+}
+
+TEST_F(RegionTreeFixture, NestedPartitions) {
+  RegionHandle p0 = forest_.subregion(primary_, 0);
+  PartitionHandle sub = forest_.create_partition(
+      p0, {IntervalSet(0, 16), IntervalSet(17, 33)}, "P0sub");
+  EXPECT_TRUE(forest_.is_disjoint(sub));
+  EXPECT_TRUE(forest_.is_complete(sub));
+  RegionHandle leaf = forest_.subregion(sub, 1);
+  EXPECT_EQ(forest_.depth(leaf), 2u);
+  auto path = forest_.path_from_root(leaf);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], p0);
+}
+
+TEST_F(RegionTreeFixture, SubspaceMustBeInsideParent) {
+  EXPECT_THROW(
+      forest_.create_partition(root_, {IntervalSet(50, 120)}, "bad"),
+      ApiError);
+}
+
+TEST_F(RegionTreeFixture, IncompleteDisjointPartition) {
+  PartitionHandle p = forest_.create_partition(
+      root_, {IntervalSet(0, 10), IntervalSet(20, 30)}, "sparse");
+  EXPECT_TRUE(forest_.is_disjoint(p));
+  EXPECT_FALSE(forest_.is_complete(p));
+}
+
+TEST_F(RegionTreeFixture, ToStringMentionsStructure) {
+  std::string s = forest_.to_string(root_);
+  EXPECT_NE(s.find("N {[0,99]}"), std::string::npos);
+  EXPECT_NE(s.find("partition P disjoint complete"), std::string::npos);
+  EXPECT_NE(s.find("partition G aliased incomplete"), std::string::npos);
+  EXPECT_NE(s.find("G[2]"), std::string::npos);
+}
+
+TEST_F(RegionTreeFixture, InvalidHandleRejected) {
+  EXPECT_THROW(forest_.domain(RegionHandle{}), ApiError);
+  EXPECT_THROW(forest_.subregion(primary_, 99), ApiError);
+}
+
+TEST(RegionTree, MultipleTreesInForest) {
+  RegionTreeForest forest;
+  RegionHandle a = forest.create_root(IntervalSet(0, 9), "A");
+  RegionHandle b = forest.create_root(IntervalSet(0, 999), "B");
+  EXPECT_EQ(forest.domain(a).volume(), 10);
+  EXPECT_EQ(forest.domain(b).volume(), 1000);
+  EXPECT_EQ(forest.num_regions(), 2u);
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,148 @@
+// Timing-model invariants at the runtime level: determinism, marker
+// monotonicity, and sane relationships between configurations (more nodes
+// never slow a fixed-size problem; tracing never slows an iteration;
+// messages only flow when data actually moves).
+#include <gtest/gtest.h>
+
+#include "apps/circuit.h"
+#include "apps/stencil.h"
+
+namespace visrt {
+namespace {
+
+RunStats run_stencil(Algorithm algo, std::uint32_t nodes, bool dcr,
+                     bool trace = false) {
+  RuntimeConfig cfg;
+  cfg.algorithm = algo;
+  cfg.dcr = dcr;
+  cfg.track_values = false;
+  cfg.machine.num_nodes = nodes;
+  Runtime rt(cfg);
+  apps::StencilConfig scfg;
+  scfg.pieces_x = 2;
+  scfg.pieces_y = 2;
+  scfg.tile_rows = 16;
+  scfg.tile_cols = 16;
+  scfg.iterations = 4;
+  scfg.trace = trace;
+  apps::StencilApp app(rt, scfg);
+  app.run();
+  return rt.finish();
+}
+
+TEST(RuntimeTiming, DeterministicAcrossRuns) {
+  RunStats a = run_stencil(Algorithm::RayCast, 4, false);
+  RunStats b = run_stencil(Algorithm::RayCast, 4, false);
+  EXPECT_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_EQ(a.init_time_s, b.init_time_s);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.message_bytes, b.message_bytes);
+  EXPECT_EQ(a.dep_edges, b.dep_edges);
+}
+
+TEST(RuntimeTiming, InitNeverExceedsTotal) {
+  for (Algorithm algo :
+       {Algorithm::Paint, Algorithm::Warnock, Algorithm::RayCast}) {
+    RunStats s = run_stencil(algo, 4, false);
+    EXPECT_GT(s.init_time_s, 0.0);
+    EXPECT_LE(s.init_time_s, s.total_time_s);
+    EXPECT_GT(s.steady_iter_s, 0.0);
+  }
+}
+
+TEST(RuntimeTiming, MorePiecesOnMoreNodesRunFaster) {
+  // Fixed 4-piece problem: 4 nodes execute the pieces in parallel, 1 node
+  // serializes them on its accelerator.
+  RunStats wide = run_stencil(Algorithm::RayCast, 4, false);
+  RunStats narrow = run_stencil(Algorithm::RayCast, 1, false);
+  EXPECT_LT(wide.total_time_s, narrow.total_time_s);
+}
+
+TEST(RuntimeTiming, TracingNeverSlowsSteadyState) {
+  for (Algorithm algo :
+       {Algorithm::Paint, Algorithm::Warnock, Algorithm::RayCast}) {
+    RunStats untraced = run_stencil(algo, 4, false, false);
+    RunStats traced = run_stencil(algo, 4, false, true);
+    EXPECT_LE(traced.steady_iter_s, untraced.steady_iter_s * 1.01)
+        << algorithm_name(algo);
+    EXPECT_LT(traced.messages, untraced.messages);
+  }
+}
+
+TEST(RuntimeTiming, SingleNodeRunsMoveNoBytes) {
+  // On one node nothing crosses the network; intra-node handler dispatch
+  // still happens but no wire traffic does.
+  RuntimeConfig cfg;
+  cfg.machine.num_nodes = 1;
+  cfg.track_values = true;
+  Runtime rt(cfg);
+  apps::CircuitConfig ccfg;
+  ccfg.pieces = 2;
+  ccfg.nodes_per_piece = 10;
+  ccfg.wires_per_piece = 12;
+  ccfg.iterations = 2;
+  apps::CircuitApp app(rt, ccfg);
+  app.run();
+  const sim::WorkGraph& g = rt.work_graph();
+  for (sim::OpID id = 0; id < g.size(); ++id) {
+    const sim::Op& op = g.op(id);
+    if (op.kind == sim::OpKind::Message) {
+      EXPECT_EQ(op.node, op.dst) << "cross-node message on a 1-node machine";
+    }
+  }
+}
+
+TEST(RuntimeTiming, AnalysisCpuGrowsWithLaunches) {
+  RuntimeConfig cfg;
+  cfg.track_values = false;
+  cfg.machine.num_nodes = 2;
+
+  auto analysis_for_iters = [&](int iters) {
+    Runtime rt(cfg);
+    apps::StencilConfig scfg;
+    scfg.pieces_x = 2;
+    scfg.pieces_y = 1;
+    scfg.tile_rows = 16;
+    scfg.tile_cols = 16;
+    scfg.iterations = iters;
+    apps::StencilApp app(rt, scfg);
+    app.run();
+    return rt.finish().analysis_cpu_s;
+  };
+  EXPECT_LT(analysis_for_iters(2), analysis_for_iters(6));
+}
+
+TEST(RuntimeTiming, DcrReducesNodeZeroShareOfRuntimeOps) {
+  auto node0_share = [](bool dcr) {
+    RuntimeConfig cfg;
+    cfg.dcr = dcr;
+    cfg.track_values = false;
+    cfg.machine.num_nodes = 4;
+    Runtime rt(cfg);
+    apps::StencilConfig scfg;
+    scfg.pieces_x = 2;
+    scfg.pieces_y = 2;
+    scfg.tile_rows = 16;
+    scfg.tile_cols = 16;
+    scfg.iterations = 3;
+    apps::StencilApp app(rt, scfg);
+    app.run();
+    const sim::WorkGraph& g = rt.work_graph();
+    double node0 = 0, total = 0;
+    for (sim::OpID id = 0; id < g.size(); ++id) {
+      const sim::Op& op = g.op(id);
+      if (op.kind == sim::OpKind::Compute &&
+          op.category ==
+              static_cast<std::uint8_t>(sim::OpCategory::Runtime)) {
+        total += static_cast<double>(op.cost);
+        if (op.node == 0) node0 += static_cast<double>(op.cost);
+      }
+    }
+    return node0 / total;
+  };
+  EXPECT_GT(node0_share(false), 0.99);
+  EXPECT_LT(node0_share(true), 0.5);
+}
+
+} // namespace
+} // namespace visrt

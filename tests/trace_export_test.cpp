@@ -1,0 +1,84 @@
+// Tests for sim/trace_export.h: valid JSON-ish structure, one event per
+// non-marker op, correct rows and timings.
+#include "sim/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace visrt::sim {
+namespace {
+
+MachineConfig machine(std::uint32_t nodes) {
+  MachineConfig m;
+  m.num_nodes = nodes;
+  m.network_latency_ns = 1000;
+  m.network_bytes_per_ns = 1.0;
+  m.message_handler_ns = 100;
+  return m;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(TraceExport, EmitsOneEventPerOp) {
+  WorkGraph g;
+  OpID a = g.compute(0, 500, {}, OpCategory::Analysis);
+  OpID m = g.message(0, 1, 256, std::array{a});
+  OpID b = g.compute(1, 700, std::array{m}, OpCategory::TaskExec);
+  g.marker(0, std::array{b});
+  MachineConfig mc = machine(2);
+  ReplayResult r = replay(g, mc);
+  std::string json = chrome_trace_json(g, r, mc);
+
+  // 3 real ops -> 3 "X" events; marker skipped.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 3u);
+  // 2 nodes x 3 tracks of metadata.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"M\""), 6u);
+  // Categories present.
+  EXPECT_NE(json.find("\"name\":\"analysis\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"task\""), std::string::npos);
+  // Balanced brackets and valid-ish structure.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}") - 3u +
+                                              3u); // args nest inside events
+}
+
+TEST(TraceExport, TaskOpsLandOnAcceleratorTrack) {
+  WorkGraph g;
+  g.compute(0, 100, {}, OpCategory::TaskExec);
+  MachineConfig mc = machine(1);
+  ReplayResult r = replay(g, mc);
+  std::string json = chrome_trace_json(g, r, mc);
+  // TaskExec uses tid 1 (accel).
+  EXPECT_NE(json.find("\"pid\":0,\"tid\":1,\"ts\""), std::string::npos);
+}
+
+TEST(TraceExport, MessagesCarrySourceAndBytes) {
+  WorkGraph g;
+  g.message(1, 0, 4096, {});
+  MachineConfig mc = machine(2);
+  ReplayResult r = replay(g, mc);
+  std::string json = chrome_trace_json(g, r, mc);
+  EXPECT_NE(json.find("\"src\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+}
+
+TEST(TraceExport, ZeroCostOpsAreSkipped) {
+  WorkGraph g;
+  g.compute(0, 0, {});
+  MachineConfig mc = machine(1);
+  ReplayResult r = replay(g, mc);
+  std::string json = chrome_trace_json(g, r, mc);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 0u);
+}
+
+} // namespace
+} // namespace visrt::sim

@@ -1,0 +1,63 @@
+// Tests for sim/work_graph.h: op recording, dependences, aggregates.
+#include "sim/work_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace visrt::sim {
+namespace {
+
+TEST(WorkGraph, RecordsComputeOps) {
+  WorkGraph g;
+  OpID a = g.compute(0, 100, {}, OpCategory::Analysis);
+  OpID b = g.compute(1, 200, std::array{a}, OpCategory::TaskExec);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.op(a).cost, 100);
+  EXPECT_EQ(g.op(b).node, 1u);
+  ASSERT_EQ(g.deps(b).size(), 1u);
+  EXPECT_EQ(g.deps(b)[0], a);
+  EXPECT_TRUE(g.deps(a).empty());
+}
+
+TEST(WorkGraph, RecordsMessages) {
+  WorkGraph g;
+  OpID m = g.message(0, 3, 4096, {});
+  EXPECT_EQ(g.op(m).kind, OpKind::Message);
+  EXPECT_EQ(g.op(m).node, 0u);
+  EXPECT_EQ(g.op(m).dst, 3u);
+  EXPECT_EQ(g.op(m).bytes, 4096u);
+  EXPECT_EQ(g.message_count(), 1u);
+  EXPECT_EQ(g.total_message_bytes(), 4096u);
+}
+
+TEST(WorkGraph, TotalCostByCategory) {
+  WorkGraph g;
+  g.compute(0, 100, {}, OpCategory::Analysis);
+  g.compute(0, 50, {}, OpCategory::Analysis);
+  g.compute(0, 999, {}, OpCategory::TaskExec);
+  EXPECT_EQ(g.total_cost(OpCategory::Analysis), 150);
+  EXPECT_EQ(g.total_cost(OpCategory::TaskExec), 999);
+  EXPECT_EQ(g.total_cost(OpCategory::Copy), 0);
+}
+
+TEST(WorkGraph, MarkerJoinsDeps) {
+  WorkGraph g;
+  OpID a = g.compute(0, 1, {});
+  OpID b = g.compute(1, 1, {});
+  OpID m = g.marker(0, std::array{a, b});
+  EXPECT_EQ(g.op(m).kind, OpKind::Marker);
+  EXPECT_EQ(g.deps(m).size(), 2u);
+}
+
+TEST(WorkGraphDeathTest, ForwardDependenceAborts) {
+  WorkGraph g;
+  OpID a = g.compute(0, 1, {});
+  (void)a;
+  // An op cannot depend on itself (the next id).
+  EXPECT_DEATH(
+      { g.compute(0, 1, std::array{static_cast<OpID>(1)}); }, "earlier op");
+}
+
+} // namespace
+} // namespace visrt::sim
