@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_visibility.cpp" "bench/CMakeFiles/ablation_visibility.dir/ablation_visibility.cpp.o" "gcc" "bench/CMakeFiles/ablation_visibility.dir/ablation_visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/visibility/CMakeFiles/visrt_visibility.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/visrt_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/realm/CMakeFiles/visrt_realm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/visrt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/visrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

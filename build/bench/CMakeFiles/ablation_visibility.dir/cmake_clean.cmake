@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_visibility.dir/ablation_visibility.cpp.o"
+  "CMakeFiles/ablation_visibility.dir/ablation_visibility.cpp.o.d"
+  "ablation_visibility"
+  "ablation_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

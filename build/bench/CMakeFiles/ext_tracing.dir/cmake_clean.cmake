@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tracing.dir/ext_tracing.cpp.o"
+  "CMakeFiles/ext_tracing.dir/ext_tracing.cpp.o.d"
+  "ext_tracing"
+  "ext_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_stencil_init.dir/fig12_stencil_init.cpp.o"
+  "CMakeFiles/fig12_stencil_init.dir/fig12_stencil_init.cpp.o.d"
+  "fig12_stencil_init"
+  "fig12_stencil_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_stencil_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

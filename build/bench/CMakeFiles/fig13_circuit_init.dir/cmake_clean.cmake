@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_circuit_init.dir/fig13_circuit_init.cpp.o"
+  "CMakeFiles/fig13_circuit_init.dir/fig13_circuit_init.cpp.o.d"
+  "fig13_circuit_init"
+  "fig13_circuit_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_circuit_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

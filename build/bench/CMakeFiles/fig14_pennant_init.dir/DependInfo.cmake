@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_pennant_init.cpp" "bench/CMakeFiles/fig14_pennant_init.dir/fig14_pennant_init.cpp.o" "gcc" "bench/CMakeFiles/fig14_pennant_init.dir/fig14_pennant_init.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/visrt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/visrt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/visibility/CMakeFiles/visrt_visibility.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/visrt_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/realm/CMakeFiles/visrt_realm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/visrt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/visrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/visrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

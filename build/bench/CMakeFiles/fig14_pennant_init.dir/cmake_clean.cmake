@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pennant_init.dir/fig14_pennant_init.cpp.o"
+  "CMakeFiles/fig14_pennant_init.dir/fig14_pennant_init.cpp.o.d"
+  "fig14_pennant_init"
+  "fig14_pennant_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pennant_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

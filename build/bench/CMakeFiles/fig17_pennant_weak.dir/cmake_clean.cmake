@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_pennant_weak.dir/fig17_pennant_weak.cpp.o"
+  "CMakeFiles/fig17_pennant_weak.dir/fig17_pennant_weak.cpp.o.d"
+  "fig17_pennant_weak"
+  "fig17_pennant_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_pennant_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

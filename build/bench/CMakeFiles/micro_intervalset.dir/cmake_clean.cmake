@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_intervalset.dir/micro_intervalset.cpp.o"
+  "CMakeFiles/micro_intervalset.dir/micro_intervalset.cpp.o.d"
+  "micro_intervalset"
+  "micro_intervalset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_intervalset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

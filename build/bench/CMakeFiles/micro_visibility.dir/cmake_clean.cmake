@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_visibility.dir/micro_visibility.cpp.o"
+  "CMakeFiles/micro_visibility.dir/micro_visibility.cpp.o.d"
+  "micro_visibility"
+  "micro_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pennant.dir/pennant.cpp.o"
+  "CMakeFiles/pennant.dir/pennant.cpp.o.d"
+  "pennant"
+  "pennant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pennant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

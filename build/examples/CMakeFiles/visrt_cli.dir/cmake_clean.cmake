@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_cli.dir/visrt_cli.cpp.o"
+  "CMakeFiles/visrt_cli.dir/visrt_cli.cpp.o.d"
+  "visrt_cli"
+  "visrt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

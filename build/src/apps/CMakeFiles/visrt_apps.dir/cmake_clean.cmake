@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_apps.dir/circuit.cc.o"
+  "CMakeFiles/visrt_apps.dir/circuit.cc.o.d"
+  "CMakeFiles/visrt_apps.dir/pennant.cc.o"
+  "CMakeFiles/visrt_apps.dir/pennant.cc.o.d"
+  "CMakeFiles/visrt_apps.dir/stencil.cc.o"
+  "CMakeFiles/visrt_apps.dir/stencil.cc.o.d"
+  "libvisrt_apps.a"
+  "libvisrt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

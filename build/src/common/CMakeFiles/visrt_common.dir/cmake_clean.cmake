@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_common.dir/check.cc.o"
+  "CMakeFiles/visrt_common.dir/check.cc.o.d"
+  "CMakeFiles/visrt_common.dir/log.cc.o"
+  "CMakeFiles/visrt_common.dir/log.cc.o.d"
+  "libvisrt_common.a"
+  "libvisrt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/bvh.cc" "src/geom/CMakeFiles/visrt_geom.dir/bvh.cc.o" "gcc" "src/geom/CMakeFiles/visrt_geom.dir/bvh.cc.o.d"
+  "/root/repo/src/geom/interval_set.cc" "src/geom/CMakeFiles/visrt_geom.dir/interval_set.cc.o" "gcc" "src/geom/CMakeFiles/visrt_geom.dir/interval_set.cc.o.d"
+  "/root/repo/src/geom/interval_tree.cc" "src/geom/CMakeFiles/visrt_geom.dir/interval_tree.cc.o" "gcc" "src/geom/CMakeFiles/visrt_geom.dir/interval_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/visrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

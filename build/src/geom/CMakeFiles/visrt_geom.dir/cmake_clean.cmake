@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_geom.dir/bvh.cc.o"
+  "CMakeFiles/visrt_geom.dir/bvh.cc.o.d"
+  "CMakeFiles/visrt_geom.dir/interval_set.cc.o"
+  "CMakeFiles/visrt_geom.dir/interval_set.cc.o.d"
+  "CMakeFiles/visrt_geom.dir/interval_tree.cc.o"
+  "CMakeFiles/visrt_geom.dir/interval_tree.cc.o.d"
+  "libvisrt_geom.a"
+  "libvisrt_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

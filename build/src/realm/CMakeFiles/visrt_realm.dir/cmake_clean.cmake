@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_realm.dir/instance_map.cc.o"
+  "CMakeFiles/visrt_realm.dir/instance_map.cc.o.d"
+  "CMakeFiles/visrt_realm.dir/reduction_ops.cc.o"
+  "CMakeFiles/visrt_realm.dir/reduction_ops.cc.o.d"
+  "libvisrt_realm.a"
+  "libvisrt_realm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_realm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvisrt_realm.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/dependent_partitioning.cc" "src/region/CMakeFiles/visrt_region.dir/dependent_partitioning.cc.o" "gcc" "src/region/CMakeFiles/visrt_region.dir/dependent_partitioning.cc.o.d"
+  "/root/repo/src/region/region_tree.cc" "src/region/CMakeFiles/visrt_region.dir/region_tree.cc.o" "gcc" "src/region/CMakeFiles/visrt_region.dir/region_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/visrt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/visrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

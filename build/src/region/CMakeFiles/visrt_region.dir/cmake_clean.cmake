@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_region.dir/dependent_partitioning.cc.o"
+  "CMakeFiles/visrt_region.dir/dependent_partitioning.cc.o.d"
+  "CMakeFiles/visrt_region.dir/region_tree.cc.o"
+  "CMakeFiles/visrt_region.dir/region_tree.cc.o.d"
+  "libvisrt_region.a"
+  "libvisrt_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_runtime.dir/runtime.cc.o"
+  "CMakeFiles/visrt_runtime.dir/runtime.cc.o.d"
+  "libvisrt_runtime.a"
+  "libvisrt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_sim.dir/replay.cc.o"
+  "CMakeFiles/visrt_sim.dir/replay.cc.o.d"
+  "CMakeFiles/visrt_sim.dir/trace_export.cc.o"
+  "CMakeFiles/visrt_sim.dir/trace_export.cc.o.d"
+  "CMakeFiles/visrt_sim.dir/work_graph.cc.o"
+  "CMakeFiles/visrt_sim.dir/work_graph.cc.o.d"
+  "libvisrt_sim.a"
+  "libvisrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

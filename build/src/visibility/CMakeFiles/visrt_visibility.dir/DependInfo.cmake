@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/visibility/dep_graph.cc" "src/visibility/CMakeFiles/visrt_visibility.dir/dep_graph.cc.o" "gcc" "src/visibility/CMakeFiles/visrt_visibility.dir/dep_graph.cc.o.d"
+  "/root/repo/src/visibility/engine.cc" "src/visibility/CMakeFiles/visrt_visibility.dir/engine.cc.o" "gcc" "src/visibility/CMakeFiles/visrt_visibility.dir/engine.cc.o.d"
+  "/root/repo/src/visibility/naive.cc" "src/visibility/CMakeFiles/visrt_visibility.dir/naive.cc.o" "gcc" "src/visibility/CMakeFiles/visrt_visibility.dir/naive.cc.o.d"
+  "/root/repo/src/visibility/paint.cc" "src/visibility/CMakeFiles/visrt_visibility.dir/paint.cc.o" "gcc" "src/visibility/CMakeFiles/visrt_visibility.dir/paint.cc.o.d"
+  "/root/repo/src/visibility/raycast.cc" "src/visibility/CMakeFiles/visrt_visibility.dir/raycast.cc.o" "gcc" "src/visibility/CMakeFiles/visrt_visibility.dir/raycast.cc.o.d"
+  "/root/repo/src/visibility/reference.cc" "src/visibility/CMakeFiles/visrt_visibility.dir/reference.cc.o" "gcc" "src/visibility/CMakeFiles/visrt_visibility.dir/reference.cc.o.d"
+  "/root/repo/src/visibility/warnock.cc" "src/visibility/CMakeFiles/visrt_visibility.dir/warnock.cc.o" "gcc" "src/visibility/CMakeFiles/visrt_visibility.dir/warnock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/region/CMakeFiles/visrt_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/realm/CMakeFiles/visrt_realm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/visrt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/visrt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visrt_visibility.dir/dep_graph.cc.o"
+  "CMakeFiles/visrt_visibility.dir/dep_graph.cc.o.d"
+  "CMakeFiles/visrt_visibility.dir/engine.cc.o"
+  "CMakeFiles/visrt_visibility.dir/engine.cc.o.d"
+  "CMakeFiles/visrt_visibility.dir/naive.cc.o"
+  "CMakeFiles/visrt_visibility.dir/naive.cc.o.d"
+  "CMakeFiles/visrt_visibility.dir/paint.cc.o"
+  "CMakeFiles/visrt_visibility.dir/paint.cc.o.d"
+  "CMakeFiles/visrt_visibility.dir/raycast.cc.o"
+  "CMakeFiles/visrt_visibility.dir/raycast.cc.o.d"
+  "CMakeFiles/visrt_visibility.dir/reference.cc.o"
+  "CMakeFiles/visrt_visibility.dir/reference.cc.o.d"
+  "CMakeFiles/visrt_visibility.dir/warnock.cc.o"
+  "CMakeFiles/visrt_visibility.dir/warnock.cc.o.d"
+  "libvisrt_visibility.a"
+  "libvisrt_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visrt_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvh_test.dir/bvh_test.cpp.o"
+  "CMakeFiles/bvh_test.dir/bvh_test.cpp.o.d"
+  "bvh_test"
+  "bvh_test.pdb"
+  "bvh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

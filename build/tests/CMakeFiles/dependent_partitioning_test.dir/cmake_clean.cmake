@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependent_partitioning_test.dir/dependent_partitioning_test.cpp.o"
+  "CMakeFiles/dependent_partitioning_test.dir/dependent_partitioning_test.cpp.o.d"
+  "dependent_partitioning_test"
+  "dependent_partitioning_test.pdb"
+  "dependent_partitioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependent_partitioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_figure5_test.dir/engine_figure5_test.cpp.o"
+  "CMakeFiles/engine_figure5_test.dir/engine_figure5_test.cpp.o.d"
+  "engine_figure5_test"
+  "engine_figure5_test.pdb"
+  "engine_figure5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_figure5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

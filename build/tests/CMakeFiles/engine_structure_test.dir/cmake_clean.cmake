@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_structure_test.dir/engine_structure_test.cpp.o"
+  "CMakeFiles/engine_structure_test.dir/engine_structure_test.cpp.o.d"
+  "engine_structure_test"
+  "engine_structure_test.pdb"
+  "engine_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_edge_test.dir/geom_edge_test.cpp.o"
+  "CMakeFiles/geom_edge_test.dir/geom_edge_test.cpp.o.d"
+  "geom_edge_test"
+  "geom_edge_test.pdb"
+  "geom_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_launch_test.dir/index_launch_test.cpp.o"
+  "CMakeFiles/index_launch_test.dir/index_launch_test.cpp.o.d"
+  "index_launch_test"
+  "index_launch_test.pdb"
+  "index_launch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_launch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_map_test.dir/instance_map_test.cpp.o"
+  "CMakeFiles/instance_map_test.dir/instance_map_test.cpp.o.d"
+  "instance_map_test"
+  "instance_map_test.pdb"
+  "instance_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

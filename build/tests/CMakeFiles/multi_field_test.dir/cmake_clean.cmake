@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_field_test.dir/multi_field_test.cpp.o"
+  "CMakeFiles/multi_field_test.dir/multi_field_test.cpp.o.d"
+  "multi_field_test"
+  "multi_field_test.pdb"
+  "multi_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_pseudocode_test.dir/naive_pseudocode_test.cpp.o"
+  "CMakeFiles/naive_pseudocode_test.dir/naive_pseudocode_test.cpp.o.d"
+  "naive_pseudocode_test"
+  "naive_pseudocode_test.pdb"
+  "naive_pseudocode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_pseudocode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

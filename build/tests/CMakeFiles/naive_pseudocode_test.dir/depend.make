@@ -1,0 +1,2 @@
+# Empty dependencies file for naive_pseudocode_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privilege_test.dir/privilege_test.cpp.o"
+  "CMakeFiles/privilege_test.dir/privilege_test.cpp.o.d"
+  "privilege_test"
+  "privilege_test.pdb"
+  "privilege_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privilege_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

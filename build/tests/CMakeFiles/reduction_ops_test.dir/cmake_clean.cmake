@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_ops_test.dir/reduction_ops_test.cpp.o"
+  "CMakeFiles/reduction_ops_test.dir/reduction_ops_test.cpp.o.d"
+  "reduction_ops_test"
+  "reduction_ops_test.pdb"
+  "reduction_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_data_test.dir/region_data_test.cpp.o"
+  "CMakeFiles/region_data_test.dir/region_data_test.cpp.o.d"
+  "region_data_test"
+  "region_data_test.pdb"
+  "region_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

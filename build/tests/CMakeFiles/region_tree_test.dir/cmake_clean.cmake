@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_tree_test.dir/region_tree_test.cpp.o"
+  "CMakeFiles/region_tree_test.dir/region_tree_test.cpp.o.d"
+  "region_tree_test"
+  "region_tree_test.pdb"
+  "region_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

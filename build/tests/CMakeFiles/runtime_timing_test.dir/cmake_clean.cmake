@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_timing_test.dir/runtime_timing_test.cpp.o"
+  "CMakeFiles/runtime_timing_test.dir/runtime_timing_test.cpp.o.d"
+  "runtime_timing_test"
+  "runtime_timing_test.pdb"
+  "runtime_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_graph_test.dir/work_graph_test.cpp.o"
+  "CMakeFiles/work_graph_test.dir/work_graph_test.cpp.o.d"
+  "work_graph_test"
+  "work_graph_test.pdb"
+  "work_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
