@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "metrics_common.h"
 #include "realm/reduction_ops.h"
 #include "visibility/paint.h"
 #include "visibility/raycast.h"
@@ -146,3 +147,15 @@ BENCHMARK(BM_Paint_NoOcclusionPruning)->Arg(16)->Arg(64);
 
 } // namespace
 } // namespace visrt
+
+// Custom main: --metrics-json must be stripped before google-benchmark
+// sees the arguments (benchmark_main rejects unrecognized flags).
+int main(int argc, char** argv) {
+  std::string metrics = visrt::bench::take_metrics_json_arg(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  visrt::bench::write_envelope_only(metrics, "ablation_visibility");
+  return 0;
+}

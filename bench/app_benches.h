@@ -13,8 +13,8 @@
 namespace visrt::bench {
 
 inline RunResult run_stencil(const SystemConfig& sys, std::uint32_t nodes,
-                             int iterations = 5) {
-  RuntimeConfig rcfg = bench_runtime_config(sys, nodes);
+                             int iterations = 5, bool telemetry = false) {
+  RuntimeConfig rcfg = bench_runtime_config(sys, nodes, telemetry);
   apps::StencilConfig cfg;
   // Near-square 2-D piece grid (node counts are powers of two).
   std::uint32_t px = 1;
@@ -33,12 +33,13 @@ inline RunResult run_stencil(const SystemConfig& sys, std::uint32_t nodes,
   out.stats = rt.finish();
   out.work_per_node_per_iter =
       static_cast<double>(app.points_per_piece());
+  out.metrics_json = bench_metrics_json(sys, nodes, "stencil", rt, out.stats);
   return out;
 }
 
 inline RunResult run_circuit(const SystemConfig& sys, std::uint32_t nodes,
-                             int iterations = 5) {
-  RuntimeConfig rcfg = bench_runtime_config(sys, nodes);
+                             int iterations = 5, bool telemetry = false) {
+  RuntimeConfig rcfg = bench_runtime_config(sys, nodes, telemetry);
   apps::CircuitConfig cfg;
   cfg.pieces = nodes;
   cfg.nodes_per_piece = 200;
@@ -53,12 +54,13 @@ inline RunResult run_circuit(const SystemConfig& sys, std::uint32_t nodes,
   RunResult out;
   out.stats = rt.finish();
   out.work_per_node_per_iter = static_cast<double>(app.wires_per_piece());
+  out.metrics_json = bench_metrics_json(sys, nodes, "circuit", rt, out.stats);
   return out;
 }
 
 inline RunResult run_pennant(const SystemConfig& sys, std::uint32_t nodes,
-                             int iterations = 5) {
-  RuntimeConfig rcfg = bench_runtime_config(sys, nodes);
+                             int iterations = 5, bool telemetry = false) {
+  RuntimeConfig rcfg = bench_runtime_config(sys, nodes, telemetry);
   apps::PennantConfig cfg;
   // Pieces in a near-square 2-D grid covering `nodes` pieces.
   std::uint32_t px = 1;
@@ -82,6 +84,7 @@ inline RunResult run_pennant(const SystemConfig& sys, std::uint32_t nodes,
   RunResult out;
   out.stats = rt.finish();
   out.work_per_node_per_iter = static_cast<double>(app.zones_per_piece());
+  out.metrics_json = bench_metrics_json(sys, nodes, "pennant", rt, out.stats);
   return out;
 }
 

@@ -15,8 +15,8 @@ namespace visrt::bench {
 namespace {
 
 RunResult run_traced_stencil(const SystemConfig& sys, std::uint32_t nodes,
-                             bool trace) {
-  RuntimeConfig rcfg = bench_runtime_config(sys, nodes);
+                             bool trace, bool telemetry) {
+  RuntimeConfig rcfg = bench_runtime_config(sys, nodes, telemetry);
   apps::StencilConfig cfg;
   std::uint32_t px = 1;
   while (px * px < nodes) px *= 2;
@@ -33,14 +33,17 @@ RunResult run_traced_stencil(const SystemConfig& sys, std::uint32_t nodes,
   RunResult out;
   out.stats = rt.finish();
   out.work_per_node_per_iter = static_cast<double>(app.points_per_piece());
+  out.metrics_json = bench_metrics_json(sys, nodes, "stencil", rt, out.stats);
   return out;
 }
 
 } // namespace
 } // namespace visrt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace visrt::bench;
+  std::string metrics_path = take_metrics_json_arg(argc, argv);
+  visrt::MetricsFile metrics("ext_tracing");
   std::printf("# Extension: Stencil weak scaling with dynamic tracing\n");
   std::printf("# (points/s per node; the paper's Figures ran untraced)\n");
 
@@ -52,22 +55,22 @@ int main() {
   };
   std::vector<Config> configs = {
       {"RayCast NoDCR untraced",
-       {"", "", visrt::Algorithm::RayCast, false},
+       {"raycast_untraced", "", visrt::Algorithm::RayCast, false},
        false},
       {"RayCast NoDCR traced",
-       {"", "", visrt::Algorithm::RayCast, false},
+       {"raycast_traced", "", visrt::Algorithm::RayCast, false},
        true},
       {"Warnock NoDCR untraced",
-       {"", "", visrt::Algorithm::Warnock, false},
+       {"warnock_untraced", "", visrt::Algorithm::Warnock, false},
        false},
       {"Warnock NoDCR traced",
-       {"", "", visrt::Algorithm::Warnock, false},
+       {"warnock_traced", "", visrt::Algorithm::Warnock, false},
        true},
       {"Paint NoDCR untraced",
-       {"", "", visrt::Algorithm::Paint, false},
+       {"paint_untraced", "", visrt::Algorithm::Paint, false},
        false},
       {"Paint NoDCR traced",
-       {"", "", visrt::Algorithm::Paint, false},
+       {"paint_traced", "", visrt::Algorithm::Paint, false},
        true},
   };
 
@@ -77,7 +80,9 @@ int main() {
   for (const Config& c : configs) {
     std::printf("%-24s", c.label);
     for (std::uint32_t n : nodes_list) {
-      RunResult r = run_traced_stencil(c.sys, n, c.trace);
+      RunResult r =
+          run_traced_stencil(c.sys, n, c.trace, !metrics_path.empty());
+      if (!metrics_path.empty()) metrics.add_run(std::move(r.metrics_json));
       double tput = r.stats.steady_iter_s > 0
                         ? r.work_per_node_per_iter / r.stats.steady_iter_s
                         : 0.0;
@@ -85,5 +90,6 @@ int main() {
     }
     std::printf("\n");
   }
+  metrics.write(metrics_path);
   return 0;
 }

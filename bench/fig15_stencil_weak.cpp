@@ -1,11 +1,16 @@
 // Figure 15: Stencil weak scaling (weak scaling).
 #include "app_benches.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace visrt::bench;
+  std::string metrics = take_metrics_json_arg(argc, argv);
+  bool telemetry = !metrics.empty();
   FigureSpec spec{"Figure 15", "Stencil weak scaling", "points/s", true};
-  run_figure(spec, [](const SystemConfig& sys, std::uint32_t nodes) {
-    return run_stencil(sys, nodes);
-  });
+  run_figure(
+      spec,
+      [telemetry](const SystemConfig& sys, std::uint32_t nodes) {
+        return run_stencil(sys, nodes, 5, telemetry);
+      },
+      metrics, "fig15_stencil_weak");
   return 0;
 }

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "metrics_common.h"
+#include "runtime/metrics.h"
 #include "runtime/runtime.h"
 
 namespace visrt::bench {
@@ -49,6 +51,9 @@ inline std::vector<std::uint32_t> paper_node_counts() {
 struct RunResult {
   RunStats stats;
   double work_per_node_per_iter = 0; ///< app-specific throughput unit
+  /// Serialized metrics run object (metrics_run_json); collected into the
+  /// --metrics-json file when one was requested.
+  std::string metrics_json;
 };
 
 /// Runs one (system, nodes) configuration: the callback constructs the
@@ -66,16 +71,35 @@ struct FigureSpec {
 };
 
 inline RuntimeConfig bench_runtime_config(const SystemConfig& sys,
-                                          std::uint32_t nodes) {
+                                          std::uint32_t nodes,
+                                          bool telemetry = false) {
   RuntimeConfig cfg;
   cfg.algorithm = sys.algorithm;
   cfg.dcr = sys.dcr;
   cfg.track_values = false; // analysis-only: the figures measure overhead
+  cfg.telemetry = telemetry;
   cfg.machine.num_nodes = nodes;
   return cfg;
 }
 
-inline void run_figure(const FigureSpec& spec, const ConfigRunner& runner) {
+/// Serialize one finished bench run; call before the Runtime goes away.
+inline std::string bench_metrics_json(const SystemConfig& sys,
+                                      std::uint32_t nodes, const char* app,
+                                      const Runtime& rt,
+                                      const RunStats& stats) {
+  MetricsRunInfo info;
+  info.name = std::string(sys.label) + "/" + std::to_string(nodes);
+  info.app = app;
+  info.algorithm = algorithm_name(sys.algorithm);
+  info.dcr = sys.dcr;
+  info.nodes = nodes;
+  return metrics_run_json(info, rt, stats);
+}
+
+inline void run_figure(const FigureSpec& spec, const ConfigRunner& runner,
+                       const std::string& metrics_path = "",
+                       const char* binary = "") {
+  MetricsFile metrics(binary);
   std::printf("# %s: %s\n", spec.figure.c_str(), spec.title.c_str());
   std::printf("# deterministic simulator: the 5 artifact reps are "
               "identical by construction\n");
@@ -95,6 +119,8 @@ inline void run_figure(const FigureSpec& spec, const ConfigRunner& runner) {
     const SystemConfig& sys = *series[s].sys;
     for (std::uint32_t nodes : nodes_list) {
       RunResult result = runner(sys, nodes);
+      if (!metrics_path.empty() && !result.metrics_json.empty())
+        metrics.add_run(std::move(result.metrics_json));
       const RunStats& st = result.stats;
       for (int rep = 0; rep < 5; ++rep) {
         std::printf("%s\t%u\t1\t%d\t%.6f\t%.6f\n", sys.label, nodes, rep,
@@ -124,6 +150,7 @@ inline void run_figure(const FigureSpec& spec, const ConfigRunner& runner) {
     std::printf("\n");
   }
   std::printf("\n");
+  metrics.write(metrics_path);
 }
 
 } // namespace visrt::bench

@@ -1,0 +1,44 @@
+// CLI plumbing for the benchmark metrics sink: every bench binary accepts
+//   --metrics-json=PATH   (or: --metrics-json PATH)
+// and writes a schema-valid metrics file there (see docs/OBSERVABILITY.md).
+// The flag is extracted before any other argument parsing so it composes
+// with google-benchmark's own flags.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace visrt::bench {
+
+/// Remove --metrics-json from argv (compacting it) and return its value,
+/// or "" when absent.
+inline std::string take_metrics_json_arg(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      path = argv[i] + 15;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Write an empty (but schema-valid) metrics envelope: used by binaries
+/// without per-run stats (microbenchmarks).  No-op when `path` is empty.
+inline void write_envelope_only(const std::string& path,
+                                const char* binary) {
+  if (path.empty()) return;
+  obs::write_metrics_file(path, binary, {});
+}
+
+} // namespace visrt::bench

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "geom/interval_set.h"
+#include "metrics_common.h"
 
 namespace visrt {
 namespace {
@@ -67,3 +68,15 @@ BENCHMARK(BM_Overlaps)->Arg(4)->Arg(64)->Arg(1024);
 
 } // namespace
 } // namespace visrt
+
+// Custom main: --metrics-json must be stripped before google-benchmark
+// sees the arguments (benchmark_main rejects unrecognized flags).
+int main(int argc, char** argv) {
+  std::string metrics = visrt::bench::take_metrics_json_arg(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  visrt::bench::write_envelope_only(metrics, "micro_intervalset");
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "metrics_common.h"
 #include "geom/bvh.h"
 #include "geom/interval_tree.h"
 #include "realm/reduction_ops.h"
@@ -137,3 +138,15 @@ BENCHMARK(BM_LookupIntervalTree)->Arg(64)->Arg(512)->Arg(4096);
 
 } // namespace
 } // namespace visrt
+
+// Custom main: --metrics-json must be stripped before google-benchmark
+// sees the arguments (benchmark_main rejects unrecognized flags).
+int main(int argc, char** argv) {
+  std::string metrics = visrt::bench::take_metrics_json_arg(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  visrt::bench::write_envelope_only(metrics, "micro_visibility");
+  return 0;
+}

@@ -15,7 +15,11 @@
 //     --trace          enable the tracing extension
 //     --no-values      analysis-only mode (skip kernels and validation)
 //     --size N         per-piece problem scale (default app-specific)
-//     --chrome-trace F write a chrome://tracing JSON timeline to file F
+//     --trace-out F    write a chrome://tracing / Perfetto JSON timeline
+//                      (with counter tracks + flow arrows) to file F
+//                      (--chrome-trace is an alias)
+//     --metrics-json F write the run's JSON metrics (schema in
+//                      docs/OBSERVABILITY.md) to file F
 //
 // Examples:
 //   visrt_cli circuit warnock --nodes 64 --dcr --no-values
@@ -30,6 +34,7 @@
 #include "apps/circuit.h"
 #include "apps/pennant.h"
 #include "apps/stencil.h"
+#include "runtime/metrics.h"
 
 using namespace visrt;
 
@@ -56,13 +61,15 @@ struct Options {
   bool values = true;
   coord_t size = 0; // 0: app default
   std::string chrome_trace; // empty: no timeline export
+  std::string metrics_json; // empty: no metrics file
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: visrt_cli <stencil|circuit|pennant> <algorithm> "
                "[--nodes N] [--pieces N] [--iters N] [--dcr] [--trace] "
-               "[--no-values] [--size N]\n");
+               "[--no-values] [--size N] [--trace-out F] "
+               "[--metrics-json F]\n");
   return 2;
 }
 
@@ -96,6 +103,26 @@ void print_stats(const Runtime& rt, const RunStats& stats, bool validated,
   }
 }
 
+/// Finish the run: stats to stdout, then the optional timeline and
+/// metrics files.
+void report(Runtime& rt, const Options& opt, bool validated) {
+  RunStats stats = rt.finish();
+  print_stats(rt, stats, validated, opt.values);
+  maybe_export_trace(rt, opt.chrome_trace);
+  if (!opt.metrics_json.empty()) {
+    MetricsRunInfo info;
+    info.name = opt.app + "/" + algorithm_name(opt.algorithm);
+    info.app = opt.app;
+    info.algorithm = algorithm_name(opt.algorithm);
+    info.dcr = opt.dcr;
+    info.nodes = opt.nodes;
+    MetricsFile metrics("visrt_cli");
+    metrics.add_run(metrics_run_json(info, rt, stats));
+    if (metrics.write(opt.metrics_json))
+      std::printf("metrics written to %s\n", opt.metrics_json.c_str());
+  }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -117,8 +144,11 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") opt.trace = true;
     else if (arg == "--no-values") opt.values = false;
     else if (arg == "--size") opt.size = next();
-    else if (arg == "--chrome-trace" && i + 1 < argc)
+    else if ((arg == "--chrome-trace" || arg == "--trace-out") &&
+             i + 1 < argc)
       opt.chrome_trace = argv[++i];
+    else if (arg == "--metrics-json" && i + 1 < argc)
+      opt.metrics_json = argv[++i];
     else return usage();
   }
   if (opt.pieces == 0) opt.pieces = opt.nodes;
@@ -127,6 +157,9 @@ int main(int argc, char** argv) {
   cfg.algorithm = opt.algorithm;
   cfg.dcr = opt.dcr;
   cfg.track_values = opt.values;
+  // Any observability output wants the full telemetry: spans, series and
+  // the enriched timeline.
+  cfg.telemetry = !opt.chrome_trace.empty() || !opt.metrics_json.empty();
   cfg.machine.num_nodes = opt.nodes;
   Runtime rt(cfg);
 
@@ -148,8 +181,7 @@ int main(int argc, char** argv) {
     apps::StencilApp app(rt, acfg);
     app.run();
     if (opt.values) validated = app.validate();
-    print_stats(rt, rt.finish(), validated, opt.values);
-    maybe_export_trace(rt, opt.chrome_trace);
+    report(rt, opt, validated);
   } else if (opt.app == "circuit") {
     apps::CircuitConfig acfg;
     acfg.pieces = opt.pieces;
@@ -161,8 +193,7 @@ int main(int argc, char** argv) {
     app.run();
     if (opt.values)
       validated = app.validate(opt.algorithm == Algorithm::Paint ? 1e-9 : 0);
-    print_stats(rt, rt.finish(), validated, opt.values);
-    maybe_export_trace(rt, opt.chrome_trace);
+    report(rt, opt, validated);
   } else if (opt.app == "pennant") {
     apps::PennantConfig acfg;
     std::uint32_t px = 1;
@@ -177,8 +208,7 @@ int main(int argc, char** argv) {
     app.run();
     if (opt.values)
       validated = app.validate(opt.algorithm == Algorithm::Paint ? 1e-9 : 0);
-    print_stats(rt, rt.finish(), validated, opt.values);
-    maybe_export_trace(rt, opt.chrome_trace);
+    report(rt, opt, validated);
   } else {
     return usage();
   }

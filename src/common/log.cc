@@ -1,14 +1,41 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <string>
 
 namespace visrt {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Warning};
+/// Initial threshold: VISRT_LOG_LEVEL (name or numeric LogLevel value)
+/// when set and recognized, Warning otherwise.
+LogLevel initial_level() {
+  const char* env = std::getenv("VISRT_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::Warning;
+  std::string v;
+  for (const char* p = env; *p != '\0'; ++p)
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  if (v == "debug" || v == "0") return LogLevel::Debug;
+  if (v == "info" || v == "1") return LogLevel::Info;
+  if (v == "warning" || v == "warn" || v == "2") return LogLevel::Warning;
+  if (v == "error" || v == "3") return LogLevel::Error;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::Off;
+  return LogLevel::Warning;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
+
+/// Monotonic clock origin, anchored at the first log statement.
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,12 +56,20 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
-void log_line(LogLevel level, const std::string& component,
-              const std::string& message) {
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
   if (level < log_level() || message.empty()) return;
+  double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    log_epoch())
+          .count();
+  // One fprintf per line under the lock: lines from concurrent threads
+  // never interleave.
   std::scoped_lock lock(g_mutex);
-  std::fprintf(stderr, "[visrt:%s] %s: %s\n", component.c_str(),
-               level_name(level), message.c_str());
+  std::fprintf(stderr, "[%11.6f] [visrt:%.*s] %s: %.*s\n", uptime,
+               static_cast<int>(component.size()), component.data(),
+               level_name(level), static_cast<int>(message.size()),
+               message.data());
 }
 
 } // namespace visrt

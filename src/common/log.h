@@ -1,11 +1,17 @@
 // visrt/common/log.h
 //
 // Minimal leveled logging to stderr.  Off by default above Warning so tests
-// and benchmarks stay quiet; examples flip the level to Info for narration.
+// and benchmarks stay quiet; examples flip the level to Info for narration,
+// and the VISRT_LOG_LEVEL environment variable (debug|info|warning|error|
+// off) overrides the initial threshold without recompiling.
+//
+// Lines carry a monotonic since-process-start timestamp and the component:
+//   [   0.001234] [visrt:runtime] INFO: mapped task 7
 #pragma once
 
+#include <optional>
 #include <sstream>
-#include <string>
+#include <string_view>
 
 namespace visrt {
 
@@ -16,28 +22,36 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 
 /// Emit one log line (used by the Logger helper; callable directly too).
-void log_line(LogLevel level, const std::string& component,
-              const std::string& message);
+/// Thread-safe: the line is formatted and written atomically.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
 
 /// Stream-style log statement builder:
 ///   Logger(LogLevel::Info, "runtime") << "mapped task " << id;
+///
+/// The threshold is checked once at construction; a suppressed statement
+/// never constructs the stream, so `operator<<` on it costs one branch.
 class Logger {
 public:
-  Logger(LogLevel level, std::string component)
-      : level_(level), component_(std::move(component)) {}
+  Logger(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {
+    if (level_ >= log_level()) stream_.emplace();
+  }
   Logger(const Logger&) = delete;
   Logger& operator=(const Logger&) = delete;
-  ~Logger() { log_line(level_, component_, stream_.str()); }
+  ~Logger() {
+    if (stream_.has_value()) log_line(level_, component_, stream_->str());
+  }
 
   template <typename T> Logger& operator<<(const T& value) {
-    if (level_ >= log_level()) stream_ << value;
+    if (stream_.has_value()) *stream_ << value;
     return *this;
   }
 
 private:
   LogLevel level_;
-  std::string component_;
-  std::ostringstream stream_;
+  std::string_view component_; ///< callers pass string literals
+  std::optional<std::ostringstream> stream_; ///< engaged iff enabled
 };
 
 } // namespace visrt

@@ -1,0 +1,110 @@
+// visrt/obs/counters.h
+//
+// The analysis work counters shared by every coherence engine and the
+// telemetry layer.  They live below src/visibility so the observability
+// subsystem (obs::Recorder spans, counter time-series, metrics export) can
+// capture them without depending on the engines themselves.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/cost_model.h"
+
+namespace visrt {
+
+/// Work counters for one analysis step; converted to CPU nanoseconds by the
+/// simulator's cost model.
+struct AnalysisCounters {
+  std::uint64_t history_entries = 0;     ///< history entries examined
+  std::uint64_t composite_child_tests = 0;
+  std::uint64_t composite_captures = 0;  ///< node histories captured
+  std::uint64_t eqset_refines = 0;       ///< equivalence-set splits
+  std::uint64_t refine_intervals = 0;    ///< domain intervals restricted
+  std::uint64_t eqset_visits = 0;        ///< equivalence sets touched
+  std::uint64_t accel_nodes = 0;         ///< BVH / K-d nodes traversed
+  std::uint64_t interval_ops = 0;        ///< interval-set algebra intervals
+  std::uint64_t eqsets_created = 0;
+  std::uint64_t eqsets_pruned = 0;
+
+  SimTime cpu_ns(const sim::CostModel& m) const {
+    return static_cast<SimTime>(
+        history_entries * static_cast<std::uint64_t>(m.history_entry_ns) +
+        composite_child_tests *
+            static_cast<std::uint64_t>(m.composite_child_test_ns) +
+        composite_captures *
+            static_cast<std::uint64_t>(m.composite_capture_ns) +
+        eqset_refines * static_cast<std::uint64_t>(m.eqset_refine_ns) +
+        refine_intervals * static_cast<std::uint64_t>(m.refine_interval_ns) +
+        eqset_visits * static_cast<std::uint64_t>(m.eqset_visit_ns) +
+        accel_nodes * static_cast<std::uint64_t>(m.accel_node_ns) +
+        interval_ops * static_cast<std::uint64_t>(m.interval_op_ns) +
+        eqsets_created * static_cast<std::uint64_t>(m.eqset_create_ns) +
+        eqsets_pruned * static_cast<std::uint64_t>(m.eqset_prune_ns));
+  }
+
+  AnalysisCounters& operator+=(const AnalysisCounters& o) {
+    history_entries += o.history_entries;
+    composite_child_tests += o.composite_child_tests;
+    composite_captures += o.composite_captures;
+    eqset_refines += o.eqset_refines;
+    refine_intervals += o.refine_intervals;
+    eqset_visits += o.eqset_visits;
+    accel_nodes += o.accel_nodes;
+    interval_ops += o.interval_ops;
+    eqsets_created += o.eqsets_created;
+    eqsets_pruned += o.eqsets_pruned;
+    return *this;
+  }
+
+  /// Component-wise difference; operands must satisfy o <= *this
+  /// component-wise (spans only ever subtract an earlier snapshot of the
+  /// same accumulator).
+  AnalysisCounters operator-(const AnalysisCounters& o) const {
+    AnalysisCounters d;
+    d.history_entries = history_entries - o.history_entries;
+    d.composite_child_tests = composite_child_tests - o.composite_child_tests;
+    d.composite_captures = composite_captures - o.composite_captures;
+    d.eqset_refines = eqset_refines - o.eqset_refines;
+    d.refine_intervals = refine_intervals - o.refine_intervals;
+    d.eqset_visits = eqset_visits - o.eqset_visits;
+    d.accel_nodes = accel_nodes - o.accel_nodes;
+    d.interval_ops = interval_ops - o.interval_ops;
+    d.eqsets_created = eqsets_created - o.eqsets_created;
+    d.eqsets_pruned = eqsets_pruned - o.eqsets_pruned;
+    return d;
+  }
+
+  std::uint64_t total() const {
+    return history_entries + composite_child_tests + composite_captures +
+           eqset_refines + refine_intervals + eqset_visits + accel_nodes +
+           interval_ops + eqsets_created + eqsets_pruned;
+  }
+};
+
+/// Visit each counter as ("name", value) — the single source of truth for
+/// the counter catalog used by the metrics schema and trace span args.
+template <typename Fn>
+void for_each_counter(const AnalysisCounters& c, Fn&& fn) {
+  fn("history_entries", c.history_entries);
+  fn("composite_child_tests", c.composite_child_tests);
+  fn("composite_captures", c.composite_captures);
+  fn("eqset_refines", c.eqset_refines);
+  fn("refine_intervals", c.refine_intervals);
+  fn("eqset_visits", c.eqset_visits);
+  fn("accel_nodes", c.accel_nodes);
+  fn("interval_ops", c.interval_ops);
+  fn("eqsets_created", c.eqsets_created);
+  fn("eqsets_pruned", c.eqsets_pruned);
+}
+
+/// One unit of analysis work attributed to the node that owns the metadata
+/// it touched.  Steps on nodes other than the analyzing node cost a
+/// round-trip message pair in the simulation.
+struct AnalysisStep {
+  NodeID owner = 0;
+  AnalysisCounters counters;
+  std::uint64_t meta_bytes = 0; ///< metadata shipped back (views, histories)
+};
+
+} // namespace visrt

@@ -1,0 +1,67 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace visrt::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  // %g may produce "1e+05"-style exponents, which are valid JSON; the only
+  // invalid outputs are nan/inf, excluded above.
+  return buf;
+}
+
+void write_metrics_envelope(std::ostream& os, std::string_view binary,
+                            std::span<const std::string> runs) {
+  os << "{\"schema_version\":" << kMetricsSchemaVersion << ",\"binary\":\""
+     << json_escape(binary) << "\",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n" << runs[i];
+  }
+  os << "\n]}\n";
+}
+
+bool write_metrics_file(const std::string& path, std::string_view binary,
+                        std::span<const std::string> runs) {
+  std::ofstream out(path);
+  if (!out) {
+    Logger(LogLevel::Warning, "obs")
+        << "cannot open metrics file for writing: " << path;
+    return false;
+  }
+  write_metrics_envelope(out, binary, runs);
+  return out.good();
+}
+
+} // namespace visrt::obs

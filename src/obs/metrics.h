@@ -1,0 +1,39 @@
+// visrt/obs/metrics.h
+//
+// The metrics-file envelope and the small JSON emission helpers shared by
+// every serializer in the telemetry layer (metrics sink, trace export).
+// The schema is documented in docs/OBSERVABILITY.md; obs owns the envelope
+// (schema_version, binary, runs[]) while the runtime layer serializes the
+// per-run objects, so binaries without a Runtime (e.g. microbenchmarks)
+// can still emit schema-valid files.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace visrt::obs {
+
+/// Bumped whenever a key is renamed or removed; additions are backward
+/// compatible and do not bump it.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// JSON-escape the contents of a string (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// Render a double as a JSON number (finite shortest round-trip form;
+/// NaN/Inf degrade to 0 since JSON cannot carry them).
+std::string json_number(double value);
+
+/// Write the metrics-file envelope around pre-serialized run objects:
+///   {"schema_version":1,"binary":"<name>","runs":[...]}
+void write_metrics_envelope(std::ostream& os, std::string_view binary,
+                            std::span<const std::string> runs);
+
+/// Convenience: write an envelope to `path`; returns false (and logs a
+/// warning) when the file cannot be written.
+bool write_metrics_file(const std::string& path, std::string_view binary,
+                        std::span<const std::string> runs);
+
+} // namespace visrt::obs

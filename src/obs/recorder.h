@@ -1,0 +1,179 @@
+// visrt/obs/recorder.h
+//
+// The telemetry recorder: a low-overhead span/event log plus bounded
+// counter time-series, populated by the runtime and the coherence engines
+// while a run executes.
+//
+//   - Spans mark one unit of analysis on the launch clock: the runtime
+//     opens a Launch span per task launch with Materialize/Commit children
+//     per region requirement, and each engine opens Phase spans around its
+//     internal phases (history walk, composite capture, eqset refine, BVH
+//     traversal).  Every span captures the AnalysisCounters delta of the
+//     work performed inside it.
+//   - Counter time-series sample run-state gauges (live equivalence sets,
+//     composite views, history entries, messages, per-node analysis busy
+//     time) at launch granularity into bounded ring buffers.
+//
+// When the recorder is disabled (the default) every hook folds to a single
+// branch on `enabled()`: no allocation, no counter snapshots, no samples.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/counters.h"
+
+namespace visrt::obs {
+
+using SpanID = std::uint32_t;
+inline constexpr SpanID kInvalidSpan = std::numeric_limits<SpanID>::max();
+
+enum class SpanKind : std::uint8_t { Launch, Materialize, Commit, Phase };
+
+const char* span_kind_name(SpanKind kind);
+
+/// One closed span.  `counters` is the analysis work performed between
+/// begin and end (including work attributed to remote owners).
+struct Span {
+  SpanKind kind = SpanKind::Phase;
+  std::string name;             ///< task name or phase label
+  SpanID parent = kInvalidSpan; ///< enclosing span, if any
+  LaunchID launch = kInvalidLaunch;
+  NodeID node = 0;              ///< analyzing node
+  AnalysisCounters counters;
+};
+
+/// One sample of a counter series, positioned on the launch clock (launch
+/// ids are the paper's global analysis clock).
+struct SeriesSample {
+  LaunchID launch = 0;
+  double value = 0;
+};
+
+/// Summary statistics over the retained window of one series.
+struct SeriesSummary {
+  std::uint64_t count = 0; ///< samples ever pushed (not just retained)
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double last = 0;
+};
+
+/// Bounded ring buffer of launch-indexed samples for one counter.  Once
+/// `capacity` samples are retained the oldest are overwritten, so memory
+/// stays constant for arbitrarily long runs.
+class CounterSeries {
+public:
+  CounterSeries(std::string name, std::size_t capacity);
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  void push(LaunchID launch, double value);
+
+  /// Samples retained (<= capacity).
+  std::size_t size() const { return ring_.size(); }
+  /// Samples ever pushed.
+  std::uint64_t total() const { return total_; }
+  /// i-th retained sample, oldest first.
+  const SeriesSample& at(std::size_t i) const;
+
+  SeriesSummary summarize() const;
+
+private:
+  std::string name_;
+  std::size_t capacity_;
+  std::vector<SeriesSample> ring_;
+  std::size_t head_ = 0; ///< overwrite position once the ring is full
+  std::uint64_t total_ = 0;
+};
+
+class Recorder {
+public:
+  bool enabled() const { return enabled_; }
+
+  /// Turn recording on.  Must be called before any spans/samples; the
+  /// limits apply to series created afterwards.
+  void enable();
+  void set_series_capacity(std::size_t capacity);
+  void set_max_spans(std::size_t max_spans);
+
+  /// Open a span; returns kInvalidSpan when disabled or at the span cap
+  /// (end_span on the result is then a no-op, but must still be called to
+  /// balance the nesting stack).
+  SpanID begin_span(SpanKind kind, std::string_view name, LaunchID launch,
+                    NodeID node);
+  /// Close the innermost open span, attributing `work` to it.
+  void end_span(SpanID id, const AnalysisCounters& work);
+
+  /// Find-or-create a series.  Ids are stable for the recorder's lifetime.
+  std::size_t series_id(std::string_view name);
+  void sample(std::size_t series, LaunchID launch, double value);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::uint64_t spans_dropped() const { return dropped_; }
+  std::size_t series_count() const { return series_.size(); }
+  const CounterSeries& series(std::size_t id) const { return series_[id]; }
+
+private:
+  bool enabled_ = false;
+  std::size_t series_capacity_ = 4096;
+  std::size_t max_spans_ = 1u << 20;
+  std::vector<Span> spans_;
+  std::vector<SpanID> open_; ///< stack of open spans (kInvalidSpan = dropped)
+  std::uint64_t dropped_ = 0;
+  std::vector<CounterSeries> series_;
+  std::unordered_map<std::string, std::size_t> series_ids_;
+};
+
+/// RAII span that captures the counter delta of the code it encloses.
+///
+/// `local` (optional) points at the accumulator the enclosed code
+/// increments directly; `steps` (optional) points at the step vector the
+/// enclosed code appends attributed work to.  On destruction the span's
+/// counters are (local now - local at begin) + sum of counters of steps
+/// appended since begin.  With a null/disabled recorder construction and
+/// destruction cost one branch each.
+class ScopedSpan {
+public:
+  ScopedSpan(Recorder* recorder, SpanKind kind, std::string_view name,
+             LaunchID launch, NodeID node,
+             const AnalysisCounters* local = nullptr,
+             const std::vector<AnalysisStep>* steps = nullptr)
+      : local_(local), steps_(steps) {
+    if (recorder == nullptr || !recorder->enabled()) return;
+    recorder_ = recorder;
+    if (local_ != nullptr) local_begin_ = *local_;
+    if (steps_ != nullptr) steps_begin_ = steps_->size();
+    id_ = recorder_->begin_span(kind, name, launch, node);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    AnalysisCounters work;
+    if (local_ != nullptr) work += *local_ - local_begin_;
+    if (steps_ != nullptr) {
+      for (std::size_t i = steps_begin_; i < steps_->size(); ++i)
+        work += (*steps_)[i].counters;
+    }
+    recorder_->end_span(id_, work);
+  }
+
+private:
+  Recorder* recorder_ = nullptr;
+  SpanID id_ = kInvalidSpan;
+  const AnalysisCounters* local_;
+  const std::vector<AnalysisStep>* steps_;
+  AnalysisCounters local_begin_;
+  std::size_t steps_begin_ = 0;
+};
+
+} // namespace visrt::obs

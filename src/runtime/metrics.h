@@ -1,0 +1,53 @@
+// visrt/runtime/metrics.h
+//
+// JSON metrics sink for finished runs: serializes RunStats, the per-node
+// breakdowns and the recorder's counter-series summaries into the per-run
+// objects of the obs metrics envelope (schema in docs/OBSERVABILITY.md).
+// Benchmarks collect one run object per configuration into a MetricsFile
+// and write it behind --metrics-json=PATH.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace visrt {
+
+/// Identity of one run within a metrics file.
+struct MetricsRunInfo {
+  std::string name;      ///< configuration label, e.g. "raycast/dcr/16"
+  std::string app;       ///< application, e.g. "stencil"
+  std::string algorithm; ///< algorithm_name() of the engine
+  bool dcr = false;
+  std::uint32_t nodes = 0;
+};
+
+/// Serialize one finished run as a JSON object (stats, per-node analysis
+/// busy time and message counts, series summaries, span aggregates).
+std::string metrics_run_json(const MetricsRunInfo& info, const Runtime& rt,
+                             const RunStats& stats);
+
+/// Accumulates run objects and writes the envelope.
+class MetricsFile {
+public:
+  explicit MetricsFile(std::string binary) : binary_(std::move(binary)) {}
+
+  void add_run(std::string run_json) {
+    runs_.push_back(std::move(run_json));
+  }
+  std::size_t run_count() const { return runs_.size(); }
+
+  /// The complete file contents.
+  std::string json() const;
+  /// Write to `path`; returns false (and logs) on failure.  A no-op
+  /// returning true when `path` is empty, so callers can pass the
+  /// --metrics-json value through unconditionally.
+  bool write(const std::string& path) const;
+
+private:
+  std::string binary_;
+  std::vector<std::string> runs_;
+};
+
+} // namespace visrt

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <sstream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "sim/trace_export.h"
 #include "visibility/history.h"
 
@@ -18,11 +20,17 @@ constexpr std::uint64_t kElementBytes = 8;
 
 Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   config_.machine.validate();
+  if (config_.telemetry) {
+    recorder_.set_series_capacity(config_.telemetry_series_capacity);
+    recorder_.enable();
+  }
   EngineConfig ec;
   ec.track_values = config_.track_values;
   ec.forest = &forest_;
+  ec.recorder = &recorder_;
   engine_ = make_engine(config_.algorithm, ec);
   issue_tail_.assign(config_.machine.num_nodes, sim::kInvalidOp);
+  analysis_busy_ns_.assign(config_.machine.num_nodes, 0);
 }
 
 RegionHandle Runtime::create_region(IntervalSet domain, std::string name) {
@@ -74,6 +82,7 @@ std::vector<sim::OpID> Runtime::emit_steps(
   sim::OpID local_tail = head;
   for (const AnalysisStep& step : steps) {
     SimTime cost = step.counters.cpu_ns(config_.costs);
+    analysis_busy_ns_[step.owner] += cost;
     if (step.owner == analysis_node) {
       std::vector<sim::OpID> deps;
       if (local_tail != sim::kInvalidOp) deps.push_back(local_tail);
@@ -108,6 +117,8 @@ LaunchID Runtime::launch(TaskLaunch launch) {
 
   NodeID analysis_node = config_.dcr ? launch.mapped_node : 0;
   AnalysisContext ctx{id, launch.mapped_node, analysis_node};
+  obs::ScopedSpan launch_span(&recorder_, obs::SpanKind::Launch, launch.name,
+                              id, analysis_node);
 
   // Tracing: record the launch fingerprint while capturing; verify it
   // while replaying.  Any mismatch invalidates the template and falls
@@ -158,7 +169,16 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   for (const RegionReq& rr : launch.requirements) {
     Requirement req{rr.region, rr.field, rr.privilege};
     reqs.push_back(req);
-    MaterializeResult mr = engine_->materialize(req, ctx);
+    MaterializeResult mr;
+    {
+      // The span watches mr.steps, which the engine fills inside the scope:
+      // the span's counters are the sum over the requirement's steps.
+      obs::ScopedSpan span(&recorder_, obs::SpanKind::Materialize,
+                           "materialize", id, analysis_node, nullptr,
+                           &mr.steps);
+      mr = engine_->materialize(req, ctx);
+    }
+    record_launch_telemetry(id, launch.name, mr.steps);
     for (LaunchID d : mr.dependences) add_dependence(all_deps, d);
     // Under trace replay the analysis result is memoized: the engine still
     // runs (semantics stay exact and its state advances) but no analysis
@@ -224,8 +244,13 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   // them.
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const Requirement& req = reqs[i];
-    std::vector<AnalysisStep> steps =
-        engine_->commit(req, phys[i].data(), ctx);
+    std::vector<AnalysisStep> steps;
+    {
+      obs::ScopedSpan span(&recorder_, obs::SpanKind::Commit, "commit", id,
+                           analysis_node, nullptr, &steps);
+      steps = engine_->commit(req, phys[i].data(), ctx);
+    }
+    record_launch_telemetry(id, launch.name, steps);
     if (!replay) {
       std::vector<sim::OpID> commit_tails =
           emit_steps(steps, analysis_node, exec);
@@ -248,7 +273,38 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   // analysis, as in Legion's asynchronous runtime.
   issue_tail_[analysis_node] = issue;
   ++launches_this_iteration_;
+  sample_series(id);
   return id;
+}
+
+void Runtime::record_launch_telemetry(LaunchID id, const std::string& name,
+                                      std::span<const AnalysisStep> steps) {
+  if (!recorder_.enabled()) return;
+  if (launch_names_.size() <= id) {
+    launch_names_.resize(id + 1);
+    launch_counters_.resize(id + 1);
+  }
+  launch_names_[id] = name;
+  for (const AnalysisStep& step : steps)
+    launch_counters_[id] += step.counters;
+}
+
+void Runtime::sample_series(LaunchID id) {
+  if (!recorder_.enabled()) return;
+  EngineStats es = engine_->stats();
+  recorder_.sample(recorder_.series_id("live_eqsets"), id,
+                   static_cast<double>(es.live_eqsets));
+  recorder_.sample(recorder_.series_id("live_composite_views"), id,
+                   static_cast<double>(es.live_composite_views));
+  recorder_.sample(recorder_.series_id("history_entries"), id,
+                   static_cast<double>(es.history_entries));
+  recorder_.sample(recorder_.series_id("messages_total"), id,
+                   static_cast<double>(graph_.message_count()));
+  for (NodeID n = 0; n < config_.machine.num_nodes; ++n) {
+    recorder_.sample(
+        recorder_.series_id("analysis_busy_ns/node" + std::to_string(n)), id,
+        static_cast<double>(analysis_busy_ns_[n]));
+  }
 }
 
 std::vector<LaunchID> Runtime::index_launch(const IndexLaunch& launch) {
@@ -343,9 +399,74 @@ RegionData<double> Runtime::observe(RegionHandle region, FieldID field) {
   return std::move(mr.data);
 }
 
+std::vector<std::uint64_t> Runtime::messages_by_node() const {
+  std::vector<std::uint64_t> counts(config_.machine.num_nodes, 0);
+  for (sim::OpID id = 0; id < graph_.size(); ++id) {
+    const sim::Op& op = graph_.op(id);
+    if (op.kind == sim::OpKind::Message) ++counts[op.node];
+  }
+  return counts;
+}
+
 void Runtime::export_chrome_trace(std::ostream& os) const {
   sim::ReplayResult r = sim::replay(graph_, config_.machine);
-  sim::export_chrome_trace(graph_, r, config_.machine, os);
+  if (!recorder_.enabled()) {
+    sim::export_chrome_trace(graph_, r, config_.machine, os);
+    return;
+  }
+
+  sim::TraceEnrichment enrich;
+  // Flow arrows for dependence edges: producer execution -> consumer
+  // execution.
+  for (LaunchID id = 0; id < exec_op_.size(); ++id) {
+    if (exec_op_[id] == sim::kInvalidOp) continue;
+    for (LaunchID p : deps_.preds(id)) {
+      if (p < exec_op_.size() && exec_op_[p] != sim::kInvalidOp)
+        enrich.flows.push_back(
+            sim::TraceFlow{exec_op_[p], exec_op_[id], "dep"});
+    }
+  }
+  // Flow arrows for analysis messages: the op that triggered the send ->
+  // the message's slice on the destination NIC.
+  for (sim::OpID id = 0; id < graph_.size(); ++id) {
+    const sim::Op& op = graph_.op(id);
+    if (op.kind != sim::OpKind::Message ||
+        op.category != static_cast<std::uint8_t>(sim::OpCategory::Analysis))
+      continue;
+    std::span<const sim::OpID> d = graph_.deps(id);
+    if (!d.empty())
+      enrich.flows.push_back(sim::TraceFlow{d.front(), id, "analysis_msg"});
+  }
+  // Counter tracks: each retained sample anchored at its launch's task
+  // execution (sim time is only known post-replay, so the exec op's finish
+  // provides the timestamp).
+  for (std::size_t sid = 0; sid < recorder_.series_count(); ++sid) {
+    const obs::CounterSeries& cs = recorder_.series(sid);
+    sim::TraceCounterTrack track;
+    track.name = cs.name();
+    track.pid = 0;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const obs::SeriesSample& s = cs.at(i);
+      if (s.launch < exec_op_.size() && exec_op_[s.launch] != sim::kInvalidOp)
+        track.samples.emplace_back(exec_op_[s.launch], s.value);
+    }
+    enrich.counters.push_back(std::move(track));
+  }
+  // Per-launch args on the execution slices: task name plus the launch's
+  // aggregated analysis counters.
+  for (LaunchID id = 0; id < exec_op_.size() && id < launch_names_.size();
+       ++id) {
+    if (exec_op_[id] == sim::kInvalidOp) continue;
+    std::ostringstream args;
+    args << "\"launch\":" << id << ",\"task\":\""
+         << obs::json_escape(launch_names_[id]) << "\"";
+    for_each_counter(launch_counters_[id],
+                     [&](const char* name, std::uint64_t value) {
+                       if (value != 0) args << ",\"" << name << "\":" << value;
+                     });
+    enrich.op_args.emplace(exec_op_[id], args.str());
+  }
+  sim::export_chrome_trace(graph_, r, config_.machine, os, &enrich);
 }
 
 RunStats Runtime::finish() {

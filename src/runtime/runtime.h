@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "realm/instance_map.h"
 #include "region/region_tree.h"
 #include "sim/cost_model.h"
@@ -51,6 +52,13 @@ struct RuntimeConfig {
   /// Execute task bodies on real data (on for examples/tests; off for
   /// large analysis-only benchmark sweeps).
   bool track_values = true;
+  /// Enable the telemetry recorder: per-launch analysis spans, counter
+  /// time-series, enriched Chrome traces and the JSON metrics sink.  Off by
+  /// default; a disabled recorder costs a single branch per span site.
+  bool telemetry = false;
+  /// Ring-buffer capacity of each counter series (memory stays bounded for
+  /// arbitrarily long runs).
+  std::size_t telemetry_series_capacity = 4096;
   sim::MachineConfig machine;
   sim::CostModel costs;
 };
@@ -159,6 +167,21 @@ public:
   const DepGraph& dep_graph() const { return deps_; }
   const sim::WorkGraph& work_graph() const { return graph_; }
   EngineStats engine_stats() const { return engine_->stats(); }
+  const RuntimeConfig& config() const { return config_; }
+
+  /// The telemetry recorder (enabled iff RuntimeConfig::telemetry).
+  obs::Recorder& recorder() { return recorder_; }
+  const obs::Recorder& recorder() const { return recorder_; }
+
+  /// Cumulative analysis CPU per node.  Sums exactly to the work graph's
+  /// total Analysis cost: emit_steps is the only producer of Analysis
+  /// compute ops and accumulates both from the same step costs.
+  std::span<const SimTime> analysis_busy_ns() const {
+    return analysis_busy_ns_;
+  }
+  /// Messages by source node (analysis traffic, copies and reductions),
+  /// from a scan of the work graph.
+  std::vector<std::uint64_t> messages_by_node() const;
 
   /// Create the root region of a new tree.
   RegionHandle create_region(IntervalSet domain, std::string name);
@@ -215,8 +238,16 @@ private:
   std::vector<sim::OpID> emit_steps(std::span<const AnalysisStep> steps,
                                     NodeID analysis_node, sim::OpID head);
 
+  /// Per-launch bookkeeping for telemetry (names + aggregated counters for
+  /// trace span args); grown only while the recorder is enabled.
+  void record_launch_telemetry(LaunchID id, const std::string& name,
+                               std::span<const AnalysisStep> steps);
+  /// Sample the counter series at the end of a launch.
+  void sample_series(LaunchID id);
+
   RuntimeConfig config_;
   RegionTreeForest forest_;
+  obs::Recorder recorder_;
   std::unique_ptr<CoherenceEngine> engine_;
   DepGraph deps_;
   sim::WorkGraph graph_;
@@ -254,6 +285,13 @@ private:
   std::vector<sim::OpID> current_iteration_execs_;
   sim::OpID last_marker_ = sim::kInvalidOp;
   std::size_t launches_this_iteration_ = 0;
+
+  /// Cumulative analysis CPU per node (always accumulated: one add per
+  /// analysis step).
+  std::vector<SimTime> analysis_busy_ns_;
+  /// Telemetry-only per-launch records (empty while the recorder is off).
+  std::vector<std::string> launch_names_;
+  std::vector<AnalysisCounters> launch_counters_;
 };
 
 } // namespace visrt

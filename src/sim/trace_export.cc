@@ -1,5 +1,6 @@
 #include "sim/trace_export.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -34,10 +35,45 @@ const char* track_name(int track) {
   }
 }
 
+/// Where an op's slice renders; `valid` is false for markers and
+/// zero-duration ops, which emit nothing.
+struct SliceInfo {
+  bool valid = false;
+  NodeID pid = 0;
+  int tid = 0;
+  SimTime start = 0;
+  SimTime duration = 0;
+};
+
+SliceInfo slice_info(const Op& op, SimTime finish,
+                     const MachineConfig& machine) {
+  SliceInfo s;
+  if (op.kind == OpKind::Marker) return s;
+  if (op.kind == OpKind::Message) {
+    s.duration = std::max<SimTime>(
+        machine.message_handler_ns,
+        machine.wire_time(op.bytes) + machine.message_handler_ns);
+    s.pid = op.dst;
+  } else {
+    s.duration = op.cost;
+    s.pid = op.node;
+  }
+  if (s.duration <= 0) return s;
+  s.start = finish - s.duration;
+  if (s.start < 0) s.start = 0;
+  s.tid = track_of(op);
+  s.valid = true;
+  return s;
+}
+
+/// Nanoseconds to the trace's microsecond timebase.
+double us(SimTime ns) { return static_cast<double>(ns) / 1000.0; }
+
 } // namespace
 
 void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
-                         const MachineConfig& machine, std::ostream& os) {
+                         const MachineConfig& machine, std::ostream& os,
+                         const TraceEnrichment* enrich) {
   os << "[";
   bool first = true;
   auto emit = [&](const std::string& line) {
@@ -59,45 +95,76 @@ void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
 
   for (OpID id = 0; id < graph.size(); ++id) {
     const Op& op = graph.op(id);
-    if (op.kind == OpKind::Marker) continue;
-    SimTime finish = result.finish[id];
-    SimTime duration;
-    NodeID row_node;
-    if (op.kind == OpKind::Message) {
-      duration = std::max<SimTime>(
-          machine.message_handler_ns,
-          machine.wire_time(op.bytes) + machine.message_handler_ns);
-      row_node = op.dst;
-    } else {
-      duration = op.cost;
-      row_node = op.node;
-    }
-    if (duration <= 0) continue;
-    SimTime start = finish - duration;
-    if (start < 0) start = 0;
+    SliceInfo s = slice_info(op, result.finish[id], machine);
+    if (!s.valid) continue;
     std::ostringstream line;
     // Chrome traces use microseconds; keep nanosecond resolution as
     // fractional microseconds.
     line << "{\"ph\":\"X\",\"name\":\"" << category_name(op.category)
          << "\",\"cat\":\"" << category_name(op.category)
-         << "\",\"pid\":" << row_node << ",\"tid\":" << track_of(op)
-         << ",\"ts\":" << static_cast<double>(start) / 1000.0
-         << ",\"dur\":" << static_cast<double>(duration) / 1000.0
+         << "\",\"pid\":" << s.pid << ",\"tid\":" << s.tid
+         << ",\"ts\":" << us(s.start) << ",\"dur\":" << us(s.duration)
          << ",\"args\":{\"op\":" << id;
     if (op.kind == OpKind::Message) {
       line << ",\"src\":" << op.node << ",\"bytes\":" << op.bytes;
     }
+    if (enrich != nullptr) {
+      auto ait = enrich->op_args.find(id);
+      if (ait != enrich->op_args.end() && !ait->second.empty())
+        line << "," << ait->second;
+    }
     line << "}}";
     emit(line.str());
+  }
+
+  if (enrich != nullptr) {
+    // Flow arrows: a "s"/"f" pair bound to the middle of each endpoint's
+    // slice (binding point "e" accepts any enclosing slice).
+    std::uint64_t flow_id = 0;
+    for (const TraceFlow& f : enrich->flows) {
+      if (f.src >= graph.size() || f.dst >= graph.size()) continue;
+      SliceInfo src = slice_info(graph.op(f.src), result.finish[f.src],
+                                 machine);
+      SliceInfo dst = slice_info(graph.op(f.dst), result.finish[f.dst],
+                                 machine);
+      if (!src.valid || !dst.valid) continue;
+      std::uint64_t id = flow_id++;
+      std::ostringstream s_line;
+      s_line << "{\"ph\":\"s\",\"id\":" << id << ",\"name\":\"" << f.name
+             << "\",\"cat\":\"flow\",\"pid\":" << src.pid
+             << ",\"tid\":" << src.tid
+             << ",\"ts\":" << us(src.start + src.duration / 2) << "}";
+      emit(s_line.str());
+      std::ostringstream f_line;
+      f_line << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << id << ",\"name\":\""
+             << f.name << "\",\"cat\":\"flow\",\"pid\":" << dst.pid
+             << ",\"tid\":" << dst.tid
+             << ",\"ts\":" << us(dst.start + dst.duration / 2) << "}";
+      emit(f_line.str());
+    }
+
+    // Counter tracks: each sample stamped at its anchor op's finish time.
+    for (const TraceCounterTrack& track : enrich->counters) {
+      for (const auto& [anchor, value] : track.samples) {
+        if (anchor >= graph.size()) continue;
+        std::ostringstream line;
+        line << "{\"ph\":\"C\",\"name\":\"" << track.name
+             << "\",\"pid\":" << track.pid
+             << ",\"ts\":" << us(result.finish[anchor])
+             << ",\"args\":{\"value\":" << value << "}}";
+        emit(line.str());
+      }
+    }
   }
   os << "\n]\n";
 }
 
 std::string chrome_trace_json(const WorkGraph& graph,
                               const ReplayResult& result,
-                              const MachineConfig& machine) {
+                              const MachineConfig& machine,
+                              const TraceEnrichment* enrich) {
   std::ostringstream os;
-  export_chrome_trace(graph, result, machine, os);
+  export_chrome_trace(graph, result, machine, os, enrich);
   return os.str();
 }
 

@@ -5,10 +5,17 @@
 // (runtime CPU, accelerator, NIC), one complete event per operation.
 // Useful for eyeballing exactly where the painter's node-0 bottleneck or
 // Warnock's refinement chain sits on the timeline.
+//
+// Callers with more context (the runtime) can pass a TraceEnrichment to
+// add flow arrows (dependence edges, analysis messages), counter tracks
+// (live equivalence sets, history entries, ...) and per-op args.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/machine.h"
 #include "sim/replay.h"
@@ -16,16 +23,44 @@
 
 namespace visrt::sim {
 
+/// A flow arrow drawn from the middle of op `src`'s slice to the middle of
+/// op `dst`'s slice.  Flows whose endpoints are not rendered (markers,
+/// zero-duration ops) are silently dropped.
+struct TraceFlow {
+  OpID src = kInvalidOp;
+  OpID dst = kInvalidOp;
+  std::string name;
+};
+
+/// One Perfetto counter track: samples are (anchor op, value) pairs; each
+/// sample is stamped at the anchor op's finish time.
+struct TraceCounterTrack {
+  std::string name;
+  NodeID pid = 0;
+  std::vector<std::pair<OpID, double>> samples;
+};
+
+/// Optional extras merged into the exported trace.
+struct TraceEnrichment {
+  std::vector<TraceFlow> flows;
+  std::vector<TraceCounterTrack> counters;
+  /// Extra JSON object members appended to an op's "args" verbatim, e.g.
+  /// "\"launch\":5,\"history_entries\":12" (no leading comma, no braces).
+  std::unordered_map<OpID, std::string> op_args;
+};
+
 /// Write the trace JSON for `graph` as scheduled by `result` to `os`.
 /// Compute ops appear on their node's "cpu" or "accel" track (by
 /// category), messages on the destination node's "nic" track; durations are
 /// reconstructed from op costs and finish times.
 void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
-                         const MachineConfig& machine, std::ostream& os);
+                         const MachineConfig& machine, std::ostream& os,
+                         const TraceEnrichment* enrich = nullptr);
 
 /// Convenience: render to a string (tests, small graphs).
 std::string chrome_trace_json(const WorkGraph& graph,
                               const ReplayResult& result,
-                              const MachineConfig& machine);
+                              const MachineConfig& machine,
+                              const TraceEnrichment* enrich = nullptr);
 
 } // namespace visrt::sim

@@ -20,12 +20,17 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/counters.h"
 #include "region/region_data.h"
 #include "region/region_tree.h"
 #include "sim/cost_model.h"
 #include "visibility/privilege.h"
 
 namespace visrt {
+
+namespace obs {
+class Recorder;
+} // namespace obs
 
 /// One region requirement of a task launch: a region (by handle), one
 /// field, and the privilege the task holds on it.
@@ -45,59 +50,8 @@ struct AnalysisContext {
   NodeID analysis_node = 0;
 };
 
-/// Work counters for one analysis step; converted to CPU nanoseconds by the
-/// simulator's cost model.
-struct AnalysisCounters {
-  std::uint64_t history_entries = 0;     ///< history entries examined
-  std::uint64_t composite_child_tests = 0;
-  std::uint64_t composite_captures = 0;  ///< node histories captured
-  std::uint64_t eqset_refines = 0;       ///< equivalence-set splits
-  std::uint64_t refine_intervals = 0;    ///< domain intervals restricted
-  std::uint64_t eqset_visits = 0;        ///< equivalence sets touched
-  std::uint64_t accel_nodes = 0;         ///< BVH / K-d nodes traversed
-  std::uint64_t interval_ops = 0;        ///< interval-set algebra intervals
-  std::uint64_t eqsets_created = 0;
-  std::uint64_t eqsets_pruned = 0;
-
-  SimTime cpu_ns(const sim::CostModel& m) const {
-    return static_cast<SimTime>(
-        history_entries * static_cast<std::uint64_t>(m.history_entry_ns) +
-        composite_child_tests *
-            static_cast<std::uint64_t>(m.composite_child_test_ns) +
-        composite_captures *
-            static_cast<std::uint64_t>(m.composite_capture_ns) +
-        eqset_refines * static_cast<std::uint64_t>(m.eqset_refine_ns) +
-        refine_intervals * static_cast<std::uint64_t>(m.refine_interval_ns) +
-        eqset_visits * static_cast<std::uint64_t>(m.eqset_visit_ns) +
-        accel_nodes * static_cast<std::uint64_t>(m.accel_node_ns) +
-        interval_ops * static_cast<std::uint64_t>(m.interval_op_ns) +
-        eqsets_created * static_cast<std::uint64_t>(m.eqset_create_ns) +
-        eqsets_pruned * static_cast<std::uint64_t>(m.eqset_prune_ns));
-  }
-
-  AnalysisCounters& operator+=(const AnalysisCounters& o) {
-    history_entries += o.history_entries;
-    composite_child_tests += o.composite_child_tests;
-    composite_captures += o.composite_captures;
-    eqset_refines += o.eqset_refines;
-    refine_intervals += o.refine_intervals;
-    eqset_visits += o.eqset_visits;
-    accel_nodes += o.accel_nodes;
-    interval_ops += o.interval_ops;
-    eqsets_created += o.eqsets_created;
-    eqsets_pruned += o.eqsets_pruned;
-    return *this;
-  }
-};
-
-/// One unit of analysis work attributed to the node that owns the metadata
-/// it touched.  Steps on nodes other than the analyzing node cost a
-/// round-trip message pair in the simulation.
-struct AnalysisStep {
-  NodeID owner = 0;
-  AnalysisCounters counters;
-  std::uint64_t meta_bytes = 0; ///< metadata shipped back (views, histories)
-};
+// AnalysisCounters and AnalysisStep moved to obs/counters.h so the
+// telemetry layer can capture them without depending on the engines.
 
 /// Result of materializing one requirement.
 struct MaterializeResult {
@@ -140,6 +94,9 @@ struct EngineConfig {
   /// Forest the requirements' region handles resolve against (non-owning;
   /// must outlive the engine).
   const RegionTreeForest* forest = nullptr;
+  /// Telemetry recorder the engine opens phase spans on (non-owning; may
+  /// be null or disabled, in which case every span is a single branch).
+  obs::Recorder* recorder = nullptr;
 };
 
 class CoherenceEngine {

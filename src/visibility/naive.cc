@@ -1,6 +1,7 @@
 #include "visibility/naive.h"
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace visrt {
 
@@ -46,7 +47,7 @@ void NaivePaintEngine::initialize_field(RegionHandle root, FieldID field,
 }
 
 MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
-                                                const AnalysisContext&) {
+                                                const AnalysisContext& ctx) {
   auto it = fields_.find(req.field);
   require(it != fields_.end(), "materialize on unregistered field");
   FieldState& fs = it->second;
@@ -54,6 +55,9 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
 
   MaterializeResult out;
   AnalysisCounters c;
+  obs::ScopedSpan walk_span(config_.recorder, obs::SpanKind::Phase,
+                            "history_walk", ctx.task, ctx.analysis_node, &c,
+                            nullptr);
   if (req.privilege.is_reduce()) {
     // Reductions accumulate locally; the history is walked only for
     // dependences (Figure 7 line 14-15 plus the dependence analysis the
@@ -179,41 +183,51 @@ void NaiveWarnockEngine::refine(FieldState& fs, const IntervalSet& dom,
 }
 
 MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
-                                                  const AnalysisContext&) {
+                                                  const AnalysisContext& ctx) {
   FieldState& fs = field_state(req);
   const IntervalSet& dom = config_.forest->domain(req.region);
 
   MaterializeResult out;
   AnalysisCounters c;
-  std::size_t before = fs.sets.size();
-  refine(fs, dom, c, config_.track_values);
-  // Each split removes one set and creates two, so the net growth equals
-  // the number of splits and the number of freshly created sets is twice
-  // that.
-  total_sets_created_ += 2 * (fs.sets.size() - before);
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "eqset_refine", ctx.task, ctx.analysis_node, &c,
+                         nullptr);
+    std::size_t before = fs.sets.size();
+    refine(fs, dom, c, config_.track_values);
+    // Each split removes one set and creates two, so the net growth equals
+    // the number of splits and the number of freshly created sets is twice
+    // that.
+    total_sets_created_ += 2 * (fs.sets.size() - before);
+  }
 
   RegionData<double> data;
   bool build_values = config_.track_values;
-  for (EqSet& eq : fs.sets) {
-    if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
-    ++c.eqset_visits;
-    // Dependences from this set's history.
-    for (const HistEntry& e : eq.history) {
-      if (entry_depends(e, eq.dom, req.privilege, c))
-        add_dependence(out.dependences, e.task);
-    }
-    if (!build_values) continue;
-    RegionData<double> piece;
-    if (req.privilege.is_reduce()) {
-      piece = RegionData<double>::filled(
-          eq.dom, reduction_op(req.privilege.redop).identity);
-    } else {
-      piece = RegionData<double>::filled(eq.dom, 0.0);
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "history_walk", ctx.task, ctx.analysis_node, &c,
+                         nullptr);
+    for (EqSet& eq : fs.sets) {
+      if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
+      ++c.eqset_visits;
+      // Dependences from this set's history.
       for (const HistEntry& e : eq.history) {
-        if (e.values.has_value()) paint_entry(piece, e, c);
+        if (entry_depends(e, eq.dom, req.privilege, c))
+          add_dependence(out.dependences, e.task);
       }
+      if (!build_values) continue;
+      RegionData<double> piece;
+      if (req.privilege.is_reduce()) {
+        piece = RegionData<double>::filled(
+            eq.dom, reduction_op(req.privilege.redop).identity);
+      } else {
+        piece = RegionData<double>::filled(eq.dom, 0.0);
+        for (const HistEntry& e : eq.history) {
+          if (e.values.has_value()) paint_entry(piece, e, c);
+        }
+      }
+      data = data.empty() ? std::move(piece) : data.merged_with(piece);
     }
-    data = data.empty() ? std::move(piece) : data.merged_with(piece);
   }
   if (build_values && data.empty() && !dom.empty()) {
     // Domain with no equivalence sets can't happen: sets cover the root.
@@ -276,6 +290,9 @@ MaterializeResult NaiveRayCastEngine::materialize(const Requirement& req,
   FieldState& fs = field_state(req);
   const IntervalSet& dom = config_.forest->domain(req.region);
   AnalysisCounters c;
+  obs::ScopedSpan prune_span(config_.recorder, obs::SpanKind::Phase,
+                             "eqset_prune", ctx.task, ctx.analysis_node, &c,
+                             nullptr);
   std::size_t before = fs.sets.size();
   std::erase_if(fs.sets, [&](const EqSet& eq) {
     return eq.dom.empty() || dom.contains(eq.dom);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace visrt {
 
@@ -246,7 +247,12 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
   AnalysisCounters local; // work on the analyzing node
   ++local.interval_ops;   // requirement setup
 
-  close_subtrees(fs, path, dom, req.privilege, out.steps, local);
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "composite_capture", ctx.task, ctx.analysis_node,
+                         &local, &out.steps);
+    close_subtrees(fs, path, dom, req.privilege, out.steps, local);
+  }
 
   // Traverse the path history root -> R, painting and collecting
   // dependences.  Composite views are replicated on demand: the first
@@ -258,39 +264,45 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
   // Per-owner remote counters for direct node histories.
   std::unordered_map<NodeID, AnalysisCounters> remote;
 
-  for (RegionHandle a : path) {
-    auto it = fs.nodes.find(a.index);
-    if (it == fs.nodes.end()) continue;
-    NodeState& ns = it->second;
-    for (Element& el : ns.elements) {
-      if (el.view) {
-        CompositeView& v = *el.view;
-        if (std::find(v.replicated_on.begin(), v.replicated_on.end(),
-                      ctx.analysis_node) == v.replicated_on.end()) {
-          v.replicated_on.push_back(ctx.analysis_node);
-          AnalysisCounters fetch;
-          fetch.composite_captures = 1;
-          out.steps.push_back(AnalysisStep{v.owner, fetch, v.bytes()});
+  {
+    obs::ScopedSpan walk_span(config_.recorder, obs::SpanKind::Phase,
+                              "history_walk", ctx.task, ctx.analysis_node,
+                              &local, &out.steps);
+    for (RegionHandle a : path) {
+      auto it = fs.nodes.find(a.index);
+      if (it == fs.nodes.end()) continue;
+      NodeState& ns = it->second;
+      for (Element& el : ns.elements) {
+        if (el.view) {
+          CompositeView& v = *el.view;
+          if (std::find(v.replicated_on.begin(), v.replicated_on.end(),
+                        ctx.analysis_node) == v.replicated_on.end()) {
+            v.replicated_on.push_back(ctx.analysis_node);
+            AnalysisCounters fetch;
+            fetch.composite_captures = 1;
+            out.steps.push_back(AnalysisStep{v.owner, fetch, v.bytes()});
+          }
+          for (const HistEntry& e : v.entries) {
+            ++local.composite_child_tests;
+            if (entry_depends(e, dom, req.privilege, local))
+              add_dependence(out.dependences, e.task);
+            if (paint_values && e.values.has_value())
+              paint_entry(data, e, local);
+          }
+        } else {
+          AnalysisCounters& rc =
+              ns.owner == ctx.analysis_node ? local : remote[ns.owner];
+          if (entry_depends(el.op, dom, req.privilege, rc))
+            add_dependence(out.dependences, el.op.task);
+          if (paint_values && el.op.values.has_value())
+            paint_entry(data, el.op, rc);
         }
-        for (const HistEntry& e : v.entries) {
-          ++local.composite_child_tests;
-          if (entry_depends(e, dom, req.privilege, local))
-            add_dependence(out.dependences, e.task);
-          if (paint_values && e.values.has_value()) paint_entry(data, e, local);
-        }
-      } else {
-        AnalysisCounters& rc =
-            ns.owner == ctx.analysis_node ? local : remote[ns.owner];
-        if (entry_depends(el.op, dom, req.privilege, rc))
-          add_dependence(out.dependences, el.op.task);
-        if (paint_values && el.op.values.has_value())
-          paint_entry(data, el.op, rc);
       }
     }
-  }
 
-  for (auto& [owner, counters] : remote) {
-    out.steps.push_back(AnalysisStep{owner, counters, 256});
+    for (auto& [owner, counters] : remote) {
+      out.steps.push_back(AnalysisStep{owner, counters, 256});
+    }
   }
 
   if (config_.track_values) {

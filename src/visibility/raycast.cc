@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "obs/recorder.h"
 
 namespace visrt {
 
@@ -364,8 +365,14 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
   MaterializeResult out;
   AnalysisCounters local;
 
-  select_accel(fs, req.region, local);
-  std::vector<std::uint32_t> hit = cast(fs, req.region, dom, local);
+  std::vector<std::uint32_t> hit;
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "accel_lookup", ctx.task, ctx.analysis_node, &local,
+                         &out.steps);
+    select_accel(fs, req.region, local);
+    hit = cast(fs, req.region, dom, local);
+  }
 
   // Refine partial overlaps; collect the constituent sets.  Sets spanning
   // several subregions of the acceleration partition are first aligned to
@@ -374,27 +381,32 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
   inside_ids.reserve(hit.size());
   std::unordered_map<std::uint32_t, std::size_t> visited_by_split;
   std::vector<std::uint32_t> work(hit.begin(), hit.end());
-  while (!work.empty()) {
-    std::uint32_t id = work.back();
-    work.pop_back();
-    if (!fs.sets[id].live || fs.sets[id].dom.empty()) continue;
-    if (dom.contains(fs.sets[id].dom)) {
-      inside_ids.push_back(id);
-      continue;
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "eqset_refine", ctx.task, ctx.analysis_node, &local,
+                         &out.steps);
+    while (!work.empty()) {
+      std::uint32_t id = work.back();
+      work.pop_back();
+      if (!fs.sets[id].live || fs.sets[id].dom.empty()) continue;
+      if (dom.contains(fs.sets[id].dom)) {
+        inside_ids.push_back(id);
+        continue;
+      }
+      if (!fs.sets[id].dom.overlaps(dom)) continue;
+      std::vector<std::uint32_t> aligned =
+          split_aligned(fs, id, dom, ctx.mapped_node, out.steps, local);
+      if (!aligned.empty()) {
+        for (std::uint32_t nid : aligned) work.push_back(nid);
+        continue;
+      }
+      std::uint32_t inside = kNone;
+      split_set(fs, id, dom, ctx.mapped_node, inside, out.steps);
+      // The split response already carries the inside half's state: its
+      // visit merges into the split's round trip.
+      visited_by_split[inside] = out.steps.size() - 1;
+      inside_ids.push_back(inside);
     }
-    if (!fs.sets[id].dom.overlaps(dom)) continue;
-    std::vector<std::uint32_t> aligned =
-        split_aligned(fs, id, dom, ctx.mapped_node, out.steps, local);
-    if (!aligned.empty()) {
-      for (std::uint32_t nid : aligned) work.push_back(nid);
-      continue;
-    }
-    std::uint32_t inside = kNone;
-    split_set(fs, id, dom, ctx.mapped_node, inside, out.steps);
-    // The split response already carries the inside half's state: its
-    // visit merges into the split's round trip.
-    visited_by_split[inside] = out.steps.size() - 1;
-    inside_ids.push_back(inside);
   }
   std::sort(inside_ids.begin(), inside_ids.end());
   inside_ids.erase(std::unique(inside_ids.begin(), inside_ids.end()),
@@ -406,32 +418,37 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
   // One message round trip per constituent set: each equivalence set is
   // an independent distributed object, so traffic scales with the number
   // of live sets — the effect that makes coalescing writes pay off.
-  for (std::uint32_t id : inside_ids) {
-    EqSet& s = fs.sets[id];
-    if (s.dom.empty()) continue;
-    auto vit = visited_by_split.find(id);
-    AnalysisStep fresh_step;
-    AnalysisCounters& counters = vit != visited_by_split.end()
-                                     ? out.steps[vit->second].counters
-                                     : fresh_step.counters;
-    ++counters.eqset_visits;
-    RegionData<double> piece;
-    if (paint_values) piece = RegionData<double>::filled(s.dom, 0.0);
-    for (const HistEntry& e : s.history) {
-      if (entry_depends(e, s.dom, req.privilege, counters))
-        add_dependence(out.dependences, e.task);
-      if (paint_values && e.values.has_value())
-        paint_entry(piece, e, counters);
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "history_walk", ctx.task, ctx.analysis_node, &local,
+                         &out.steps);
+    for (std::uint32_t id : inside_ids) {
+      EqSet& s = fs.sets[id];
+      if (s.dom.empty()) continue;
+      auto vit = visited_by_split.find(id);
+      AnalysisStep fresh_step;
+      AnalysisCounters& counters = vit != visited_by_split.end()
+                                       ? out.steps[vit->second].counters
+                                       : fresh_step.counters;
+      ++counters.eqset_visits;
+      RegionData<double> piece;
+      if (paint_values) piece = RegionData<double>::filled(s.dom, 0.0);
+      for (const HistEntry& e : s.history) {
+        if (entry_depends(e, s.dom, req.privilege, counters))
+          add_dependence(out.dependences, e.task);
+        if (paint_values && e.values.has_value())
+          paint_entry(piece, e, counters);
+      }
+      if (vit == visited_by_split.end()) {
+        fresh_step.owner = s.owner;
+        fresh_step.meta_bytes = 64 + 32 * s.history.size();
+        out.steps.push_back(std::move(fresh_step));
+      } else {
+        out.steps[vit->second].meta_bytes += 32 * s.history.size();
+      }
+      if (paint_values)
+        data = data.empty() ? std::move(piece) : data.merged_with(piece);
     }
-    if (vit == visited_by_split.end()) {
-      fresh_step.owner = s.owner;
-      fresh_step.meta_bytes = 64 + 32 * s.history.size();
-      out.steps.push_back(std::move(fresh_step));
-    } else {
-      out.steps[vit->second].meta_bytes += 32 * s.history.size();
-    }
-    if (paint_values)
-      data = data.empty() ? std::move(piece) : data.merged_with(piece);
   }
 
   if (config_.track_values) {
@@ -448,6 +465,9 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
   // Dominating write: a fresh set covering exactly this region replaces
   // every set it occludes (Figure 11).
   if (req.privilege.is_write() && options_.dominating_writes) {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "eqset_prune", ctx.task, ctx.analysis_node, &local,
+                         &out.steps);
     for (std::uint32_t id : inside_ids) {
       EqSet& s = fs.sets[id];
       if (!s.live) continue;

@@ -1,6 +1,7 @@
 #include "visibility/reference.h"
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace visrt {
 
@@ -19,7 +20,7 @@ void ReferenceEngine::initialize_field(RegionHandle root, FieldID field,
 }
 
 MaterializeResult ReferenceEngine::materialize(const Requirement& req,
-                                               const AnalysisContext&) {
+                                               const AnalysisContext& ctx) {
   auto it = fields_.find(req.field);
   require(it != fields_.end(), "materialize on unregistered field");
   FieldState& fs = it->second;
@@ -27,10 +28,15 @@ MaterializeResult ReferenceEngine::materialize(const Requirement& req,
 
   MaterializeResult out;
   AnalysisCounters c;
-  for (const OpRecord& op : fs.ops) {
-    ++c.history_entries;
-    if (interferes(op.priv, req.privilege) && op.dom.overlaps(dom))
-      add_dependence(out.dependences, op.task);
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "history_walk", ctx.task, ctx.analysis_node, &c,
+                         nullptr);
+    for (const OpRecord& op : fs.ops) {
+      ++c.history_entries;
+      if (interferes(op.priv, req.privilege) && op.dom.overlaps(dom))
+        add_dependence(out.dependences, op.task);
+    }
   }
   if (config_.track_values) {
     if (req.privilege.is_reduce()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace visrt {
 
@@ -135,17 +136,28 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
   MaterializeResult out;
   AnalysisCounters local;
 
-  std::vector<std::uint32_t> leaves = lookup(fs, req, dom, local);
+  std::vector<std::uint32_t> leaves;
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "accel_lookup", ctx.task, ctx.analysis_node, &local,
+                         &out.steps);
+    leaves = lookup(fs, req, dom, local);
+  }
 
   // Refine every partially-overlapping leaf; keep the inside children.
   std::vector<std::uint32_t> inside_ids;
   inside_ids.reserve(leaves.size());
-  for (std::uint32_t id : leaves) {
-    if (dom.contains(fs.nodes[id].dom)) {
-      inside_ids.push_back(id);
-    } else {
-      refine_leaf(fs, id, dom, ctx.mapped_node, out.steps);
-      inside_ids.push_back(fs.nodes[id].left);
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "eqset_refine", ctx.task, ctx.analysis_node, &local,
+                         &out.steps);
+    for (std::uint32_t id : leaves) {
+      if (dom.contains(fs.nodes[id].dom)) {
+        inside_ids.push_back(id);
+      } else {
+        refine_leaf(fs, id, dom, ctx.mapped_node, out.steps);
+        inside_ids.push_back(fs.nodes[id].left);
+      }
     }
   }
   if (options_.memoize) fs.memo[req.region.index] = inside_ids;
@@ -157,24 +169,29 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
   // advantage ("it maintains fewer total equivalence sets in its lists").
   bool paint_values = config_.track_values && !req.privilege.is_reduce();
   RegionData<double> data;
-  for (std::uint32_t id : inside_ids) {
-    EqSetNode& n = fs.nodes[id];
-    if (n.dom.empty()) continue;
-    AnalysisStep step;
-    step.owner = n.owner;
-    ++step.counters.eqset_visits;
-    RegionData<double> piece;
-    if (paint_values) piece = RegionData<double>::filled(n.dom, 0.0);
-    for (const HistEntry& e : n.history) {
-      if (entry_depends(e, n.dom, req.privilege, step.counters))
-        add_dependence(out.dependences, e.task);
-      if (paint_values && e.values.has_value())
-        paint_entry(piece, e, step.counters);
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "history_walk", ctx.task, ctx.analysis_node, &local,
+                         &out.steps);
+    for (std::uint32_t id : inside_ids) {
+      EqSetNode& n = fs.nodes[id];
+      if (n.dom.empty()) continue;
+      AnalysisStep step;
+      step.owner = n.owner;
+      ++step.counters.eqset_visits;
+      RegionData<double> piece;
+      if (paint_values) piece = RegionData<double>::filled(n.dom, 0.0);
+      for (const HistEntry& e : n.history) {
+        if (entry_depends(e, n.dom, req.privilege, step.counters))
+          add_dependence(out.dependences, e.task);
+        if (paint_values && e.values.has_value())
+          paint_entry(piece, e, step.counters);
+      }
+      step.meta_bytes = 64 + kEntryMetaBytes * n.history.size();
+      out.steps.push_back(std::move(step));
+      if (paint_values)
+        data = data.empty() ? std::move(piece) : data.merged_with(piece);
     }
-    step.meta_bytes = 64 + kEntryMetaBytes * n.history.size();
-    out.steps.push_back(std::move(step));
-    if (paint_values)
-      data = data.empty() ? std::move(piece) : data.merged_with(piece);
   }
 
   if (config_.track_values) {
@@ -200,7 +217,13 @@ std::vector<AnalysisStep> WarnockEngine::commit(
 
   AnalysisCounters local;
   std::vector<AnalysisStep> steps;
-  std::vector<std::uint32_t> leaves = lookup(fs, req, dom, local);
+  std::vector<std::uint32_t> leaves;
+  {
+    obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
+                         "accel_lookup", ctx.task, ctx.analysis_node, &local,
+                         &steps);
+    leaves = lookup(fs, req, dom, local);
+  }
 
   // Registering the committed operation piggybacks on the materialize
   // round trip already paid for each set; commit itself is local

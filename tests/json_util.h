@@ -1,0 +1,242 @@
+// tests/json_util.h
+//
+// Minimal recursive-descent JSON parser used by the telemetry tests to
+// validate emitted metrics files and Chrome traces without an external
+// JSON dependency.  Strict enough to reject the malformed output a buggy
+// serializer would produce (trailing commas, unbalanced braces, bare
+// words); not a general-purpose library.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace visrt::testjson {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+public:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v =
+      nullptr;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_array() const { return std::holds_alternative<Array>(v); }
+  bool is_object() const { return std::holds_alternative<Object>(v); }
+
+  // Accessors throw std::bad_variant_access on a type mismatch, which
+  // surfaces as a test failure with a stack trace.
+  bool boolean() const { return std::get<bool>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  const Array& array() const { return std::get<Array>(v); }
+  const Object& object() const { return std::get<Object>(v); }
+
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+  const Value& at(const std::string& key) const { return object().at(key); }
+};
+
+namespace detail {
+
+class Parser {
+public:
+  explicit Parser(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  std::optional<Value> parse() {
+    Value v;
+    skip_ws();
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (p_ != end_) return std::nullopt; // trailing garbage
+    return v;
+  }
+
+private:
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+      ++p_;
+  }
+
+  bool consume(char c) {
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+    case '{': return parse_object(out);
+    case '[': return parse_array(out);
+    case '"': {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out.v = std::move(s);
+      return true;
+    }
+    case 't':
+      if (!literal("true")) return false;
+      out.v = true;
+      return true;
+    case 'f':
+      if (!literal("false")) return false;
+      out.v = false;
+      return true;
+    case 'n':
+      if (!literal("null")) return false;
+      out.v = nullptr;
+      return true;
+    default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    if (!consume('{')) return false;
+    Object obj;
+    skip_ws();
+    if (consume('}')) {
+      out.v = std::move(obj);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return false;
+    }
+    out.v = std::move(obj);
+    return true;
+  }
+
+  bool parse_array(Value& out) {
+    if (!consume('[')) return false;
+    Array arr;
+    skip_ws();
+    if (consume(']')) {
+      out.v = std::move(arr);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return false;
+    }
+    out.v = std::move(arr);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p_ == end_) return false;
+      char esc = *p_++;
+      switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (end_ - p_ < 4) return false;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = *p_++;
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F')
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // combined; the serializers under test never emit them).
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default: return false;
+      }
+    }
+    return consume('"');
+  }
+
+  bool parse_number(Value& out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ != end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                          *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                          *p_ == '+'))
+      digits |= (*p_ >= '0' && *p_ <= '9'), ++p_;
+    if (!digits) return false;
+    std::string text(start, static_cast<std::size_t>(p_ - start));
+    char* parse_end = nullptr;
+    double value = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size()) return false;
+    out.v = value;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+} // namespace detail
+
+/// Parse a complete JSON document; nullopt on any syntax error.
+inline std::optional<Value> parse(std::string_view text) {
+  return detail::Parser(text).parse();
+}
+
+} // namespace visrt::testjson

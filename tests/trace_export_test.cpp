@@ -1,10 +1,13 @@
 // Tests for sim/trace_export.h: valid JSON-ish structure, one event per
-// non-marker op, correct rows and timings.
+// non-marker op, correct rows and timings, and the TraceEnrichment extras
+// (flow arrows, counter tracks, per-op args).
 #include "sim/trace_export.h"
 
 #include <gtest/gtest.h>
 
 #include <array>
+
+#include "json_util.h"
 
 namespace visrt::sim {
 namespace {
@@ -78,6 +81,147 @@ TEST(TraceExport, ZeroCostOpsAreSkipped) {
   ReplayResult r = replay(g, mc);
   std::string json = chrome_trace_json(g, r, mc);
   EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceEnrichment
+
+/// Parse the trace and return its events; fails the test on bad JSON.
+std::vector<testjson::Value> parse_events(const std::string& json) {
+  auto doc = testjson::parse(json);
+  EXPECT_TRUE(doc.has_value()) << "trace is not valid JSON";
+  if (!doc.has_value() || !doc->is_array()) return {};
+  return doc->array();
+}
+
+/// Find the slice ("X") event whose args.op == id.
+const testjson::Value* slice_for_op(const std::vector<testjson::Value>& evs,
+                                    OpID id) {
+  for (const testjson::Value& ev : evs) {
+    if (ev.at("ph").str() == "X" &&
+        ev.at("args").at("op").number() == static_cast<double>(id))
+      return &ev;
+  }
+  return nullptr;
+}
+
+TEST(TraceEnrichment, FlowEventsPairAtSliceMidpoints) {
+  WorkGraph g;
+  OpID a = g.compute(0, 500, {}, OpCategory::Analysis);
+  OpID b = g.compute(1, 700, std::array{a}, OpCategory::TaskExec);
+  MachineConfig mc = machine(2);
+  ReplayResult r = replay(g, mc);
+
+  TraceEnrichment enrich;
+  enrich.flows.push_back(TraceFlow{a, b, "dep"});
+  std::vector<testjson::Value> evs =
+      parse_events(chrome_trace_json(g, r, mc, &enrich));
+  ASSERT_FALSE(evs.empty());
+
+  const testjson::Value* start = nullptr;
+  const testjson::Value* finish = nullptr;
+  for (const testjson::Value& ev : evs) {
+    if (ev.at("ph").str() == "s") start = &ev;
+    if (ev.at("ph").str() == "f") finish = &ev;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  EXPECT_EQ(start->at("id").number(), finish->at("id").number());
+  EXPECT_EQ(start->at("name").str(), "dep");
+  EXPECT_EQ(start->at("cat").str(), "flow");
+  EXPECT_EQ(finish->at("bp").str(), "e");
+
+  // Each endpoint's ts lands strictly inside its op's slice, so Perfetto
+  // binds the arrow to that slice.
+  const testjson::Value* src = slice_for_op(evs, a);
+  const testjson::Value* dst = slice_for_op(evs, b);
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(dst, nullptr);
+  EXPECT_EQ(start->at("pid").number(), src->at("pid").number());
+  EXPECT_EQ(start->at("tid").number(), src->at("tid").number());
+  EXPECT_GT(start->at("ts").number(), src->at("ts").number());
+  EXPECT_LT(start->at("ts").number(),
+            src->at("ts").number() + src->at("dur").number());
+  EXPECT_GT(finish->at("ts").number(), dst->at("ts").number());
+  EXPECT_LT(finish->at("ts").number(),
+            dst->at("ts").number() + dst->at("dur").number());
+}
+
+TEST(TraceEnrichment, FlowsWithUnrenderedEndpointsAreDropped) {
+  WorkGraph g;
+  OpID a = g.compute(0, 500, {}, OpCategory::Analysis);
+  OpID zero = g.compute(0, 0, std::array{a}); // zero-cost: no slice
+  OpID mark = g.marker(0, std::array{a});     // marker: no slice
+  MachineConfig mc = machine(1);
+  ReplayResult r = replay(g, mc);
+
+  TraceEnrichment enrich;
+  enrich.flows.push_back(TraceFlow{a, zero, "x"});
+  enrich.flows.push_back(TraceFlow{a, mark, "x"});
+  enrich.flows.push_back(TraceFlow{a, static_cast<OpID>(999), "x"});
+  std::string json = chrome_trace_json(g, r, mc, &enrich);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 0u);
+  // Still valid JSON.
+  EXPECT_FALSE(parse_events(json).empty());
+}
+
+TEST(TraceEnrichment, CounterTrackSamplesAtAnchorFinishTimes) {
+  WorkGraph g;
+  OpID a = g.compute(0, 500, {}, OpCategory::Analysis);
+  OpID b = g.compute(0, 700, std::array{a}, OpCategory::Analysis);
+  MachineConfig mc = machine(1);
+  ReplayResult r = replay(g, mc);
+
+  TraceEnrichment enrich;
+  TraceCounterTrack track;
+  track.name = "live_eqsets";
+  track.pid = 0;
+  track.samples = {{a, 3.0}, {b, 5.0}, {static_cast<OpID>(999), 7.0}};
+  enrich.counters.push_back(std::move(track));
+  std::vector<testjson::Value> evs =
+      parse_events(chrome_trace_json(g, r, mc, &enrich));
+
+  std::vector<const testjson::Value*> counters;
+  for (const testjson::Value& ev : evs)
+    if (ev.at("ph").str() == "C") counters.push_back(&ev);
+  ASSERT_EQ(counters.size(), 2u); // out-of-range anchor dropped
+  EXPECT_EQ(counters[0]->at("name").str(), "live_eqsets");
+  EXPECT_EQ(counters[0]->at("pid").number(), 0.0);
+  EXPECT_EQ(counters[0]->at("args").at("value").number(), 3.0);
+  EXPECT_EQ(counters[1]->at("args").at("value").number(), 5.0);
+  // Stamped at the anchors' finish times, in order.
+  EXPECT_DOUBLE_EQ(counters[0]->at("ts").number(),
+                   static_cast<double>(r.finish[a]) / 1000.0);
+  EXPECT_DOUBLE_EQ(counters[1]->at("ts").number(),
+                   static_cast<double>(r.finish[b]) / 1000.0);
+  EXPECT_LT(counters[0]->at("ts").number(), counters[1]->at("ts").number());
+}
+
+TEST(TraceEnrichment, OpArgsAreMergedIntoTheSlice) {
+  WorkGraph g;
+  OpID a = g.compute(0, 500, {}, OpCategory::Analysis);
+  MachineConfig mc = machine(1);
+  ReplayResult r = replay(g, mc);
+
+  TraceEnrichment enrich;
+  enrich.op_args[a] = "\"launch\":7,\"task\":\"stencil\"";
+  std::vector<testjson::Value> evs =
+      parse_events(chrome_trace_json(g, r, mc, &enrich));
+  const testjson::Value* slice = slice_for_op(evs, a);
+  ASSERT_NE(slice, nullptr);
+  EXPECT_EQ(slice->at("args").at("launch").number(), 7.0);
+  EXPECT_EQ(slice->at("args").at("task").str(), "stencil");
+}
+
+TEST(TraceEnrichment, NullEnrichmentMatchesPlainExport) {
+  WorkGraph g;
+  g.compute(0, 500, {}, OpCategory::Analysis);
+  MachineConfig mc = machine(1);
+  ReplayResult r = replay(g, mc);
+  TraceEnrichment empty;
+  EXPECT_EQ(chrome_trace_json(g, r, mc, nullptr),
+            chrome_trace_json(g, r, mc, &empty));
 }
 
 } // namespace
