@@ -5,11 +5,25 @@
 
 namespace visrt {
 
+namespace {
+thread_local bool g_check_throws = false;
+} // namespace
+
+ScopedCheckThrows::ScopedCheckThrows() : previous_(g_check_throws) {
+  g_check_throws = true;
+}
+
+ScopedCheckThrows::~ScopedCheckThrows() { g_check_throws = previous_; }
+
+bool check_failures_throw() { return g_check_throws; }
+
 [[noreturn]] void invariant_failure(std::string_view what,
                                     std::source_location loc) {
-  std::fprintf(stderr, "visrt invariant violated: %.*s at %s:%u\n",
-               static_cast<int>(what.size()), what.data(), loc.file_name(),
-               loc.line());
+  std::string message = "visrt invariant violated: " + std::string(what) +
+                        " at " + loc.file_name() + ":" +
+                        std::to_string(loc.line());
+  if (g_check_throws) throw CheckFailure(message);
+  std::fprintf(stderr, "%s\n", message.c_str());
   std::abort();
 }
 

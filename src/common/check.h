@@ -5,6 +5,11 @@
 // limping on.  `require` is used for conditions that depend on user input
 // (it throws), `invariant` for conditions that should be impossible (it
 // aborts).
+//
+// The fuzzing subsystem needs to *survive* invariant violations so it can
+// minimize assertion-tripping programs: ScopedCheckThrows switches
+// invariant failures from abort() to a catchable CheckFailure exception for
+// the current thread while it is in scope.
 #pragma once
 
 #include <source_location>
@@ -20,6 +25,31 @@ public:
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown instead of aborting when an internal invariant fails while a
+/// ScopedCheckThrows guard is active (the fuzzer's catchable mode).
+class CheckFailure : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+/// While alive, invariant failures on this thread throw CheckFailure
+/// instead of aborting.  Nestable; restores the previous mode on
+/// destruction.  Engine state is unspecified after a caught CheckFailure —
+/// callers must discard the runtime/engine that threw.
+class ScopedCheckThrows {
+public:
+  ScopedCheckThrows();
+  ~ScopedCheckThrows();
+  ScopedCheckThrows(const ScopedCheckThrows&) = delete;
+  ScopedCheckThrows& operator=(const ScopedCheckThrows&) = delete;
+
+private:
+  bool previous_;
+};
+
+/// Current mode of this thread (true while a ScopedCheckThrows is alive).
+bool check_failures_throw();
+
 /// Verify a user-facing precondition; throws ApiError when violated.
 inline void require(bool cond, std::string_view what,
                     std::source_location loc = std::source_location::current()) {
@@ -29,11 +59,14 @@ inline void require(bool cond, std::string_view what,
   }
 }
 
+/// Report an invariant violation: throws CheckFailure in catchable mode,
+/// aborts otherwise.
 [[noreturn]] void invariant_failure(
     std::string_view what,
     std::source_location loc = std::source_location::current());
 
-/// Verify an internal invariant; aborts with a message when violated.
+/// Verify an internal invariant; aborts (or throws, see ScopedCheckThrows)
+/// with a message when violated.
 inline void invariant(bool cond, std::string_view what,
                       std::source_location loc = std::source_location::current()) {
   if (!cond) invariant_failure(what, loc);

@@ -6,6 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -44,6 +47,33 @@ public:
 
   /// Derive an independent child generator (for per-shard determinism).
   Rng fork() { return Rng(next()); }
+
+  /// Uniformly chosen element of a non-empty sequence.
+  template <typename T> const T& pick(std::span<const T> items) {
+    return items[below(items.size())];
+  }
+  template <typename T> const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+  /// Index drawn proportionally to non-negative `weights` (at least one
+  /// weight must be positive).
+  std::size_t weighted(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double roll = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      roll -= weights[i];
+      if (roll < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i)
+      std::swap(items[i - 1], items[below(i)]);
+  }
 
 private:
   std::uint64_t state_;

@@ -1,0 +1,319 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "realm/reduction_ops.h"
+#include "region/dependent_partitioning.h"
+
+namespace visrt::fuzz {
+
+namespace {
+
+/// Mutable view of the spec under construction plus derived lookup tables.
+struct Builder {
+  ProgramSpec spec;
+  std::vector<IntervalSet> region_domain;   ///< by region-table index
+  std::vector<std::uint32_t> region_tree;   ///< by region-table index
+  std::vector<std::uint32_t> part_tree;     ///< by partition-table index
+  std::vector<std::vector<std::uint32_t>> fields_by_tree;
+
+  void add_partition(PartitionSpec part) {
+    std::uint32_t tree = region_tree[part.parent];
+    for (const IntervalSet& s : part.subspaces) {
+      region_domain.push_back(s);
+      region_tree.push_back(tree);
+    }
+    part_tree.push_back(tree);
+    spec.partitions.push_back(std::move(part));
+  }
+};
+
+Privilege random_privilege(Rng& rng) {
+  double roll = rng.uniform();
+  if (roll < 0.3) return Privilege::read();
+  if (roll < 0.6) return Privilege::read_write();
+  // Only the operators whose integer folds are exact and order-insensitive
+  // (prod overflows double precision, making fold order observable — a
+  // false positive for the differential oracle).
+  static constexpr std::array<ReductionOpID, 3> kOps = {kRedopSum, kRedopMin,
+                                                        kRedopMax};
+  return Privilege::reduce(kOps[rng.below(kOps.size())]);
+}
+
+/// A random subset of [0, size) built from random blocks (possibly empty).
+IntervalSet random_blocks(Rng& rng, const IntervalSet& parent, int max_blocks) {
+  Interval b = parent.bounds();
+  if (b.empty()) return {};
+  IntervalSet out;
+  int blocks = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                       std::max(1, max_blocks))));
+  for (int i = 0; i < blocks; ++i) {
+    coord_t lo = rng.range(b.lo, b.hi);
+    coord_t hi = std::min(b.hi, lo + rng.range(0, (b.hi - b.lo) / 3 + 1));
+    out = out.unite(IntervalSet(lo, hi));
+  }
+  return out.intersect(parent);
+}
+
+void generate_partitions(Rng& rng, Builder& b,
+                         const GeneratorOptions& options) {
+  std::size_t count = rng.below(options.max_partitions + 1);
+  for (std::size_t k = 0; k < count; ++k) {
+    // Parent: any existing region, biased toward roots (depth keeps the
+    // trees from degenerating into a single deep chain).
+    std::uint32_t parent =
+        rng.chance(0.6)
+            ? static_cast<std::uint32_t>(rng.below(b.spec.trees.size()))
+            : static_cast<std::uint32_t>(rng.below(b.region_domain.size()));
+    const IntervalSet& dom = b.region_domain[parent];
+    if (dom.volume() < 4) continue; // too small to partition interestingly
+
+    PartitionSpec part;
+    part.parent = parent;
+    part.name = "P" + std::to_string(b.spec.partitions.size());
+    std::size_t colors = 2 + rng.below(3);
+
+    switch (rng.below(5)) {
+    case 0: // blocked: disjoint and complete
+      part.subspaces = partition_equally(dom, colors);
+      break;
+    case 1: // aliased ghost-style blocks: possibly overlapping, incomplete
+      for (std::size_t c = 0; c < colors; ++c)
+        part.subspaces.push_back(random_blocks(rng, dom, 2));
+      break;
+    case 2: { // colored by a pseudo-field: disjoint, possibly incomplete
+      std::uint64_t salt = rng.next();
+      double drop = rng.uniform() * 0.3;
+      std::size_t n = colors;
+      part.subspaces = partition_by_field(
+          dom, n, [salt, drop, n](coord_t p) -> std::size_t {
+            std::uint64_t h =
+                (static_cast<std::uint64_t>(p) * 0x9e3779b97f4a7c15ULL) ^
+                salt;
+            h ^= h >> 29;
+            if (static_cast<double>(h % 1000) < drop * 1000) return kNoColor;
+            return static_cast<std::size_t>(h % n);
+          });
+      break;
+    }
+    case 3: { // image of an existing partition through a pointer field
+      if (b.spec.partitions.empty()) {
+        part.subspaces = partition_equally(dom, colors);
+        break;
+      }
+      const PartitionSpec& src =
+          b.spec.partitions[rng.below(b.spec.partitions.size())];
+      coord_t stride = rng.range(1, 7);
+      coord_t offset = rng.range(0, dom.bounds().hi);
+      coord_t modulus = std::max<coord_t>(1, dom.bounds().hi + 1);
+      std::vector<IntervalSet> img = image(
+          src.subspaces, [&](coord_t p, std::vector<coord_t>& out) {
+            out.push_back((p * stride + offset) % modulus);
+            if (p % 3 == 0) out.push_back((p + offset) % modulus);
+          });
+      for (IntervalSet& s : img) part.subspaces.push_back(s.intersect(dom));
+      break;
+    }
+    default: { // preimage of an existing partition
+      if (b.spec.partitions.empty()) {
+        part.subspaces = partition_equally(dom, colors);
+        break;
+      }
+      const PartitionSpec& dst =
+          b.spec.partitions[rng.below(b.spec.partitions.size())];
+      coord_t stride = rng.range(1, 5);
+      coord_t modulus =
+          std::max<coord_t>(1, b.region_domain[dst.parent].bounds().hi + 1);
+      std::vector<IntervalSet> pre = preimage(
+          dst.subspaces, dom, [&](coord_t p, std::vector<coord_t>& out) {
+            out.push_back((p * stride) % modulus);
+          });
+      part.subspaces = std::move(pre);
+      break;
+    }
+    }
+    if (part.subspaces.empty()) continue;
+    b.add_partition(std::move(part));
+  }
+}
+
+/// Random requirement list for one task: 1-3 requirements with pairwise
+/// distinct fields, each requirement's region drawn from its field's tree.
+std::vector<ReqSpec> random_reqs(Rng& rng, const Builder& b,
+                                 const GeneratorOptions& options) {
+  std::vector<std::uint32_t> fields(b.spec.fields.size());
+  for (std::uint32_t f = 0; f < fields.size(); ++f) fields[f] = f;
+  rng.shuffle(fields);
+  std::size_t nreqs = 1;
+  while (nreqs < fields.size() && rng.chance(options.multi_req_prob)) ++nreqs;
+
+  // Per-tree region-table indices (derived, small).
+  std::vector<ReqSpec> reqs;
+  for (std::size_t i = 0; i < nreqs; ++i) {
+    std::uint32_t field = fields[i];
+    std::uint32_t tree = b.spec.fields[field].tree;
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t r = 0; r < b.region_tree.size(); ++r)
+      if (b.region_tree[r] == tree) candidates.push_back(r);
+    ReqSpec req;
+    req.region = candidates[rng.below(candidates.size())];
+    req.field = field;
+    req.privilege = random_privilege(rng);
+    reqs.push_back(req);
+  }
+  return reqs;
+}
+
+StreamItem random_task(Rng& rng, const Builder& b,
+                       const GeneratorOptions& options) {
+  StreamItem item;
+  item.kind = StreamItem::Kind::Task;
+  item.task.requirements = random_reqs(rng, b, options);
+  item.task.mapped_node = static_cast<NodeID>(rng.below(b.spec.num_nodes));
+  item.task.salt = rng.below(977);
+  return item;
+}
+
+/// An index launch over partitions with matching color counts (one per
+/// distinct field); falls back to a plain task when impossible.
+StreamItem random_index_launch(Rng& rng, const Builder& b,
+                               const GeneratorOptions& options) {
+  if (b.spec.partitions.empty()) return random_task(rng, b, options);
+  std::uint32_t first =
+      static_cast<std::uint32_t>(rng.below(b.spec.partitions.size()));
+  std::size_t colors = b.spec.partitions[first].subspaces.size();
+
+  StreamItem item;
+  item.kind = StreamItem::Kind::Index;
+  item.index.salt = rng.below(977);
+
+  std::vector<std::uint32_t> used_fields;
+  auto add_req = [&](std::uint32_t part) -> bool {
+    std::uint32_t tree = b.part_tree[part];
+    std::vector<std::uint32_t> fields;
+    for (std::uint32_t f : b.fields_by_tree[tree])
+      if (std::find(used_fields.begin(), used_fields.end(), f) ==
+          used_fields.end())
+        fields.push_back(f);
+    if (fields.empty()) return false;
+    IndexReqSpec req;
+    req.partition = part;
+    req.field = fields[rng.below(fields.size())];
+    req.privilege = random_privilege(rng);
+    used_fields.push_back(req.field);
+    item.index.requirements.push_back(req);
+    return true;
+  };
+  if (!add_req(first)) return random_task(rng, b, options);
+  if (rng.chance(options.multi_req_prob)) {
+    std::vector<std::uint32_t> compatible;
+    for (std::uint32_t p = 0; p < b.spec.partitions.size(); ++p)
+      if (b.spec.partitions[p].subspaces.size() == colors)
+        compatible.push_back(p);
+    if (!compatible.empty())
+      add_req(compatible[rng.below(compatible.size())]);
+  }
+  return item;
+}
+
+} // namespace
+
+ProgramSpec generate_program(Rng& rng, const GeneratorOptions& options) {
+  Builder b;
+  b.spec.num_nodes = 1 + static_cast<std::uint32_t>(
+                             rng.below(std::max(1u, options.max_nodes)));
+
+  if (options.randomize_config) {
+    static constexpr std::array<Algorithm, 6> kSubjects = {
+        Algorithm::Paint,      Algorithm::Warnock,      Algorithm::RayCast,
+        Algorithm::NaivePaint, Algorithm::NaiveWarnock, Algorithm::NaiveRayCast,
+    };
+    b.spec.subject = kSubjects[rng.below(kSubjects.size())];
+    b.spec.dcr = rng.chance(0.5);
+    b.spec.tracing = rng.chance(0.85);
+    b.spec.tuning.paint_occlusion_pruning = !rng.chance(0.25);
+    b.spec.tuning.warnock_memoize = !rng.chance(0.25);
+    b.spec.tuning.raycast_dominating_writes = !rng.chance(0.25);
+    b.spec.tuning.raycast_force_kd_fallback = rng.chance(0.25);
+  } else {
+    b.spec.subject = options.subject;
+    b.spec.dcr = options.dcr;
+    b.spec.tracing = options.tracing;
+    b.spec.tuning = options.tuning;
+  }
+
+  // Trees.
+  std::size_t ntrees = 1 + rng.below(std::max<std::size_t>(1, options.max_trees));
+  for (std::size_t t = 0; t < ntrees; ++t) {
+    TreeSpec tree;
+    tree.name = std::string(1, static_cast<char>('A' + t));
+    tree.size = rng.range(options.min_tree_size, options.max_tree_size);
+    b.region_domain.push_back(IntervalSet(0, tree.size - 1));
+    b.region_tree.push_back(static_cast<std::uint32_t>(t));
+    b.spec.trees.push_back(std::move(tree));
+  }
+
+  generate_partitions(rng, b, options);
+
+  // Fields: at least one per tree so every tree is usable.
+  std::size_t nfields =
+      std::max(ntrees, 1 + rng.below(std::max<std::size_t>(
+                               1, options.max_fields)));
+  b.fields_by_tree.resize(ntrees);
+  for (std::size_t f = 0; f < nfields; ++f) {
+    FieldSpec field;
+    field.tree = f < ntrees ? static_cast<std::uint32_t>(f)
+                            : static_cast<std::uint32_t>(rng.below(ntrees));
+    field.name = "f" + std::to_string(f);
+    field.init_mod = rng.range(1, 13);
+    b.fields_by_tree[field.tree].push_back(static_cast<std::uint32_t>(f));
+    b.spec.fields.push_back(std::move(field));
+  }
+
+  // Stream.
+  std::size_t target = options.min_stream_items +
+                       rng.below(options.max_stream_items -
+                                 options.min_stream_items + 1);
+  std::uint32_t next_trace = 1;
+  while (b.spec.stream.size() < target) {
+    if (rng.chance(options.trace_block_prob)) {
+      // A trace block: an identical launch sequence repeated 2-3 times.
+      // The first repetition captures the template, later ones replay it.
+      std::size_t block_len = 1 + rng.below(3);
+      std::vector<StreamItem> block;
+      for (std::size_t i = 0; i < block_len; ++i)
+        block.push_back(rng.chance(options.index_launch_prob)
+                            ? random_index_launch(rng, b, options)
+                            : random_task(rng, b, options));
+      std::size_t reps = 2 + rng.below(2);
+      std::uint32_t id = next_trace++;
+      for (std::size_t r = 0; r < reps; ++r) {
+        StreamItem begin;
+        begin.kind = StreamItem::Kind::BeginTrace;
+        begin.trace_id = id;
+        b.spec.stream.push_back(begin);
+        for (const StreamItem& item : block) b.spec.stream.push_back(item);
+        StreamItem end;
+        end.kind = StreamItem::Kind::EndTrace;
+        b.spec.stream.push_back(end);
+      }
+      continue;
+    }
+    if (rng.chance(options.end_iteration_prob)) {
+      StreamItem item;
+      item.kind = StreamItem::Kind::EndIteration;
+      b.spec.stream.push_back(item);
+      continue;
+    }
+    b.spec.stream.push_back(rng.chance(options.index_launch_prob)
+                                ? random_index_launch(rng, b, options)
+                                : random_task(rng, b, options));
+  }
+
+  validate(b.spec); // the generator must only ever emit valid programs
+  return b.spec;
+}
+
+} // namespace visrt::fuzz

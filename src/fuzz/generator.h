@@ -1,0 +1,50 @@
+// visrt/fuzz/generator.h
+//
+// The random program generator.  Goes far beyond the old property test's
+// fixed region structure: random region-tree forests of variable depth
+// (disjoint/aliased × complete/incomplete partitions, nested partitions,
+// dependent partitioning via image/preimage), multiple fields and trees,
+// individual and index launches, dynamic traces, iteration markers, random
+// privileges/reduction operators/node mappings, and randomized machine and
+// engine-ablation configurations.
+//
+// Generation is a pure function of the Rng: the same seed always produces
+// the same ProgramSpec, on every platform.
+#pragma once
+
+#include "common/rng.h"
+#include "fuzz/program.h"
+
+namespace visrt::fuzz {
+
+struct GeneratorOptions {
+  // Structure.
+  std::size_t max_trees = 2;
+  coord_t min_tree_size = 40;
+  coord_t max_tree_size = 200;
+  std::size_t max_partitions = 5; ///< across all trees
+  std::size_t max_fields = 3;     ///< across all trees (>= #trees)
+
+  // Stream.
+  std::size_t min_stream_items = 8;
+  std::size_t max_stream_items = 40;
+  double index_launch_prob = 0.2;
+  double trace_block_prob = 0.12;
+  double end_iteration_prob = 0.05;
+  double multi_req_prob = 0.35;
+
+  // Configuration.
+  std::uint32_t max_nodes = 4;
+  /// Randomize subject algorithm, DCR, tracing and engine tuning.  When
+  /// off, the fields below are used verbatim.
+  bool randomize_config = true;
+  Algorithm subject = Algorithm::RayCast;
+  bool dcr = false;
+  bool tracing = true;
+  EngineTuning tuning;
+};
+
+/// Generate one random, valid program.
+ProgramSpec generate_program(Rng& rng, const GeneratorOptions& options = {});
+
+} // namespace visrt::fuzz

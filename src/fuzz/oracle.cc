@@ -1,0 +1,287 @@
+#include "fuzz/oracle.h"
+
+#include <optional>
+#include <sstream>
+
+#include "common/check.h"
+#include "runtime/runtime.h"
+#include "sim/replay.h"
+
+namespace visrt::fuzz {
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+  case FailureKind::None: return "none";
+  case FailureKind::Value: return "value";
+  case FailureKind::FinalValue: return "final-value";
+  case FailureKind::Soundness: return "soundness";
+  case FailureKind::Precision: return "precision";
+  case FailureKind::Schedule: return "schedule";
+  case FailureKind::Crash: return "crash";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t combine_hashes(std::span<const std::uint64_t> hashes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t v : hashes) h = (h ^ v) * 1099511628211ULL;
+  return h;
+}
+
+/// One spec executed through the Runtime, kept alive so the differential
+/// checks can inspect the dependence DAG and work graph afterwards.
+struct Execution {
+  std::optional<Runtime> runtime;
+  std::vector<RegionHandle> regions;
+  std::vector<PartitionHandle> partitions;
+  std::vector<ExpandedLaunch> expanded;
+  RunResult result;
+
+  /// Run the whole program; invariant violations and API errors become
+  /// RunResult::crashed instead of aborting the process.
+  void run(const ProgramSpec& spec) {
+    expanded = expand_stream(spec);
+    result.launch_hashes.assign(expanded.size(), 0);
+    ScopedCheckThrows catch_invariants;
+    try {
+      execute(spec);
+    } catch (const std::exception& e) {
+      result.crashed = true;
+      result.crash_message = e.what();
+    }
+  }
+
+private:
+  void execute(const ProgramSpec& spec) {
+    RuntimeConfig config;
+    config.algorithm = spec.subject;
+    config.tuning = spec.tuning;
+    config.dcr = spec.dcr;
+    config.enable_tracing = spec.tracing;
+    config.track_values = true;
+    config.machine.num_nodes = spec.num_nodes;
+    runtime.emplace(config);
+
+    for (const TreeSpec& tree : spec.trees)
+      regions.push_back(
+          runtime->create_region(IntervalSet(0, tree.size - 1), tree.name));
+    for (const PartitionSpec& part : spec.partitions) {
+      PartitionHandle ph = runtime->create_partition(
+          regions[part.parent], part.subspaces, part.name);
+      partitions.push_back(ph);
+      for (std::size_t c = 0; c < part.subspaces.size(); ++c)
+        regions.push_back(runtime->subregion(ph, c));
+    }
+    for (std::size_t f = 0; f < spec.fields.size(); ++f) {
+      const FieldSpec& field = spec.fields[f];
+      coord_t mod = field.init_mod;
+      FieldID id = runtime->add_field(
+          regions[field.tree], field.name,
+          [mod](coord_t p) { return static_cast<double>(p % mod); });
+      invariant(id == static_cast<FieldID>(f),
+                "field-table index must equal the runtime FieldID");
+    }
+
+    LaunchID next_expected = 0;
+    for (const StreamItem& item : spec.stream) {
+      switch (item.kind) {
+      case StreamItem::Kind::Task: {
+        TaskLaunch launch;
+        launch.name = "fuzz";
+        launch.mapped_node = item.task.mapped_node;
+        coord_t work = 0;
+        for (const ReqSpec& req : item.task.requirements) {
+          launch.requirements.push_back(RegionReq{
+              regions[req.region], req.field, req.privilege});
+          work += region_domain(spec, req.region).volume();
+        }
+        launch.work_items = work;
+        launch.fn = [this](TaskContext& ctx) { body(ctx); };
+        LaunchID id = runtime->launch(std::move(launch));
+        invariant(id == next_expected, "launch id misaligned with expansion");
+        ++next_expected;
+        break;
+      }
+      case StreamItem::Kind::Index: {
+        IndexLaunch launch;
+        launch.name = "fuzz-index";
+        coord_t work = 0;
+        for (const IndexReqSpec& req : item.index.requirements) {
+          launch.requirements.push_back(IndexReq{
+              partitions[req.partition], req.field, req.privilege});
+          work += region_domain(spec, req.partition).volume();
+        }
+        launch.work_items = work;
+        launch.fn = [this](TaskContext& ctx, std::size_t) { body(ctx); };
+        std::vector<LaunchID> ids = runtime->index_launch(launch);
+        for (LaunchID id : ids) {
+          invariant(id == next_expected,
+                    "launch id misaligned with expansion");
+          ++next_expected;
+        }
+        break;
+      }
+      case StreamItem::Kind::BeginTrace:
+        runtime->begin_trace(item.trace_id);
+        break;
+      case StreamItem::Kind::EndTrace:
+        runtime->end_trace();
+        break;
+      case StreamItem::Kind::EndIteration:
+        runtime->end_iteration();
+        break;
+      }
+    }
+
+    for (std::size_t f = 0; f < spec.fields.size(); ++f) {
+      RegionData<double> data = runtime->observe(
+          regions[spec.fields[f].tree], static_cast<FieldID>(f));
+      result.final_hashes.push_back(hash_region(data));
+    }
+    result.dep_edges = runtime->dep_graph().edge_count();
+    result.traced_launches = runtime->traced_launches();
+  }
+
+  /// The shared deterministic body: hash the materialized (pre-mutation)
+  /// buffers, then apply the canonical writes/reductions.
+  void body(TaskContext& ctx) {
+    const ExpandedLaunch& launch = expanded.at(ctx.launch_id());
+    std::vector<std::uint64_t> hashes;
+    std::vector<RegionData<double>*> buffers;
+    for (std::size_t i = 0; i < ctx.region_count(); ++i) {
+      hashes.push_back(hash_region(ctx.data(i)));
+      buffers.push_back(&ctx.data(i));
+    }
+    result.launch_hashes.at(ctx.launch_id()) = combine_hashes(hashes);
+    apply_task_body(launch.requirements, buffers, ctx.launch_id(),
+                    launch.salt);
+  }
+};
+
+/// Could launches a and b produce different results if reordered?  Same
+/// field, interfering privileges, overlapping domains.
+bool launches_interfere(const std::vector<IntervalSet>& domains,
+                        const ExpandedLaunch& a, const ExpandedLaunch& b) {
+  for (const ReqSpec& ra : a.requirements)
+    for (const ReqSpec& rb : b.requirements)
+      if (ra.field == rb.field && interferes(ra.privilege, rb.privilege) &&
+          domains[ra.region].overlaps(domains[rb.region]))
+        return true;
+  return false;
+}
+
+std::vector<IntervalSet> all_domains(const ProgramSpec& spec) {
+  std::vector<IntervalSet> domains;
+  std::uint32_t n = region_table_size(spec);
+  domains.reserve(n);
+  for (std::uint32_t r = 0; r < n; ++r)
+    domains.push_back(region_domain(spec, r));
+  return domains;
+}
+
+} // namespace
+
+RunResult run_program(const ProgramSpec& spec) {
+  Execution exec;
+  exec.run(spec);
+  return exec.result;
+}
+
+std::string validate_schedule(const Runtime& runtime) {
+  const DepGraph& deps = runtime.dep_graph();
+  std::span<const sim::OpID> execs = runtime.exec_ops();
+  sim::ReplayResult replay =
+      sim::replay(runtime.work_graph(), runtime.config().machine);
+  for (LaunchID to = 0; to < deps.task_count(); ++to) {
+    if (to >= execs.size() || execs[to] == sim::kInvalidOp) continue;
+    sim::OpID eto = execs[to];
+    SimTime start = replay.finish_of(eto) - runtime.work_graph().op(eto).cost;
+    for (LaunchID from : deps.preds(to)) {
+      if (from >= execs.size() || execs[from] == sim::kInvalidOp) continue;
+      if (replay.finish_of(execs[from]) > start) {
+        std::ostringstream os;
+        os << "launch " << to << " starts at " << start
+           << "ns before its dependence " << from << " finishes at "
+           << replay.finish_of(execs[from]) << "ns";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+DiffReport check_program(const ProgramSpec& spec) {
+  // Reference execution: the sequential pseudocode engine in the plainest
+  // configuration.  Values are machine-independent, so the reference keeps
+  // the spec's node count (mapped nodes stay valid) but drops DCR, tracing
+  // and tuning.
+  ProgramSpec ref_spec = spec;
+  ref_spec.subject = Algorithm::Reference;
+  ref_spec.dcr = false;
+  ref_spec.tracing = false;
+  ref_spec.tuning = EngineTuning{};
+  RunResult ref = run_program(ref_spec);
+  if (ref.crashed)
+    return {FailureKind::Crash, "reference engine: " + ref.crash_message};
+
+  Execution subject;
+  subject.run(spec);
+  const RunResult& got = subject.result;
+  if (got.crashed) return {FailureKind::Crash, got.crash_message};
+
+  invariant(got.launch_hashes.size() == ref.launch_hashes.size() &&
+                got.final_hashes.size() == ref.final_hashes.size(),
+            "subject and reference executed different launch streams");
+  for (std::size_t id = 0; id < got.launch_hashes.size(); ++id) {
+    if (got.launch_hashes[id] != ref.launch_hashes[id]) {
+      std::ostringstream os;
+      os << "launch " << id << " materialized values diverge from reference";
+      return {FailureKind::Value, os.str()};
+    }
+  }
+  for (std::size_t f = 0; f < got.final_hashes.size(); ++f) {
+    if (got.final_hashes[f] != ref.final_hashes[f]) {
+      std::ostringstream os;
+      os << "final values of field " << spec.fields[f].name
+         << " diverge from reference";
+      return {FailureKind::FinalValue, os.str()};
+    }
+  }
+
+  // Dependence checks over the expanded stream launches (the dep graph also
+  // holds the trailing observe() launches; those are outside the program).
+  const DepGraph& deps = subject.runtime->dep_graph();
+  std::vector<IntervalSet> domains = all_domains(spec);
+  LaunchID n = static_cast<LaunchID>(subject.expanded.size());
+  for (LaunchID b = 0; b < n; ++b) {
+    for (LaunchID a = 0; a < b; ++a) {
+      if (launches_interfere(domains, subject.expanded[a],
+                             subject.expanded[b]) &&
+          !deps.reaches(a, b)) {
+        std::ostringstream os;
+        os << "interfering launches " << a << " and " << b
+           << " are unordered";
+        return {FailureKind::Soundness, os.str()};
+      }
+    }
+  }
+  for (LaunchID to = 0; to < n; ++to) {
+    for (LaunchID from : deps.preds(to)) {
+      if (from < n && !launches_interfere(domains, subject.expanded[from],
+                                          subject.expanded[to])) {
+        std::ostringstream os;
+        os << "dependence edge " << from << " -> " << to
+           << " joins non-interfering launches";
+        return {FailureKind::Precision, os.str()};
+      }
+    }
+  }
+
+  std::string schedule = validate_schedule(*subject.runtime);
+  if (!schedule.empty()) return {FailureKind::Schedule, schedule};
+  return {};
+}
+
+} // namespace visrt::fuzz

@@ -1,0 +1,42 @@
+// visrt/fuzz/serialize.h
+//
+// The .visprog text format: a deterministic, human-readable serialization
+// of a ProgramSpec, used for the minimized-repro corpus.  One line per
+// declaration, whitespace-separated tokens, order fixed (config, tuning,
+// trees, partitions, fields, stream), so serializing the same spec always
+// produces the same bytes and `parse(to_visprog(s)) == s`.
+//
+//   visprog 1
+//   config nodes=2 dcr=0 tracing=1 subject=raycast
+//   tuning occlusion=1 memoize=1 domwrites=1 kdfallback=0 paintbug=0
+//   tree A 160
+//   partition P0 parent=0 [0,39] [40,79]+[100,119] empty
+//   field f0 tree=0 mod=11
+//   task node=1 salt=5 r3 f0 rw | r2 f1 red:sum
+//   index salt=0 p0 f0 rw | p1 f1 read
+//   begin_trace 1
+//   end_trace
+//   end_iteration
+//
+// Regions are `r<table-index>`, partitions `p<table-index>`, fields
+// `f<table-index>`; subspaces are `[lo,hi]` runs joined by `+` (or the
+// token `empty`).  Lines starting with `#` are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fuzz/program.h"
+
+namespace visrt::fuzz {
+
+/// Canonical text rendering of a spec.
+std::string to_visprog(const ProgramSpec& spec);
+void write_visprog(std::ostream& os, const ProgramSpec& spec);
+
+/// Parse a .visprog document; throws ApiError with a line number on any
+/// syntactic or semantic error (the result is always validate()-clean).
+ProgramSpec parse_visprog(const std::string& text);
+ProgramSpec read_visprog(std::istream& is);
+
+} // namespace visrt::fuzz

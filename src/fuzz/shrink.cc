@@ -1,0 +1,421 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.h"
+
+namespace visrt::fuzz {
+
+namespace {
+
+/// Drop orphaned trace markers after a chunk removal: unmatched end_trace
+/// markers disappear, and a begin_trace that never closes is removed.
+void repair_traces(std::vector<StreamItem>& stream) {
+  std::vector<StreamItem> out;
+  std::optional<std::size_t> open; // index in `out` of the open begin_trace
+  for (const StreamItem& item : stream) {
+    if (item.kind == StreamItem::Kind::BeginTrace) {
+      if (open) continue;
+      open = out.size();
+      out.push_back(item);
+    } else if (item.kind == StreamItem::Kind::EndTrace) {
+      if (!open) continue;
+      out.push_back(item);
+      open.reset();
+    } else {
+      out.push_back(item);
+    }
+  }
+  if (open) out.erase(out.begin() + static_cast<std::ptrdiff_t>(*open));
+  stream = std::move(out);
+}
+
+class Shrinker {
+public:
+  Shrinker(const ProgramSpec& failing, FailureKind target,
+           const ShrinkOptions& options)
+      : best_(failing), target_(target), options_(options) {}
+
+  ShrinkResult run() {
+    bool progress = true;
+    while (progress && attempts_ < options_.max_attempts) {
+      progress = false;
+      progress |= pass_simplify_config();
+      progress |= pass_stream_ddmin();
+      progress |= pass_drop_trace_markers();
+      progress |= pass_lower_index_launches();
+      progress |= pass_drop_requirements();
+      progress |= pass_shrink_subspaces();
+      progress |= pass_gc_tables();
+    }
+    return ShrinkResult{best_, target_, attempts_, accepted_};
+  }
+
+private:
+  ProgramSpec best_;
+  FailureKind target_;
+  ShrinkOptions options_;
+  std::size_t attempts_ = 0;
+  std::size_t accepted_ = 0;
+
+  bool budget_left() const { return attempts_ < options_.max_attempts; }
+
+  /// Keep `candidate` as the new best iff it is valid and still fails with
+  /// the target kind.
+  bool try_accept(ProgramSpec candidate) {
+    if (!budget_left()) return false;
+    try {
+      validate(candidate);
+    } catch (const ApiError&) {
+      return false; // a pass produced an ill-formed spec; just skip it
+    }
+    ++attempts_;
+    if (check_program(candidate).kind != target_) return false;
+    best_ = std::move(candidate);
+    ++accepted_;
+    return true;
+  }
+
+  /// ddmin over stream items: remove chunks of decreasing size.
+  bool pass_stream_ddmin() {
+    bool progress = false;
+    std::size_t chunk = std::max<std::size_t>(1, best_.stream.size() / 2);
+    while (true) {
+      std::size_t start = 0;
+      while (start < best_.stream.size() && budget_left()) {
+        ProgramSpec cand = best_;
+        auto first = cand.stream.begin() + static_cast<std::ptrdiff_t>(start);
+        auto last = cand.stream.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        std::min(start + chunk, cand.stream.size()));
+        cand.stream.erase(first, last);
+        repair_traces(cand.stream);
+        if (try_accept(std::move(cand)))
+          progress = true; // same start now names the next chunk
+        else
+          start += chunk;
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+    return progress;
+  }
+
+  /// Remove begin/end trace marker pairs, keeping their contents.
+  bool pass_drop_trace_markers() {
+    bool progress = false;
+    for (std::size_t i = 0; i < best_.stream.size() && budget_left(); ++i) {
+      if (best_.stream[i].kind != StreamItem::Kind::BeginTrace) continue;
+      std::size_t end = i + 1;
+      while (end < best_.stream.size() &&
+             best_.stream[end].kind != StreamItem::Kind::EndTrace)
+        ++end;
+      if (end >= best_.stream.size()) break; // repaired streams always close
+      ProgramSpec cand = best_;
+      cand.stream.erase(cand.stream.begin() + static_cast<std::ptrdiff_t>(end));
+      cand.stream.erase(cand.stream.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_accept(std::move(cand))) {
+        progress = true;
+        --i; // the item now at `i` has not been examined
+      }
+    }
+    return progress;
+  }
+
+  /// Replace an index launch by its expanded point tasks, exposing the
+  /// individual points to chunk removal and requirement dropping.
+  bool pass_lower_index_launches() {
+    bool progress = false;
+    for (std::size_t i = 0; i < best_.stream.size() && budget_left(); ++i) {
+      if (best_.stream[i].kind != StreamItem::Kind::Index) continue;
+      const IndexSpec& index = best_.stream[i].index;
+      std::size_t colors =
+          best_.partitions[index.requirements[0].partition].subspaces.size();
+      std::vector<StreamItem> points;
+      for (std::size_t c = 0; c < colors; ++c) {
+        StreamItem item;
+        item.kind = StreamItem::Kind::Task;
+        for (const IndexReqSpec& req : index.requirements)
+          item.task.requirements.push_back(ReqSpec{
+              region_table_base(best_, req.partition) +
+                  static_cast<std::uint32_t>(c),
+              req.field, req.privilege});
+        item.task.mapped_node =
+            static_cast<NodeID>(c % best_.num_nodes);
+        item.task.salt = index.salt;
+        points.push_back(std::move(item));
+      }
+      ProgramSpec cand = best_;
+      cand.stream.erase(cand.stream.begin() + static_cast<std::ptrdiff_t>(i));
+      cand.stream.insert(cand.stream.begin() + static_cast<std::ptrdiff_t>(i),
+                         points.begin(), points.end());
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    return progress;
+  }
+
+  /// Drop individual requirements (keeping at least one per launch).
+  bool pass_drop_requirements() {
+    bool progress = false;
+    for (std::size_t i = 0; i < best_.stream.size() && budget_left(); ++i) {
+      StreamItem& item = best_.stream[i];
+      std::size_t count = item.kind == StreamItem::Kind::Task
+                              ? item.task.requirements.size()
+                          : item.kind == StreamItem::Kind::Index
+                              ? item.index.requirements.size()
+                              : 0;
+      if (count < 2) continue;
+      for (std::size_t r = 0; r < count && count >= 2 && budget_left(); ++r) {
+        ProgramSpec cand = best_;
+        StreamItem& citem = cand.stream[i];
+        if (citem.kind == StreamItem::Kind::Task)
+          citem.task.requirements.erase(
+              citem.task.requirements.begin() +
+              static_cast<std::ptrdiff_t>(r));
+        else
+          citem.index.requirements.erase(
+              citem.index.requirements.begin() +
+              static_cast<std::ptrdiff_t>(r));
+        if (try_accept(std::move(cand))) {
+          progress = true;
+          --count;
+          --r;
+        }
+      }
+    }
+    return progress;
+  }
+
+  /// Shrink partition subspaces: collapse a multi-interval subspace to its
+  /// first interval, or halve a single interval.
+  bool pass_shrink_subspaces() {
+    bool progress = false;
+    for (std::size_t p = 0; p < best_.partitions.size(); ++p) {
+      for (std::size_t s = 0;
+           s < best_.partitions[p].subspaces.size() && budget_left(); ++s) {
+        const IntervalSet& sub = best_.partitions[p].subspaces[s];
+        if (sub.interval_count() > 1) {
+          ProgramSpec cand = best_;
+          Interval first = sub.intervals().front();
+          cand.partitions[p].subspaces[s] = IntervalSet(first.lo, first.hi);
+          if (try_accept(std::move(cand))) progress = true;
+        }
+        const IntervalSet& cur = best_.partitions[p].subspaces[s];
+        if (cur.interval_count() == 1 && cur.volume() > 1) {
+          Interval iv = cur.intervals().front();
+          ProgramSpec cand = best_;
+          cand.partitions[p].subspaces[s] =
+              IntervalSet(iv.lo, iv.lo + (iv.hi - iv.lo) / 2);
+          if (try_accept(std::move(cand))) progress = true;
+        }
+      }
+    }
+    return progress;
+  }
+
+  /// Garbage-collect unused partitions, fields and trees, remapping the
+  /// index-based tables.
+  bool pass_gc_tables() {
+    bool progress = false;
+    progress |= gc_partitions();
+    progress |= gc_fields();
+    progress |= gc_trees();
+    return progress;
+  }
+
+  /// Region-table indices referenced by any launch.
+  std::vector<bool> referenced_regions(const ProgramSpec& spec) const {
+    std::vector<bool> used(region_table_size(spec), false);
+    for (const StreamItem& item : spec.stream) {
+      if (item.kind == StreamItem::Kind::Task) {
+        for (const ReqSpec& req : item.task.requirements)
+          used[req.region] = true;
+      } else if (item.kind == StreamItem::Kind::Index) {
+        for (const IndexReqSpec& req : item.index.requirements) {
+          std::uint32_t base = region_table_base(spec, req.partition);
+          std::size_t n = spec.partitions[req.partition].subspaces.size();
+          for (std::size_t c = 0; c < n; ++c) used[base + c] = true;
+        }
+      }
+    }
+    return used;
+  }
+
+  bool gc_partitions() {
+    bool progress = false;
+    // Try dropping one partition at a time, highest index first so earlier
+    // bases stay stable while iterating.
+    for (std::size_t pi = best_.partitions.size(); pi-- > 0 && budget_left();) {
+      std::uint32_t p = static_cast<std::uint32_t>(pi);
+      std::vector<bool> used = referenced_regions(best_);
+      std::uint32_t base = region_table_base(best_, p);
+      std::uint32_t n =
+          static_cast<std::uint32_t>(best_.partitions[p].subspaces.size());
+      bool removable = true;
+      for (std::uint32_t c = 0; c < n && removable; ++c)
+        if (used[base + c]) removable = false;
+      for (const StreamItem& item : best_.stream) {
+        if (!removable) break;
+        if (item.kind == StreamItem::Kind::Index)
+          for (const IndexReqSpec& req : item.index.requirements)
+            if (req.partition == p) removable = false;
+      }
+      // Another partition rooted in one of p's children pins p.
+      for (std::size_t q = 0; q < best_.partitions.size() && removable; ++q)
+        if (q != pi && best_.partitions[q].parent >= base &&
+            best_.partitions[q].parent < base + n)
+          removable = false;
+      if (!removable) continue;
+
+      ProgramSpec cand = best_;
+      cand.partitions.erase(cand.partitions.begin() +
+                            static_cast<std::ptrdiff_t>(pi));
+      auto remap_region = [base, n](std::uint32_t r) {
+        return r >= base + n ? r - n : r;
+      };
+      for (PartitionSpec& part : cand.partitions)
+        part.parent = remap_region(part.parent);
+      for (StreamItem& item : cand.stream) {
+        if (item.kind == StreamItem::Kind::Task)
+          for (ReqSpec& req : item.task.requirements)
+            req.region = remap_region(req.region);
+        else if (item.kind == StreamItem::Kind::Index)
+          for (IndexReqSpec& req : item.index.requirements)
+            if (req.partition > p) --req.partition;
+      }
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    return progress;
+  }
+
+  bool gc_fields() {
+    bool progress = false;
+    for (std::size_t fi = best_.fields.size(); fi-- > 0 && budget_left();) {
+      std::uint32_t f = static_cast<std::uint32_t>(fi);
+      bool used = false;
+      for (const StreamItem& item : best_.stream) {
+        if (item.kind == StreamItem::Kind::Task) {
+          for (const ReqSpec& req : item.task.requirements)
+            if (req.field == f) used = true;
+        } else if (item.kind == StreamItem::Kind::Index) {
+          for (const IndexReqSpec& req : item.index.requirements)
+            if (req.field == f) used = true;
+        }
+      }
+      if (used) continue;
+      ProgramSpec cand = best_;
+      cand.fields.erase(cand.fields.begin() + static_cast<std::ptrdiff_t>(fi));
+      for (StreamItem& item : cand.stream) {
+        if (item.kind == StreamItem::Kind::Task)
+          for (ReqSpec& req : item.task.requirements)
+            if (req.field > f) --req.field;
+        if (item.kind == StreamItem::Kind::Index)
+          for (IndexReqSpec& req : item.index.requirements)
+            if (req.field > f) --req.field;
+      }
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    return progress;
+  }
+
+  bool gc_trees() {
+    bool progress = false;
+    for (std::size_t ti = best_.trees.size(); ti-- > 0 && budget_left();) {
+      if (best_.trees.size() == 1) break; // a program needs one tree
+      std::uint32_t t = static_cast<std::uint32_t>(ti);
+      bool used = false;
+      for (const FieldSpec& field : best_.fields)
+        if (field.tree == t) used = true;
+      for (const PartitionSpec& part : best_.partitions)
+        if (part.parent == t) used = true;
+      std::vector<bool> regions = referenced_regions(best_);
+      if (regions[t]) used = true;
+      if (used) continue;
+      // With no field, partition or requirement on the tree, removing it
+      // shifts every region index above t down by one.
+      ProgramSpec cand = best_;
+      cand.trees.erase(cand.trees.begin() + static_cast<std::ptrdiff_t>(ti));
+      for (PartitionSpec& part : cand.partitions)
+        if (part.parent > t) --part.parent;
+      for (FieldSpec& field : cand.fields)
+        if (field.tree > t) --field.tree;
+      for (StreamItem& item : cand.stream)
+        if (item.kind == StreamItem::Kind::Task)
+          for (ReqSpec& req : item.task.requirements)
+            if (req.region > t) --req.region;
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    return progress;
+  }
+
+  /// Configuration simplifications, each its own candidate.
+  bool pass_simplify_config() {
+    bool progress = false;
+    if (best_.tracing && budget_left()) {
+      ProgramSpec cand = best_;
+      cand.tracing = false;
+      std::erase_if(cand.stream, [](const StreamItem& item) {
+        return item.kind == StreamItem::Kind::BeginTrace ||
+               item.kind == StreamItem::Kind::EndTrace;
+      });
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    if (best_.dcr && budget_left()) {
+      ProgramSpec cand = best_;
+      cand.dcr = false;
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    if (best_.num_nodes > 1 && budget_left()) {
+      ProgramSpec cand = best_;
+      cand.num_nodes = 1;
+      for (StreamItem& item : cand.stream)
+        if (item.kind == StreamItem::Kind::Task) item.task.mapped_node = 0;
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    bool tuning_default =
+        best_.tuning == EngineTuning{} ||
+        (best_.tuning.inject_paint_reduce_bug &&
+         [&] {
+           EngineTuning plain = best_.tuning;
+           plain.inject_paint_reduce_bug = false;
+           return plain == EngineTuning{};
+         }());
+    if (!tuning_default && budget_left()) {
+      // Reset the ablation knobs but keep the injected-bug switch: the bug
+      // is usually the very thing being minimized.
+      ProgramSpec cand = best_;
+      bool bug = cand.tuning.inject_paint_reduce_bug;
+      cand.tuning = EngineTuning{};
+      cand.tuning.inject_paint_reduce_bug = bug;
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    bool has_salt = false;
+    for (const StreamItem& item : best_.stream)
+      has_salt |= (item.kind == StreamItem::Kind::Task && item.task.salt) ||
+                  (item.kind == StreamItem::Kind::Index && item.index.salt);
+    if (has_salt && budget_left()) {
+      ProgramSpec cand = best_;
+      for (StreamItem& item : cand.stream) {
+        item.task.salt = 0;
+        item.index.salt = 0;
+      }
+      if (try_accept(std::move(cand))) progress = true;
+    }
+    return progress;
+  }
+};
+
+} // namespace
+
+ShrinkResult shrink_program(const ProgramSpec& failing,
+                            const DiffReport& report,
+                            const ShrinkOptions& options) {
+  require(report.kind != FailureKind::None,
+          "shrink_program needs a failing report");
+  validate(failing);
+  Shrinker shrinker(failing, report.kind, options);
+  return shrinker.run();
+}
+
+} // namespace visrt::fuzz

@@ -1,0 +1,40 @@
+// visrt/fuzz/shrink.h
+//
+// Delta-debugging minimizer for failing programs.  Given a spec on which
+// check_program() reports a failure, repeatedly applies reduction passes —
+// ddmin-style chunk removal of stream items, trace-bracket removal, index
+// launches lowered to their point tasks, requirement dropping, subspace
+// shrinking, garbage collection of unused partitions/fields/trees, and
+// configuration simplification (tracing off, DCR off, one node, default
+// tuning, zero salts) — keeping a candidate only when it still fails with
+// the *same* FailureKind.  Runs passes to a fixpoint under a global budget
+// of oracle evaluations; the result is the smallest still-failing spec
+// found, ready to serialize into the repro corpus.
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+
+namespace visrt::fuzz {
+
+struct ShrinkOptions {
+  /// Hard cap on oracle evaluations (each runs the program twice).
+  std::size_t max_attempts = 2000;
+};
+
+struct ShrinkResult {
+  ProgramSpec spec;      ///< smallest spec still failing with `kind`
+  FailureKind kind = FailureKind::None;
+  std::size_t attempts = 0; ///< oracle evaluations spent
+  std::size_t accepted = 0; ///< reductions that kept the failure
+};
+
+/// Minimize `failing` while preserving the failure kind of `report`
+/// (which must be the result of check_program(failing)).
+ShrinkResult shrink_program(const ProgramSpec& failing,
+                            const DiffReport& report,
+                            const ShrinkOptions& options = {});
+
+} // namespace visrt::fuzz

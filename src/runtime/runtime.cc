@@ -26,6 +26,7 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   }
   EngineConfig ec;
   ec.track_values = config_.track_values;
+  ec.tuning = config_.tuning;
   ec.forest = &forest_;
   ec.recorder = &recorder_;
   engine_ = make_engine(config_.algorithm, ec);

@@ -42,6 +42,9 @@ namespace visrt {
 
 struct RuntimeConfig {
   Algorithm algorithm = Algorithm::RayCast;
+  /// Algorithm-specific option knobs (ablation settings + test hooks),
+  /// forwarded to the engine factory.
+  EngineTuning tuning;
   /// Shard the top-level task's analysis across nodes (DCR).
   bool dcr = false;
   /// Honor begin_trace()/end_trace() (dynamic tracing, [15] in the paper:
@@ -168,6 +171,12 @@ public:
   const sim::WorkGraph& work_graph() const { return graph_; }
   EngineStats engine_stats() const { return engine_->stats(); }
   const RuntimeConfig& config() const { return config_; }
+
+  /// Work-graph task-execution op of each launch, indexed by LaunchID
+  /// (kInvalidOp for launches without an execution op, e.g. observe()).
+  /// Lets external validators — the fuzzer's schedule checker — relate the
+  /// dependence DAG to the replayed DES schedule.
+  std::span<const sim::OpID> exec_ops() const { return exec_op_; }
 
   /// The telemetry recorder (enabled iff RuntimeConfig::telemetry).
   obs::Recorder& recorder() { return recorder_; }

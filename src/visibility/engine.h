@@ -87,10 +87,32 @@ enum class Algorithm {
 
 const char* algorithm_name(Algorithm a);
 
+/// Algorithm-specific option knobs in factory-friendly form: one flat
+/// struct covering every engine's ablation settings, so callers that pick
+/// the algorithm at runtime (the Runtime config, the fuzzer's randomized
+/// configurations) can carry one value.  make_engine forwards the relevant
+/// subset to the engine's own Options struct; knobs for other engines are
+/// ignored.
+struct EngineTuning {
+  bool paint_occlusion_pruning = true;   ///< PaintEngine::Options
+  bool warnock_memoize = true;           ///< WarnockEngine::Options
+  bool raycast_dominating_writes = true; ///< RayCastEngine::Options
+  bool raycast_force_kd_fallback = false;
+  /// Test-only: arm PaintEngine's synthetic bug (see
+  /// PaintEngine::Options::inject_reduce_bug).  Used to validate that the
+  /// fuzzer's differential oracle and shrinker actually catch and minimize
+  /// engine defects; never enabled outside tests.
+  bool inject_paint_reduce_bug = false;
+
+  friend bool operator==(const EngineTuning&, const EngineTuning&) = default;
+};
+
 struct EngineConfig {
   /// Track and return actual region values.  Off for analysis-only
   /// benchmark runs where only dependences / costs matter.
   bool track_values = true;
+  /// Per-algorithm option knobs (ablation settings + test hooks).
+  EngineTuning tuning;
   /// Forest the requirements' region handles resolve against (non-owning;
   /// must outlive the engine).
   const RegionTreeForest* forest = nullptr;

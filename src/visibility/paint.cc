@@ -1,6 +1,7 @@
 #include "visibility/paint.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
 #include "obs/recorder.h"
@@ -94,7 +95,7 @@ void PaintEngine::adjust_counts(FieldState& fs, RegionHandle region,
 
 void PaintEngine::flatten_subtree(
     FieldState& fs, RegionHandle region, std::vector<HistEntry>& flat,
-    std::unordered_map<NodeID, std::uint64_t>& captured) {
+    std::map<NodeID, std::uint64_t>& captured) {
   auto it = fs.nodes.find(region.index);
   if (it != fs.nodes.end()) {
     NodeState& ns = it->second;
@@ -133,7 +134,10 @@ void PaintEngine::capture(FieldState& fs, RegionHandle at,
                           std::vector<AnalysisStep>& steps,
                           AnalysisCounters& local) {
   std::vector<HistEntry> flat;
-  std::unordered_map<NodeID, std::uint64_t> captured;
+  // Ordered by owner: the per-owner counts become AnalysisSteps, and step
+  // order must not depend on hash-table iteration (it decides work-graph op
+  // ids, hence simulated timing — repros must replay identically).
+  std::map<NodeID, std::uint64_t> captured;
   for (RegionHandle child : children) flatten_subtree(fs, child, flat, captured);
   if (flat.empty()) return;
 
@@ -236,6 +240,13 @@ void PaintEngine::close_subtrees(FieldState& fs,
   }
 }
 
+bool PaintEngine::skips_entry(const HistEntry& e) const {
+  // The synthetic fuzzer-validation bug: silently lose multi-interval
+  // reduce entries (see Options::inject_reduce_bug).
+  return options_.inject_reduce_bug && e.priv.is_reduce() &&
+         e.dom.interval_count() >= 2;
+}
+
 MaterializeResult PaintEngine::materialize(const Requirement& req,
                                            const AnalysisContext& ctx) {
   FieldState& fs = field_state(req.field);
@@ -261,8 +272,10 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
   RegionData<double> data;
   if (paint_values) data = RegionData<double>::filled(dom, 0.0);
 
-  // Per-owner remote counters for direct node histories.
-  std::unordered_map<NodeID, AnalysisCounters> remote;
+  // Per-owner remote counters for direct node histories.  Ordered so the
+  // emitted AnalysisSteps (and the work-graph ops built from them) have a
+  // deterministic order.
+  std::map<NodeID, AnalysisCounters> remote;
 
   {
     obs::ScopedSpan walk_span(config_.recorder, obs::SpanKind::Phase,
@@ -284,6 +297,7 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
           }
           for (const HistEntry& e : v.entries) {
             ++local.composite_child_tests;
+            if (skips_entry(e)) continue;
             if (entry_depends(e, dom, req.privilege, local))
               add_dependence(out.dependences, e.task);
             if (paint_values && e.values.has_value())
@@ -292,6 +306,7 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
         } else {
           AnalysisCounters& rc =
               ns.owner == ctx.analysis_node ? local : remote[ns.owner];
+          if (skips_entry(el.op)) continue;
           if (entry_depends(el.op, dom, req.privilege, rc))
             add_dependence(out.dependences, el.op.task);
           if (paint_values && el.op.values.has_value())

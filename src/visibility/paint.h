@@ -18,6 +18,7 @@
 //     local).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,11 @@ public:
   struct Options {
     /// Disable to measure the value of occlusion pruning (ablation bench).
     bool occlusion_pruning = true;
+    /// Test-only synthetic bug for validating the fuzzer: when set, the
+    /// history walk silently skips reduce entries whose domain has two or
+    /// more intervals — dropping both their folds (value corruption) and
+    /// their dependences (soundness violation).
+    bool inject_reduce_bug = false;
   };
 
   explicit PaintEngine(const EngineConfig& config);
@@ -89,6 +95,9 @@ private:
   FieldState& field_state(FieldID field);
   NodeState& node_state(FieldState& fs, RegionHandle region);
 
+  /// True when the injected test bug drops this history entry.
+  bool skips_entry(const HistEntry& e) const;
+
   /// Add a privilege to the summaries of `region` and all its ancestors.
   void add_summary(FieldState& fs, RegionHandle region, const Privilege& p);
   static void add_priv(std::vector<Privilege>& privs, const Privilege& p);
@@ -113,10 +122,12 @@ private:
                std::vector<AnalysisStep>& steps, AnalysisCounters& local);
 
   /// Recursively move all entries below `region` (inclusive) into `flat`,
-  /// clearing the subtree.  Returns per-owner capture counts.
+  /// clearing the subtree.  Returns per-owner capture counts (an ordered
+  /// map: the counts become AnalysisSteps, whose order must be
+  /// deterministic across runs and platforms).
   void flatten_subtree(FieldState& fs, RegionHandle region,
                        std::vector<HistEntry>& flat,
-                       std::unordered_map<NodeID, std::uint64_t>& captured);
+                       std::map<NodeID, std::uint64_t>& captured);
 
   EngineConfig config_;
   Options options_;

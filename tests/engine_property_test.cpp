@@ -6,122 +6,72 @@
 //   (3) dependence precision — every direct edge the engine reports is a
 //       truly interfering pair (no false direct dependences).
 //
-// Streams are generated over the paper's region structure (a disjoint
-// complete primary partition, an aliased incomplete ghost partition, and a
-// nested partition) with random privileges, reduction operators and
-// task bodies.  Values are integer-valued doubles so sum/min/max folds are
-// exact and order-insensitive for same-operator groups.
+// Program generation is delegated to the fuzzing subsystem's generator
+// (src/fuzz) — the single random-program code path shared with the
+// visrt_fuzz driver: random region-tree forests (disjoint/aliased ×
+// complete/incomplete partitions, nesting, image/preimage), multiple
+// fields, individual and index launches, random privileges and reduction
+// operators.  This test drives the *engine layer* directly through the
+// expanded launch stream; visrt_fuzz covers the full Runtime stack.
 #include <gtest/gtest.h>
-
-#include <map>
 
 #include "common/rng.h"
 #include "engine_harness.h"
-#include "realm/reduction_ops.h"
+#include "fuzz/generator.h"
 
 namespace visrt {
 namespace {
 
 using testing::EngineHarness;
 
-struct RandomProgram {
-  RegionTreeForest forest;
-  RegionHandle root;
-  std::vector<RegionHandle> regions; // candidate task arguments
-  std::vector<FieldID> fields{0, 1};
+/// One generated program lowered to engine-level launches.
+struct GeneratedProgram {
+  fuzz::ProgramSpec spec;
+  fuzz::BuiltForest built;
+  std::vector<fuzz::ExpandedLaunch> launches;
 
-  explicit RandomProgram(Rng& rng) {
-    constexpr coord_t kSize = 160;
-    root = forest.create_root(IntervalSet(0, kSize - 1), "A");
-    regions.push_back(root);
-
-    // Primary partition: 4 disjoint complete pieces.
-    std::vector<IntervalSet> primary;
-    for (coord_t i = 0; i < 4; ++i)
-      primary.push_back(IntervalSet(i * 40, i * 40 + 39));
-    PartitionHandle p =
-        forest.create_partition(root, std::move(primary), "P");
-    for (std::size_t i = 0; i < 4; ++i)
-      regions.push_back(forest.subregion(p, i));
-
-    // Ghost partition: random aliased blocks (possibly overlapping).
-    std::vector<IntervalSet> ghost;
-    for (int i = 0; i < 4; ++i) {
-      coord_t lo = rng.range(0, kSize - 20);
-      coord_t hi = lo + rng.range(5, 30);
-      ghost.push_back(IntervalSet(lo, std::min(hi, kSize - 1)));
-    }
-    PartitionHandle g = forest.create_partition(root, std::move(ghost), "G");
-    for (std::size_t i = 0; i < 4; ++i)
-      regions.push_back(forest.subregion(g, i));
-
-    // Nested partition under P[0].
-    PartitionHandle nested = forest.create_partition(
-        forest.subregion(p, 0), {IntervalSet(0, 19), IntervalSet(20, 39)},
-        "P0sub");
-    regions.push_back(forest.subregion(nested, 0));
-    regions.push_back(forest.subregion(nested, 1));
+  explicit GeneratedProgram(std::uint64_t seed) {
+    Rng rng(seed);
+    fuzz::GeneratorOptions options;
+    options.randomize_config = false; // the test fixes the subject itself
+    spec = fuzz::generate_program(rng, options);
+    fuzz::build_forest(spec, built);
+    launches = fuzz::expand_stream(spec);
   }
-};
 
-struct StreamOp {
-  std::vector<Requirement> reqs;
-  NodeID mapped;
-};
-
-std::vector<StreamOp> random_stream(RandomProgram& prog, Rng& rng,
-                                    int length) {
-  std::vector<StreamOp> stream;
-  for (int t = 0; t < length; ++t) {
-    StreamOp op;
-    op.mapped = static_cast<NodeID>(rng.below(4));
-    int nreqs = rng.chance(0.4) ? 2 : 1;
-    for (int r = 0; r < nreqs; ++r) {
+  std::vector<Requirement> requirements(const fuzz::ExpandedLaunch& l) const {
+    std::vector<Requirement> reqs;
+    for (const fuzz::ReqSpec& r : l.requirements) {
       Requirement req;
-      req.region = prog.regions[rng.below(prog.regions.size())];
-      // Two requirements of one task use distinct fields (the paper's
-      // restriction on aliased interfering arguments, Section 4).
-      req.field = nreqs == 2 ? static_cast<FieldID>(r)
-                             : prog.fields[rng.below(2)];
-      double roll = rng.uniform();
-      if (roll < 0.3) {
-        req.privilege = Privilege::read();
-      } else if (roll < 0.6) {
-        req.privilege = Privilege::read_write();
-      } else {
-        static const ReductionOpID ops[3] = {kRedopSum, kRedopMin,
-                                             kRedopMax};
-        req.privilege = Privilege::reduce(ops[rng.below(3)]);
-      }
-      op.reqs.push_back(req);
+      req.region = built.regions[r.region];
+      req.field = r.field;
+      req.privilege = r.privilege;
+      reqs.push_back(req);
     }
-    stream.push_back(std::move(op));
+    return reqs;
   }
-  return stream;
-}
 
-/// Deterministic task body keyed by launch id: writes and reductions use
-/// integer values so every fold is exact.
-testing::Body make_body(const std::vector<Requirement>& reqs, LaunchID id) {
-  return [reqs, id](std::vector<RegionData<double>>& bufs) {
-    for (std::size_t i = 0; i < bufs.size(); ++i) {
-      const Privilege& priv = reqs[i].privilege;
-      if (priv.is_write()) {
-        bufs[i].for_each([&](coord_t p, double& v) {
-          v = static_cast<double>((p * 7 + static_cast<coord_t>(id) * 13 +
-                                   static_cast<coord_t>(i)) %
-                                  1001);
-        });
-      } else if (priv.is_reduce()) {
-        const ReductionOp& op = reduction_op(priv.redop);
-        bufs[i].for_each([&](coord_t p, double& v) {
-          double contribution = static_cast<double>(
-              (p * 3 + static_cast<coord_t>(id) * 5) % 97);
-          v = op.fold(contribution, v);
-        });
-      }
-      // Reads leave the buffer untouched.
+  void init_fields(EngineHarness& harness) const {
+    for (std::size_t f = 0; f < spec.fields.size(); ++f) {
+      const fuzz::FieldSpec& field = spec.fields[f];
+      RegionHandle root = built.regions[field.tree];
+      coord_t mod = field.init_mod;
+      harness.init_field(root, static_cast<FieldID>(f),
+                         RegionData<double>::generate(
+                             built.forest.domain(root), [mod](coord_t p) {
+                               return static_cast<double>(p % mod);
+                             }));
     }
+  }
+};
+
+/// The canonical deterministic body from the fuzz IR.
+testing::Body make_body(const fuzz::ExpandedLaunch& launch, LaunchID id) {
+  return [reqs = launch.requirements, salt = launch.salt,
+          id](std::vector<RegionData<double>>& bufs) {
+    std::vector<RegionData<double>*> ptrs;
+    for (RegionData<double>& buf : bufs) ptrs.push_back(&buf);
+    fuzz::apply_task_body(reqs, ptrs, id, salt);
   };
 }
 
@@ -148,51 +98,44 @@ class EngineProperty : public ::testing::TestWithParam<PropertyParam> {};
 
 TEST_P(EngineProperty, AgreesWithSequentialOracle) {
   auto [algorithm, seed] = GetParam();
-  Rng rng(seed);
-  RandomProgram prog(rng);
-  auto stream = random_stream(prog, rng, 50);
+  GeneratedProgram prog(seed);
 
-  EngineHarness subject(algorithm, &prog.forest);
-  EngineHarness oracle(Algorithm::Reference, &prog.forest);
-  for (FieldID f : prog.fields) {
-    auto init = RegionData<double>::generate(
-        prog.forest.domain(prog.root),
-        [](coord_t p) { return static_cast<double>(p % 11); });
-    subject.init_field(prog.root, f, init);
-    oracle.init_field(prog.root, f, init);
-  }
+  EngineHarness subject(algorithm, &prog.built.forest);
+  EngineHarness oracle(Algorithm::Reference, &prog.built.forest);
+  prog.init_fields(subject);
+  prog.init_fields(oracle);
 
   std::vector<std::vector<Requirement>> launched;
-  for (const StreamOp& op : stream) {
+  for (const fuzz::ExpandedLaunch& launch : prog.launches) {
     LaunchID id = subject.next_launch();
-    testing::Body body = make_body(op.reqs, id);
-    auto got = subject.run(op.reqs, body, op.mapped, /*analysis=*/0);
-    auto want = oracle.run(op.reqs, body, op.mapped, 0);
+    std::vector<Requirement> reqs = prog.requirements(launch);
+    testing::Body body = make_body(launch, id);
+    auto got = subject.run(reqs, body, launch.mapped_node, /*analysis=*/0);
+    auto want = oracle.run(reqs, body, launch.mapped_node, 0);
 
     // (1) Values: identical materialization for every requirement.
     ASSERT_EQ(got.materialized.size(), want.materialized.size());
     for (std::size_t i = 0; i < got.materialized.size(); ++i) {
       EXPECT_EQ(got.materialized[i], want.materialized[i])
           << algorithm_name(algorithm) << " diverged at launch " << id
-          << " requirement " << i << " (" << to_string(op.reqs[i].privilege)
-          << " on " << prog.forest.name(op.reqs[i].region) << ")";
+          << " requirement " << i << " (" << to_string(reqs[i].privilege)
+          << " on " << prog.built.forest.name(reqs[i].region) << ")";
     }
 
     // (3) Precision: every direct dependence is a real interference.
     for (LaunchID d : got.dependences) {
-      EXPECT_TRUE(
-          launches_interfere(prog.forest, launched[d], op.reqs))
+      EXPECT_TRUE(launches_interfere(prog.built.forest, launched[d], reqs))
           << algorithm_name(algorithm) << ": false dependence " << d
           << " -> " << id;
     }
-    launched.push_back(op.reqs);
+    launched.push_back(std::move(reqs));
   }
 
   // (2) Soundness: all interfering pairs are transitively ordered.
   const DepGraph& d = subject.deps();
   for (LaunchID i = 0; i < launched.size(); ++i) {
     for (LaunchID j = i + 1; j < launched.size(); ++j) {
-      if (launches_interfere(prog.forest, launched[i], launched[j])) {
+      if (launches_interfere(prog.built.forest, launched[i], launched[j])) {
         EXPECT_TRUE(d.reaches(i, j))
             << algorithm_name(algorithm) << ": missed ordering " << i
             << " before " << j;
@@ -206,23 +149,21 @@ TEST_P(EngineProperty, AnalysisOnlyModeMatchesDependences) {
   // identical to the tracked run.
   auto [algorithm, seed] = GetParam();
   if (algorithm == Algorithm::Reference) GTEST_SKIP();
-  Rng rng(seed ^ 0x5eed);
-  RandomProgram prog(rng);
-  auto stream = random_stream(prog, rng, 40);
+  GeneratedProgram prog(seed ^ 0x5eed);
 
-  EngineHarness tracked(algorithm, &prog.forest, /*track_values=*/true);
-  EngineHarness untracked(algorithm, &prog.forest, /*track_values=*/false);
-  for (FieldID f : prog.fields) {
-    tracked.init_field(prog.root, f,
-                       RegionData<double>::filled(
-                           prog.forest.domain(prog.root), 0.0));
-    untracked.init_field(prog.root, f, RegionData<double>{});
-  }
+  EngineHarness tracked(algorithm, &prog.built.forest, /*track_values=*/true);
+  EngineHarness untracked(algorithm, &prog.built.forest,
+                          /*track_values=*/false);
+  prog.init_fields(tracked);
+  for (std::size_t f = 0; f < prog.spec.fields.size(); ++f)
+    untracked.init_field(prog.built.regions[prog.spec.fields[f].tree],
+                         static_cast<FieldID>(f), RegionData<double>{});
 
-  for (const StreamOp& op : stream) {
+  for (const fuzz::ExpandedLaunch& launch : prog.launches) {
     LaunchID id = tracked.next_launch();
-    auto a = tracked.run(op.reqs, make_body(op.reqs, id), op.mapped, 0);
-    auto b = untracked.run(op.reqs, nullptr, op.mapped, 0);
+    std::vector<Requirement> reqs = prog.requirements(launch);
+    auto a = tracked.run(reqs, make_body(launch, id), launch.mapped_node, 0);
+    auto b = untracked.run(reqs, nullptr, launch.mapped_node, 0);
     EXPECT_EQ(a.dependences, b.dependences)
         << algorithm_name(algorithm) << " launch " << id;
   }

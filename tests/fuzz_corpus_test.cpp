@@ -1,0 +1,75 @@
+// Replays every .visprog repro in tests/corpus/ through all six engines,
+// with and without DCR, checking the full differential oracle each time.
+// The corpus pins down historically interesting shapes (the paper's
+// Figure 5 stream, multi-tree multi-field programs, traced index
+// launches, nested/aliased partitions) so regressions fail loudly with a
+// named file instead of a fuzzer seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+
+#ifndef VISRT_CORPUS_DIR
+#error "VISRT_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace visrt::fuzz {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(VISRT_CORPUS_DIR))
+    if (entry.path().extension() == ".visprog") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpus, HasTheSeedRepros) {
+  EXPECT_GE(corpus_files().size(), 4u)
+      << "seed corpus went missing from " << VISRT_CORPUS_DIR;
+}
+
+TEST(FuzzCorpus, EveryReproPassesEveryEngine) {
+  static constexpr Algorithm kSubjects[] = {
+      Algorithm::Paint,        Algorithm::Warnock,
+      Algorithm::RayCast,      Algorithm::NaivePaint,
+      Algorithm::NaiveWarnock, Algorithm::NaiveRayCast,
+  };
+  for (const std::filesystem::path& path : corpus_files()) {
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << path;
+    ProgramSpec spec;
+    ASSERT_NO_THROW(spec = read_visprog(is)) << path;
+    for (Algorithm subject : kSubjects) {
+      for (bool dcr : {false, true}) {
+        ProgramSpec variant = spec;
+        variant.subject = subject;
+        variant.dcr = dcr;
+        DiffReport report = check_program(variant);
+        EXPECT_FALSE(report)
+            << path.filename() << " on " << algorithm_name(subject)
+            << (dcr ? "+dcr" : "") << ": "
+            << failure_kind_name(report.kind) << ": " << report.detail;
+      }
+    }
+  }
+}
+
+TEST(FuzzCorpus, ReprosAreCanonicallySerialized) {
+  // parse -> serialize -> parse must be the identity for every corpus
+  // file (comments and formatting aside, the spec is stable).
+  for (const std::filesystem::path& path : corpus_files()) {
+    std::ifstream is(path);
+    ProgramSpec spec = read_visprog(is);
+    EXPECT_EQ(parse_visprog(to_visprog(spec)), spec) << path;
+  }
+}
+
+} // namespace
+} // namespace visrt::fuzz

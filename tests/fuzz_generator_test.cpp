@@ -1,0 +1,135 @@
+// The random program generator: determinism, validity, feature coverage,
+// and .visprog serialization round-trips.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "fuzz/generator.h"
+#include "fuzz/serialize.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt::fuzz {
+namespace {
+
+TEST(FuzzGenerator, SameSeedSameProgram) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 999ULL}) {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(generate_program(a), generate_program(b)) << "seed " << seed;
+  }
+  Rng a(5), b(6);
+  EXPECT_NE(generate_program(a), generate_program(b));
+}
+
+TEST(FuzzGenerator, GeneratedProgramsAreValidAndBuildable) {
+  std::size_t total_launches = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed);
+    ProgramSpec spec = generate_program(rng);
+    ASSERT_NO_THROW(validate(spec)) << "seed " << seed;
+    BuiltForest built;
+    ASSERT_NO_THROW(build_forest(spec, built)) << "seed " << seed;
+    EXPECT_EQ(built.regions.size(), region_table_size(spec));
+    total_launches += expand_stream(spec).size();
+  }
+  EXPECT_GT(total_launches, 0u);
+}
+
+TEST(FuzzGenerator, CoversTheFeatureSpace) {
+  // Over a modest seed range the generator must exercise every structural
+  // and configuration feature it advertises; a silent regression to a
+  // narrower space would hollow out the whole subsystem.
+  bool index = false, traces = false, iterations = false, dcr = false;
+  bool multi_interval = false, multi_tree = false, reduce = false;
+  bool multi_req = false, tuned = false, multi_node = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    ProgramSpec spec = generate_program(rng);
+    dcr |= spec.dcr;
+    multi_tree |= spec.trees.size() > 1;
+    multi_node |= spec.num_nodes > 1;
+    tuned |= !(spec.tuning == EngineTuning{});
+    for (const PartitionSpec& part : spec.partitions)
+      for (const IntervalSet& sub : part.subspaces)
+        multi_interval |= sub.interval_count() > 1;
+    for (const StreamItem& item : spec.stream) {
+      index |= item.kind == StreamItem::Kind::Index;
+      traces |= item.kind == StreamItem::Kind::BeginTrace;
+      iterations |= item.kind == StreamItem::Kind::EndIteration;
+      if (item.kind == StreamItem::Kind::Task) {
+        multi_req |= item.task.requirements.size() > 1;
+        for (const ReqSpec& req : item.task.requirements)
+          reduce |= req.privilege.is_reduce();
+      }
+    }
+  }
+  EXPECT_TRUE(index) << "no index launches generated";
+  EXPECT_TRUE(traces) << "no traces generated";
+  EXPECT_TRUE(iterations) << "no iteration markers generated";
+  EXPECT_TRUE(dcr) << "DCR never enabled";
+  EXPECT_TRUE(multi_interval) << "no multi-interval subspaces";
+  EXPECT_TRUE(multi_tree) << "no multi-tree forests";
+  EXPECT_TRUE(reduce) << "no reduction privileges";
+  EXPECT_TRUE(multi_req) << "no multi-requirement tasks";
+  EXPECT_TRUE(tuned) << "engine tuning never ablated";
+  EXPECT_TRUE(multi_node) << "never more than one node";
+}
+
+TEST(FuzzGenerator, VisprogRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    ProgramSpec spec = generate_program(rng);
+    std::string text = to_visprog(spec);
+    ProgramSpec parsed = parse_visprog(text);
+    EXPECT_EQ(parsed, spec) << "seed " << seed << "\n" << text;
+    // Serialization is canonical: re-rendering reproduces the same bytes.
+    EXPECT_EQ(to_visprog(parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(FuzzSerialize, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_visprog(""), ApiError);
+  EXPECT_THROW(parse_visprog("visprog 2\n"), ApiError);
+  EXPECT_THROW(parse_visprog("tree A 10\n"), ApiError); // missing header
+  EXPECT_THROW(parse_visprog("visprog 1\nfrobnicate\n"), ApiError);
+  // Semantically invalid: requirement region out of range.
+  EXPECT_THROW(parse_visprog("visprog 1\n"
+                             "config nodes=1 dcr=0 tracing=0 subject=paint\n"
+                             "tree A 10\n"
+                             "field f0 tree=0 mod=3\n"
+                             "task node=0 salt=0 r7 f0 rw\n"),
+               ApiError);
+  // Unterminated trace.
+  EXPECT_THROW(parse_visprog("visprog 1\n"
+                             "config nodes=1 dcr=0 tracing=1 subject=paint\n"
+                             "tree A 10\n"
+                             "begin_trace 1\n"),
+               ApiError);
+}
+
+TEST(FuzzSerialize, ParsesCommentsAndReportsLineNumbers) {
+  ProgramSpec spec = parse_visprog("# a comment\n"
+                                   "visprog 1\n"
+                                   "\n"
+                                   "config nodes=2 dcr=1 tracing=1 "
+                                   "subject=naive-warnock\n"
+                                   "tree A 16\n"
+                                   "partition P parent=0 [0,7] [8,15]\n"
+                                   "field f0 tree=0 mod=5\n"
+                                   "task node=1 salt=3 r1 f0 red:max\n");
+  EXPECT_EQ(spec.num_nodes, 2u);
+  EXPECT_TRUE(spec.dcr);
+  EXPECT_EQ(spec.subject, Algorithm::NaiveWarnock);
+  ASSERT_EQ(spec.stream.size(), 1u);
+  EXPECT_EQ(spec.stream[0].task.requirements[0].privilege,
+            Privilege::reduce(kRedopMax));
+  try {
+    parse_visprog("visprog 1\nbogus\n");
+    FAIL() << "expected ApiError";
+  } catch (const ApiError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+} // namespace
+} // namespace visrt::fuzz

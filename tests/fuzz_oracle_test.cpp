@@ -1,0 +1,136 @@
+// The differential oracle: clean engines pass on generated programs, the
+// injected synthetic bug is detected, and crashes are caught rather than
+// aborting the process.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+
+namespace visrt::fuzz {
+namespace {
+
+TEST(FuzzOracle, CleanEnginesPassGeneratedPrograms) {
+  // Every optimized and naive engine, with and without DCR, against a few
+  // generated programs (the CLI smoke test covers a much larger sweep).
+  static constexpr Algorithm kSubjects[] = {
+      Algorithm::Paint,        Algorithm::Warnock,
+      Algorithm::RayCast,      Algorithm::NaivePaint,
+      Algorithm::NaiveWarnock, Algorithm::NaiveRayCast,
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    ProgramSpec spec = generate_program(rng);
+    for (Algorithm subject : kSubjects) {
+      for (bool dcr : {false, true}) {
+        spec.subject = subject;
+        spec.dcr = dcr;
+        spec.tuning = EngineTuning{};
+        DiffReport report = check_program(spec);
+        EXPECT_FALSE(report)
+            << algorithm_name(subject) << (dcr ? "+dcr" : "") << " seed "
+            << seed << ": " << failure_kind_name(report.kind) << ": "
+            << report.detail;
+      }
+    }
+  }
+}
+
+/// The minimal trigger for the injected paint bug: a reduction committed
+/// to a two-interval domain, then read back through the root.
+ProgramSpec injected_bug_spec() {
+  return parse_visprog("visprog 1\n"
+                       "config nodes=1 dcr=0 tracing=0 subject=paint\n"
+                       "tuning occlusion=1 memoize=1 domwrites=1 "
+                       "kdfallback=0 paintbug=1\n"
+                       "tree A 40\n"
+                       "partition P parent=0 [0,9]+[20,29] [10,19]\n"
+                       "field f0 tree=0 mod=11\n"
+                       "task node=0 salt=0 r1 f0 red:sum\n"
+                       "task node=0 salt=0 r0 f0 read\n");
+}
+
+TEST(FuzzOracle, DetectsInjectedPaintBug) {
+  ProgramSpec spec = injected_bug_spec();
+  DiffReport report = check_program(spec);
+  ASSERT_TRUE(report);
+  EXPECT_EQ(report.kind, FailureKind::Value) << report.detail;
+
+  // The same program without the injected bug is clean.
+  spec.tuning.inject_paint_reduce_bug = false;
+  EXPECT_FALSE(check_program(spec));
+  // And the bug only fires on the paint engine.
+  spec.tuning.inject_paint_reduce_bug = true;
+  spec.subject = Algorithm::RayCast;
+  EXPECT_FALSE(check_program(spec));
+}
+
+TEST(FuzzOracle, RunProgramCapturesPerLaunchHashes) {
+  ProgramSpec spec = injected_bug_spec();
+  spec.tuning.inject_paint_reduce_bug = false;
+  RunResult result = run_program(spec);
+  ASSERT_FALSE(result.crashed) << result.crash_message;
+  ASSERT_EQ(result.launch_hashes.size(), 2u);
+  ASSERT_EQ(result.final_hashes.size(), 1u);
+  EXPECT_NE(result.launch_hashes[0], 0u);
+  // Deterministic across executions.
+  RunResult again = run_program(spec);
+  EXPECT_EQ(again.launch_hashes, result.launch_hashes);
+  EXPECT_EQ(again.final_hashes, result.final_hashes);
+}
+
+TEST(FuzzOracle, TracedReplayStaysExact) {
+  // A trace-wrapped repetition must replay through the memoized analysis
+  // and still agree with the reference on every value.
+  ProgramSpec spec =
+      parse_visprog("visprog 1\n"
+                    "config nodes=2 dcr=0 tracing=1 subject=raycast\n"
+                    "tuning occlusion=1 memoize=1 domwrites=1 "
+                    "kdfallback=0 paintbug=0\n"
+                    "tree A 64\n"
+                    "partition P parent=0 [0,31] [32,63]\n"
+                    "field f0 tree=0 mod=7\n"
+                    "begin_trace 1\n"
+                    "task node=0 salt=0 r1 f0 rw\n"
+                    "task node=1 salt=0 r2 f0 rw\n"
+                    "task node=0 salt=0 r0 f0 read\n"
+                    "end_trace\n"
+                    "begin_trace 1\n"
+                    "task node=0 salt=0 r1 f0 rw\n"
+                    "task node=1 salt=0 r2 f0 rw\n"
+                    "task node=0 salt=0 r0 f0 read\n"
+                    "end_trace\n");
+  RunResult result = run_program(spec);
+  ASSERT_FALSE(result.crashed) << result.crash_message;
+  EXPECT_GT(result.traced_launches, 0u) << "trace was never replayed";
+  EXPECT_FALSE(check_program(spec));
+}
+
+TEST(FuzzOracle, CatchableInvariantMode) {
+  // ScopedCheckThrows turns invariant failures into CheckFailure
+  // exceptions for the duration of the scope (the oracle relies on this
+  // to survive engine crashes); the flag nests and restores.
+  EXPECT_FALSE(check_failures_throw());
+  {
+    ScopedCheckThrows outer;
+    EXPECT_TRUE(check_failures_throw());
+    EXPECT_THROW(invariant(false, "fuzzer-visible failure"), CheckFailure);
+    try {
+      invariant(1 + 1 == 3, "arithmetic still works");
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find("arithmetic still works"),
+                std::string::npos);
+    }
+    {
+      ScopedCheckThrows inner;
+      EXPECT_TRUE(check_failures_throw());
+    }
+    EXPECT_TRUE(check_failures_throw());
+  }
+  EXPECT_FALSE(check_failures_throw());
+}
+
+} // namespace
+} // namespace visrt::fuzz

@@ -1,0 +1,115 @@
+// The delta-debugging shrinker: a synthetic engine bug (injected behind a
+// test-only tuning flag) planted in a 40-launch stream must minimize to a
+// handful of launches, and the minimized repro must still fail after a
+// round-trip through the .visprog format.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+#include "fuzz/shrink.h"
+#include "realm/reduction_ops.h"
+
+namespace visrt::fuzz {
+namespace {
+
+/// 40 launches, two of which matter: launch 20 commits a reduction to a
+/// two-interval subregion (the injected paint bug drops such entries) and
+/// launch 30 reads it back through the root.  Everything else is filler
+/// traffic on a second field.
+ProgramSpec forty_launch_failure() {
+  ProgramSpec spec;
+  spec.num_nodes = 2;
+  spec.subject = Algorithm::Paint;
+  spec.tracing = false;
+  spec.tuning.inject_paint_reduce_bug = true;
+  spec.trees.push_back(TreeSpec{"A", 160});
+  // Region table: r0 = A, r1..r4 = P children, r5..r6 = G children.
+  spec.partitions.push_back(PartitionSpec{
+      "P", 0,
+      {IntervalSet(0, 39), IntervalSet(40, 79), IntervalSet(80, 119),
+       IntervalSet(120, 159)}});
+  spec.partitions.push_back(PartitionSpec{
+      "G", 0,
+      {IntervalSet{Interval{0, 9}, Interval{80, 89}}, IntervalSet(40, 49)}});
+  spec.fields.push_back(FieldSpec{"f0", 0, 11});
+  spec.fields.push_back(FieldSpec{"f1", 0, 7});
+
+  for (int i = 0; i < 40; ++i) {
+    StreamItem item;
+    item.kind = StreamItem::Kind::Task;
+    item.task.mapped_node = static_cast<NodeID>(i % 2);
+    item.task.salt = static_cast<std::uint64_t>(i);
+    if (i == 20) {
+      item.task.requirements.push_back(
+          ReqSpec{5, 0, Privilege::reduce(kRedopSum)}); // G[0], two intervals
+    } else if (i == 30) {
+      item.task.requirements.push_back(ReqSpec{0, 0, Privilege::read()});
+    } else {
+      std::uint32_t region = 1 + static_cast<std::uint32_t>(i % 4);
+      Privilege priv =
+          i % 3 == 0 ? Privilege::read() : Privilege::read_write();
+      item.task.requirements.push_back(ReqSpec{region, 1, priv});
+    }
+    spec.stream.push_back(std::move(item));
+  }
+  return spec;
+}
+
+TEST(FuzzShrink, MinimizesInjectedBugToAFewLaunches) {
+  ProgramSpec spec = forty_launch_failure();
+  ASSERT_EQ(expand_stream(spec).size(), 40u);
+
+  DiffReport report = check_program(spec);
+  ASSERT_TRUE(report) << "injected bug not detected";
+  ASSERT_EQ(report.kind, FailureKind::Value) << report.detail;
+
+  ShrinkResult shrunk = shrink_program(spec, report);
+  EXPECT_EQ(shrunk.kind, FailureKind::Value);
+  EXPECT_GT(shrunk.accepted, 0u);
+  std::size_t launches = expand_stream(shrunk.spec).size();
+  EXPECT_LE(launches, 6u) << to_visprog(shrunk.spec);
+  // The reduce and the read that exposes it cannot be removed.
+  EXPECT_GE(launches, 2u);
+  // Minimization must not strip the trigger: the failure reproduces.
+  DiffReport again = check_program(shrunk.spec);
+  EXPECT_EQ(again.kind, FailureKind::Value) << to_visprog(shrunk.spec);
+}
+
+TEST(FuzzShrink, MinimizedReproRoundTripsThroughVisprog) {
+  ProgramSpec spec = forty_launch_failure();
+  DiffReport report = check_program(spec);
+  ASSERT_TRUE(report);
+  ShrinkResult shrunk = shrink_program(spec, report);
+
+  std::string text = to_visprog(shrunk.spec);
+  ProgramSpec reparsed = parse_visprog(text);
+  EXPECT_EQ(reparsed, shrunk.spec);
+  DiffReport replayed = check_program(reparsed);
+  EXPECT_EQ(replayed.kind, FailureKind::Value)
+      << "repro lost its failure through serialization:\n"
+      << text;
+}
+
+TEST(FuzzShrink, GarbageCollectsUnusedStructure) {
+  ProgramSpec spec = forty_launch_failure();
+  DiffReport report = check_program(spec);
+  ASSERT_TRUE(report);
+  ShrinkResult shrunk = shrink_program(spec, report);
+  // The filler field and the disjoint partition serve no role in the
+  // failure; the table passes must have dropped them.
+  EXPECT_LE(shrunk.spec.fields.size(), 1u) << to_visprog(shrunk.spec);
+  EXPECT_LE(shrunk.spec.partitions.size(), 1u) << to_visprog(shrunk.spec);
+  // And the config simplifications apply: one node is enough.
+  EXPECT_EQ(shrunk.spec.num_nodes, 1u);
+}
+
+TEST(FuzzShrink, RequiresAFailingReport) {
+  ProgramSpec spec = forty_launch_failure();
+  spec.tuning.inject_paint_reduce_bug = false;
+  DiffReport clean; // kind == None
+  EXPECT_THROW(shrink_program(spec, clean), ApiError);
+}
+
+} // namespace
+} // namespace visrt::fuzz
