@@ -15,25 +15,47 @@
 //     --trace          enable the tracing extension
 //     --no-values      analysis-only mode (skip kernels and validation)
 //     --size N         per-piece problem scale (default app-specific)
+//     --verify         spy-verify the emitted dependence graph and DES
+//                      schedule after the run (docs/ANALYSIS.md); the
+//                      process exits nonzero on any violation
 //     --trace-out F    write a chrome://tracing / Perfetto JSON timeline
 //                      (with counter tracks + flow arrows) to file F
 //                      (--chrome-trace is an alias)
 //     --metrics-json F write the run's JSON metrics (schema in
 //                      docs/OBSERVABILITY.md) to file F
 //
+//   visrt_cli verify <file-or-dir>... [options]
+//     Static verification of .visprog programs: lints each program, then
+//     executes it under every engine (or one, with --engine) with and
+//     without DCR and spy-verifies the emitted dependence graph against
+//     ground truth recomputed from geometry and privileges.  Exits
+//     nonzero on any lint error, soundness or precision violation.
+//     --engine NAME    verify one engine instead of all six
+//     --json F         write a machine-readable report to file F
+//
 // Examples:
 //   visrt_cli circuit warnock --nodes 64 --dcr --no-values
-//   visrt_cli stencil raycast --trace
+//   visrt_cli stencil raycast --trace --verify
+//   visrt_cli verify tests/corpus --json verify.json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/lint.h"
+#include "analysis/spy.h"
 #include "apps/circuit.h"
 #include "apps/pennant.h"
 #include "apps/stencil.h"
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+#include "obs/metrics.h"
 #include "runtime/metrics.h"
 
 using namespace visrt;
@@ -59,6 +81,7 @@ struct Options {
   bool dcr = false;
   bool trace = false;
   bool values = true;
+  bool verify = false;
   coord_t size = 0; // 0: app default
   std::string chrome_trace; // empty: no timeline export
   std::string metrics_json; // empty: no metrics file
@@ -68,9 +91,137 @@ int usage() {
   std::fprintf(stderr,
                "usage: visrt_cli <stencil|circuit|pennant> <algorithm> "
                "[--nodes N] [--pieces N] [--iters N] [--dcr] [--trace] "
-               "[--no-values] [--size N] [--trace-out F] "
-               "[--metrics-json F]\n");
+               "[--no-values] [--size N] [--verify] [--trace-out F] "
+               "[--metrics-json F]\n"
+               "       visrt_cli verify <file-or-dir>... [--engine NAME] "
+               "[--json F]\n");
   return 2;
+}
+
+// --- static verification (`visrt_cli verify`) ------------------------------
+
+/// Print the retained violations of a spy report, indented.
+void print_violations(const analysis::SpyReport& report) {
+  for (const analysis::SpyViolation& v : report.violations)
+    std::printf("    [%s] launches %u -> %u: %s\n",
+                analysis::spy_violation_kind_name(v.kind),
+                static_cast<unsigned>(v.earlier),
+                static_cast<unsigned>(v.later), v.detail.c_str());
+}
+
+int run_verify(std::vector<std::string> args) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::optional<Algorithm> engine_filter;
+  std::string json_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--engine" && i + 1 < args.size()) {
+      engine_filter = parse_algorithm(args[++i]);
+      if (!engine_filter) {
+        std::fprintf(stderr, "verify: unknown engine '%s'\n",
+                     args[i].c_str());
+        return 2;
+      }
+    } else if (args[i] == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (fs::is_directory(args[i])) {
+      for (const auto& entry : fs::directory_iterator(args[i]))
+        if (entry.path().extension() == ".visprog")
+          files.push_back(entry.path());
+    } else if (fs::is_regular_file(args[i])) {
+      files.push_back(args[i]);
+    } else {
+      std::fprintf(stderr, "verify: no such file or directory: %s\n",
+                   args[i].c_str());
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "verify: no .visprog programs found\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Algorithm> engines;
+  if (engine_filter) {
+    engines.push_back(*engine_filter);
+  } else {
+    engines = {Algorithm::Paint,        Algorithm::Warnock,
+               Algorithm::RayCast,      Algorithm::NaivePaint,
+               Algorithm::NaiveWarnock, Algorithm::NaiveRayCast};
+  }
+
+  bool all_ok = true;
+  std::ostringstream json;
+  json << "{\"schema_version\":1,\"programs\":[";
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const fs::path& path = files[f];
+    std::printf("== %s ==\n", path.c_str());
+    json << (f ? "," : "") << "{\"file\":\"" << obs::json_escape(path.string())
+         << "\"";
+
+    fuzz::ProgramSpec spec;
+    try {
+      std::ifstream is(path);
+      spec = fuzz::read_visprog(is);
+    } catch (const std::exception& e) {
+      std::printf("  parse error: %s\n", e.what());
+      json << ",\"parse_error\":\"" << obs::json_escape(e.what()) << "\"}";
+      all_ok = false;
+      continue;
+    }
+
+    fuzz::BuiltForest built;
+    fuzz::build_forest(spec, built);
+    analysis::LintReport lint_report =
+        analysis::lint(built.forest, fuzz::lint_events(spec, built));
+    std::printf("  %s\n", lint_report.summary().c_str());
+    for (const analysis::LintFinding& finding : lint_report.findings)
+      std::printf("    [%s %s] %s\n", analysis::lint_rule_id(finding.rule),
+                  finding.severity == analysis::LintSeverity::Error
+                      ? "error"
+                      : "warning",
+                  finding.message.c_str());
+    if (!lint_report.ok()) all_ok = false;
+    json << ",\"lint\":" << lint_report.to_json() << ",\"runs\":[";
+
+    bool first_run = true;
+    for (Algorithm engine : engines) {
+      for (bool dcr : {false, true}) {
+        fuzz::ProgramSpec variant = spec;
+        variant.subject = engine;
+        variant.dcr = dcr;
+        fuzz::SpyCheckResult result = fuzz::spy_check(variant);
+        std::printf("  %-14s%s  ", algorithm_name(engine),
+                    dcr ? "+dcr" : "    ");
+        json << (first_run ? "" : ",") << "{\"engine\":\""
+             << algorithm_name(engine) << "\",\"dcr\":" << (dcr ? 1 : 0);
+        first_run = false;
+        if (result.crashed) {
+          std::printf("CRASH: %s\n", result.crash_message.c_str());
+          json << ",\"crashed\":true,\"message\":\""
+               << obs::json_escape(result.crash_message) << "\"}";
+          all_ok = false;
+          continue;
+        }
+        std::printf("%s\n", result.report.summary().c_str());
+        print_violations(result.report);
+        json << ",\"crashed\":false,\"report\":" << result.report.to_json()
+             << "}";
+        if (!result.report.clean()) all_ok = false;
+      }
+    }
+    json << "]}";
+  }
+  json << "],\"ok\":" << (all_ok ? "true" : "false") << "}";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    if (out) std::printf("report written to %s\n", json_path.c_str());
+  }
+  std::printf("verify: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
 }
 
 void maybe_export_trace(const Runtime& rt, const std::string& path) {
@@ -103,9 +254,17 @@ void print_stats(const Runtime& rt, const RunStats& stats, bool validated,
   }
 }
 
-/// Finish the run: stats to stdout, then the optional timeline and
-/// metrics files.
-void report(Runtime& rt, const Options& opt, bool validated) {
+/// Finish the run: optional spy verification, stats to stdout, then the
+/// optional timeline and metrics files.  Returns false when --verify found
+/// a violation.
+bool report(Runtime& rt, const Options& opt, bool validated) {
+  bool spy_ok = true;
+  if (opt.verify) {
+    analysis::SpyReport spy = analysis::verify(rt);
+    std::printf("spy verify         %s\n", spy.summary().c_str());
+    print_violations(spy);
+    spy_ok = spy.clean();
+  }
   RunStats stats = rt.finish();
   print_stats(rt, stats, validated, opt.values);
   maybe_export_trace(rt, opt.chrome_trace);
@@ -121,11 +280,14 @@ void report(Runtime& rt, const Options& opt, bool validated) {
     if (metrics.write(opt.metrics_json))
       std::printf("metrics written to %s\n", opt.metrics_json.c_str());
   }
+  return spy_ok;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "verify") == 0)
+    return run_verify(std::vector<std::string>(argv + 2, argv + argc));
   if (argc < 3) return usage();
   Options opt;
   opt.app = argv[1];
@@ -143,6 +305,7 @@ int main(int argc, char** argv) {
     else if (arg == "--dcr") opt.dcr = true;
     else if (arg == "--trace") opt.trace = true;
     else if (arg == "--no-values") opt.values = false;
+    else if (arg == "--verify") opt.verify = true;
     else if (arg == "--size") opt.size = next();
     else if ((arg == "--chrome-trace" || arg == "--trace-out") &&
              i + 1 < argc)
@@ -160,6 +323,7 @@ int main(int argc, char** argv) {
   // Any observability output wants the full telemetry: spans, series and
   // the enriched timeline.
   cfg.telemetry = !opt.chrome_trace.empty() || !opt.metrics_json.empty();
+  cfg.record_launches = opt.verify; // the spy verifier reads the launch log
   cfg.machine.num_nodes = opt.nodes;
   Runtime rt(cfg);
 
@@ -169,6 +333,7 @@ int main(int argc, char** argv) {
               opt.pieces, opt.nodes);
 
   bool validated = false;
+  bool spy_ok = true;
   if (opt.app == "stencil") {
     apps::StencilConfig acfg;
     std::uint32_t px = 1;
@@ -181,7 +346,7 @@ int main(int argc, char** argv) {
     apps::StencilApp app(rt, acfg);
     app.run();
     if (opt.values) validated = app.validate();
-    report(rt, opt, validated);
+    spy_ok = report(rt, opt, validated);
   } else if (opt.app == "circuit") {
     apps::CircuitConfig acfg;
     acfg.pieces = opt.pieces;
@@ -193,7 +358,7 @@ int main(int argc, char** argv) {
     app.run();
     if (opt.values)
       validated = app.validate(opt.algorithm == Algorithm::Paint ? 1e-9 : 0);
-    report(rt, opt, validated);
+    spy_ok = report(rt, opt, validated);
   } else if (opt.app == "pennant") {
     apps::PennantConfig acfg;
     std::uint32_t px = 1;
@@ -208,9 +373,9 @@ int main(int argc, char** argv) {
     app.run();
     if (opt.values)
       validated = app.validate(opt.algorithm == Algorithm::Paint ? 1e-9 : 0);
-    report(rt, opt, validated);
+    spy_ok = report(rt, opt, validated);
   } else {
     return usage();
   }
-  return (!opt.values || validated) ? 0 : 1;
+  return ((!opt.values || validated) && spy_ok) ? 0 : 1;
 }

@@ -1,0 +1,114 @@
+// visrt/analysis/lint.h
+//
+// The program linter: pre-execution checks over a launch stream, catching
+// program shapes that are legal to run but are either outright wrong
+// (interfering privileges inside one task, false partition claims, broken
+// trace brackets) or silently waste the analysis (redundant and unused
+// privileges, aliased writes that serialize an "index-parallel" launch,
+// traces that never replay).  Rule catalog (docs/ANALYSIS.md):
+//
+//   VL001 partition-claim         declared disjoint/complete contradicts
+//                                 the actual subspaces            (error)
+//   VL002 privilege-subsumption   one launch holds interfering privileges
+//                                 on overlapping data of one field (error)
+//   VL003 aliased-write           an index launch writes/reduces
+//                                 overlapping data from different point
+//                                 tasks — they serialize         (warning)
+//   VL004 over-privilege          a requirement is covered by a broader
+//                                 one with a subsuming privilege (warning)
+//   VL005 unused-privilege        empty-domain or duplicate
+//                                 requirement                    (warning)
+//   VL006 trace-shape             unbalanced/nested/empty traces, or a
+//                                 trace re-executed with a different
+//                                 launch sequence          (error/warning)
+//
+// The linter is engine-independent: input is the forest plus a stream of
+// LintEvents (the fuzzer's ProgramSpec lowers to it via
+// fuzz::lint_events; runtime front ends can build it directly).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "region/region_tree.h"
+#include "visibility/engine.h"
+#include "visibility/privilege.h"
+
+namespace visrt::analysis {
+
+enum class LintRule : std::uint8_t {
+  PartitionClaim,
+  PrivilegeSubsumption,
+  AliasedWrite,
+  OverPrivilege,
+  UnusedPrivilege,
+  TraceShape,
+};
+
+/// Stable rule id, e.g. "VL001".
+const char* lint_rule_id(LintRule rule);
+/// Short rule name, e.g. "partition-claim".
+const char* lint_rule_name(LintRule rule);
+
+enum class LintSeverity : std::uint8_t { Warning, Error };
+
+struct LintFinding {
+  LintRule rule = LintRule::PartitionClaim;
+  LintSeverity severity = LintSeverity::Warning;
+  /// Stream position the finding anchors to; SIZE_MAX for forest-level
+  /// findings (partition claims).
+  std::size_t item = SIZE_MAX;
+  std::string message;
+};
+
+/// One requirement of an index launch: each point task `color` receives
+/// `subregion(partition, color)` with the given privilege.
+struct LintIndexReq {
+  PartitionHandle partition;
+  FieldID field = 0;
+  Privilege privilege;
+  friend bool operator==(const LintIndexReq&, const LintIndexReq&) = default;
+};
+
+/// One element of the launch stream, in lint's engine-independent form.
+struct LintEvent {
+  enum class Kind : std::uint8_t {
+    Task,
+    Index,
+    BeginTrace,
+    EndTrace,
+    EndIteration,
+  };
+  Kind kind = Kind::Task;
+  std::vector<Requirement> requirements;        ///< Kind::Task
+  std::vector<LintIndexReq> index_requirements; ///< Kind::Index
+  std::uint32_t trace_id = 0;                   ///< Kind::BeginTrace
+};
+
+struct LintOptions {
+  /// Cap on retained findings; counts stay exact.
+  std::size_t max_findings = 64;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings; ///< errors first, then warnings
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+
+  bool clean() const { return errors == 0 && warnings == 0; }
+  /// No errors (warnings allowed) — the gate the oracle and CI use.
+  bool ok() const { return errors == 0; }
+
+  std::string summary() const;
+  /// Machine-readable report (schema_version 1, docs/ANALYSIS.md).
+  std::string to_json() const;
+};
+
+/// Lint a launch stream against the forest it runs on.
+LintReport lint(const RegionTreeForest& forest,
+                std::span<const LintEvent> stream,
+                const LintOptions& options = {});
+
+} // namespace visrt::analysis

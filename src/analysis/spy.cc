@@ -1,0 +1,292 @@
+#include "analysis/spy.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "sim/replay.h"
+
+namespace visrt::analysis {
+
+const char* spy_violation_kind_name(SpyViolationKind kind) {
+  switch (kind) {
+  case SpyViolationKind::UnorderedInterference:
+    return "unordered-interference";
+  case SpyViolationKind::ImpreciseEdge: return "imprecise-edge";
+  case SpyViolationKind::ScheduleOverlap: return "schedule-overlap";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Square bit matrix over launch ids, row-major in 64-bit words.  Row `b`
+/// holds one bit per launch `a`; the verifier only ever sets bits with
+/// a < b (both the interference relation and reachability point backwards
+/// in program order), so rows double as "prior launches" sets.
+class BitMatrix {
+public:
+  explicit BitMatrix(std::size_t n)
+      : words_((n + 63) / 64), bits_(n * words_, 0) {}
+
+  void set(std::size_t row, std::size_t bit) {
+    bits_[row * words_ + bit / 64] |= std::uint64_t{1} << (bit % 64);
+  }
+  bool test(std::size_t row, std::size_t bit) const {
+    return (bits_[row * words_ + bit / 64] >> (bit % 64)) & 1;
+  }
+  /// row dst |= row src — the transitive-closure work horse.
+  void merge_row(std::size_t dst, std::size_t src) {
+    std::uint64_t* d = &bits_[dst * words_];
+    const std::uint64_t* s = &bits_[src * words_];
+    for (std::size_t w = 0; w < words_; ++w) d[w] |= s[w];
+  }
+  std::span<const std::uint64_t> row(std::size_t r) const {
+    return {&bits_[r * words_], words_};
+  }
+  std::size_t words() const { return words_; }
+
+private:
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// First interfering requirement pair of two launches, as a witness
+/// string; empty when the launches do not interfere.
+std::string interference_witness(const RegionTreeForest& forest,
+                                 const LaunchRecord& a,
+                                 const LaunchRecord& b) {
+  for (const Requirement& ra : a.requirements) {
+    for (const Requirement& rb : b.requirements) {
+      if (ra.field != rb.field) continue;
+      if (!interferes(ra.privilege, rb.privilege)) continue;
+      if (!forest.domain(ra.region).overlaps(forest.domain(rb.region)))
+        continue;
+      std::ostringstream os;
+      os << "field " << ra.field << ": " << to_string(ra.privilege) << " on "
+         << forest.name(ra.region) << " "
+         << forest.domain(ra.region).to_string() << " vs "
+         << to_string(rb.privilege) << " on " << forest.name(rb.region) << " "
+         << forest.domain(rb.region).to_string();
+      return os.str();
+    }
+  }
+  return {};
+}
+
+/// Simulated execution window of each launch, from a DES replay.
+struct ExecWindow {
+  SimTime start = 0;
+  SimTime finish = 0;
+  bool valid = false;
+};
+
+std::vector<ExecWindow> exec_windows(const Runtime& runtime) {
+  sim::ReplayResult replay =
+      sim::replay(runtime.work_graph(), runtime.config().machine);
+  std::span<const sim::OpID> execs = runtime.exec_ops();
+  std::vector<ExecWindow> windows(execs.size());
+  for (std::size_t id = 0; id < execs.size(); ++id) {
+    if (execs[id] == sim::kInvalidOp) continue;
+    SimTime finish = replay.finish_of(execs[id]);
+    windows[id] = {finish - runtime.work_graph().op(execs[id]).cost, finish,
+                   true};
+  }
+  return windows;
+}
+
+SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
+                      std::span<const LaunchRecord> launches,
+                      const SpyOptions& options,
+                      std::span<const ExecWindow> windows) {
+  const std::size_t n = launches.size();
+  require(deps.task_count() == n,
+          "spy: launch log does not cover the dependence graph");
+
+  SpyReport report;
+  report.launches = n;
+  report.dep_edges = deps.edge_count();
+  if (n == 0) return report;
+
+  // Ground-truth interference, recomputed from geometry + privileges.
+  // Group requirements by field so only same-field pairs pay the overlap
+  // test; interf(b, a) is set for a < b when the launches interfere.
+  BitMatrix interf(n);
+  std::map<FieldID, std::vector<std::pair<LaunchID, const Requirement*>>>
+      by_field;
+  for (std::size_t id = 0; id < n; ++id)
+    for (const Requirement& req : launches[id].requirements)
+      by_field[req.field].emplace_back(static_cast<LaunchID>(id), &req);
+  for (const auto& [field, reqs] : by_field) {
+    for (std::size_t j = 0; j < reqs.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        auto [la, ra] = reqs[i];
+        auto [lb, rb] = reqs[j];
+        if (la == lb) continue; // in-task aliasing is the linter's business
+        if (!interferes(ra->privilege, rb->privilege)) continue;
+        if (interf.test(lb, la)) continue;
+        if (forest.domain(ra->region).overlaps(forest.domain(rb->region)))
+          interf.set(lb, la);
+      }
+    }
+  }
+
+  // Transitive closure of the dependence DAG: reach(b, a) iff a is ordered
+  // before b through some path.  Dependences always point backwards in
+  // launch-id order, so one forward sweep suffices.
+  BitMatrix reach(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (LaunchID p : deps.preds(static_cast<LaunchID>(b))) {
+      invariant(p < b, "spy: dependence edge points forward in the stream");
+      reach.merge_row(b, p);
+      reach.set(b, p);
+    }
+  }
+
+  // Soundness (+ optional schedule) sweep: interfering pairs missing from
+  // the closure, and interfering pairs overlapping in simulated time.
+  std::vector<SpyViolation> unordered, overlaps, imprecise;
+  for (std::size_t b = 0; b < n; ++b) {
+    std::span<const std::uint64_t> irow = interf.row(b);
+    std::span<const std::uint64_t> rrow = reach.row(b);
+    for (std::size_t w = 0; w < interf.words(); ++w) {
+      report.interfering_pairs +=
+          static_cast<std::size_t>(std::popcount(irow[w]));
+      std::uint64_t missing = irow[w] & ~rrow[w];
+      while (missing != 0) {
+        std::size_t a = w * 64 + static_cast<std::size_t>(
+                                     std::countr_zero(missing));
+        missing &= missing - 1;
+        ++report.unordered_pairs;
+        if (unordered.size() < options.max_violations) {
+          unordered.push_back(
+              {SpyViolationKind::UnorderedInterference,
+               static_cast<LaunchID>(a), static_cast<LaunchID>(b),
+               interference_witness(forest, launches[a], launches[b])});
+        }
+      }
+      if (windows.empty()) continue;
+      std::uint64_t pairs = irow[w];
+      while (pairs != 0) {
+        std::size_t a =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(pairs));
+        pairs &= pairs - 1;
+        if (!windows[a].valid || !windows[b].valid) continue;
+        if (windows[b].start < windows[a].finish) {
+          ++report.schedule_overlaps;
+          if (overlaps.size() < options.max_violations) {
+            std::ostringstream os;
+            os << "launch " << b << " starts at " << windows[b].start
+               << "ns before interfering launch " << a << " finishes at "
+               << windows[a].finish << "ns";
+            overlaps.push_back({SpyViolationKind::ScheduleOverlap,
+                                static_cast<LaunchID>(a),
+                                static_cast<LaunchID>(b), os.str()});
+          }
+        }
+      }
+    }
+  }
+
+  // Precision: a direct edge must join a directly interfering pair.  An
+  // edge that does, but is already implied through another predecessor
+  // (a -> ... -> q -> b), adds no ordering constraint — counted as
+  // informational.
+  if (options.check_precision) {
+    for (std::size_t b = 0; b < n; ++b) {
+      std::span<const LaunchID> preds = deps.preds(static_cast<LaunchID>(b));
+      for (LaunchID a : preds) {
+        if (!interf.test(b, a)) {
+          ++report.imprecise_edges;
+          if (imprecise.size() < options.max_violations) {
+            std::ostringstream os;
+            os << "edge " << a << " -> " << b
+               << " joins launches with no interfering requirement pair";
+            imprecise.push_back({SpyViolationKind::ImpreciseEdge, a,
+                                 static_cast<LaunchID>(b), os.str()});
+          }
+          continue;
+        }
+        for (LaunchID q : preds) {
+          if (q != a && reach.test(q, a)) {
+            ++report.transitive_edges;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  report.violations = std::move(unordered);
+  report.violations.insert(report.violations.end(), overlaps.begin(),
+                           overlaps.end());
+  report.violations.insert(report.violations.end(), imprecise.begin(),
+                           imprecise.end());
+  return report;
+}
+
+} // namespace
+
+SpyReport verify(const RegionTreeForest& forest, const DepGraph& deps,
+                 std::span<const LaunchRecord> launches,
+                 const SpyOptions& options) {
+  return verify_impl(forest, deps, launches, options, {});
+}
+
+SpyReport verify(const Runtime& runtime, const SpyOptions& options) {
+  require(runtime.config().record_launches,
+          "spy verification requires RuntimeConfig::record_launches");
+  std::vector<ExecWindow> windows;
+  if (options.check_schedule) windows = exec_windows(runtime);
+  return verify_impl(runtime.forest(), runtime.dep_graph(),
+                     runtime.launch_log(), options, windows);
+}
+
+std::string SpyReport::summary() const {
+  std::ostringstream os;
+  os << launches << " launches, " << dep_edges << " edges, "
+     << interfering_pairs << " interfering pairs: ";
+  if (sound()) {
+    os << "sound";
+  } else {
+    os << "UNSOUND (" << unordered_pairs << " unordered";
+    if (schedule_overlaps > 0)
+      os << ", " << schedule_overlaps << " schedule overlaps";
+    os << ")";
+  }
+  if (imprecise_edges > 0) {
+    os << ", imprecise (" << imprecise_edges << " extra edges)";
+  } else {
+    os << ", precise";
+  }
+  if (transitive_edges > 0)
+    os << " [" << transitive_edges << " transitively implied]";
+  return os.str();
+}
+
+std::string SpyReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"launches\":" << launches
+     << ",\"dep_edges\":" << dep_edges
+     << ",\"interfering_pairs\":" << interfering_pairs
+     << ",\"unordered_pairs\":" << unordered_pairs
+     << ",\"imprecise_edges\":" << imprecise_edges
+     << ",\"transitive_edges\":" << transitive_edges
+     << ",\"schedule_overlaps\":" << schedule_overlaps
+     << ",\"sound\":" << (sound() ? "true" : "false")
+     << ",\"precise\":" << (precise() ? "true" : "false")
+     << ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const SpyViolation& v = violations[i];
+    os << (i ? "," : "") << "{\"kind\":\"" << spy_violation_kind_name(v.kind)
+       << "\",\"earlier\":" << v.earlier << ",\"later\":" << v.later
+       << ",\"detail\":\"" << obs::json_escape(v.detail) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+} // namespace visrt::analysis

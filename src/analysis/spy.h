@@ -1,0 +1,104 @@
+// visrt/analysis/spy.h
+//
+// The spy verifier: an independent checker of engine-emitted dependence
+// graphs and schedules, in the spirit of Legion Spy.  None of the six
+// coherence engines is trusted here — ground truth is recomputed from
+// first principles, directly from region-tree geometry and privilege
+// semantics (visibility/privilege.h):
+//
+//   two launches interfere iff some pair of their requirements names the
+//   same field, holds interfering privileges, and covers overlapping
+//   domains.
+//
+// Against that relation the verifier checks
+//
+//   soundness   every interfering pair is transitively ordered in the
+//               dependence DAG (bitset transitive closure over launch ids),
+//   precision   no direct edge joins a non-interfering pair (and, as an
+//               informational count, how many edges are transitively
+//               implied by other paths), and
+//   schedule    (live-runtime overload) interfering pairs do not overlap
+//               in the replayed discrete-event schedule: the later task
+//               starts only after the earlier one finished.
+//
+// Unlike the differential oracle (fuzz/oracle.h), the spy needs no
+// reference engine — a blind spot shared by every engine is still caught,
+// because the interference relation is recomputed, not re-derived.  The
+// oracle's soundness/precision stages are built on this verifier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace visrt::analysis {
+
+struct SpyOptions {
+  /// Report direct edges joining non-interfering pairs.
+  bool check_precision = true;
+  /// (Runtime overload only) replay the DES and check interfering pairs
+  /// are ordered in simulated time.
+  bool check_schedule = true;
+  /// Cap on retained violation records per kind; counts stay exact.
+  std::size_t max_violations = 16;
+};
+
+enum class SpyViolationKind : std::uint8_t {
+  UnorderedInterference, ///< soundness: interfering pair left unordered
+  ImpreciseEdge,         ///< precision: edge joins a non-interfering pair
+  ScheduleOverlap,       ///< DES: interfering pair overlaps in sim time
+};
+
+const char* spy_violation_kind_name(SpyViolationKind kind);
+
+struct SpyViolation {
+  SpyViolationKind kind = SpyViolationKind::UnorderedInterference;
+  LaunchID earlier = kInvalidLaunch;
+  LaunchID later = kInvalidLaunch;
+  std::string detail; ///< human-readable witness
+};
+
+/// Machine-readable verification result (JSON schema in docs/ANALYSIS.md).
+struct SpyReport {
+  std::size_t launches = 0;
+  std::size_t dep_edges = 0;
+  std::size_t interfering_pairs = 0;
+  /// Soundness violations: interfering pairs with no transitive order.
+  std::size_t unordered_pairs = 0;
+  /// Precision violations: direct edges joining non-interfering pairs.
+  std::size_t imprecise_edges = 0;
+  /// Informational: direct edges already implied through another path
+  /// (harmless — they add no ordering constraint).
+  std::size_t transitive_edges = 0;
+  /// Schedule violations: interfering pairs overlapping in sim time.
+  std::size_t schedule_overlaps = 0;
+  /// First max_violations violations of each kind, most severe first.
+  std::vector<SpyViolation> violations;
+
+  bool sound() const { return unordered_pairs == 0 && schedule_overlaps == 0; }
+  bool precise() const { return imprecise_edges == 0; }
+  bool clean() const { return sound() && precise(); }
+
+  /// One-line human summary, e.g.
+  /// "12 launches, 18 edges, 31 interfering pairs: sound, precise".
+  std::string summary() const;
+  /// Machine-readable report (schema_version 1, docs/ANALYSIS.md).
+  std::string to_json() const;
+};
+
+/// Verify an engine-emitted dependence graph against ground truth
+/// recomputed from the forest's geometry and the launches' privileges.
+/// `launches` must cover every task of `deps` (index = LaunchID).
+SpyReport verify(const RegionTreeForest& forest, const DepGraph& deps,
+                 std::span<const LaunchRecord> launches,
+                 const SpyOptions& options = {});
+
+/// Verify a finished Runtime run (requires RuntimeConfig::record_launches).
+/// Additionally replays the work graph and checks the DES schedule orders
+/// every interfering pair in simulated time.
+SpyReport verify(const Runtime& runtime, const SpyOptions& options = {});
+
+} // namespace visrt::analysis

@@ -3,6 +3,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/spy.h"
 #include "common/check.h"
 #include "runtime/runtime.h"
 #include "sim/replay.h"
@@ -61,6 +62,7 @@ private:
     config.dcr = spec.dcr;
     config.enable_tracing = spec.tracing;
     config.track_values = true;
+    config.record_launches = true; // the spy verifier reads the launch log
     config.machine.num_nodes = spec.num_nodes;
     runtime.emplace(config);
 
@@ -160,25 +162,12 @@ private:
   }
 };
 
-/// Could launches a and b produce different results if reordered?  Same
-/// field, interfering privileges, overlapping domains.
-bool launches_interfere(const std::vector<IntervalSet>& domains,
-                        const ExpandedLaunch& a, const ExpandedLaunch& b) {
-  for (const ReqSpec& ra : a.requirements)
-    for (const ReqSpec& rb : b.requirements)
-      if (ra.field == rb.field && interferes(ra.privilege, rb.privilege) &&
-          domains[ra.region].overlaps(domains[rb.region]))
-        return true;
-  return false;
-}
-
-std::vector<IntervalSet> all_domains(const ProgramSpec& spec) {
-  std::vector<IntervalSet> domains;
-  std::uint32_t n = region_table_size(spec);
-  domains.reserve(n);
-  for (std::uint32_t r = 0; r < n; ++r)
-    domains.push_back(region_domain(spec, r));
-  return domains;
+/// First retained spy violation of the given kind, or nullptr.
+const analysis::SpyViolation* first_violation(const analysis::SpyReport& r,
+                                              analysis::SpyViolationKind k) {
+  for (const analysis::SpyViolation& v : r.violations)
+    if (v.kind == k) return &v;
+  return nullptr;
 }
 
 } // namespace
@@ -250,38 +239,45 @@ DiffReport check_program(const ProgramSpec& spec) {
     }
   }
 
-  // Dependence checks over the expanded stream launches (the dep graph also
-  // holds the trailing observe() launches; those are outside the program).
-  const DepGraph& deps = subject.runtime->dep_graph();
-  std::vector<IntervalSet> domains = all_domains(spec);
-  LaunchID n = static_cast<LaunchID>(subject.expanded.size());
-  for (LaunchID b = 0; b < n; ++b) {
-    for (LaunchID a = 0; a < b; ++a) {
-      if (launches_interfere(domains, subject.expanded[a],
-                             subject.expanded[b]) &&
-          !deps.reaches(a, b)) {
-        std::ostringstream os;
-        os << "interfering launches " << a << " and " << b
-           << " are unordered";
-        return {FailureKind::Soundness, os.str()};
-      }
-    }
+  // Dependence and schedule checks: the spy verifier, recomputing ground
+  // truth from region geometry and privileges (covers the expanded stream
+  // launches and the trailing observe() launches alike).
+  analysis::SpyReport spy = analysis::verify(*subject.runtime);
+  if (spy.unordered_pairs > 0) {
+    const analysis::SpyViolation* v = first_violation(
+        spy, analysis::SpyViolationKind::UnorderedInterference);
+    std::ostringstream os;
+    os << "interfering launches " << v->earlier << " and " << v->later
+       << " are unordered (" << v->detail << ")";
+    return {FailureKind::Soundness, os.str()};
   }
-  for (LaunchID to = 0; to < n; ++to) {
-    for (LaunchID from : deps.preds(to)) {
-      if (from < n && !launches_interfere(domains, subject.expanded[from],
-                                          subject.expanded[to])) {
-        std::ostringstream os;
-        os << "dependence edge " << from << " -> " << to
-           << " joins non-interfering launches";
-        return {FailureKind::Precision, os.str()};
-      }
-    }
+  if (spy.imprecise_edges > 0) {
+    const analysis::SpyViolation* v =
+        first_violation(spy, analysis::SpyViolationKind::ImpreciseEdge);
+    std::ostringstream os;
+    os << "dependence edge " << v->earlier << " -> " << v->later
+       << " joins non-interfering launches";
+    return {FailureKind::Precision, os.str()};
+  }
+  if (spy.schedule_overlaps > 0) {
+    const analysis::SpyViolation* v =
+        first_violation(spy, analysis::SpyViolationKind::ScheduleOverlap);
+    return {FailureKind::Schedule, v->detail};
   }
 
   std::string schedule = validate_schedule(*subject.runtime);
   if (!schedule.empty()) return {FailureKind::Schedule, schedule};
   return {};
+}
+
+SpyCheckResult spy_check(const ProgramSpec& spec) {
+  Execution exec;
+  exec.run(spec);
+  SpyCheckResult out;
+  out.crashed = exec.result.crashed;
+  out.crash_message = exec.result.crash_message;
+  if (!out.crashed) out.report = analysis::verify(*exec.runtime);
+  return out;
 }
 
 } // namespace visrt::fuzz

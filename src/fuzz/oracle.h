@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/spy.h"
 #include "fuzz/program.h"
 
 namespace visrt {
@@ -78,7 +79,24 @@ std::string validate_schedule(const Runtime& runtime);
 
 /// The full differential check (reference run + subject run + all five
 /// check families).  Returns the first failure found, in the order Crash,
-/// Value, FinalValue, Soundness, Precision, Schedule.
+/// Value, FinalValue, Soundness, Precision, Schedule.  The dependence and
+/// schedule checks are the spy verifier's (analysis/spy.h): recomputed
+/// from first principles, no reference engine consulted.
 DiffReport check_program(const ProgramSpec& spec);
+
+/// Reference-free verification: execute the spec exactly as configured and
+/// spy-verify the emitted dependence graph and DES schedule against ground
+/// truth recomputed from geometry and privileges.  Catches bugs shared by
+/// every engine, which the differential check cannot.
+struct SpyCheckResult {
+  bool crashed = false;
+  std::string crash_message;
+  analysis::SpyReport report; ///< valid iff !crashed
+
+  /// Did the run complete and verify sound + precise?
+  bool clean() const { return !crashed && report.clean(); }
+};
+
+SpyCheckResult spy_check(const ProgramSpec& spec);
 
 } // namespace visrt::fuzz

@@ -187,6 +187,42 @@ std::vector<ExpandedLaunch> expand_stream(const ProgramSpec& spec) {
   return out;
 }
 
+std::vector<analysis::LintEvent> lint_events(const ProgramSpec& spec,
+                                             const BuiltForest& built) {
+  validate(spec);
+  std::vector<analysis::LintEvent> events;
+  events.reserve(spec.stream.size());
+  for (const StreamItem& item : spec.stream) {
+    analysis::LintEvent ev;
+    switch (item.kind) {
+    case StreamItem::Kind::Task:
+      ev.kind = analysis::LintEvent::Kind::Task;
+      for (const ReqSpec& req : item.task.requirements)
+        ev.requirements.push_back(Requirement{built.regions[req.region],
+                                              req.field, req.privilege});
+      break;
+    case StreamItem::Kind::Index:
+      ev.kind = analysis::LintEvent::Kind::Index;
+      for (const IndexReqSpec& req : item.index.requirements)
+        ev.index_requirements.push_back(analysis::LintIndexReq{
+            built.partitions[req.partition], req.field, req.privilege});
+      break;
+    case StreamItem::Kind::BeginTrace:
+      ev.kind = analysis::LintEvent::Kind::BeginTrace;
+      ev.trace_id = item.trace_id;
+      break;
+    case StreamItem::Kind::EndTrace:
+      ev.kind = analysis::LintEvent::Kind::EndTrace;
+      break;
+    case StreamItem::Kind::EndIteration:
+      ev.kind = analysis::LintEvent::Kind::EndIteration;
+      break;
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
 void apply_task_body(std::span<const ReqSpec> reqs,
                      std::span<RegionData<double>*> buffers, LaunchID id,
                      std::uint64_t salt) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "region/region_tree.h"
 #include "visibility/engine.h"
 #include "visibility/privilege.h"
@@ -167,6 +168,12 @@ struct ExpandedLaunch {
 
 /// Expand the stream (validates first).
 std::vector<ExpandedLaunch> expand_stream(const ProgramSpec& spec);
+
+/// Lower the spec's launch stream to the program linter's
+/// engine-independent event form, resolving table indices against the
+/// built forest.  `built` must come from build_forest over the same spec.
+std::vector<analysis::LintEvent> lint_events(const ProgramSpec& spec,
+                                             const BuiltForest& built);
 
 /// The deterministic task body, shared by every execution path (the
 /// runtime executor and the engine-level property tests), keyed by the

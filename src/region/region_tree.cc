@@ -61,19 +61,54 @@ RegionHandle RegionTreeForest::create_root(IntervalSet domain,
 PartitionHandle RegionTreeForest::create_partition(
     RegionHandle parent, std::vector<IntervalSet> subspaces,
     std::string name) {
+  return create_partition(parent, std::move(subspaces), std::move(name),
+                          PartitionClaim{});
+}
+
+PartitionHandle RegionTreeForest::create_partition(
+    RegionHandle parent, std::vector<IntervalSet> subspaces, std::string name,
+    PartitionClaim claim) {
   const RegionNode& parent_node = region(parent);
-  IntervalSet all_union;
   for (const IntervalSet& s : subspaces) {
     require(parent_node.domain.contains(s),
             "partition subspace escapes the parent region");
-    all_union = all_union.unite(s);
   }
+  auto compute_complete = [&] {
+    IntervalSet all_union;
+    for (const IntervalSet& s : subspaces) all_union = all_union.unite(s);
+    return all_union == parent_node.domain;
+  };
 
   PartitionNode pnode;
   pnode.parent = parent;
   pnode.name = std::move(name);
-  pnode.disjoint = all_pairwise_disjoint(subspaces);
-  pnode.complete = (all_union == parent_node.domain);
+  pnode.claimed = claim.any();
+  pnode.disjoint =
+      claim.disjoint ? *claim.disjoint : all_pairwise_disjoint(subspaces);
+  pnode.complete = claim.complete ? *claim.complete : compute_complete();
+
+  // Declared claims are trusted (that is their point: skipping the
+  // geometric computation), but cross-checked in debug builds and in
+  // catchable-check mode so a wrong claim trips an invariant a test can
+  // observe (ScopedCheckThrows) instead of silently corrupting every
+  // downstream disjointness shortcut.
+#ifdef NDEBUG
+  const bool validate_claims = check_failures_throw();
+#else
+  const bool validate_claims = true;
+#endif
+  if (validate_claims) {
+    if (claim.disjoint) {
+      invariant(*claim.disjoint == all_pairwise_disjoint(subspaces),
+                "declared disjointness claim contradicts the partition's "
+                "subspaces");
+    }
+    if (claim.complete) {
+      invariant(*claim.complete == compute_complete(),
+                "declared completeness claim contradicts the partition's "
+                "subspaces");
+    }
+  }
   PartitionHandle ph{static_cast<std::uint32_t>(partitions_.size())};
 
   for (std::size_t color = 0; color < subspaces.size(); ++color) {
@@ -153,6 +188,10 @@ bool RegionTreeForest::is_disjoint(PartitionHandle h) const {
 
 bool RegionTreeForest::is_complete(PartitionHandle h) const {
   return partition(h).complete;
+}
+
+bool RegionTreeForest::is_claimed(PartitionHandle h) const {
+  return partition(h).claimed;
 }
 
 std::vector<RegionHandle>

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -40,6 +41,20 @@ struct PartitionHandle {
                          const PartitionHandle&) = default;
 };
 
+/// Caller-declared structural properties of a partition.  A set claim is
+/// trusted — the O(n log n) geometric computation is skipped, the way
+/// Legion trusts DISJOINT_KIND/COMPLETE_KIND — but cross-checked against
+/// the actual subspaces in debug builds and whenever invariant failures
+/// are catchable (ScopedCheckThrows), so a wrong claim fails loudly under
+/// test instead of silently corrupting the coherence analysis.  The
+/// program linter (analysis/lint.h) reports committed wrong claims too.
+struct PartitionClaim {
+  std::optional<bool> disjoint;
+  std::optional<bool> complete;
+
+  bool any() const { return disjoint.has_value() || complete.has_value(); }
+};
+
 /// Owns all region trees of one runtime.
 class RegionTreeForest {
 public:
@@ -53,6 +68,13 @@ public:
   PartitionHandle create_partition(RegionHandle parent,
                                    std::vector<IntervalSet> subspaces,
                                    std::string name);
+
+  /// Partition with caller-declared disjointness/completeness claims:
+  /// declared properties are trusted (see PartitionClaim), undeclared ones
+  /// are computed as usual.
+  PartitionHandle create_partition(RegionHandle parent,
+                                   std::vector<IntervalSet> subspaces,
+                                   std::string name, PartitionClaim claim);
 
   /// The color-th subregion of a partition.
   RegionHandle subregion(PartitionHandle partition, std::size_t color) const;
@@ -75,6 +97,10 @@ public:
 
   bool is_disjoint(PartitionHandle partition) const;
   bool is_complete(PartitionHandle partition) const;
+  /// Did the caller declare (rather than let the forest compute) the
+  /// partition's disjointness/completeness?  Claimed flags may be wrong in
+  /// release builds; the linter recomputes and reports mismatches.
+  bool is_claimed(PartitionHandle partition) const;
 
   /// Regions from the root down to `region`, inclusive.
   std::vector<RegionHandle> path_from_root(RegionHandle region) const;
@@ -101,6 +127,7 @@ private:
     std::vector<RegionHandle> children;
     bool disjoint = false;
     bool complete = false;
+    bool claimed = false; ///< flags declared by the caller, not computed
   };
 
   const RegionNode& region(RegionHandle h) const;

@@ -45,6 +45,14 @@ PartitionHandle Runtime::create_partition(RegionHandle parent,
                                   std::move(name));
 }
 
+PartitionHandle Runtime::create_partition(RegionHandle parent,
+                                          std::vector<IntervalSet> subspaces,
+                                          std::string name,
+                                          PartitionClaim claim) {
+  return forest_.create_partition(parent, std::move(subspaces),
+                                  std::move(name), claim);
+}
+
 RegionHandle Runtime::subregion(PartitionHandle partition,
                                 std::size_t color) const {
   return forest_.subregion(partition, color);
@@ -217,6 +225,9 @@ LaunchID Runtime::launch(TaskLaunch launch) {
     analysis_tails.insert(analysis_tails.end(), req_tails.begin(),
                           req_tails.end());
   }
+
+  if (config_.record_launches)
+    launch_log_.push_back(LaunchRecord{reqs, launch.mapped_node});
 
   // Dependence edges (program-order semantics) into both the dependence
   // graph and the work graph.
@@ -394,6 +405,8 @@ RegionData<double> Runtime::observe(RegionHandle region, FieldID field) {
   exec_op_.push_back(sim::kInvalidOp);
   AnalysisContext ctx{id, 0, 0};
   Requirement req{region, field, Privilege::read()};
+  if (config_.record_launches)
+    launch_log_.push_back(LaunchRecord{{req}, 0});
   MaterializeResult mr = engine_->materialize(req, ctx);
   deps_.add_edges(id, mr.dependences);
   engine_->commit(req, mr.data, ctx);

@@ -59,6 +59,10 @@ struct RuntimeConfig {
   /// time-series, enriched Chrome traces and the JSON metrics sink.  Off by
   /// default; a disabled recorder costs a single branch per span site.
   bool telemetry = false;
+  /// Keep a per-launch record of the analyzed requirements (launch_log())
+  /// so the spy verifier (analysis/spy.h) can recompute ground-truth
+  /// interference after the run.  Off by default: verification-only memory.
+  bool record_launches = false;
   /// Ring-buffer capacity of each counter series (memory stays bounded for
   /// arbitrarily long runs).
   std::size_t telemetry_series_capacity = 4096;
@@ -102,6 +106,15 @@ private:
 };
 
 using TaskFn = std::function<void(TaskContext&)>;
+
+/// One analyzed launch as retained for post-hoc verification (see
+/// RuntimeConfig::record_launches and analysis/spy.h), indexed by
+/// LaunchID.  observe() launches are recorded too — the spy checks their
+/// ordering like any other read.
+struct LaunchRecord {
+  std::vector<Requirement> requirements;
+  NodeID mapped_node = 0;
+};
 
 /// One region requirement of a launch (user-facing form).
 struct RegionReq {
@@ -178,6 +191,11 @@ public:
   /// dependence DAG to the replayed DES schedule.
   std::span<const sim::OpID> exec_ops() const { return exec_op_; }
 
+  /// Requirements of every analyzed launch, indexed by LaunchID.  Empty
+  /// unless RuntimeConfig::record_launches; the spy verifier
+  /// (analysis/spy.h) recomputes interference from this and the forest.
+  std::span<const LaunchRecord> launch_log() const { return launch_log_; }
+
   /// The telemetry recorder (enabled iff RuntimeConfig::telemetry).
   obs::Recorder& recorder() { return recorder_; }
   const obs::Recorder& recorder() const { return recorder_; }
@@ -197,6 +215,12 @@ public:
   PartitionHandle create_partition(RegionHandle parent,
                                    std::vector<IntervalSet> subspaces,
                                    std::string name);
+  /// Partition with caller-declared disjointness/completeness claims;
+  /// declared flags are trusted but geometrically validated in debug
+  /// builds (see RegionTreeForest::create_partition).
+  PartitionHandle create_partition(RegionHandle parent,
+                                   std::vector<IntervalSet> subspaces,
+                                   std::string name, PartitionClaim claim);
   RegionHandle subregion(PartitionHandle partition, std::size_t color) const;
 
   /// Register a field on a root region with a constant initial value.
@@ -289,6 +313,7 @@ private:
   std::size_t traced_launches_ = 0;
 
   std::vector<sim::OpID> exec_op_;        ///< per launch
+  std::vector<LaunchRecord> launch_log_;  ///< per launch (when recording)
   std::vector<sim::OpID> issue_tail_;     ///< per node: analysis chain tail
   std::vector<sim::OpID> iteration_markers_;
   std::vector<sim::OpID> current_iteration_execs_;

@@ -38,6 +38,7 @@ struct Requirement {
   RegionHandle region;
   FieldID field = 0;
   Privilege privilege;
+  friend bool operator==(const Requirement&, const Requirement&) = default;
 };
 
 /// Identity of one analyzed launch: the task (the paper's global clock),

@@ -1,0 +1,310 @@
+// The program linter: each rule of the VL001–VL006 catalog on a planted
+// program shape, plus report ordering, capping and the JSON rendering.
+#include "analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace visrt::analysis {
+namespace {
+
+/// A forest with a root over [0, 39], a disjoint+complete halves
+/// partition, and an aliased incomplete overlap partition.
+struct Fixture {
+  RegionTreeForest forest;
+  RegionHandle root;
+  PartitionHandle halves;  ///< [0,19] | [20,39] — disjoint, complete
+  PartitionHandle overlap; ///< [0,24] | [15,39] — aliased, complete
+
+  Fixture() {
+    root = forest.create_root(IntervalSet(0, 39), "r");
+    halves = forest.create_partition(
+        root, {IntervalSet(0, 19), IntervalSet(20, 39)}, "halves");
+    overlap = forest.create_partition(
+        root, {IntervalSet(0, 24), IntervalSet(15, 39)}, "overlap");
+  }
+
+  RegionHandle sub(PartitionHandle p, std::size_t c) const {
+    return forest.subregion(p, c);
+  }
+
+  LintEvent task(std::vector<Requirement> reqs) const {
+    LintEvent ev;
+    ev.kind = LintEvent::Kind::Task;
+    ev.requirements = std::move(reqs);
+    return ev;
+  }
+
+  LintEvent index(PartitionHandle p, Privilege privilege) const {
+    LintEvent ev;
+    ev.kind = LintEvent::Kind::Index;
+    ev.index_requirements = {LintIndexReq{p, 0, privilege}};
+    return ev;
+  }
+
+  static LintEvent begin_trace(std::uint32_t id) {
+    LintEvent ev;
+    ev.kind = LintEvent::Kind::BeginTrace;
+    ev.trace_id = id;
+    return ev;
+  }
+
+  static LintEvent end_trace() {
+    LintEvent ev;
+    ev.kind = LintEvent::Kind::EndTrace;
+    return ev;
+  }
+};
+
+std::size_t count_rule(const LintReport& report, LintRule rule) {
+  std::size_t n = 0;
+  for (const LintFinding& f : report.findings)
+    if (f.rule == rule) ++n;
+  return n;
+}
+
+TEST(Lint, CleanProgramHasNoFindings) {
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{fx.sub(fx.halves, 0), 0,
+                           Privilege::read_write()}}),
+      fx.index(fx.halves, Privilege::read_write()),
+      fx.task({Requirement{fx.root, 0, Privilege::read()}}),
+  };
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.summary(), "lint: clean");
+}
+
+#ifdef NDEBUG
+TEST(Lint, VL001FlagsCommittedWrongPartitionClaim) {
+  // In release builds a false claim is trusted at creation (the debug
+  // cross-check is compiled out) and commits to the forest; the linter
+  // recomputes the geometry and reports both wrong flags.
+  Fixture fx;
+  PartitionClaim claim;
+  claim.disjoint = true; // actually aliased
+  claim.complete = false; // actually complete
+  fx.forest.create_partition(
+      fx.root, {IntervalSet(0, 24), IntervalSet(15, 39)}, "lying", claim);
+  LintReport report = lint(fx.forest, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(count_rule(report, LintRule::PartitionClaim), 2u)
+      << report.to_json();
+  EXPECT_NE(report.findings.front().message.find("lying"),
+            std::string::npos);
+}
+#endif
+
+TEST(Lint, VL001TrustsCorrectClaims) {
+  Fixture fx;
+  PartitionClaim claim;
+  claim.disjoint = false;
+  claim.complete = true;
+  PartitionHandle p = fx.forest.create_partition(
+      fx.root, {IntervalSet(0, 24), IntervalSet(15, 39)}, "honest", claim);
+  EXPECT_TRUE(fx.forest.is_claimed(p));
+  LintReport report = lint(fx.forest, {});
+  EXPECT_EQ(count_rule(report, LintRule::PartitionClaim), 0u)
+      << report.to_json();
+}
+
+TEST(Lint, VL002FlagsInterferingPrivilegesInOneTask) {
+  Fixture fx;
+  std::vector<LintEvent> stream{fx.task(
+      {Requirement{fx.sub(fx.overlap, 0), 0, Privilege::read_write()},
+       Requirement{fx.sub(fx.overlap, 1), 0, Privilege::read()}})};
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(count_rule(report, LintRule::PrivilegeSubsumption), 1u)
+      << report.to_json();
+  EXPECT_EQ(report.findings.front().severity, LintSeverity::Error);
+  EXPECT_EQ(report.findings.front().item, 0u);
+}
+
+TEST(Lint, VL002AllowsNonInterferingAliasing) {
+  // Two reads of overlapping data are fine, as are same-operator folds.
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{fx.sub(fx.overlap, 0), 0, Privilege::read()},
+               Requirement{fx.sub(fx.overlap, 1), 0, Privilege::read()}}),
+      fx.task(
+          {Requirement{fx.sub(fx.overlap, 0), 0, Privilege::reduce(2)},
+           Requirement{fx.sub(fx.overlap, 1), 0, Privilege::reduce(2)}}),
+  };
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_EQ(count_rule(report, LintRule::PrivilegeSubsumption), 0u)
+      << report.to_json();
+}
+
+TEST(Lint, VL003FlagsAliasedWriteIndexLaunch) {
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.index(fx.overlap, Privilege::read_write())};
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_TRUE(report.ok()); // a warning, not an error
+  EXPECT_EQ(count_rule(report, LintRule::AliasedWrite), 1u)
+      << report.to_json();
+  EXPECT_NE(report.findings.front().message.find("serialize"),
+            std::string::npos);
+}
+
+TEST(Lint, VL003AllowsDisjointOrReadOnlyIndexLaunches) {
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.index(fx.halves, Privilege::read_write()), // disjoint partition
+      fx.index(fx.overlap, Privilege::read()),      // reads commute
+      fx.index(fx.overlap, Privilege::reduce(1)),   // same-op folds commute
+  };
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_EQ(count_rule(report, LintRule::AliasedWrite), 0u)
+      << report.to_json();
+}
+
+TEST(Lint, VL004FlagsRequirementCoveredByBroaderOne) {
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{fx.root, 0, Privilege::read()},
+               Requirement{fx.sub(fx.halves, 0), 0, Privilege::read()}})};
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(count_rule(report, LintRule::OverPrivilege), 1u)
+      << report.to_json();
+  EXPECT_NE(report.findings.front().message.find("can be dropped"),
+            std::string::npos);
+}
+
+TEST(Lint, VL004RequiresASubsumingPrivilege) {
+  // read does not subsume read-write: the narrower rw requirement is load
+  // bearing, and the pair interferes anyway (VL002 owns that case).
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{fx.root, 0, Privilege::read()},
+               Requirement{fx.sub(fx.halves, 0), 1, Privilege::read()}})};
+  // Different fields: no finding at all.
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_EQ(count_rule(report, LintRule::OverPrivilege), 0u)
+      << report.to_json();
+}
+
+TEST(Lint, VL005FlagsEmptyDomainAndDuplicateRequirements) {
+  Fixture fx;
+  PartitionHandle with_empty = fx.forest.create_partition(
+      fx.root, {IntervalSet(), IntervalSet(0, 39)}, "sparse");
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{fx.sub(with_empty, 0), 0, Privilege::read()}}),
+      fx.task({Requirement{fx.sub(fx.halves, 0), 0, Privilege::read()},
+               Requirement{fx.sub(fx.halves, 0), 0, Privilege::read()}}),
+  };
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(count_rule(report, LintRule::UnusedPrivilege), 2u)
+      << report.to_json();
+}
+
+TEST(Lint, VL006FlagsBrokenTraceBrackets) {
+  Fixture fx;
+  LintEvent launch =
+      fx.task({Requirement{fx.root, 0, Privilege::read()}});
+  {
+    // end without begin
+    std::vector<LintEvent> stream{Fixture::end_trace()};
+    LintReport report = lint(fx.forest, stream);
+    EXPECT_EQ(count_rule(report, LintRule::TraceShape), 1u);
+    EXPECT_FALSE(report.ok());
+  }
+  {
+    // nested begin
+    std::vector<LintEvent> stream{Fixture::begin_trace(1), launch,
+                                  Fixture::begin_trace(2), launch,
+                                  Fixture::end_trace()};
+    LintReport report = lint(fx.forest, stream);
+    EXPECT_GE(count_rule(report, LintRule::TraceShape), 1u);
+    EXPECT_FALSE(report.ok());
+  }
+  {
+    // unterminated at end of stream
+    std::vector<LintEvent> stream{Fixture::begin_trace(1), launch};
+    LintReport report = lint(fx.forest, stream);
+    EXPECT_EQ(count_rule(report, LintRule::TraceShape), 1u);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.findings.front().message.find("never closed"),
+              std::string::npos);
+  }
+  {
+    // empty body: shape is legal, but memoizes nothing — a warning
+    std::vector<LintEvent> stream{Fixture::begin_trace(1),
+                                  Fixture::end_trace()};
+    LintReport report = lint(fx.forest, stream);
+    EXPECT_EQ(count_rule(report, LintRule::TraceShape), 1u);
+    EXPECT_TRUE(report.ok());
+  }
+}
+
+TEST(Lint, VL006FlagsTraceReplayedWithDifferentBody) {
+  Fixture fx;
+  LintEvent a = fx.task({Requirement{fx.root, 0, Privilege::read()}});
+  LintEvent b =
+      fx.task({Requirement{fx.sub(fx.halves, 0), 0, Privilege::read()}});
+  std::vector<LintEvent> same{Fixture::begin_trace(7), a,
+                              Fixture::end_trace(),   Fixture::begin_trace(7),
+                              a,                      Fixture::end_trace()};
+  EXPECT_EQ(count_rule(lint(fx.forest, same), LintRule::TraceShape), 0u);
+
+  std::vector<LintEvent> different{
+      Fixture::begin_trace(7), a, Fixture::end_trace(),
+      Fixture::begin_trace(7), b, Fixture::end_trace()};
+  LintReport report = lint(fx.forest, different);
+  EXPECT_EQ(count_rule(report, LintRule::TraceShape), 1u);
+  EXPECT_TRUE(report.ok()); // warning: legal, just re-captures
+}
+
+TEST(Lint, ReportOrdersErrorsFirstAndCapsFindings) {
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      // a warning (aliased-write index launch)...
+      fx.index(fx.overlap, Privilege::read_write()),
+      // ...then an error (interfering in-task privileges)
+      fx.task(
+          {Requirement{fx.sub(fx.overlap, 0), 0, Privilege::read_write()},
+           Requirement{fx.sub(fx.overlap, 1), 0, Privilege::read()}}),
+  };
+  LintReport report = lint(fx.forest, stream);
+  ASSERT_GE(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings.front().severity, LintSeverity::Error);
+  EXPECT_EQ(report.errors, 1u);
+  EXPECT_EQ(report.warnings, 1u);
+
+  LintOptions capped;
+  capped.max_findings = 1;
+  LintReport small = lint(fx.forest, stream, capped);
+  EXPECT_EQ(small.findings.size(), 1u);
+  EXPECT_EQ(small.findings.front().severity, LintSeverity::Error);
+  EXPECT_EQ(small.errors, 1u); // counts stay exact past the cap
+  EXPECT_EQ(small.warnings, 1u);
+}
+
+TEST(Lint, JsonReportHasTheDocumentedShape) {
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.index(fx.overlap, Privilege::read_write())};
+  std::string json = lint(fx.forest, stream).to_json();
+  for (const char* key :
+       {"\"schema_version\":1", "\"errors\":0", "\"warnings\":1",
+        "\"rule\":\"VL003\"", "\"name\":\"aliased-write\"",
+        "\"severity\":\"warning\"", "\"item\":0"})
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+}
+
+TEST(Lint, RuleIdsAreStable) {
+  EXPECT_STREQ(lint_rule_id(LintRule::PartitionClaim), "VL001");
+  EXPECT_STREQ(lint_rule_id(LintRule::PrivilegeSubsumption), "VL002");
+  EXPECT_STREQ(lint_rule_id(LintRule::AliasedWrite), "VL003");
+  EXPECT_STREQ(lint_rule_id(LintRule::OverPrivilege), "VL004");
+  EXPECT_STREQ(lint_rule_id(LintRule::UnusedPrivilege), "VL005");
+  EXPECT_STREQ(lint_rule_id(LintRule::TraceShape), "VL006");
+}
+
+} // namespace
+} // namespace visrt::analysis

@@ -1,0 +1,261 @@
+// The spy verifier: soundness and precision checks against ground truth
+// recomputed from geometry and privileges — planted violations in
+// hand-built graphs, live Runtime runs, and the injected paint bug caught
+// with no reference engine in sight.
+#include "analysis/spy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+#include "runtime/runtime.h"
+
+namespace visrt::analysis {
+namespace {
+
+/// A forest with one root over [0, 19] and a disjoint halves partition.
+struct Fixture {
+  RegionTreeForest forest;
+  RegionHandle root;
+  RegionHandle half0, half1;
+
+  Fixture() {
+    root = forest.create_root(IntervalSet(0, 19), "r");
+    PartitionHandle halves = forest.create_partition(
+        root, {IntervalSet(0, 9), IntervalSet(10, 19)}, "halves");
+    half0 = forest.subregion(halves, 0);
+    half1 = forest.subregion(halves, 1);
+  }
+
+  LaunchRecord rec(RegionHandle region, Privilege privilege) const {
+    return LaunchRecord{{Requirement{region, 0, privilege}}, 0};
+  }
+};
+
+DepGraph graph_with_edges(
+    std::size_t tasks,
+    const std::vector<std::pair<LaunchID, LaunchID>>& edges) {
+  DepGraph deps;
+  for (std::size_t id = 0; id < tasks; ++id)
+    deps.add_task(static_cast<LaunchID>(id));
+  for (const auto& [from, to] : edges) {
+    std::vector<LaunchID> froms{from};
+    deps.add_edges(to, froms);
+  }
+  return deps;
+}
+
+TEST(SpyVerify, OrderedInterferingPairIsSoundAndPrecise) {
+  Fixture fx;
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.half0, Privilege::read()),
+  };
+  DepGraph deps = graph_with_edges(2, {{0, 1}});
+  SpyReport report = verify(fx.forest, deps, launches);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.launches, 2u);
+  EXPECT_EQ(report.interfering_pairs, 1u);
+  EXPECT_EQ(report.transitive_edges, 0u);
+}
+
+TEST(SpyVerify, DetectsMissingEdgeAsUnorderedInterference) {
+  Fixture fx;
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.half0, Privilege::read()),
+  };
+  DepGraph deps = graph_with_edges(2, {});
+  SpyReport report = verify(fx.forest, deps, launches);
+  EXPECT_FALSE(report.sound());
+  EXPECT_EQ(report.unordered_pairs, 1u);
+  ASSERT_FALSE(report.violations.empty());
+  const SpyViolation& v = report.violations.front();
+  EXPECT_EQ(v.kind, SpyViolationKind::UnorderedInterference);
+  EXPECT_EQ(v.earlier, 0u);
+  EXPECT_EQ(v.later, 1u);
+  // The witness names the privileges and regions involved.
+  EXPECT_NE(v.detail.find("read-write"), std::string::npos) << v.detail;
+  EXPECT_NE(v.detail.find("r"), std::string::npos) << v.detail;
+}
+
+TEST(SpyVerify, TransitiveOrderIsSound) {
+  // 0 -> 1 -> 2 with all three mutually interfering: the 0/2 pair has no
+  // direct edge but is transitively ordered — sound.
+  Fixture fx;
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.root, Privilege::read_write()),
+  };
+  DepGraph deps = graph_with_edges(3, {{0, 1}, {1, 2}});
+  SpyReport report = verify(fx.forest, deps, launches);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.interfering_pairs, 3u);
+}
+
+TEST(SpyVerify, FlagsEdgeBetweenNonInterferingLaunches) {
+  // Two reads never interfere; a direct edge between them is imprecise.
+  Fixture fx;
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.half0, Privilege::read()),
+      fx.rec(fx.half1, Privilege::read()),
+  };
+  DepGraph deps = graph_with_edges(2, {{0, 1}});
+  SpyReport report = verify(fx.forest, deps, launches);
+  EXPECT_TRUE(report.sound());
+  EXPECT_FALSE(report.precise());
+  EXPECT_EQ(report.imprecise_edges, 1u);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().kind, SpyViolationKind::ImpreciseEdge);
+  EXPECT_NE(report.summary().find("imprecise"), std::string::npos);
+}
+
+TEST(SpyVerify, CountsTransitivelyImpliedEdgesAsInformational) {
+  // The direct 0 -> 2 edge joins an interfering pair, but the 0 -> 1 -> 2
+  // path already implies it: counted, not a violation.
+  Fixture fx;
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.root, Privilege::read_write()),
+  };
+  DepGraph deps = graph_with_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  SpyReport report = verify(fx.forest, deps, launches);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.transitive_edges, 1u);
+}
+
+TEST(SpyVerify, SameOperatorReductionsCommute) {
+  Fixture fx;
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.root, Privilege::reduce(0)),
+      fx.rec(fx.root, Privilege::reduce(0)),
+      fx.rec(fx.root, Privilege::reduce(1)),
+  };
+  // Same-operator folds commute (no order needed); the different-operator
+  // pair interferes and must be ordered.
+  DepGraph deps = graph_with_edges(3, {{0, 2}, {1, 2}});
+  SpyReport report = verify(fx.forest, deps, launches);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.interfering_pairs, 2u);
+}
+
+TEST(SpyVerify, LaunchLogMustCoverTheGraph) {
+  Fixture fx;
+  std::vector<LaunchRecord> launches{fx.rec(fx.root, Privilege::read())};
+  DepGraph deps = graph_with_edges(2, {});
+  EXPECT_THROW(verify(fx.forest, deps, launches), ApiError);
+}
+
+TEST(SpyVerify, ViolationRecordsAreCappedButCountsStayExact) {
+  Fixture fx;
+  std::vector<LaunchRecord> launches;
+  for (int i = 0; i < 12; ++i)
+    launches.push_back(fx.rec(fx.root, Privilege::read_write()));
+  DepGraph deps = graph_with_edges(12, {});
+  SpyOptions options;
+  options.max_violations = 3;
+  SpyReport report = verify(fx.forest, deps, launches, options);
+  EXPECT_EQ(report.unordered_pairs, 66u); // 12 choose 2
+  EXPECT_EQ(report.violations.size(), 3u);
+}
+
+TEST(SpyVerify, LiveRuntimeRunVerifiesClean) {
+  RuntimeConfig cfg;
+  cfg.algorithm = Algorithm::RayCast;
+  cfg.track_values = true;
+  cfg.record_launches = true;
+  cfg.machine.num_nodes = 2;
+  Runtime rt(cfg);
+  RegionHandle r = rt.create_region(IntervalSet(0, 19), "r");
+  PartitionHandle halves = rt.create_partition(
+      r, {IntervalSet(0, 9), IntervalSet(10, 19)}, "halves");
+  FieldID f = rt.add_field(r, "f", 1.0);
+  auto bump = [](TaskContext& ctx) {
+    ctx.data(0).for_each([](coord_t, double& v) { v += 1.0; });
+  };
+  for (int round = 0; round < 3; ++round)
+    for (std::size_t c = 0; c < 2; ++c)
+      rt.launch(TaskLaunch{"bump",
+                           {RegionReq{rt.subregion(halves, c), f,
+                                      Privilege::read_write()}},
+                           bump,
+                           static_cast<NodeID>(c),
+                           10});
+  rt.observe(r, f);
+
+  SpyReport report = verify(rt);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  // 6 task launches plus the trailing observe() — all in the log.
+  EXPECT_EQ(report.launches, 7u);
+  EXPECT_GT(report.interfering_pairs, 0u);
+  EXPECT_EQ(report.schedule_overlaps, 0u);
+}
+
+TEST(SpyVerify, LiveRuntimeRequiresLaunchRecording) {
+  RuntimeConfig cfg;
+  cfg.algorithm = Algorithm::RayCast;
+  Runtime rt(cfg);
+  EXPECT_THROW(verify(rt), ApiError);
+}
+
+TEST(SpyVerify, JsonReportHasTheDocumentedShape) {
+  Fixture fx;
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.half0, Privilege::read()),
+  };
+  DepGraph deps = graph_with_edges(2, {});
+  std::string json = verify(fx.forest, deps, launches).to_json();
+  for (const char* key :
+       {"\"schema_version\":1", "\"launches\":2", "\"unordered_pairs\":1",
+        "\"sound\":false", "\"precise\":true", "\"violations\":[",
+        "\"kind\":\"unordered-interference\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+}
+
+// --- the acceptance criterion: reference-free detection ------------------
+
+/// The minimal trigger for the injected paint bug (the same shape the
+/// differential oracle uses): a reduction committed to a two-interval
+/// domain, then read back through the root.
+fuzz::ProgramSpec injected_bug_spec() {
+  return fuzz::parse_visprog("visprog 1\n"
+                             "config nodes=1 dcr=0 tracing=0 subject=paint\n"
+                             "tuning occlusion=1 memoize=1 domwrites=1 "
+                             "kdfallback=0 paintbug=1\n"
+                             "tree A 40\n"
+                             "partition P parent=0 [0,9]+[20,29] [10,19]\n"
+                             "field f0 tree=0 mod=11\n"
+                             "task node=0 salt=0 r1 f0 red:sum\n"
+                             "task node=0 salt=0 r0 f0 read\n");
+}
+
+TEST(SpyCheck, FlagsInjectedPaintBugAsUnsoundWithoutReference) {
+  // spy_check runs only the subject engine — no reference execution, no
+  // value comparison.  The dropped reduce dependence must surface as a
+  // soundness violation from first principles.
+  fuzz::SpyCheckResult result = fuzz::spy_check(injected_bug_spec());
+  ASSERT_FALSE(result.crashed) << result.crash_message;
+  EXPECT_FALSE(result.report.sound()) << result.report.summary();
+  EXPECT_GT(result.report.unordered_pairs, 0u);
+  ASSERT_FALSE(result.report.violations.empty());
+  EXPECT_EQ(result.report.violations.front().kind,
+            SpyViolationKind::UnorderedInterference);
+}
+
+TEST(SpyCheck, CleanConfigurationsVerifyClean) {
+  // Without the injected bug the same program is sound and precise; the
+  // bug is also specific to the paint engine.
+  fuzz::ProgramSpec spec = injected_bug_spec();
+  spec.tuning.inject_paint_reduce_bug = false;
+  EXPECT_TRUE(fuzz::spy_check(spec).clean());
+  spec.tuning.inject_paint_reduce_bug = true;
+  spec.subject = Algorithm::RayCast;
+  EXPECT_TRUE(fuzz::spy_check(spec).clean());
+}
+
+} // namespace
+} // namespace visrt::analysis

@@ -61,6 +61,51 @@ TEST(FuzzCorpus, EveryReproPassesEveryEngine) {
   }
 }
 
+TEST(FuzzCorpus, SpyVerifiesEveryEngineWithoutReference) {
+  // The acceptance sweep for the spy verifier: every corpus program, under
+  // all six engines, with and without DCR, must emit a dependence graph
+  // and DES schedule that verify sound and precise against ground truth —
+  // no reference engine involved.
+  static constexpr Algorithm kSubjects[] = {
+      Algorithm::Paint,        Algorithm::Warnock,
+      Algorithm::RayCast,      Algorithm::NaivePaint,
+      Algorithm::NaiveWarnock, Algorithm::NaiveRayCast,
+  };
+  for (const std::filesystem::path& path : corpus_files()) {
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << path;
+    ProgramSpec spec = read_visprog(is);
+    for (Algorithm subject : kSubjects) {
+      for (bool dcr : {false, true}) {
+        ProgramSpec variant = spec;
+        variant.subject = subject;
+        variant.dcr = dcr;
+        SpyCheckResult result = spy_check(variant);
+        ASSERT_FALSE(result.crashed)
+            << path.filename() << " on " << algorithm_name(subject)
+            << (dcr ? "+dcr" : "") << ": " << result.crash_message;
+        EXPECT_TRUE(result.report.clean())
+            << path.filename() << " on " << algorithm_name(subject)
+            << (dcr ? "+dcr" : "") << ": " << result.report.summary();
+      }
+    }
+  }
+}
+
+TEST(FuzzCorpus, LintReportsNoErrors) {
+  // Corpus programs may carry lint warnings (some pin down intentionally
+  // odd shapes) but must be free of outright errors.
+  for (const std::filesystem::path& path : corpus_files()) {
+    std::ifstream is(path);
+    ProgramSpec spec = read_visprog(is);
+    BuiltForest built;
+    build_forest(spec, built);
+    analysis::LintReport report =
+        analysis::lint(built.forest, lint_events(spec, built));
+    EXPECT_TRUE(report.ok()) << path.filename() << ": " << report.to_json();
+  }
+}
+
 TEST(FuzzCorpus, ReprosAreCanonicallySerialized) {
   // parse -> serialize -> parse must be the identity for every corpus
   // file (comments and formatting aside, the spec is stable).

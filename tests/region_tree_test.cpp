@@ -144,5 +144,67 @@ TEST(RegionTree, MultipleTreesInForest) {
   EXPECT_EQ(forest.num_regions(), 2u);
 }
 
+TEST(PartitionClaims, DeclaredFlagsAreTrustedAndMarked) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 19), "r");
+  PartitionClaim claim;
+  claim.disjoint = true;
+  claim.complete = true;
+  PartitionHandle p = forest.create_partition(
+      root, {IntervalSet(0, 9), IntervalSet(10, 19)}, "claimed", claim);
+  EXPECT_TRUE(forest.is_disjoint(p));
+  EXPECT_TRUE(forest.is_complete(p));
+  EXPECT_TRUE(forest.is_claimed(p));
+  // Computed partitions are not marked as claimed.
+  PartitionHandle q = forest.create_partition(
+      root, {IntervalSet(0, 9), IntervalSet(10, 19)}, "computed");
+  EXPECT_FALSE(forest.is_claimed(q));
+  // An empty claim computes both flags and stays unclaimed.
+  PartitionHandle e = forest.create_partition(
+      root, {IntervalSet(0, 12), IntervalSet(10, 19)}, "empty-claim",
+      PartitionClaim{});
+  EXPECT_FALSE(forest.is_claimed(e));
+  EXPECT_FALSE(forest.is_disjoint(e));
+  EXPECT_TRUE(forest.is_complete(e));
+}
+
+TEST(PartitionClaims, UndeclaredFlagsAreStillComputed) {
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 19), "r");
+  PartitionClaim claim;
+  claim.disjoint = true; // completeness left to the geometry
+  PartitionHandle p = forest.create_partition(
+      root, {IntervalSet(0, 9), IntervalSet(15, 19)}, "gap", claim);
+  EXPECT_TRUE(forest.is_disjoint(p));
+  EXPECT_FALSE(forest.is_complete(p));
+}
+
+TEST(PartitionClaims, WrongClaimsAreCaughtInCatchableMode) {
+  // Under ScopedCheckThrows the claim validation always runs, so a false
+  // declaration fails loudly instead of corrupting the analysis.
+  RegionTreeForest forest;
+  RegionHandle root = forest.create_root(IntervalSet(0, 19), "r");
+  ScopedCheckThrows catchable;
+  PartitionClaim wrong_disjoint;
+  wrong_disjoint.disjoint = true;
+  EXPECT_THROW(forest.create_partition(
+                   root, {IntervalSet(0, 12), IntervalSet(10, 19)},
+                   "aliased", wrong_disjoint),
+               CheckFailure);
+  PartitionClaim wrong_complete;
+  wrong_complete.complete = true;
+  EXPECT_THROW(forest.create_partition(
+                   root, {IntervalSet(0, 4), IntervalSet(10, 19)},
+                   "gappy", wrong_complete),
+               CheckFailure);
+  // Truthful claims pass validation.
+  PartitionClaim honest;
+  honest.disjoint = true;
+  honest.complete = true;
+  PartitionHandle p = forest.create_partition(
+      root, {IntervalSet(0, 9), IntervalSet(10, 19)}, "honest", honest);
+  EXPECT_TRUE(forest.is_claimed(p));
+}
+
 } // namespace
 } // namespace visrt
