@@ -13,8 +13,10 @@
 namespace visrt::bench {
 
 inline RunResult run_stencil(const SystemConfig& sys, std::uint32_t nodes,
-                             int iterations = 5, bool telemetry = false) {
-  RuntimeConfig rcfg = bench_runtime_config(sys, nodes, telemetry);
+                             int iterations = 5, bool telemetry = false,
+                             unsigned analysis_threads = 1) {
+  RuntimeConfig rcfg =
+      bench_runtime_config(sys, nodes, telemetry, analysis_threads);
   apps::StencilConfig cfg;
   // Near-square 2-D piece grid (node counts are powers of two).
   std::uint32_t px = 1;
@@ -38,8 +40,10 @@ inline RunResult run_stencil(const SystemConfig& sys, std::uint32_t nodes,
 }
 
 inline RunResult run_circuit(const SystemConfig& sys, std::uint32_t nodes,
-                             int iterations = 5, bool telemetry = false) {
-  RuntimeConfig rcfg = bench_runtime_config(sys, nodes, telemetry);
+                             int iterations = 5, bool telemetry = false,
+                             unsigned analysis_threads = 1) {
+  RuntimeConfig rcfg =
+      bench_runtime_config(sys, nodes, telemetry, analysis_threads);
   apps::CircuitConfig cfg;
   cfg.pieces = nodes;
   cfg.nodes_per_piece = 200;
@@ -59,8 +63,10 @@ inline RunResult run_circuit(const SystemConfig& sys, std::uint32_t nodes,
 }
 
 inline RunResult run_pennant(const SystemConfig& sys, std::uint32_t nodes,
-                             int iterations = 5, bool telemetry = false) {
-  RuntimeConfig rcfg = bench_runtime_config(sys, nodes, telemetry);
+                             int iterations = 5, bool telemetry = false,
+                             unsigned analysis_threads = 1) {
+  RuntimeConfig rcfg =
+      bench_runtime_config(sys, nodes, telemetry, analysis_threads);
   apps::PennantConfig cfg;
   // Pieces in a near-square 2-D grid covering `nodes` pieces.
   std::uint32_t px = 1;

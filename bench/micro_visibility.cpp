@@ -3,8 +3,12 @@
 // lookup, memoization effect.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "common/executor.h"
 #include "common/rng.h"
 #include "metrics_common.h"
+#include "wallclock_common.h"
 #include "geom/bvh.h"
 #include "geom/interval_tree.h"
 #include "realm/reduction_ops.h"
@@ -12,6 +16,9 @@
 
 namespace visrt {
 namespace {
+
+/// Lanes for the *Parallel benchmark variants; set from --threads.
+unsigned g_engine_threads = 1;
 
 /// A paper-Figure-1-shaped program: primary + aliased ghost partitions.
 struct Workload {
@@ -84,6 +91,96 @@ BENCHMARK_CAPTURE(BM_EngineIteration, raycast, Algorithm::RayCast)
     ->Arg(32)
     ->Arg(128);
 
+// Same iteration loop with the analysis executor attached: the engines
+// shard their interference scans across g_engine_threads lanes
+// (bit-identical results; see docs/PERFORMANCE.md).
+void BM_EngineIterationParallel(benchmark::State& state,
+                                Algorithm algorithm) {
+  int pieces = static_cast<int>(state.range(0));
+  Workload w(pieces);
+  Executor ex(g_engine_threads);
+  EngineConfig config;
+  config.forest = &w.forest;
+  config.track_values = false;
+  if (ex.parallel()) config.executor = &ex;
+  auto engine = make_engine(algorithm, config);
+  engine->initialize_field(w.root, 0, RegionData<double>{}, 0);
+  LaunchID next = 0;
+  for (auto _ : state) {
+    run_iteration(*engine, w, next);
+  }
+  state.SetItemsProcessed(state.iterations() * pieces * 2);
+}
+
+BENCHMARK_CAPTURE(BM_EngineIterationParallel, paint, Algorithm::Paint)
+    ->Arg(128)
+    ->Arg(512);
+BENCHMARK_CAPTURE(BM_EngineIterationParallel, warnock, Algorithm::Warnock)
+    ->Arg(128)
+    ->Arg(512);
+BENCHMARK_CAPTURE(BM_EngineIterationParallel, raycast, Algorithm::RayCast)
+    ->Arg(128)
+    ->Arg(512);
+
+// --wall-clock mode: bypass google-benchmark and time the engine
+// iteration loop directly, appending a BENCH_analysis.json entry so the
+// micro numbers land next to the figure-bench ones.
+int run_wall_clock_micro(const bench::WallClockOptions& wc) {
+  struct Sys {
+    const char* label;
+    Algorithm algorithm;
+  };
+  const Sys systems[] = {
+      {"naive_paint", Algorithm::NaivePaint},
+      {"paint", Algorithm::Paint},
+      {"warnock", Algorithm::Warnock},
+      {"raycast", Algorithm::RayCast},
+  };
+  constexpr int kIters = 10;
+  std::printf("# micro_visibility --wall-clock: engine-iteration seconds, "
+              "threads=%u\n", wc.threads);
+  std::printf("system\tpieces\tthreads\tanalysis_wall_s\n");
+  std::ostringstream runs;
+  bool first = true;
+  for (const Sys& sys : systems) {
+    for (std::uint32_t pieces : wc.nodes) {
+      Workload w(static_cast<int>(pieces));
+      Executor ex(wc.threads);
+      EngineConfig config;
+      config.forest = &w.forest;
+      config.track_values = false;
+      if (ex.parallel()) config.executor = &ex;
+      auto engine = make_engine(sys.algorithm, config);
+      engine->initialize_field(w.root, 0, RegionData<double>{}, 0);
+      LaunchID next = 0;
+      run_iteration(*engine, w, next); // warm-up: first-touch refinements
+      auto start = std::chrono::steady_clock::now();
+      for (int it = 0; it < kIters; ++it) run_iteration(*engine, w, next);
+      double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::printf("%s\t%u\t%u\t%.6f\n", sys.label, pieces, wc.threads,
+                  seconds);
+      if (!first) runs << ",\n    ";
+      first = false;
+      runs << "{\"system\":\"" << sys.label << "\",\"nodes\":" << pieces
+           << ",\"analysis_wall_s\":" << bench::wall_clock_number(seconds)
+           << ",\"launches\":" << (kIters * pieces * 2) << "}";
+    }
+  }
+  std::ostringstream entry;
+  entry << " {\"bench\":\"micro_visibility\",\"app\":\"synthetic\","
+        << "\"threads\":" << wc.threads << ",\n  \"runs\":[\n    "
+        << runs.str() << "]}";
+  if (!bench::append_bench_entry(wc.out_path, entry.str())) {
+    std::fprintf(stderr, "error: could not write %s\n", wc.out_path.c_str());
+    return 1;
+  }
+  std::printf("# appended entry to %s\n", wc.out_path.c_str());
+  return 0;
+}
+
 // BVH vs linear scan vs interval tree for eqset lookup ---------------------
 
 void BM_LookupLinear(benchmark::State& state) {
@@ -139,10 +236,15 @@ BENCHMARK(BM_LookupIntervalTree)->Arg(64)->Arg(512)->Arg(4096);
 } // namespace
 } // namespace visrt
 
-// Custom main: --metrics-json must be stripped before google-benchmark
-// sees the arguments (benchmark_main rejects unrecognized flags).
+// Custom main: --metrics-json and the wall-clock flags must be stripped
+// before google-benchmark sees the arguments (benchmark_main rejects
+// unrecognized flags).
 int main(int argc, char** argv) {
+  visrt::bench::WallClockOptions wc =
+      visrt::bench::take_wall_clock_args(argc, argv);
   std::string metrics = visrt::bench::take_metrics_json_arg(argc, argv);
+  visrt::g_engine_threads = wc.threads;
+  if (wc.enabled) return visrt::run_wall_clock_micro(wc);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,125 @@
+#include "common/executor.h"
+
+#include <atomic>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace visrt {
+
+/// One fork/join task group.  Indices are claimed with a single atomic
+/// counter; `done` reaching `n` is the join condition the submitter waits
+/// on.  Groups live on the shared queue until exhausted so any idle lane
+/// (including a lane blocked on a *nested* group) can contribute.
+struct Executor::Group {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  /// ScopedCheckThrows mode of the submitting thread, re-established on
+  /// every lane that runs part of this group.
+  bool check_throws = false;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex m; ///< guards errors and the join wakeup
+  std::condition_variable cv;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+};
+
+Executor::Executor(unsigned lanes) {
+  const unsigned workers = lanes > 1 ? lanes - 1 : 0;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Executor::run_some(Group& g) {
+  std::optional<ScopedCheckThrows> mode;
+  if (g.check_throws && !check_failures_throw()) mode.emplace();
+  for (;;) {
+    const std::size_t i = g.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= g.n) return;
+    try {
+      (*g.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(g.m);
+      g.errors.emplace_back(i, std::current_exception());
+    }
+    if (g.done.fetch_add(1, std::memory_order_acq_rel) + 1 == g.n) {
+      // Lock-then-notify so the submitter cannot check the predicate and
+      // sleep between our done increment and the notification.
+      { std::lock_guard<std::mutex> lock(g.m); }
+      g.cv.notify_all();
+    }
+  }
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Group> g;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return; // stop requested and nothing queued
+      g = queue_.front();
+    }
+    run_some(*g);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (g->next.load(std::memory_order_relaxed) >= g->n)
+        std::erase(queue_, g);
+    }
+  }
+}
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (!parallel() || n == 1) {
+    // Inline: exceptions propagate directly (a single index is already
+    // "the lowest one").
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto g = std::make_shared<Group>();
+  g->body = &body;
+  g->n = n;
+  g->check_throws = check_failures_throw();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(g);
+  }
+  work_cv_.notify_all();
+  // The submitter is a lane too: claim indices until none remain, then
+  // join.  For small groups this usually finishes the whole group before
+  // a worker even wakes, keeping tiny forks cheap.
+  run_some(*g);
+  {
+    std::unique_lock<std::mutex> lock(g->m);
+    g->cv.wait(lock, [&] {
+      return g->done.load(std::memory_order_acquire) == g->n;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase(queue_, g);
+  }
+  std::lock_guard<std::mutex> lock(g->m);
+  if (!g->errors.empty()) {
+    auto first = std::min_element(
+        g->errors.begin(), g->errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+} // namespace visrt

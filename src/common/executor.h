@@ -1,0 +1,111 @@
+// visrt/common/executor.h
+//
+// A fixed-size thread pool with deterministic fork/join task groups: the
+// parallel substrate of the analysis stack (see docs/PERFORMANCE.md).
+//
+// parallel_for(n, body) runs body(0)..body(n-1) across the pool *and* the
+// calling thread, returning only once every index has finished.
+// Guarantees:
+//
+//   - Fork/join: no index of a group runs after parallel_for returns.
+//   - Nesting: a body may itself call parallel_for on the same executor;
+//     inner groups share the same worker lanes (a thread waiting for an
+//     inner group first helps drain it, so nesting never deadlocks and
+//     never oversubscribes).
+//   - Exceptions: a throwing body does not tear down the pool.  Every
+//     index still runs; after the join the exception thrown by the
+//     *lowest* index is rethrown to the caller, so failures are
+//     deterministic under any interleaving.
+//   - Check modes: the submitting thread's ScopedCheckThrows mode
+//     (common/check.h) is extended to the workers for the duration of the
+//     group, so engine invariants stay catchable when the fuzz oracle
+//     runs in parallel mode.
+//
+// Determinism contract: parallel_for guarantees nothing about
+// *interleaving*; bit-identical results are obtained by construction —
+// bodies write only to per-index slots (or accumulate commutative sums),
+// and callers merge the slots in canonical index order after the join.
+// shard_count/sharded_for package that pattern for contiguous ranges.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace visrt {
+
+class Executor {
+public:
+  /// `lanes` is the total parallelism including the calling thread:
+  /// lanes <= 1 creates no workers and every group runs inline.
+  explicit Executor(unsigned lanes);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Worker threads plus the calling thread.
+  unsigned lanes() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+  /// False for a lanes<=1 executor: parallel_for then runs inline.
+  bool parallel() const { return !workers_.empty(); }
+
+  /// Run body(i) for every i in [0, n); blocks until all have finished.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+private:
+  struct Group;
+
+  void worker_loop();
+  /// Claim and run indices of `g` until none remain.
+  void run_some(Group& g);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_; ///< guards queue_ and stop_
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Group>> queue_; ///< groups with unclaimed work
+  bool stop_ = false;
+};
+
+/// Number of contiguous chunks sharded_for will split [0, n) into: 1 when
+/// `ex` is null/sequential or the range is too small to be worth forking
+/// (fewer than two grains), else ~n/grain capped at 4 chunks per lane.
+/// Callers size their per-shard slot arrays with this.
+inline std::size_t shard_count(const Executor* ex, std::size_t n,
+                               std::size_t grain) {
+  if (n == 0) return 0;
+  if (ex == nullptr || !ex->parallel()) return 1;
+  if (grain == 0) grain = 1;
+  if (n < 2 * grain) return 1;
+  return std::min<std::size_t>(n / grain,
+                               static_cast<std::size_t>(ex->lanes()) * 4);
+}
+
+/// Deterministically shard [0, n) into shard_count(...) contiguous chunks
+/// and call fn(chunk, begin, end) for each, in parallel when possible.
+/// With one chunk fn runs inline on the caller — the sequential and
+/// parallel modes share a single code path.
+template <typename Fn>
+void sharded_for(Executor* ex, std::size_t n, std::size_t grain, Fn&& fn) {
+  const std::size_t chunks = shard_count(ex, n, grain);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  ex->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    fn(c, begin, begin + base + (c < extra ? 1 : 0));
+  });
+}
+
+} // namespace visrt

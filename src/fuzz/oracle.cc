@@ -25,9 +25,13 @@ const char* failure_kind_name(FailureKind kind) {
 
 namespace {
 
+std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ULL;
+}
+
 std::uint64_t combine_hashes(std::span<const std::uint64_t> hashes) {
   std::uint64_t h = 1469598103934665603ULL;
-  for (std::uint64_t v : hashes) h = (h ^ v) * 1099511628211ULL;
+  for (std::uint64_t v : hashes) h = hash_u64(h, v);
   return h;
 }
 
@@ -63,6 +67,7 @@ private:
     config.enable_tracing = spec.tracing;
     config.track_values = true;
     config.record_launches = true; // the spy verifier reads the launch log
+    config.analysis_threads = spec.analysis_threads;
     config.machine.num_nodes = spec.num_nodes;
     runtime.emplace(config);
 
@@ -144,6 +149,26 @@ private:
     }
     result.dep_edges = runtime->dep_graph().edge_count();
     result.traced_launches = runtime->traced_launches();
+
+    // Structural fingerprints for the cross-thread-count equivalence
+    // tests: the dependence DAG (per-launch predecessor lists) and the
+    // replayed DES schedule (finish time of each execution op).
+    const DepGraph& deps = runtime->dep_graph();
+    std::uint64_t dg = 1469598103934665603ULL;
+    for (LaunchID id = 0; id < deps.task_count(); ++id) {
+      dg = hash_u64(dg, 0x9e3779b97f4a7c15ULL + id);
+      for (LaunchID p : deps.preds(id)) dg = hash_u64(dg, p);
+    }
+    result.dep_graph_hash = dg;
+    sim::ReplayResult replay =
+        sim::replay(runtime->work_graph(), runtime->config().machine);
+    std::uint64_t sh = 1469598103934665603ULL;
+    for (sim::OpID op : runtime->exec_ops()) {
+      sh = hash_u64(sh, op == sim::kInvalidOp
+                            ? ~0ULL
+                            : static_cast<std::uint64_t>(replay.finish_of(op)));
+    }
+    result.schedule_hash = sh;
   }
 
   /// The shared deterministic body: hash the materialized (pre-mutation)
@@ -211,6 +236,7 @@ DiffReport check_program(const ProgramSpec& spec) {
   ref_spec.dcr = false;
   ref_spec.tracing = false;
   ref_spec.tuning = EngineTuning{};
+  ref_spec.analysis_threads = 1;
   RunResult ref = run_program(ref_spec);
   if (ref.crashed)
     return {FailureKind::Crash, "reference engine: " + ref.crash_message};

@@ -64,6 +64,13 @@ struct RunResult {
   std::vector<std::uint64_t> final_hashes;
   std::size_t dep_edges = 0;
   std::size_t traced_launches = 0;
+  /// FNV fingerprint of the dependence DAG (per-launch predecessor lists).
+  /// Runs of the same spec at different analysis_threads must agree — the
+  /// parallel-equivalence tests compare these across thread counts.
+  std::uint64_t dep_graph_hash = 0;
+  /// FNV fingerprint of the replayed DES schedule (the finish time of
+  /// every launch's execution op).  Also thread-count invariant.
+  std::uint64_t schedule_hash = 0;
 };
 
 /// Execute a spec exactly as configured (subject engine, DCR, tracing,

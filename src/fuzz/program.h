@@ -118,6 +118,10 @@ struct ProgramSpec {
   bool tracing = true;
   Algorithm subject = Algorithm::RayCast; ///< engine under test
   EngineTuning tuning;
+  /// Analysis worker lanes for the subject engine (the reference oracle
+  /// always runs sequentially); serialized as an optional `threads N`
+  /// directive so existing corpora parse unchanged.
+  unsigned analysis_threads = 1;
 
   // --- structure ---
   std::vector<TreeSpec> trees;

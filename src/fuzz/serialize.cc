@@ -166,6 +166,8 @@ void write_visprog(std::ostream& os, const ProgramSpec& spec) {
      << " domwrites=" << (t.raycast_dominating_writes ? 1 : 0)
      << " kdfallback=" << (t.raycast_force_kd_fallback ? 1 : 0)
      << " paintbug=" << (t.inject_paint_reduce_bug ? 1 : 0) << "\n";
+  if (spec.analysis_threads != 1)
+    os << "threads " << spec.analysis_threads << "\n";
   for (const TreeSpec& tree : spec.trees)
     os << "tree " << tree.name << " " << tree.size << "\n";
   for (const PartitionSpec& part : spec.partitions) {
@@ -261,6 +263,12 @@ ProgramSpec read_visprog(std::istream& is) {
             parse_bool(expect_kv(toks[4], "kdfallback"));
         spec.tuning.inject_paint_reduce_bug =
             parse_bool(expect_kv(toks[5], "paintbug"));
+      } else if (head == "threads") {
+        require(toks.size() == 2, "visprog: threads takes a lane count");
+        spec.analysis_threads =
+            static_cast<unsigned>(parse_u64(toks[1]));
+        require(spec.analysis_threads >= 1,
+                "visprog: threads must be >= 1");
       } else if (head == "tree") {
         require(toks.size() == 3, "visprog: tree takes a name and a size");
         TreeSpec tree;

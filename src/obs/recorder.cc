@@ -1,8 +1,10 @@
 #include "obs/recorder.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace visrt::obs {
 
@@ -69,35 +71,46 @@ void Recorder::set_max_spans(std::size_t max_spans) {
 }
 
 SpanID Recorder::begin_span(SpanKind kind, std::string_view name,
-                            LaunchID launch, NodeID node) {
+                            LaunchID launch, NodeID node,
+                            SpanID parent_hint) {
   if (!enabled_) return kInvalidSpan;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanID>& stack = open_[std::this_thread::get_id()];
   if (spans_.size() >= max_spans_) {
     ++dropped_;
-    open_.push_back(kInvalidSpan);
+    stack.push_back(kInvalidSpan);
     return kInvalidSpan;
   }
   Span span;
   span.kind = kind;
   span.name.assign(name);
-  span.parent = open_.empty() ? kInvalidSpan : open_.back();
+  span.parent = stack.empty() ? parent_hint : stack.back();
   span.launch = launch;
   span.node = node;
+  span.stamp = next_stamp_++;
   SpanID id = static_cast<SpanID>(spans_.size());
   spans_.push_back(std::move(span));
-  open_.push_back(id);
+  stack.push_back(id);
   return id;
 }
 
 void Recorder::end_span(SpanID id, const AnalysisCounters& work) {
   if (!enabled_) return;
-  invariant(!open_.empty(), "end_span without a matching begin_span");
-  invariant(open_.back() == id, "spans must close innermost-first");
-  open_.pop_back();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(std::this_thread::get_id());
+  invariant(it != open_.end() && !it->second.empty(),
+            "end_span without a matching begin_span");
+  invariant(it->second.back() == id, "spans must close innermost-first");
+  it->second.pop_back();
+  // Erase drained stacks so a thread id recycled by the OS (or a future
+  // recorder reusing this thread) never inherits stale nesting.
+  if (it->second.empty()) open_.erase(it);
   if (id == kInvalidSpan) return; // dropped at the cap
   spans_[id].counters += work;
 }
 
 std::size_t Recorder::series_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = series_ids_.find(std::string(name));
   if (it != series_ids_.end()) return it->second;
   std::size_t id = series_.size();
@@ -108,8 +121,39 @@ std::size_t Recorder::series_id(std::string_view name) {
 
 void Recorder::sample(std::size_t series, LaunchID launch, double value) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
   invariant(series < series_.size(), "sample on an unknown series");
   series_[series].push(launch, value);
+}
+
+std::string spans_json(const Recorder& recorder) {
+  std::ostringstream os;
+  os << "[";
+  const std::vector<Span>& spans = recorder.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i != 0) os << ",";
+    os << "{\"stamp\":" << s.stamp << ",\"kind\":\""
+       << span_kind_name(s.kind) << "\",\"name\":\"" << json_escape(s.name)
+       << "\",\"parent\":";
+    if (s.parent == kInvalidSpan) {
+      os << "null";
+    } else {
+      os << s.parent;
+    }
+    os << ",\"launch\":" << s.launch << ",\"node\":" << s.node
+       << ",\"counters\":{";
+    bool first = true;
+    for_each_counter(s.counters, [&](const char* name, std::uint64_t value) {
+      if (value == 0) return;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":" << value;
+    });
+    os << "}}";
+  }
+  os << "]";
+  return os.str();
 }
 
 } // namespace visrt::obs

@@ -16,12 +16,24 @@
 //
 // When the recorder is disabled (the default) every hook folds to a single
 // branch on `enabled()`: no allocation, no counter snapshots, no samples.
+//
+// Concurrency: begin_span/end_span/sample/series_id are safe to call from
+// multiple threads at once (the runtime shards a launch's analysis across
+// an Executor, so engines emit spans from worker lanes).  Span nesting is
+// tracked per thread — a worker's first span adopts the submitted
+// `parent_hint` (the enclosing Launch span) instead of whatever happens to
+// be open on another lane.  Every span carries a globally monotonic
+// `stamp` assigned at begin, so interleaved emission still serializes in a
+// well-defined order.  The read accessors (spans(), series()) are meant
+// for after the run, when no emission is in flight.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +57,10 @@ struct Span {
   SpanID parent = kInvalidSpan; ///< enclosing span, if any
   LaunchID launch = kInvalidLaunch;
   NodeID node = 0;              ///< analyzing node
+  /// Globally monotonic begin-order stamp (0, 1, 2, ... across all
+  /// threads); spans_[i].stamp == i by construction, which the concurrent
+  /// serialization test pins down.
+  std::uint64_t stamp = 0;
   AnalysisCounters counters;
 };
 
@@ -105,10 +121,14 @@ public:
 
   /// Open a span; returns kInvalidSpan when disabled or at the span cap
   /// (end_span on the result is then a no-op, but must still be called to
-  /// balance the nesting stack).
+  /// balance the nesting stack).  The parent is the calling thread's
+  /// innermost open span; when the thread has none, `parent_hint` (the
+  /// span the submitting thread had open at fork time) is adopted so
+  /// worker-side spans still nest under their launch.
   SpanID begin_span(SpanKind kind, std::string_view name, LaunchID launch,
-                    NodeID node);
-  /// Close the innermost open span, attributing `work` to it.
+                    NodeID node, SpanID parent_hint = kInvalidSpan);
+  /// Close the calling thread's innermost open span, attributing `work`
+  /// to it.
   void end_span(SpanID id, const AnalysisCounters& work);
 
   /// Find-or-create a series.  Ids are stable for the recorder's lifetime.
@@ -124,12 +144,25 @@ private:
   bool enabled_ = false;
   std::size_t series_capacity_ = 4096;
   std::size_t max_spans_ = 1u << 20;
+  /// One mutex covers spans, series and the per-thread open stacks: span
+  /// emission is rare enough (telemetry runs only) that contention is a
+  /// non-issue, and a single lock keeps stamps and vector order coherent.
+  mutable std::mutex mu_;
   std::vector<Span> spans_;
-  std::vector<SpanID> open_; ///< stack of open spans (kInvalidSpan = dropped)
+  /// Per-thread stacks of open spans (kInvalidSpan = dropped at the cap);
+  /// entries are erased when their stack empties.
+  std::unordered_map<std::thread::id, std::vector<SpanID>> open_;
+  std::uint64_t next_stamp_ = 0;
   std::uint64_t dropped_ = 0;
   std::vector<CounterSeries> series_;
   std::unordered_map<std::string, std::size_t> series_ids_;
 };
+
+/// Serialize every recorded span, in stamp order, as a JSON array:
+///   [{"stamp":0,"kind":"launch","name":...,"parent":null|id,
+///     "launch":...,"node":...,"counters":{...nonzero only...}}, ...]
+/// Used by the metrics sink and the concurrent-emission regression test.
+std::string spans_json(const Recorder& recorder);
 
 /// RAII span that captures the counter delta of the code it encloses.
 ///
@@ -144,14 +177,19 @@ public:
   ScopedSpan(Recorder* recorder, SpanKind kind, std::string_view name,
              LaunchID launch, NodeID node,
              const AnalysisCounters* local = nullptr,
-             const std::vector<AnalysisStep>* steps = nullptr)
+             const std::vector<AnalysisStep>* steps = nullptr,
+             SpanID parent_hint = kInvalidSpan)
       : local_(local), steps_(steps) {
     if (recorder == nullptr || !recorder->enabled()) return;
     recorder_ = recorder;
     if (local_ != nullptr) local_begin_ = *local_;
     if (steps_ != nullptr) steps_begin_ = steps_->size();
-    id_ = recorder_->begin_span(kind, name, launch, node);
+    id_ = recorder_->begin_span(kind, name, launch, node, parent_hint);
   }
+
+  /// Id of the opened span (kInvalidSpan when disabled/dropped); pass as
+  /// parent_hint to spans opened on other lanes inside this one.
+  SpanID id() const { return id_; }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;

@@ -111,12 +111,15 @@ PartitionHandle RegionTreeForest::create_partition(
   }
   PartitionHandle ph{static_cast<std::uint32_t>(partitions_.size())};
 
+  // The push_backs below may reallocate regions_, invalidating
+  // parent_node; copy what the loop needs first.
+  const unsigned child_depth = parent_node.depth + 1;
   for (std::size_t color = 0; color < subspaces.size(); ++color) {
     RegionNode child;
     child.domain = std::move(subspaces[color]);
     child.name = pnode.name + "[" + std::to_string(color) + "]";
     child.parent = ph;
-    child.depth = parent_node.depth + 1;
+    child.depth = child_depth;
     pnode.children.push_back(
         RegionHandle{static_cast<std::uint32_t>(regions_.size())});
     regions_.push_back(std::move(child));

@@ -41,6 +41,7 @@ std::string metrics_run_json(const MetricsRunInfo& info, const Runtime& rt,
      << ",\"messages\":" << stats.messages
      << ",\"message_bytes\":" << stats.message_bytes
      << ",\"analysis_cpu_s\":" << json_number(stats.analysis_cpu_s)
+     << ",\"analysis_wall_s\":" << json_number(stats.analysis_wall_s)
      << ",\"engine\":{"
      << "\"live_eqsets\":" << stats.engine.live_eqsets
      << ",\"total_eqsets_created\":" << stats.engine.total_eqsets_created

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <sstream>
 
 #include "common/check.h"
@@ -16,6 +17,12 @@ namespace {
 constexpr std::uint64_t kRequestBytes = 128;
 /// Bytes per field element moved by the copy engine.
 constexpr std::uint64_t kElementBytes = 8;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 } // namespace
 
 Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
@@ -24,11 +31,18 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
     recorder_.set_series_capacity(config_.telemetry_series_capacity);
     recorder_.enable();
   }
+  // The Reference engine is the sequential oracle every other mode is
+  // checked against; it never runs on the pool.
+  if (config_.analysis_threads > 1 &&
+      config_.algorithm != Algorithm::Reference) {
+    executor_ = std::make_unique<Executor>(config_.analysis_threads);
+  }
   EngineConfig ec;
   ec.track_values = config_.track_values;
   ec.tuning = config_.tuning;
   ec.forest = &forest_;
   ec.recorder = &recorder_;
+  ec.executor = executor_.get();
   engine_ = make_engine(config_.algorithm, ec);
   issue_tail_.assign(config_.machine.num_nodes, sim::kInvalidOp);
   analysis_busy_ns_.assign(config_.machine.num_nodes, 0);
@@ -175,18 +189,50 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   std::vector<sim::OpID> analysis_tails;
   std::vector<sim::OpID> copy_ops;
 
-  for (const RegionReq& rr : launch.requirements) {
-    Requirement req{rr.region, rr.field, rr.privilege};
-    reqs.push_back(req);
-    MaterializeResult mr;
-    {
-      // The span watches mr.steps, which the engine fills inside the scope:
-      // the span's counters are the sum over the requirement's steps.
+  reqs.reserve(launch.requirements.size());
+  for (const RegionReq& rr : launch.requirements)
+    reqs.push_back(Requirement{rr.region, rr.field, rr.privilege});
+
+  // Group requirement indices by field, first-occurrence order.  Engine
+  // state is strictly per field, so groups materialize/commit concurrently
+  // on the executor; within a group, program order is preserved.  The
+  // work-graph/dep-graph merge below runs sequentially in requirement
+  // order, so the emitted graphs are identical at any thread count.
+  std::vector<std::vector<std::size_t>> field_groups;
+  {
+    std::unordered_map<FieldID, std::size_t> group_of;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      auto [it, fresh] = group_of.emplace(reqs[i].field, field_groups.size());
+      if (fresh) field_groups.emplace_back();
+      field_groups[it->second].push_back(i);
+    }
+  }
+  auto for_each_group = [&](const std::function<void(std::size_t)>& body) {
+    if (executor_ != nullptr && field_groups.size() > 1) {
+      executor_->parallel_for(field_groups.size(), body);
+    } else {
+      for (std::size_t g = 0; g < field_groups.size(); ++g) body(g);
+    }
+  };
+
+  const auto materialize_start = std::chrono::steady_clock::now();
+  std::vector<MaterializeResult> mrs(reqs.size());
+  for_each_group([&](std::size_t g) {
+    for (std::size_t i : field_groups[g]) {
+      // The span watches mrs[i].steps, which the engine fills inside the
+      // scope: the span's counters are the sum over the requirement's
+      // steps.  Worker-side spans nest under the launch span via the hint.
       obs::ScopedSpan span(&recorder_, obs::SpanKind::Materialize,
                            "materialize", id, analysis_node, nullptr,
-                           &mr.steps);
-      mr = engine_->materialize(req, ctx);
+                           &mrs[i].steps, launch_span.id());
+      mrs[i] = engine_->materialize(reqs[i], ctx);
     }
+  });
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Requirement& req = reqs[i];
+    const RegionReq& rr = launch.requirements[i];
+    MaterializeResult& mr = mrs[i];
     record_launch_telemetry(id, launch.name, mr.steps);
     for (LaunchID d : mr.dependences) add_dependence(all_deps, d);
     // Under trace replay the analysis result is memoized: the engine still
@@ -225,6 +271,7 @@ LaunchID Runtime::launch(TaskLaunch launch) {
     analysis_tails.insert(analysis_tails.end(), req_tails.begin(),
                           req_tails.end());
   }
+  analysis_wall_s_ += seconds_since(materialize_start);
 
   if (config_.record_launches)
     launch_log_.push_back(LaunchRecord{reqs, launch.mapped_node});
@@ -253,15 +300,21 @@ LaunchID Runtime::launch(TaskLaunch launch) {
 
   // Commit results and update instance validity.  Commit messages are
   // asynchronous too; the iteration marker (not the next launch) joins
-  // them.
+  // them.  Commits shard by field like materializes; instance-map updates
+  // and work-graph emission stay sequential in requirement order.
+  const auto commit_start = std::chrono::steady_clock::now();
+  std::vector<std::vector<AnalysisStep>> commit_steps(reqs.size());
+  for_each_group([&](std::size_t g) {
+    for (std::size_t i : field_groups[g]) {
+      obs::ScopedSpan span(&recorder_, obs::SpanKind::Commit, "commit", id,
+                           analysis_node, nullptr, &commit_steps[i],
+                           launch_span.id());
+      commit_steps[i] = engine_->commit(reqs[i], phys[i].data(), ctx);
+    }
+  });
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const Requirement& req = reqs[i];
-    std::vector<AnalysisStep> steps;
-    {
-      obs::ScopedSpan span(&recorder_, obs::SpanKind::Commit, "commit", id,
-                           analysis_node, nullptr, &steps);
-      steps = engine_->commit(req, phys[i].data(), ctx);
-    }
+    std::vector<AnalysisStep>& steps = commit_steps[i];
     record_launch_telemetry(id, launch.name, steps);
     if (!replay) {
       std::vector<sim::OpID> commit_tails =
@@ -280,6 +333,7 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                                     req.privilege.redop);
     }
   }
+  analysis_wall_s_ += seconds_since(commit_start);
   // Program order on the analyzing node is the issue chain alone; the
   // remote analysis traffic of one launch overlaps the next launch's
   // analysis, as in Legion's asynchronous runtime.
@@ -496,6 +550,7 @@ RunStats Runtime::finish() {
   stats.message_bytes = graph_.total_message_bytes();
   stats.analysis_cpu_s =
       static_cast<double>(graph_.total_cost(sim::OpCategory::Analysis)) * 1e-9;
+  stats.analysis_wall_s = analysis_wall_s_;
   stats.engine = engine_->stats();
   stats.total_time_s = static_cast<double>(r.makespan) * 1e-9;
   if (!iteration_markers_.empty()) {

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/executor.h"
 #include "obs/recorder.h"
 #include "realm/instance_map.h"
 #include "region/region_tree.h"
@@ -66,6 +67,14 @@ struct RuntimeConfig {
   /// Ring-buffer capacity of each counter series (memory stays bounded for
   /// arbitrarily long runs).
   std::size_t telemetry_series_capacity = 4096;
+  /// Worker lanes (including the calling thread) for sharding each
+  /// launch's analysis across an Executor: requirements on distinct fields
+  /// materialize/commit concurrently and the engines shard their inner
+  /// walks.  Results — dependence graph, DES timings, painted values — are
+  /// bit-identical to sequential mode by construction (per-shard slots
+  /// merged in canonical order; see docs/PERFORMANCE.md).  1 = sequential;
+  /// Algorithm::Reference always runs sequentially (it is the oracle).
+  unsigned analysis_threads = 1;
   sim::MachineConfig machine;
   sim::CostModel costs;
 };
@@ -171,6 +180,12 @@ struct RunStats {
   std::size_t messages = 0;
   std::uint64_t message_bytes = 0;
   double analysis_cpu_s = 0; ///< total analysis CPU across all nodes
+  /// Real (wall-clock) seconds this process spent inside the analysis
+  /// sections of launch() — materialize + commit, excluding task bodies
+  /// and the DES replay.  This is the quantity the --wall-clock benches
+  /// report; unlike everything else in RunStats it depends on the host and
+  /// on RuntimeConfig::analysis_threads.
+  double analysis_wall_s = 0;
   EngineStats engine;
 };
 
@@ -281,6 +296,10 @@ private:
   RuntimeConfig config_;
   RegionTreeForest forest_;
   obs::Recorder recorder_;
+  /// Analysis thread pool (null in sequential mode).  Declared before
+  /// engine_ so the engine — which holds a pointer to it — is destroyed
+  /// first.
+  std::unique_ptr<Executor> executor_;
   std::unique_ptr<CoherenceEngine> engine_;
   DepGraph deps_;
   sim::WorkGraph graph_;
@@ -323,6 +342,8 @@ private:
   /// Cumulative analysis CPU per node (always accumulated: one add per
   /// analysis step).
   std::vector<SimTime> analysis_busy_ns_;
+  /// Wall-clock seconds spent in the analysis sections of launch().
+  double analysis_wall_s_ = 0;
   /// Telemetry-only per-launch records (empty while the recorder is off).
   std::vector<std::string> launch_names_;
   std::vector<AnalysisCounters> launch_counters_;

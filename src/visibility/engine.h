@@ -28,6 +28,8 @@
 
 namespace visrt {
 
+class Executor;
+
 namespace obs {
 class Recorder;
 } // namespace obs
@@ -120,6 +122,13 @@ struct EngineConfig {
   /// Telemetry recorder the engine opens phase spans on (non-owning; may
   /// be null or disabled, in which case every span is a single branch).
   obs::Recorder* recorder = nullptr;
+  /// Analysis executor (non-owning; may be null).  Engines shard their
+  /// side-effect-free interference scans across it — per-shard results are
+  /// merged in canonical order, so the emitted AnalysisSteps, counters and
+  /// dependences are bit-identical to a null (sequential) executor.  All
+  /// state mutation (refines, captures, painting, commits) stays on the
+  /// calling thread.
+  Executor* executor = nullptr;
 };
 
 class CoherenceEngine {

@@ -1,21 +1,49 @@
 #include "visibility/naive.h"
 
 #include "common/check.h"
+#include "common/executor.h"
 #include "obs/recorder.h"
 
 namespace visrt {
 
 namespace {
 
+/// Minimum history entries (NaivePaint) or sets (NaiveWarnock) per shard
+/// when a walk forks onto the analysis executor.
+constexpr std::size_t kEntryGrain = 64;
+constexpr std::size_t kSetGrain = 8;
+
 /// Dependences and (optionally) values from painting a history in order.
 /// `dom` restricts the walk; `target` may be null (dependences only).
-void walk_history(const std::vector<HistEntry>& history,
+/// The per-entry interference tests shard across `ex` (pure reads); the
+/// order-dependent painting replays sequentially, so the result is
+/// bit-identical to an inline walk at any thread count.
+void walk_history(Executor* ex, const std::vector<HistEntry>& history,
                   const IntervalSet& dom, const Privilege& priv,
                   RegionData<double>* target, std::vector<LaunchID>& deps,
                   AnalysisCounters& c) {
-  for (const HistEntry& e : history) {
-    if (entry_depends(e, dom, priv, c)) add_dependence(deps, e.task);
-    if (target != nullptr && e.values.has_value()) paint_entry(*target, e, c);
+  struct Shard {
+    AnalysisCounters counters;
+    std::vector<LaunchID> hits;
+  };
+  const std::size_t shards = shard_count(ex, history.size(), kEntryGrain);
+  std::vector<Shard> walk(shards);
+  sharded_for(ex, history.size(), kEntryGrain,
+              [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                Shard& w = walk[shard];
+                for (std::size_t k = begin; k < end; ++k) {
+                  if (entry_depends(history[k], dom, priv, w.counters))
+                    w.hits.push_back(history[k].task);
+                }
+              });
+  for (Shard& w : walk) {
+    c += w.counters;
+    for (LaunchID hit : w.hits) add_dependence(deps, hit);
+  }
+  if (target != nullptr) {
+    for (const HistEntry& e : history) {
+      if (e.values.has_value()) paint_entry(*target, e, c);
+    }
   }
 }
 
@@ -66,7 +94,8 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
       out.data = RegionData<double>::filled(
           dom, reduction_op(req.privilege.redop).identity);
     }
-    walk_history(fs.history, dom, req.privilege, nullptr, out.dependences, c);
+    walk_history(config_.executor, fs.history, dom, req.privilege, nullptr,
+                 out.dependences, c);
   } else {
     RegionData<double> data;
     RegionData<double>* target = nullptr;
@@ -74,7 +103,8 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
       data = RegionData<double>::filled(dom, 0.0);
       target = &data;
     }
-    walk_history(fs.history, dom, req.privilege, target, out.dependences, c);
+    walk_history(config_.executor, fs.history, dom, req.privilege, target,
+                 out.dependences, c);
     out.data = std::move(data);
   }
   out.steps.push_back(AnalysisStep{fs.home, c, 0});
@@ -135,7 +165,7 @@ void NaiveWarnockEngine::initialize_field(RegionHandle root, FieldID field,
   }
   eq.history.push_back(std::move(init));
   fs.sets.push_back(std::move(eq));
-  ++total_sets_created_;
+  ++fs.sets_created;
   fields_.emplace(field, std::move(fs));
 }
 
@@ -198,7 +228,7 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
     // Each split removes one set and creates two, so the net growth equals
     // the number of splits and the number of freshly created sets is twice
     // that.
-    total_sets_created_ += 2 * (fs.sets.size() - before);
+    fs.sets_created += 2 * (fs.sets.size() - before);
   }
 
   RegionData<double> data;
@@ -207,14 +237,34 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "history_walk", ctx.task, ctx.analysis_node, &c,
                          nullptr);
-    for (EqSet& eq : fs.sets) {
+    // The per-set interference tests are pure reads, so they shard across
+    // the executor into per-set slots; counter accumulation, painting and
+    // data merging stay sequential in set order, making the result
+    // bit-identical to the inline loop at any thread count.
+    struct VisitSlot {
+      AnalysisCounters counters;
+      std::vector<LaunchID> hits;
+    };
+    std::vector<VisitSlot> slots(fs.sets.size());
+    sharded_for(config_.executor, fs.sets.size(), kSetGrain,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    const EqSet& eq = fs.sets[i];
+                    if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
+                    VisitSlot& slot = slots[i];
+                    for (const HistEntry& e : eq.history) {
+                      if (entry_depends(e, eq.dom, req.privilege,
+                                        slot.counters))
+                        slot.hits.push_back(e.task);
+                    }
+                  }
+                });
+    for (std::size_t i = 0; i < fs.sets.size(); ++i) {
+      EqSet& eq = fs.sets[i];
       if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
       ++c.eqset_visits;
-      // Dependences from this set's history.
-      for (const HistEntry& e : eq.history) {
-        if (entry_depends(e, eq.dom, req.privilege, c))
-          add_dependence(out.dependences, e.task);
-      }
+      c += slots[i].counters;
+      for (LaunchID hit : slots[i].hits) add_dependence(out.dependences, hit);
       if (!build_values) continue;
       RegionData<double> piece;
       if (req.privilege.is_reduce()) {
@@ -269,9 +319,9 @@ EngineStats NaiveWarnockEngine::stats() const {
   EngineStats s;
   for (const auto& [field, fs] : fields_) {
     s.live_eqsets += fs.sets.size();
+    s.total_eqsets_created += fs.sets_created;
     for (const EqSet& eq : fs.sets) s.history_entries += eq.history.size();
   }
-  s.total_eqsets_created = total_sets_created_;
   return s;
 }
 
@@ -310,7 +360,7 @@ MaterializeResult NaiveRayCastEngine::materialize(const Requirement& req,
   fresh.history.push_back(std::move(e));
   fs.sets.push_back(std::move(fresh));
   ++c.eqsets_created;
-  ++total_sets_created_;
+  ++fs.sets_created;
 
   out.steps.push_back(AnalysisStep{fs.home, c, 0});
   return out;

@@ -75,6 +75,10 @@ protected:
   };
   struct FieldState : detail::NaiveFieldState {
     std::vector<EqSet> sets;
+    /// Sets ever created on this field.  Kept per field (not engine-wide)
+    /// so materialize calls on distinct fields never share mutable state —
+    /// the invariant the runtime's per-field analysis sharding relies on.
+    std::size_t sets_created = 0;
   };
 
   /// Figure 9 refine(): split sets that partially overlap `dom`.
@@ -85,7 +89,6 @@ protected:
 
   EngineConfig config_;
   std::unordered_map<FieldID, FieldState> fields_;
-  std::size_t total_sets_created_ = 0;
 };
 
 /// Figure 11: Warnock's materialize/commit, plus dominating_write on

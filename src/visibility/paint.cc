@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/executor.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -15,6 +16,9 @@ namespace {
 /// Approximate serialized size of one history entry inside a view
 /// (metadata only; bulk data moves through the copy engine).
 constexpr std::uint64_t kEntryMetaBytes = 64;
+/// Minimum items per shard when the interference scans fork onto the
+/// analysis executor; below 2 grains the scan stays inline.
+constexpr std::size_t kShardGrain = 64;
 } // namespace
 
 std::uint64_t PaintEngine::CompositeView::bytes() const {
@@ -208,16 +212,39 @@ void PaintEngine::close_subtrees(FieldState& fs,
 
     for (PartitionHandle ph : forest.partitions(a)) {
       if (ph == next_part) {
-        // Siblings within the path partition close individually.
-        for (RegionHandle child : forest.children(ph)) {
-          if (child == next) continue;
-          ++local.composite_child_tests;
-          auto cit = fs.nodes.find(child.index);
-          if (cit == fs.nodes.end() || cit->second.subtree_entries == 0)
-            continue;
-          if (!privs_interfere(cit->second.subtree_privs, priv)) continue;
-          if (!forest.domain(child).overlaps(dom)) continue;
-          RegionHandle one[] = {child};
+        // Siblings within the path partition close individually.  The
+        // interference tests are pure reads of per-child subtree state (a
+        // capture never touches a *sibling's* subtree counts or privilege
+        // summary), so they shard across the executor; the captures
+        // themselves mutate and run afterwards, sequentially in child
+        // order — exactly the order the inline loop produces.
+        std::span<const RegionHandle> kids = forest.children(ph);
+        const std::size_t shards =
+            shard_count(config_.executor, kids.size(), kShardGrain);
+        std::vector<AnalysisCounters> scan_counts(shards);
+        std::vector<std::uint8_t> needs(kids.size(), 0);
+        sharded_for(config_.executor, kids.size(), kShardGrain,
+                    [&](std::size_t shard, std::size_t begin,
+                        std::size_t end) {
+                      AnalysisCounters& c = scan_counts[shard];
+                      for (std::size_t k = begin; k < end; ++k) {
+                        RegionHandle child = kids[k];
+                        if (child == next) continue;
+                        ++c.composite_child_tests;
+                        auto cit = fs.nodes.find(child.index);
+                        if (cit == fs.nodes.end() ||
+                            cit->second.subtree_entries == 0)
+                          continue;
+                        if (!privs_interfere(cit->second.subtree_privs, priv))
+                          continue;
+                        if (!forest.domain(child).overlaps(dom)) continue;
+                        needs[k] = 1;
+                      }
+                    });
+        for (const AnalysisCounters& c : scan_counts) local += c;
+        for (std::size_t k = 0; k < kids.size(); ++k) {
+          if (needs[k] == 0) continue;
+          RegionHandle one[] = {kids[k]};
           capture(fs, a, one, steps, local);
         }
         continue;
@@ -281,6 +308,16 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
     obs::ScopedSpan walk_span(config_.recorder, obs::SpanKind::Phase,
                               "history_walk", ctx.task, ctx.analysis_node,
                               &local, &out.steps);
+    // Gather pass (sequential): flatten the path histories into one item
+    // list and perform the on-demand view replication — the only mutation
+    // of the walk.  Entry pointers stay valid: nothing below reallocates
+    // an element or a view's entry vector.
+    struct WalkItem {
+      const HistEntry* e;
+      NodeID direct_owner; ///< meaningful when !from_view
+      bool from_view;
+    };
+    std::vector<WalkItem> items;
     for (RegionHandle a : path) {
       auto it = fs.nodes.find(a.index);
       if (it == fs.nodes.end()) continue;
@@ -295,23 +332,65 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
             fetch.composite_captures = 1;
             out.steps.push_back(AnalysisStep{v.owner, fetch, v.bytes()});
           }
-          for (const HistEntry& e : v.entries) {
-            ++local.composite_child_tests;
-            if (skips_entry(e)) continue;
-            if (entry_depends(e, dom, req.privilege, local))
-              add_dependence(out.dependences, e.task);
-            if (paint_values && e.values.has_value())
-              paint_entry(data, e, local);
-          }
+          for (const HistEntry& e : v.entries)
+            items.push_back(WalkItem{&e, 0, true});
         } else {
-          AnalysisCounters& rc =
-              ns.owner == ctx.analysis_node ? local : remote[ns.owner];
-          if (skips_entry(el.op)) continue;
-          if (entry_depends(el.op, dom, req.privilege, rc))
-            add_dependence(out.dependences, el.op.task);
-          if (paint_values && el.op.values.has_value())
-            paint_entry(data, el.op, rc);
+          items.push_back(WalkItem{&el.op, ns.owner, false});
         }
+      }
+    }
+
+    // Test pass: per-item interference tests are pure, so they shard
+    // across the executor.  Each shard accumulates into private slots;
+    // the merge below runs in shard (= item) order, and because counter
+    // sums are commutative and the dependence list is a sorted set, the
+    // result is bit-identical to the inline walk at any thread count.
+    struct WalkShard {
+      AnalysisCounters local;
+      std::map<NodeID, AnalysisCounters> remote;
+      std::vector<LaunchID> hits;
+    };
+    const std::size_t shards =
+        shard_count(config_.executor, items.size(), kShardGrain);
+    std::vector<WalkShard> walk(shards);
+    sharded_for(
+        config_.executor, items.size(), kShardGrain,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          WalkShard& w = walk[shard];
+          for (std::size_t k = begin; k < end; ++k) {
+            const WalkItem& item = items[k];
+            if (item.from_view) {
+              ++w.local.composite_child_tests;
+              if (skips_entry(*item.e)) continue;
+              if (entry_depends(*item.e, dom, req.privilege, w.local))
+                w.hits.push_back(item.e->task);
+            } else {
+              AnalysisCounters& rc = item.direct_owner == ctx.analysis_node
+                                         ? w.local
+                                         : w.remote[item.direct_owner];
+              if (skips_entry(*item.e)) continue;
+              if (entry_depends(*item.e, dom, req.privilege, rc))
+                w.hits.push_back(item.e->task);
+            }
+          }
+        });
+    for (WalkShard& w : walk) {
+      local += w.local;
+      for (const auto& [owner, counters] : w.remote) remote[owner] += counters;
+      for (LaunchID hit : w.hits) add_dependence(out.dependences, hit);
+    }
+
+    // Paint pass (sequential): value application is order-dependent, so
+    // it replays the items in history order on the calling thread.
+    if (paint_values) {
+      for (const WalkItem& item : items) {
+        if (skips_entry(*item.e)) continue;
+        if (!item.e->values.has_value()) continue;
+        AnalysisCounters& rc =
+            item.from_view || item.direct_owner == ctx.analysis_node
+                ? local
+                : remote[item.direct_owner];
+        paint_entry(data, *item.e, rc);
       }
     }
 

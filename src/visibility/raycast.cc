@@ -3,10 +3,17 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/executor.h"
 #include "common/hash.h"
 #include "obs/recorder.h"
 
 namespace visrt {
+
+namespace {
+/// Minimum constituent sets per shard when the visit scan forks onto the
+/// analysis executor.
+constexpr std::size_t kSetGrain = 8;
+} // namespace
 
 RayCastEngine::RayCastEngine(const EngineConfig& config)
     : RayCastEngine(config, Options{}) {}
@@ -422,7 +429,31 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "history_walk", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
-    for (std::uint32_t id : inside_ids) {
+    // Shard the pure per-set interference tests across the executor; the
+    // step bookkeeping (including merging a set's visit into its split's
+    // round trip), painting and data merging run sequentially in set
+    // order afterwards, so the output is bit-identical to the inline
+    // loop.
+    struct VisitSlot {
+      AnalysisCounters counters;
+      std::vector<LaunchID> hits;
+    };
+    std::vector<VisitSlot> slots(inside_ids.size());
+    sharded_for(config_.executor, inside_ids.size(), kSetGrain,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    const EqSet& s = fs.sets[inside_ids[i]];
+                    if (s.dom.empty()) continue;
+                    VisitSlot& slot = slots[i];
+                    for (const HistEntry& e : s.history) {
+                      if (entry_depends(e, s.dom, req.privilege,
+                                        slot.counters))
+                        slot.hits.push_back(e.task);
+                    }
+                  }
+                });
+    for (std::size_t i = 0; i < inside_ids.size(); ++i) {
+      const std::uint32_t id = inside_ids[i];
       EqSet& s = fs.sets[id];
       if (s.dom.empty()) continue;
       auto vit = visited_by_split.find(id);
@@ -431,13 +462,15 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
                                        ? out.steps[vit->second].counters
                                        : fresh_step.counters;
       ++counters.eqset_visits;
+      counters += slots[i].counters;
+      for (LaunchID hit : slots[i].hits)
+        add_dependence(out.dependences, hit);
       RegionData<double> piece;
-      if (paint_values) piece = RegionData<double>::filled(s.dom, 0.0);
-      for (const HistEntry& e : s.history) {
-        if (entry_depends(e, s.dom, req.privilege, counters))
-          add_dependence(out.dependences, e.task);
-        if (paint_values && e.values.has_value())
-          paint_entry(piece, e, counters);
+      if (paint_values) {
+        piece = RegionData<double>::filled(s.dom, 0.0);
+        for (const HistEntry& e : s.history) {
+          if (e.values.has_value()) paint_entry(piece, e, counters);
+        }
       }
       if (vit == visited_by_split.end()) {
         fresh_step.owner = s.owner;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/executor.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -10,6 +11,9 @@ namespace visrt {
 namespace {
 /// Serialized size of one history entry shipped in a response.
 constexpr std::uint64_t kEntryMetaBytes = 32;
+/// Minimum constituent sets per shard when the visit scan forks onto the
+/// analysis executor.
+constexpr std::size_t kSetGrain = 8;
 } // namespace
 
 WarnockEngine::WarnockEngine(const EngineConfig& config)
@@ -173,19 +177,43 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "history_walk", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
-    for (std::uint32_t id : inside_ids) {
-      EqSetNode& n = fs.nodes[id];
+    // The per-set interference tests are pure reads, so they shard across
+    // the executor into per-set slots; step construction, painting and
+    // data merging stay sequential in set order, making the emitted steps
+    // and dependences bit-identical to the inline loop.
+    struct VisitSlot {
+      AnalysisCounters counters;
+      std::vector<LaunchID> hits;
+    };
+    std::vector<VisitSlot> slots(inside_ids.size());
+    sharded_for(config_.executor, inside_ids.size(), kSetGrain,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    const EqSetNode& n = fs.nodes[inside_ids[i]];
+                    if (n.dom.empty()) continue;
+                    VisitSlot& slot = slots[i];
+                    for (const HistEntry& e : n.history) {
+                      if (entry_depends(e, n.dom, req.privilege,
+                                        slot.counters))
+                        slot.hits.push_back(e.task);
+                    }
+                  }
+                });
+    for (std::size_t i = 0; i < inside_ids.size(); ++i) {
+      EqSetNode& n = fs.nodes[inside_ids[i]];
       if (n.dom.empty()) continue;
       AnalysisStep step;
       step.owner = n.owner;
       ++step.counters.eqset_visits;
+      step.counters += slots[i].counters;
+      for (LaunchID hit : slots[i].hits)
+        add_dependence(out.dependences, hit);
       RegionData<double> piece;
-      if (paint_values) piece = RegionData<double>::filled(n.dom, 0.0);
-      for (const HistEntry& e : n.history) {
-        if (entry_depends(e, n.dom, req.privilege, step.counters))
-          add_dependence(out.dependences, e.task);
-        if (paint_values && e.values.has_value())
-          paint_entry(piece, e, step.counters);
+      if (paint_values) {
+        piece = RegionData<double>::filled(n.dom, 0.0);
+        for (const HistEntry& e : n.history) {
+          if (e.values.has_value()) paint_entry(piece, e, step.counters);
+        }
       }
       step.meta_bytes = 64 + kEntryMetaBytes * n.history.size();
       out.steps.push_back(std::move(step));

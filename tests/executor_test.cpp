@@ -1,0 +1,159 @@
+// Deterministic fork/join semantics of the analysis executor
+// (common/executor.h): the guarantees the parallel analysis mode is built
+// on — every index runs exactly once, groups nest without deadlock, the
+// lowest-index exception is rethrown regardless of interleaving, the
+// submitter's check mode extends to the workers, and sharded_for's chunk
+// geometry is a pure function of (n, grain, lanes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/executor.h"
+
+namespace visrt {
+namespace {
+
+TEST(Executor, SequentialExecutorRunsInline) {
+  Executor ex(1);
+  EXPECT_FALSE(ex.parallel());
+  EXPECT_EQ(ex.lanes(), 1u);
+  std::vector<int> hits(16, 0);
+  ex.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  Executor ex(8);
+  EXPECT_TRUE(ex.parallel());
+  EXPECT_EQ(ex.lanes(), 8u);
+  std::vector<std::atomic<int>> counts(2048);
+  ex.parallel_for(counts.size(),
+                  [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Executor, ZeroWorkGroupReturnsImmediately) {
+  Executor ex(4);
+  bool ran = false;
+  ex.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Executor, NestedGroupsComplete) {
+  Executor ex(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 16;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  ex.parallel_for(kOuter, [&](std::size_t o) {
+    ex.parallel_for(kInner, [&](std::size_t i) {
+      counts[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Executor, DoublyNestedGroupsComplete) {
+  Executor ex(3);
+  std::atomic<int> total{0};
+  ex.parallel_for(4, [&](std::size_t) {
+    ex.parallel_for(4, [&](std::size_t) {
+      ex.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Executor, LowestIndexExceptionIsRethrown) {
+  Executor ex(8);
+  // Several indices throw; under any interleaving the caller must see the
+  // exception of the lowest one, so failures reproduce deterministically.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    try {
+      ex.parallel_for(64, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 7 || i == 23 || i == 55)
+          throw std::runtime_error("boom@" + std::to_string(i));
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom@7");
+    }
+    // Exceptions abandon no work: every index still ran.
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(Executor, PoolSurvivesThrowingGroups) {
+  Executor ex(4);
+  EXPECT_THROW(ex.parallel_for(
+                   8, [&](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The pool must still be fully functional afterwards.
+  std::atomic<int> total{0};
+  ex.parallel_for(32, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Executor, CheckThrowsModeExtendsToWorkers) {
+  Executor ex(4);
+  // With the submitter in catchable-check mode, an invariant tripped on a
+  // worker lane must surface as CheckFailure, not a process abort.
+  ScopedCheckThrows catchable;
+  EXPECT_THROW(ex.parallel_for(16,
+                               [&](std::size_t i) {
+                                 invariant(i != 3, "tripped on a worker");
+                               }),
+               CheckFailure);
+}
+
+TEST(Executor, ShardCountGeometry) {
+  Executor seq(1);
+  Executor par(4);
+  EXPECT_EQ(shard_count(nullptr, 1000, 8), 1u);
+  EXPECT_EQ(shard_count(&seq, 1000, 8), 1u);
+  EXPECT_EQ(shard_count(&par, 0, 8), 0u);
+  // Too small to fork: fewer than two grains.
+  EXPECT_EQ(shard_count(&par, 15, 8), 1u);
+  EXPECT_EQ(shard_count(&par, 16, 8), 2u);
+  // Capped at 4 chunks per lane.
+  EXPECT_EQ(shard_count(&par, 100000, 8), 16u);
+}
+
+TEST(Executor, ShardedForPartitionsTheRange) {
+  Executor ex(4);
+  for (std::size_t n : {0u, 1u, 7u, 16u, 100u, 1000u}) {
+    const std::size_t chunks = shard_count(&ex, n, 8);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(
+        chunks, {std::size_t{0}, std::size_t{0}});
+    sharded_for(&ex, n, 8,
+                [&](std::size_t c, std::size_t begin, std::size_t end) {
+                  ranges[c] = {begin, end};
+                });
+    // Chunks are contiguous, ordered by chunk index, and cover [0, n).
+    std::size_t next = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      EXPECT_EQ(ranges[c].first, next) << "n=" << n << " chunk=" << c;
+      EXPECT_LE(ranges[c].first, ranges[c].second);
+      next = ranges[c].second;
+    }
+    EXPECT_EQ(next, n);
+  }
+}
+
+TEST(Executor, StressManySmallGroups) {
+  Executor ex(8);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    ex.parallel_for(17, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+} // namespace
+} // namespace visrt

@@ -1,0 +1,137 @@
+// Cross-mode equivalence: the parallel analysis executor must be
+// invisible in every observable result.  Each corpus program runs through
+// all six engines, with and without DCR, at 1, 2 and 8 analysis lanes;
+// the dependence DAG, the replayed DES schedule, the per-launch
+// materialized values and the final field values must be bit-identical to
+// the sequential run, and the spy verifier must stay clean in parallel
+// mode.  This is the lockdown for the determinism-by-construction
+// argument in docs/PERFORMANCE.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+
+#ifndef VISRT_CORPUS_DIR
+#error "VISRT_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace visrt::fuzz {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+constexpr Algorithm kSubjects[] = {
+    Algorithm::Paint,        Algorithm::Warnock,
+    Algorithm::RayCast,      Algorithm::NaivePaint,
+    Algorithm::NaiveWarnock, Algorithm::NaiveRayCast,
+};
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(VISRT_CORPUS_DIR))
+    if (entry.path().extension() == ".visprog") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ProgramSpec load(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  return read_visprog(is);
+}
+
+TEST(ParallelEquivalence, ThreadsDirectiveRoundTrips) {
+  ProgramSpec spec = load(corpus_files().front());
+  spec.analysis_threads = 8;
+  ProgramSpec again = parse_visprog(to_visprog(spec));
+  EXPECT_EQ(again.analysis_threads, 8u);
+  EXPECT_EQ(again, spec);
+}
+
+TEST(ParallelEquivalence, EveryEngineIsBitIdenticalAcrossThreadCounts) {
+  for (const std::filesystem::path& path : corpus_files()) {
+    ProgramSpec spec = load(path);
+    for (Algorithm subject : kSubjects) {
+      for (bool dcr : {false, true}) {
+        ProgramSpec variant = spec;
+        variant.subject = subject;
+        variant.dcr = dcr;
+
+        variant.analysis_threads = 1;
+        RunResult sequential = run_program(variant);
+        ASSERT_FALSE(sequential.crashed)
+            << path.filename() << " on " << algorithm_name(subject)
+            << (dcr ? "+dcr" : "") << ": " << sequential.crash_message;
+
+        for (unsigned threads : kThreadCounts) {
+          variant.analysis_threads = threads;
+          RunResult parallel = run_program(variant);
+          std::string label =
+              std::string(path.filename()) + " on " +
+              algorithm_name(subject) + (dcr ? "+dcr" : "") + " threads=" +
+              std::to_string(threads);
+          ASSERT_FALSE(parallel.crashed)
+              << label << ": " << parallel.crash_message;
+          // The dependence DAG and the DES schedule are the determinism
+          // contract; the value hashes pin down the painted data too.
+          EXPECT_EQ(parallel.dep_graph_hash, sequential.dep_graph_hash)
+              << label;
+          EXPECT_EQ(parallel.schedule_hash, sequential.schedule_hash)
+              << label;
+          EXPECT_EQ(parallel.dep_edges, sequential.dep_edges) << label;
+          EXPECT_EQ(parallel.traced_launches, sequential.traced_launches)
+              << label;
+          EXPECT_EQ(parallel.launch_hashes, sequential.launch_hashes)
+              << label;
+          EXPECT_EQ(parallel.final_hashes, sequential.final_hashes) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, SpyVerifiesParallelMode) {
+  // Reference-free ground truth: the dependence graphs and schedules
+  // emitted in parallel mode verify sound and precise on their own, not
+  // merely equal to sequential ones.
+  for (const std::filesystem::path& path : corpus_files()) {
+    ProgramSpec spec = load(path);
+    for (Algorithm subject : kSubjects) {
+      ProgramSpec variant = spec;
+      variant.subject = subject;
+      variant.analysis_threads = 8;
+      SpyCheckResult result = spy_check(variant);
+      ASSERT_FALSE(result.crashed)
+          << path.filename() << " on " << algorithm_name(subject) << ": "
+          << result.crash_message;
+      EXPECT_TRUE(result.report.clean())
+          << path.filename() << " on " << algorithm_name(subject) << ": "
+          << result.report.summary();
+    }
+  }
+}
+
+TEST(ParallelEquivalence, DifferentialOracleInParallelMode) {
+  // The full differential check (vs the sequential Reference engine) with
+  // the subject running on 8 lanes.
+  for (const std::filesystem::path& path : corpus_files()) {
+    ProgramSpec spec = load(path);
+    spec.analysis_threads = 8;
+    for (Algorithm subject : kSubjects) {
+      ProgramSpec variant = spec;
+      variant.subject = subject;
+      DiffReport report = check_program(variant);
+      EXPECT_FALSE(report)
+          << path.filename() << " on " << algorithm_name(subject) << ": "
+          << failure_kind_name(report.kind) << ": " << report.detail;
+    }
+  }
+}
+
+} // namespace
+} // namespace visrt::fuzz
