@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "metrics_common.h"
-#include "runtime/metrics.h"
+#include "obs/metrics.h"
 #include "runtime/runtime.h"
 
 namespace visrt::bench {

@@ -33,10 +33,36 @@
 //     --engine NAME    verify one engine instead of all six
 //     --json F         write a machine-readable report to file F
 //
+//   visrt_cli explain <prog.visprog> --edge A,B [options]
+//     Why does (or doesn't) the dependence edge A -> B exist?  Runs the
+//     program with provenance recording and prints the causal chain —
+//     which engine phase emitted the edge, through which equivalence set,
+//     on which region-tree node, with which privilege pair — or, when
+//     there is no edge, the recomputed interference verdict explaining
+//     why.  Runs every engine and flags disagreements.
+//     --engine NAME    explain one engine only (default: all, with the
+//                      spec's subject engine reported in detail)
+//     --threads N      analysis thread count override
+//
+//   visrt_cli inspect <prog.visprog> [options]
+//     Equivalence-set lifecycle introspection: per-field population /
+//     refinement-depth / coalesce time-series on the launch clock, plus
+//     the per-node message ledger (root fan-in).
+//     --engine NAME    engine override (default: the spec's subject)
+//     --threads N      analysis thread count override
+//     --metrics-json F deterministic schema-v2 metrics (bit-identical
+//                      across --threads values)
+//     --trace-out F    Perfetto timeline with lifecycle counter tracks
+//
+//   Global: --log-json switches stderr logging to one JSON object per
+//   line.
+//
 // Examples:
 //   visrt_cli circuit warnock --nodes 64 --dcr --no-values
 //   visrt_cli stencil raycast --trace --verify
 //   visrt_cli verify tests/corpus --json verify.json
+//   visrt_cli explain tests/corpus/figure5_stream.visprog --edge 0,3
+//   visrt_cli inspect tests/corpus/figure5_stream.visprog --metrics-json m.json
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -53,10 +79,11 @@
 #include "apps/circuit.h"
 #include "apps/pennant.h"
 #include "apps/stencil.h"
+#include "common/log.h"
 #include "fuzz/oracle.h"
 #include "fuzz/serialize.h"
+#include "obs/lifecycle.h"
 #include "obs/metrics.h"
-#include "runtime/metrics.h"
 
 using namespace visrt;
 
@@ -94,7 +121,12 @@ int usage() {
                "[--no-values] [--size N] [--verify] [--trace-out F] "
                "[--metrics-json F]\n"
                "       visrt_cli verify <file-or-dir>... [--engine NAME] "
-               "[--json F]\n");
+               "[--json F]\n"
+               "       visrt_cli explain <prog.visprog> --edge A,B "
+               "[--engine NAME] [--threads N]\n"
+               "       visrt_cli inspect <prog.visprog> [--engine NAME] "
+               "[--threads N] [--metrics-json F] [--trace-out F]\n"
+               "       (any form accepts --log-json)\n");
   return 2;
 }
 
@@ -224,6 +256,382 @@ int run_verify(std::vector<std::string> args) {
   return all_ok ? 0 : 1;
 }
 
+// --- dependence provenance (`visrt_cli explain`) ---------------------------
+
+void maybe_export_trace(const Runtime& rt, const std::string& path);
+
+/// Load a .visprog spec; returns false (after printing) on failure.
+bool load_spec(const std::string& path, fuzz::ProgramSpec& spec) {
+  try {
+    std::ifstream is(path);
+    if (!is) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    spec = fuzz::read_visprog(is);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), e.what());
+    return false;
+  }
+}
+
+/// Render the provenance of the direct edge from -> to, or a placeholder.
+std::string edge_provenance_line(const Runtime& rt, LaunchID from,
+                                 LaunchID to) {
+#if VISRT_PROVENANCE
+  if (const obs::EdgeProvenance* p = rt.dep_graph().provenance(from, to))
+    return describe_provenance(*p, rt.forest());
+#else
+  (void)rt;
+  (void)from;
+  (void)to;
+#endif
+  return "(no provenance recorded)";
+}
+
+/// Why do launches `a` and `b` not interfere?  Recomputed from the launch
+/// log, requirement pair by requirement pair.
+void print_no_interference(const Runtime& rt, LaunchID a, LaunchID b) {
+  std::span<const LaunchRecord> log = rt.launch_log();
+  if (a >= log.size() || b >= log.size()) {
+    std::printf("  (launch log unavailable)\n");
+    return;
+  }
+  bool shared_field = false;
+  for (const Requirement& ra : log[a].requirements) {
+    for (const Requirement& rb : log[b].requirements) {
+      if (ra.field != rb.field) continue;
+      shared_field = true;
+      if (!interferes(ra.privilege, rb.privilege)) {
+        std::printf("  field %u: %s vs %s do not interfere\n", ra.field,
+                    to_string(ra.privilege).c_str(),
+                    to_string(rb.privilege).c_str());
+        continue;
+      }
+      const IntervalSet& da = rt.forest().domain(ra.region);
+      const IntervalSet& db = rt.forest().domain(rb.region);
+      if (!da.overlaps(db)) {
+        std::printf("  field %u: domains %s and %s are disjoint\n", ra.field,
+                    da.to_string().c_str(), db.to_string().c_str());
+      }
+    }
+  }
+  if (!shared_field)
+    std::printf("  no requirement pair names the same field\n");
+}
+
+/// The verdict of one engine on the edge a -> b.
+struct EdgeVerdict {
+  bool ran = false;
+  bool direct = false;
+  bool reaches = false;
+  std::string provenance; ///< of the direct edge, when present
+};
+
+/// Explain a -> b in detail against one live run (the primary engine).
+void explain_in_detail(const Runtime& rt, LaunchID a, LaunchID b) {
+  const DepGraph& deps = rt.dep_graph();
+  if (deps.has_edge(a, b)) {
+    std::printf("direct dependence edge %u -> %u:\n  %s\n",
+                static_cast<unsigned>(a), static_cast<unsigned>(b),
+                edge_provenance_line(rt, a, b).c_str());
+    return;
+  }
+  if (deps.reaches(a, b)) {
+    // Shortest causal chain a -> ... -> b: backward BFS over predecessors.
+    std::vector<LaunchID> parent(deps.task_count(), kInvalidLaunch);
+    std::vector<LaunchID> queue{b};
+    std::vector<bool> seen(deps.task_count(), false);
+    seen[b] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      LaunchID cur = queue[head];
+      if (cur == a) break;
+      for (LaunchID p : deps.preds(cur)) {
+        if (seen[p]) continue;
+        seen[p] = true;
+        parent[p] = cur;
+        queue.push_back(p);
+      }
+    }
+    std::printf("no direct edge %u -> %u, but the pair is ordered "
+                "transitively:\n",
+                static_cast<unsigned>(a), static_cast<unsigned>(b));
+    for (LaunchID cur = a; cur != b && cur != kInvalidLaunch;
+         cur = parent[cur]) {
+      LaunchID next = parent[cur];
+      if (next == kInvalidLaunch) break;
+      std::printf("  %u -> %u: %s\n", static_cast<unsigned>(cur),
+                  static_cast<unsigned>(next),
+                  edge_provenance_line(rt, cur, next).c_str());
+    }
+    return;
+  }
+  std::printf("no edge %u -> %u because the launches do not interfere:\n",
+              static_cast<unsigned>(a), static_cast<unsigned>(b));
+  print_no_interference(rt, a, b);
+}
+
+int run_explain(std::vector<std::string> args) {
+  std::string prog;
+  std::optional<Algorithm> engine_override;
+  unsigned threads = 0;
+  LaunchID edge_a = kInvalidLaunch, edge_b = kInvalidLaunch;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--edge" && i + 1 < args.size()) {
+      unsigned a = 0, b = 0;
+      if (std::sscanf(args[++i].c_str(), "%u,%u", &a, &b) != 2) {
+        std::fprintf(stderr, "explain: --edge expects A,B (launch ids)\n");
+        return 2;
+      }
+      edge_a = a;
+      edge_b = b;
+    } else if (args[i] == "--engine" && i + 1 < args.size()) {
+      engine_override = parse_algorithm(args[++i]);
+      if (!engine_override) {
+        std::fprintf(stderr, "explain: unknown engine '%s'\n",
+                     args[i].c_str());
+        return 2;
+      }
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<unsigned>(std::atol(args[++i].c_str()));
+    } else if (prog.empty() && args[i][0] != '-') {
+      prog = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (prog.empty() || edge_a == kInvalidLaunch) return usage();
+
+  fuzz::ProgramSpec spec;
+  if (!load_spec(prog, spec)) return 2;
+
+  std::vector<Algorithm> engines;
+  if (engine_override) {
+    engines.push_back(*engine_override);
+  } else {
+    engines = {Algorithm::Paint,        Algorithm::Warnock,
+               Algorithm::RayCast,      Algorithm::NaivePaint,
+               Algorithm::NaiveWarnock, Algorithm::NaiveRayCast};
+  }
+  Algorithm primary = engine_override.value_or(spec.subject);
+
+  std::printf("== %s: edge %u -> %u ==\n", prog.c_str(),
+              static_cast<unsigned>(edge_a), static_cast<unsigned>(edge_b));
+  std::vector<EdgeVerdict> verdicts(engines.size());
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    fuzz::LiveRunOptions options;
+    options.provenance = true;
+    options.analysis_threads = threads;
+    options.subject = engines[e];
+    fuzz::LiveRun live = fuzz::run_program_live(spec, options);
+    if (live.runtime == nullptr) {
+      std::printf("%-14s crashed: %s\n", algorithm_name(engines[e]),
+                  live.result.crash_message.c_str());
+      continue;
+    }
+    const Runtime& rt = *live.runtime;
+    EdgeVerdict& v = verdicts[e];
+    v.ran = true;
+    if (std::max(edge_a, edge_b) >= rt.dep_graph().task_count()) {
+      std::fprintf(stderr,
+                   "explain: launch %u out of range (program has %zu)\n",
+                   static_cast<unsigned>(std::max(edge_a, edge_b)),
+                   rt.dep_graph().task_count());
+      return 2;
+    }
+    v.direct = rt.dep_graph().has_edge(edge_a, edge_b);
+    v.reaches = rt.dep_graph().reaches(edge_a, edge_b);
+    if (v.direct) v.provenance = edge_provenance_line(rt, edge_a, edge_b);
+    if (engines[e] == primary) {
+      std::printf("[%s]\n", algorithm_name(engines[e]));
+      explain_in_detail(rt, edge_a, edge_b);
+    }
+  }
+
+  // Cross-engine comparison: flag disagreement on the direct edge.
+  bool any_direct = false, any_not = false;
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    if (!verdicts[e].ran) continue;
+    (verdicts[e].direct ? any_direct : any_not) = true;
+  }
+  if (engines.size() > 1) {
+    std::printf("\nengines %s:\n",
+                any_direct && any_not ? "DISAGREE on the direct edge"
+                                      : "agree");
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      if (!verdicts[e].ran) continue;
+      const EdgeVerdict& v = verdicts[e];
+      std::printf("  %-14s %s%s%s\n", algorithm_name(engines[e]),
+                  v.direct    ? "direct edge"
+                  : v.reaches ? "transitive order only"
+                              : "no order",
+                  v.provenance.empty() ? "" : ": ",
+                  v.provenance.c_str());
+    }
+  }
+  return 0;
+}
+
+// --- lifecycle introspection (`visrt_cli inspect`) -------------------------
+
+/// Per-field (launch, live_after) population samples from the ledger.
+std::vector<std::pair<LaunchID, std::uint64_t>>
+population_series(const obs::LifecycleLedger& ledger, FieldID field) {
+  std::vector<std::pair<LaunchID, std::uint64_t>> series;
+  for (const obs::LifecycleEvent& ev : ledger.events(field)) {
+    if (!series.empty() && series.back().first == ev.launch)
+      series.back().second = ev.live_after;
+    else
+      series.emplace_back(ev.launch, ev.live_after);
+  }
+  return series;
+}
+
+int run_inspect(std::vector<std::string> args) {
+  std::string prog, metrics_json, trace_out;
+  std::optional<Algorithm> engine_override;
+  unsigned threads = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--engine" && i + 1 < args.size()) {
+      engine_override = parse_algorithm(args[++i]);
+      if (!engine_override) {
+        std::fprintf(stderr, "inspect: unknown engine '%s'\n",
+                     args[i].c_str());
+        return 2;
+      }
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<unsigned>(std::atol(args[++i].c_str()));
+    } else if (args[i] == "--metrics-json" && i + 1 < args.size()) {
+      metrics_json = args[++i];
+    } else if ((args[i] == "--trace-out" || args[i] == "--chrome-trace") &&
+               i + 1 < args.size()) {
+      trace_out = args[++i];
+    } else if (prog.empty() && args[i][0] != '-') {
+      prog = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (prog.empty()) return usage();
+
+  fuzz::ProgramSpec spec;
+  if (!load_spec(prog, spec)) return 2;
+
+  fuzz::LiveRunOptions options;
+  options.provenance = true;
+  options.telemetry = !trace_out.empty();
+  options.analysis_threads = threads;
+  options.subject = engine_override;
+  fuzz::LiveRun live = fuzz::run_program_live(spec, options);
+  if (live.runtime == nullptr) {
+    std::fprintf(stderr, "inspect: run crashed: %s\n",
+                 live.result.crash_message.c_str());
+    return 1;
+  }
+  Runtime& rt = *live.runtime;
+  Algorithm engine = engine_override.value_or(spec.subject);
+  const obs::LifecycleLedger& ledger = rt.lifecycle();
+
+  std::printf("== %s on %s: %zu launches, %zu dependence edges, "
+              "%zu with provenance ==\n",
+              prog.c_str(), algorithm_name(engine),
+              rt.dep_graph().task_count(), rt.dep_graph().edge_count(),
+              rt.dep_graph().provenance_count());
+  if (ledger.event_count() == 0)
+    std::printf("(no lifecycle events: provenance compiled out?)\n");
+
+  for (FieldID field : ledger.fields()) {
+    obs::LifecycleSummary s = ledger.summary(field);
+    std::printf("field %u: %llu creates, %llu refines, %llu coalesces, "
+                "%llu migrates; peak live %llu, max depth %u\n",
+                field, static_cast<unsigned long long>(s.creates),
+                static_cast<unsigned long long>(s.refines),
+                static_cast<unsigned long long>(s.coalesces),
+                static_cast<unsigned long long>(s.migrates),
+                static_cast<unsigned long long>(s.peak_live), s.max_depth);
+    std::vector<std::pair<LaunchID, std::uint64_t>> series =
+        population_series(ledger, field);
+    // Downsample to at most 16 points for the terminal.
+    std::size_t stride = std::max<std::size_t>(1, series.size() / 16);
+    std::printf("  live eq-sets over launches:");
+    for (std::size_t i = 0; i < series.size(); i += stride) {
+      if (series[i].first == kInvalidLaunch)
+        std::printf(" init:%llu",
+                    static_cast<unsigned long long>(series[i].second));
+      else
+        std::printf(" %u:%llu", static_cast<unsigned>(series[i].first),
+                    static_cast<unsigned long long>(series[i].second));
+    }
+    if (series.size() > 1 && (series.size() - 1) % stride != 0)
+      std::printf(" %u:%llu",
+                  static_cast<unsigned>(series.back().first),
+                  static_cast<unsigned long long>(series.back().second));
+    std::printf("\n");
+  }
+
+  const sim::MessageLedger& messages = rt.message_ledger();
+  std::vector<sim::NodeTraffic> traffic = messages.per_node();
+  if (!traffic.empty()) {
+    std::printf("message fan-in per node (kind totals: ");
+    std::vector<std::uint64_t> kinds = messages.by_kind();
+    for (std::size_t k = 0; k < kinds.size(); ++k)
+      std::printf("%s%s=%llu", k ? ", " : "",
+                  sim::message_kind_name(static_cast<sim::MessageKind>(k)),
+                  static_cast<unsigned long long>(kinds[k]));
+    std::printf("):\n");
+    for (std::size_t n = 0; n < traffic.size(); ++n)
+      std::printf("  node %zu: sent %llu (%llu B), recv %llu (%llu B)\n", n,
+                  static_cast<unsigned long long>(traffic[n].sent),
+                  static_cast<unsigned long long>(traffic[n].sent_bytes),
+                  static_cast<unsigned long long>(traffic[n].recv),
+                  static_cast<unsigned long long>(traffic[n].recv_bytes));
+  }
+
+  if (!trace_out.empty()) maybe_export_trace(rt, trace_out);
+
+  if (!metrics_json.empty()) {
+    // Deterministic schema-v2 run object: only launch-clock quantities, no
+    // wall-clock or host state, so the file is bit-identical across
+    // --threads values.
+    std::string stem = std::filesystem::path(prog).stem().string();
+    std::ostringstream run;
+    run << "{\"name\":\"inspect/" << obs::json_escape(stem)
+        << "\",\"app\":\"" << obs::json_escape(stem) << "\",\"algorithm\":\""
+        << algorithm_name(engine) << "\",\"dcr\":"
+        << (spec.dcr ? "true" : "false") << ",\"nodes\":" << spec.num_nodes
+        << ",\"launches\":" << rt.dep_graph().task_count()
+        << ",\"dep_edges\":" << rt.dep_graph().edge_count()
+        << ",\"provenance\":{\"enabled\":"
+        << (obs::kProvenanceEnabled ? "true" : "false")
+        << ",\"edges_annotated\":" << rt.dep_graph().provenance_count()
+        << "},\"lifecycle\":" << ledger.json()
+        << ",\"messages\":" << messages.json() << ",\"eqset_series\":{";
+    bool first_field = true;
+    for (FieldID field : ledger.fields()) {
+      if (!first_field) run << ",";
+      first_field = false;
+      run << "\"" << field << "\":[";
+      std::vector<std::pair<LaunchID, std::uint64_t>> series =
+          population_series(ledger, field);
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i) run << ",";
+        run << "[";
+        if (series[i].first == kInvalidLaunch) run << -1;
+        else run << series[i].first;
+        run << "," << series[i].second << "]";
+      }
+      run << "]";
+    }
+    run << "}}";
+    MetricsFile metrics("visrt_cli");
+    metrics.add_run(run.str());
+    if (metrics.write(metrics_json))
+      std::printf("metrics written to %s\n", metrics_json.c_str());
+  }
+  return 0;
+}
+
 void maybe_export_trace(const Runtime& rt, const std::string& path) {
   if (path.empty()) return;
   std::ofstream out(path);
@@ -286,18 +694,30 @@ bool report(Runtime& rt, const Options& opt, bool validated) {
 } // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "verify") == 0)
-    return run_verify(std::vector<std::string>(argv + 2, argv + argc));
-  if (argc < 3) return usage();
+  // --log-json applies to every command form; strip it before dispatch.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-json") == 0)
+      set_log_format(LogFormat::Json);
+    else
+      args.emplace_back(argv[i]);
+  }
+  if (!args.empty() && args[0] == "verify")
+    return run_verify({args.begin() + 1, args.end()});
+  if (!args.empty() && args[0] == "explain")
+    return run_explain({args.begin() + 1, args.end()});
+  if (!args.empty() && args[0] == "inspect")
+    return run_inspect({args.begin() + 1, args.end()});
+  if (args.size() < 2) return usage();
   Options opt;
-  opt.app = argv[1];
-  auto algorithm = parse_algorithm(argv[2]);
+  opt.app = args[0];
+  auto algorithm = parse_algorithm(args[1]);
   if (!algorithm) return usage();
   opt.algorithm = *algorithm;
-  for (int i = 3; i < argc; ++i) {
-    std::string arg = argv[i];
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     auto next = [&]() -> long {
-      return ++i < argc ? std::atol(argv[i]) : 0;
+      return ++i < args.size() ? std::atol(args[i].c_str()) : 0;
     };
     if (arg == "--nodes") opt.nodes = static_cast<std::uint32_t>(next());
     else if (arg == "--pieces") opt.pieces = static_cast<std::uint32_t>(next());
@@ -308,10 +728,10 @@ int main(int argc, char** argv) {
     else if (arg == "--verify") opt.verify = true;
     else if (arg == "--size") opt.size = next();
     else if ((arg == "--chrome-trace" || arg == "--trace-out") &&
-             i + 1 < argc)
-      opt.chrome_trace = argv[++i];
-    else if (arg == "--metrics-json" && i + 1 < argc)
-      opt.metrics_json = argv[++i];
+             i + 1 < args.size())
+      opt.chrome_trace = args[++i];
+    else if (arg == "--metrics-json" && i + 1 < args.size())
+      opt.metrics_json = args[++i];
     else return usage();
   }
   if (opt.pieces == 0) opt.pieces = opt.nodes;

@@ -28,7 +28,15 @@ LogLevel initial_level() {
   return LogLevel::Warning;
 }
 
+/// Initial format: VISRT_LOG_FORMAT=json flips to JSON lines.
+LogFormat initial_format() {
+  const char* env = std::getenv("VISRT_LOG_FORMAT");
+  return env != nullptr && std::strcmp(env, "json") == 0 ? LogFormat::Json
+                                                         : LogFormat::Human;
+}
+
 std::atomic<LogLevel> g_level{initial_level()};
+std::atomic<LogFormat> g_format{initial_format()};
 std::mutex g_mutex;
 
 /// Monotonic clock origin, anchored at the first log statement.
@@ -48,12 +56,53 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+const char* level_name_lower(LogLevel level) {
+  switch (level) {
+  case LogLevel::Debug: return "debug";
+  case LogLevel::Info: return "info";
+  case LogLevel::Warning: return "warning";
+  case LogLevel::Error: return "error";
+  case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+/// JSON string escaping, local so common/ stays free of obs dependencies.
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
 } // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
+}
+
+LogFormat log_format() { return g_format.load(std::memory_order_relaxed); }
+
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
 }
 
 void log_line(LogLevel level, std::string_view component,
@@ -66,6 +115,15 @@ void log_line(LogLevel level, std::string_view component,
   // One fprintf per line under the lock: lines from concurrent threads
   // never interleave.
   std::scoped_lock lock(g_mutex);
+  if (log_format() == LogFormat::Json) {
+    std::string msg = escape_json(message);
+    std::string sub = escape_json(component);
+    std::fprintf(stderr,
+                 "{\"ts\":%.6f,\"level\":\"%s\",\"subsystem\":\"%s\","
+                 "\"msg\":\"%s\"}\n",
+                 uptime, level_name_lower(level), sub.c_str(), msg.c_str());
+    return;
+  }
   std::fprintf(stderr, "[%11.6f] [visrt:%.*s] %s: %.*s\n", uptime,
                static_cast<int>(component.size()), component.data(),
                level_name(level), static_cast<int>(message.size()),

@@ -17,9 +17,18 @@ namespace visrt {
 
 enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
 
+/// Output shape of a log line: the human format above (default), or one
+/// JSON object per line for machine consumers (--log-json in the CLIs):
+///   {"ts":0.001234,"level":"info","subsystem":"runtime","msg":"..."}
+enum class LogFormat { Human, Json };
+
 /// Global log threshold; messages below it are discarded.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Global output format (also settable via VISRT_LOG_FORMAT=json|human).
+LogFormat log_format();
+void set_log_format(LogFormat format);
 
 /// Emit one log line (used by the Logger helper; callable directly too).
 /// Thread-safe: the line is formatted and written atomically.

@@ -38,4 +38,11 @@ using SimTime = std::int64_t;
 /// Identifies a logical region-tree node (region or partition handle).
 using RegionTreeID = std::uint32_t;
 
+/// Identifies one equivalence set (or composite view) instance within one
+/// field's lifecycle.  IDs are engine-assigned in creation order and are
+/// never reused; `kNoEqSetID` means "no set attributable" (e.g. a history
+/// walk that never touched a set).
+using EqSetID = std::uint32_t;
+inline constexpr EqSetID kNoEqSetID = std::numeric_limits<EqSetID>::max();
+
 } // namespace visrt

@@ -1,5 +1,6 @@
 #include "fuzz/oracle.h"
 
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -38,11 +39,16 @@ std::uint64_t combine_hashes(std::span<const std::uint64_t> hashes) {
 /// One spec executed through the Runtime, kept alive so the differential
 /// checks can inspect the dependence DAG and work graph afterwards.
 struct Execution {
-  std::optional<Runtime> runtime;
+  std::unique_ptr<Runtime> runtime;
   std::vector<RegionHandle> regions;
   std::vector<PartitionHandle> partitions;
   std::vector<ExpandedLaunch> expanded;
   RunResult result;
+  /// Record provenance/ledgers during the run.  On by default so the
+  /// differential checks can annotate precision mismatches with the
+  /// provenance of the offending edge; inert when compiled out.
+  bool provenance = true;
+  bool telemetry = false;
 
   /// Run the whole program; invariant violations and API errors become
   /// RunResult::crashed instead of aborting the process.
@@ -69,7 +75,9 @@ private:
     config.record_launches = true; // the spy verifier reads the launch log
     config.analysis_threads = spec.analysis_threads;
     config.machine.num_nodes = spec.num_nodes;
-    runtime.emplace(config);
+    config.provenance = provenance;
+    config.telemetry = telemetry;
+    runtime = std::make_unique<Runtime>(config);
 
     for (const TreeSpec& tree : spec.trees)
       regions.push_back(
@@ -203,6 +211,22 @@ RunResult run_program(const ProgramSpec& spec) {
   return exec.result;
 }
 
+LiveRun run_program_live(const ProgramSpec& spec,
+                         const LiveRunOptions& options) {
+  ProgramSpec adjusted = spec;
+  if (options.analysis_threads != 0)
+    adjusted.analysis_threads = options.analysis_threads;
+  if (options.subject.has_value()) adjusted.subject = *options.subject;
+  Execution exec;
+  exec.provenance = options.provenance;
+  exec.telemetry = options.telemetry;
+  exec.run(adjusted);
+  LiveRun live;
+  live.result = std::move(exec.result);
+  if (!live.result.crashed) live.runtime = std::move(exec.runtime);
+  return live;
+}
+
 std::string validate_schedule(const Runtime& runtime) {
   const DepGraph& deps = runtime.dep_graph();
   std::span<const sim::OpID> execs = runtime.exec_ops();
@@ -283,6 +307,17 @@ DiffReport check_program(const ProgramSpec& spec) {
     std::ostringstream os;
     os << "dependence edge " << v->earlier << " -> " << v->later
        << " joins non-interfering launches";
+#if VISRT_PROVENANCE
+    // Provenance diff of the offending edge: where the subject emitted it
+    // vs. the ground truth (which, for an imprecise edge, has no
+    // interference at all).
+    if (const obs::EdgeProvenance* p =
+            subject.runtime->dep_graph().provenance(v->earlier, v->later)) {
+      os << " [subject emitted it at: "
+         << describe_provenance(*p, subject.runtime->forest())
+         << "; ground truth: no interference]";
+    }
+#endif
     return {FailureKind::Precision, os.str()};
   }
   if (spy.schedule_overlaps > 0) {

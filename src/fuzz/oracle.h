@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,30 @@ struct RunResult {
 /// tuning) and capture values.  Never throws on subject misbehavior —
 /// crashes are recorded in the result.
 RunResult run_program(const ProgramSpec& spec);
+
+/// Options for run_program_live (the introspection entry point behind
+/// `visrt_cli explain` / `inspect`).
+struct LiveRunOptions {
+  /// Record dependence provenance, the lifecycle ledger and the message
+  /// ledger (inert when the build has VISRT_PROVENANCE off).
+  bool provenance = true;
+  bool telemetry = false;
+  /// Override the spec's analysis_threads when nonzero.
+  unsigned analysis_threads = 0;
+  /// Override the spec's subject engine.
+  std::optional<Algorithm> subject;
+};
+
+/// A finished run whose Runtime — dependence graph with provenance, the
+/// lifecycle and message ledgers, the work graph — stays alive for
+/// post-hoc introspection.  `runtime` is null iff the run crashed.
+struct LiveRun {
+  std::unique_ptr<Runtime> runtime;
+  RunResult result;
+};
+
+LiveRun run_program_live(const ProgramSpec& spec,
+                         const LiveRunOptions& options = {});
 
 /// Replay the runtime's work graph through the DES and check that every
 /// dependence edge is respected: a task's execution op may start only

@@ -105,6 +105,10 @@ struct AnalysisStep {
   NodeID owner = 0;
   AnalysisCounters counters;
   std::uint64_t meta_bytes = 0; ///< metadata shipped back (views, histories)
+  /// Equivalence set (or composite view) whose metadata this step touched,
+  /// when attributable — threads through to the message ledger so remote
+  /// fan-in can be traced back to the triggering set.
+  EqSetID eqset = kNoEqSetID;
 };
 
 } // namespace visrt

@@ -1,23 +1,33 @@
 // visrt/obs/metrics.h
 //
-// The metrics-file envelope and the small JSON emission helpers shared by
-// every serializer in the telemetry layer (metrics sink, trace export).
-// The schema is documented in docs/OBSERVABILITY.md; obs owns the envelope
-// (schema_version, binary, runs[]) while the runtime layer serializes the
-// per-run objects, so binaries without a Runtime (e.g. microbenchmarks)
-// can still emit schema-valid files.
+// The metrics layer: the file envelope, the small JSON emission helpers
+// shared by every serializer, and the per-run serialization of finished
+// Runtime runs (RunStats, per-node breakdowns, recorder series summaries,
+// and — schema v2 — provenance / lifecycle / message-ledger sections).
+// The schema is documented in docs/OBSERVABILITY.md.  This is the single
+// metrics target: the former runtime/metrics.{h,cc} pair was folded in
+// here (the run serializer keeps its visrt-namespace names, so call sites
+// only changed their include).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
+
+namespace visrt {
+class Runtime;
+struct RunStats;
+} // namespace visrt
 
 namespace visrt::obs {
 
 /// Bumped whenever a key is renamed or removed; additions are backward
-/// compatible and do not bump it.
-inline constexpr int kMetricsSchemaVersion = 1;
+/// compatible and do not bump it.  v2: per-run "provenance", "lifecycle"
+/// and "messages" objects (see docs/OBSERVABILITY.md).
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// JSON-escape the contents of a string (quotes not included).
 std::string json_escape(std::string_view s);
@@ -37,3 +47,44 @@ bool write_metrics_file(const std::string& path, std::string_view binary,
                         std::span<const std::string> runs);
 
 } // namespace visrt::obs
+
+namespace visrt {
+
+/// Identity of one run within a metrics file.
+struct MetricsRunInfo {
+  std::string name;      ///< configuration label, e.g. "raycast/dcr/16"
+  std::string app;       ///< application, e.g. "stencil"
+  std::string algorithm; ///< algorithm_name() of the engine
+  bool dcr = false;
+  std::uint32_t nodes = 0;
+};
+
+/// Serialize one finished run as a JSON object (stats, per-node analysis
+/// busy time and message counts, series summaries, span aggregates, and
+/// the schema-v2 provenance / lifecycle / message-ledger sections).
+std::string metrics_run_json(const MetricsRunInfo& info, const Runtime& rt,
+                             const RunStats& stats);
+
+/// Accumulates run objects and writes the envelope.
+class MetricsFile {
+public:
+  explicit MetricsFile(std::string binary) : binary_(std::move(binary)) {}
+
+  void add_run(std::string run_json) {
+    runs_.push_back(std::move(run_json));
+  }
+  std::size_t run_count() const { return runs_.size(); }
+
+  /// The complete file contents.
+  std::string json() const;
+  /// Write to `path`; returns false (and logs) on failure.  A no-op
+  /// returning true when `path` is empty, so callers can pass the
+  /// --metrics-json value through unconditionally.
+  bool write(const std::string& path) const;
+
+private:
+  std::string binary_;
+  std::vector<std::string> runs_;
+};
+
+} // namespace visrt

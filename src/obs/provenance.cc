@@ -1,0 +1,18 @@
+#include "obs/provenance.h"
+
+#if VISRT_PROVENANCE
+
+namespace visrt::obs {
+
+const char* prov_phase_name(ProvPhase phase) {
+  switch (phase) {
+  case ProvPhase::HistoryWalk: return "history-walk";
+  case ProvPhase::CompositeView: return "composite-view";
+  case ProvPhase::EqSetVisit: return "eqset-visit";
+  }
+  return "?";
+}
+
+} // namespace visrt::obs
+
+#endif // VISRT_PROVENANCE

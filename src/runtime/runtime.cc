@@ -31,6 +31,10 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
     recorder_.set_series_capacity(config_.telemetry_series_capacity);
     recorder_.enable();
   }
+  if (obs::kProvenanceEnabled && config_.provenance) {
+    lifecycle_.enable();
+    msg_ledger_.enable(config_.machine.num_nodes);
+  }
   // The Reference engine is the sequential oracle every other mode is
   // checked against; it never runs on the pool.
   if (config_.analysis_threads > 1 &&
@@ -43,6 +47,8 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   ec.forest = &forest_;
   ec.recorder = &recorder_;
   ec.executor = executor_.get();
+  ec.provenance = obs::kProvenanceEnabled && config_.provenance;
+  ec.lifecycle = ec.provenance ? &lifecycle_ : nullptr;
   engine_ = make_engine(config_.algorithm, ec);
   issue_tail_.assign(config_.machine.num_nodes, sim::kInvalidOp);
   analysis_busy_ns_.assign(config_.machine.num_nodes, 0);
@@ -96,7 +102,7 @@ FieldID Runtime::add_field(RegionHandle root, std::string name,
 
 std::vector<sim::OpID> Runtime::emit_steps(
     std::span<const AnalysisStep> steps, NodeID analysis_node,
-    sim::OpID head) {
+    sim::OpID head, LaunchID launch) {
   // Local steps chain on the analyzing node; remote steps are issued
   // concurrently (one request/compute/response round trip per metadata
   // owner — Legion sends per-owner messages asynchronously and only the
@@ -125,6 +131,14 @@ std::vector<sim::OpID> Runtime::emit_steps(
                                    kRequestBytes + step.meta_bytes,
                                    std::array{remote},
                                    sim::OpCategory::Analysis));
+    if (obs::kProvenanceEnabled && msg_ledger_.enabled()) {
+      msg_ledger_.record(sim::MessageRecord{
+          launch, analysis_node, step.owner, kRequestBytes,
+          sim::MessageKind::AnalysisRequest, step.eqset});
+      msg_ledger_.record(sim::MessageRecord{
+          launch, step.owner, analysis_node, kRequestBytes + step.meta_bytes,
+          sim::MessageKind::AnalysisResponse, step.eqset});
+    }
   }
   if (local_tail != sim::kInvalidOp) tails.push_back(local_tail);
   return tails;
@@ -235,12 +249,21 @@ LaunchID Runtime::launch(TaskLaunch launch) {
     MaterializeResult& mr = mrs[i];
     record_launch_telemetry(id, launch.name, mr.steps);
     for (LaunchID d : mr.dependences) add_dependence(all_deps, d);
+    if (obs::kProvenanceEnabled && config_.provenance) {
+      // Engines leave the engine byte unset (they cannot name themselves
+      // without a layering inversion); stamp it here, then install with
+      // first-record-wins semantics.
+      for (obs::EdgeProvenance& p : mr.provenance) {
+        p.engine = static_cast<std::uint8_t>(config_.algorithm);
+        deps_.set_provenance(p.from, id, p);
+      }
+    }
     // Under trace replay the analysis result is memoized: the engine still
     // runs (semantics stay exact and its state advances) but no analysis
     // work or messages are charged to the machine.
     std::vector<sim::OpID> req_tails =
         replay ? std::vector<sim::OpID>{issue}
-               : emit_steps(mr.steps, analysis_node, issue);
+               : emit_steps(mr.steps, analysis_node, issue, id);
     phys.emplace_back(req, std::move(mr.data));
 
     // Data movement: reads and read-writes need the current version at the
@@ -266,6 +289,13 @@ LaunchID Runtime::launch(TaskLaunch launch) {
             plan.kind == CopyPlan::Kind::Copy ? sim::OpCategory::Copy
                                               : sim::OpCategory::Reduction);
         copy_ops.push_back(copy);
+        if (obs::kProvenanceEnabled && msg_ledger_.enabled()) {
+          msg_ledger_.record(sim::MessageRecord{
+              id, plan.src, plan.dst, bytes,
+              plan.kind == CopyPlan::Kind::Copy ? sim::MessageKind::Copy
+                                                : sim::MessageKind::Reduction,
+              kNoEqSetID});
+        }
       }
     }
     analysis_tails.insert(analysis_tails.end(), req_tails.begin(),
@@ -318,7 +348,7 @@ LaunchID Runtime::launch(TaskLaunch launch) {
     record_launch_telemetry(id, launch.name, steps);
     if (!replay) {
       std::vector<sim::OpID> commit_tails =
-          emit_steps(steps, analysis_node, exec);
+          emit_steps(steps, analysis_node, exec, id);
       current_iteration_execs_.insert(current_iteration_execs_.end(),
                                       commit_tails.begin(),
                                       commit_tails.end());
@@ -463,6 +493,12 @@ RegionData<double> Runtime::observe(RegionHandle region, FieldID field) {
     launch_log_.push_back(LaunchRecord{{req}, 0});
   MaterializeResult mr = engine_->materialize(req, ctx);
   deps_.add_edges(id, mr.dependences);
+  if (obs::kProvenanceEnabled && config_.provenance) {
+    for (obs::EdgeProvenance& p : mr.provenance) {
+      p.engine = static_cast<std::uint8_t>(config_.algorithm);
+      deps_.set_provenance(p.from, id, p);
+    }
+  }
   engine_->commit(req, mr.data, ctx);
   return std::move(mr.data);
 }
@@ -478,7 +514,7 @@ std::vector<std::uint64_t> Runtime::messages_by_node() const {
 
 void Runtime::export_chrome_trace(std::ostream& os) const {
   sim::ReplayResult r = sim::replay(graph_, config_.machine);
-  if (!recorder_.enabled()) {
+  if (!recorder_.enabled() && lifecycle_.event_count() == 0) {
     sim::export_chrome_trace(graph_, r, config_.machine, os);
     return;
   }
@@ -519,6 +555,27 @@ void Runtime::export_chrome_trace(std::ostream& os) const {
         track.samples.emplace_back(exec_op_[s.launch], s.value);
     }
     enrich.counters.push_back(std::move(track));
+  }
+  // Lifecycle counter tracks: per-field live eq-set population and
+  // refinement depth over the launch clock, anchored like the series above.
+  for (FieldID f : lifecycle_.fields()) {
+    sim::TraceCounterTrack live, depth;
+    live.name = "lifecycle/live_eqsets/field" + std::to_string(f);
+    depth.name = "lifecycle/depth/field" + std::to_string(f);
+    live.pid = depth.pid = 0;
+    for (const obs::LifecycleEvent& ev : lifecycle_.events(f)) {
+      if (ev.launch == kInvalidLaunch || ev.launch >= exec_op_.size() ||
+          exec_op_[ev.launch] == sim::kInvalidOp)
+        continue;
+      live.samples.emplace_back(exec_op_[ev.launch],
+                                static_cast<double>(ev.live_after));
+      depth.samples.emplace_back(exec_op_[ev.launch],
+                                 static_cast<double>(ev.depth));
+    }
+    if (!live.samples.empty()) {
+      enrich.counters.push_back(std::move(live));
+      enrich.counters.push_back(std::move(depth));
+    }
   }
   // Per-launch args on the execution slices: task name plus the launch's
   // aggregated analysis counters.

@@ -29,11 +29,13 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "obs/lifecycle.h"
 #include "obs/recorder.h"
 #include "realm/instance_map.h"
 #include "region/region_tree.h"
 #include "sim/cost_model.h"
 #include "sim/machine.h"
+#include "sim/message_ledger.h"
 #include "sim/replay.h"
 #include "sim/work_graph.h"
 #include "visibility/dep_graph.h"
@@ -64,6 +66,11 @@ struct RuntimeConfig {
   /// so the spy verifier (analysis/spy.h) can recompute ground-truth
   /// interference after the run.  Off by default: verification-only memory.
   bool record_launches = false;
+  /// Record dependence provenance, the eq-set lifecycle ledger and the
+  /// per-node message ledger (visrt_cli explain / inspect).  Off by
+  /// default; with -DVISRT_PROVENANCE=OFF the whole layer compiles out
+  /// and this flag is inert.
+  bool provenance = false;
   /// Ring-buffer capacity of each counter series (memory stays bounded for
   /// arbitrarily long runs).
   std::size_t telemetry_series_capacity = 4096;
@@ -215,6 +222,12 @@ public:
   obs::Recorder& recorder() { return recorder_; }
   const obs::Recorder& recorder() const { return recorder_; }
 
+  /// Eq-set lifecycle ledger (populated iff RuntimeConfig::provenance and
+  /// the build has VISRT_PROVENANCE).
+  const obs::LifecycleLedger& lifecycle() const { return lifecycle_; }
+  /// Per-simulated-node analysis/copy message ledger (same gating).
+  const sim::MessageLedger& message_ledger() const { return msg_ledger_; }
+
   /// Cumulative analysis CPU per node.  Sums exactly to the work graph's
   /// total Analysis cost: emit_steps is the only producer of Analysis
   /// compute ops and accumulates both from the same step costs.
@@ -282,9 +295,11 @@ public:
 
 private:
   /// Analysis steps -> work-graph ops; returns the tails every consumer
-  /// of the analysis (copies, the task execution) must wait on.
+  /// of the analysis (copies, the task execution) must wait on.  `launch`
+  /// stamps the message-ledger records of remote steps.
   std::vector<sim::OpID> emit_steps(std::span<const AnalysisStep> steps,
-                                    NodeID analysis_node, sim::OpID head);
+                                    NodeID analysis_node, sim::OpID head,
+                                    LaunchID launch);
 
   /// Per-launch bookkeeping for telemetry (names + aggregated counters for
   /// trace span args); grown only while the recorder is enabled.
@@ -296,6 +311,8 @@ private:
   RuntimeConfig config_;
   RegionTreeForest forest_;
   obs::Recorder recorder_;
+  obs::LifecycleLedger lifecycle_;
+  sim::MessageLedger msg_ledger_;
   /// Analysis thread pool (null in sequential mode).  Declared before
   /// engine_ so the engine — which holds a pointer to it — is destroyed
   /// first.

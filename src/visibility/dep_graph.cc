@@ -1,8 +1,11 @@
 #include "visibility/dep_graph.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
+#include "region/region_tree.h"
+#include "visibility/engine.h"
 
 namespace visrt {
 
@@ -53,6 +56,19 @@ bool DepGraph::reaches(LaunchID from, LaunchID to) const {
   return false;
 }
 
+#if VISRT_PROVENANCE
+void DepGraph::set_provenance(LaunchID from, LaunchID to,
+                              const obs::EdgeProvenance& prov) {
+  prov_.emplace(std::make_pair(from, to), prov);
+}
+
+const obs::EdgeProvenance* DepGraph::provenance(LaunchID from,
+                                                LaunchID to) const {
+  auto it = prov_.find(std::make_pair(from, to));
+  return it == prov_.end() ? nullptr : &it->second;
+}
+#endif
+
 std::size_t DepGraph::critical_path() const {
   std::vector<std::size_t> depth(preds_.size(), 1);
   std::size_t best = preds_.empty() ? 0 : 1;
@@ -64,5 +80,27 @@ std::size_t DepGraph::critical_path() const {
   }
   return best;
 }
+
+#if VISRT_PROVENANCE
+std::string describe_provenance(const obs::EdgeProvenance& prov,
+                                const RegionTreeForest& forest) {
+  std::ostringstream os;
+  os << algorithm_name(static_cast<Algorithm>(prov.engine)) << " "
+     << obs::prov_phase_name(prov.phase);
+  if (prov.eqset != kNoEqSetID) os << " via eqset " << prov.eqset;
+  os << " on field " << prov.field;
+  RegionHandle region{prov.region};
+  if (region.valid() && prov.region < forest.num_regions()) {
+    os << " @ ";
+    std::vector<RegionHandle> path = forest.path_from_root(region);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (i) os << "/";
+      os << forest.name(path[i]);
+    }
+  }
+  os << " (" << to_string(prov.prev) << " -> " << to_string(prov.cur) << ")";
+  return os.str();
+}
+#endif
 
 } // namespace visrt

@@ -8,12 +8,18 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
+#include "obs/provenance.h"
 
 namespace visrt {
+
+class RegionTreeForest;
 
 class DepGraph {
 public:
@@ -39,9 +45,36 @@ public:
   /// critical path; a measure of how much parallelism was discovered.
   std::size_t critical_path() const;
 
+#if VISRT_PROVENANCE
+  /// Attach provenance to the edge from -> to.  First record wins (an edge
+  /// may be emitted several times through different sets); the edge itself
+  /// need not be registered yet — add_edges happens after the merge.
+  void set_provenance(LaunchID from, LaunchID to,
+                      const obs::EdgeProvenance& prov);
+  /// Provenance of the edge from -> to, or nullptr if none was recorded.
+  const obs::EdgeProvenance* provenance(LaunchID from, LaunchID to) const;
+  std::size_t provenance_count() const { return prov_.size(); }
+#else
+  void set_provenance(LaunchID, LaunchID, const obs::EdgeProvenance&) {}
+  const obs::EdgeProvenance* provenance(LaunchID, LaunchID) const {
+    return nullptr;
+  }
+  std::size_t provenance_count() const { return 0; }
+#endif
+
 private:
   std::vector<std::vector<LaunchID>> preds_; // indexed by LaunchID
   std::size_t edges_ = 0;
+  std::map<std::pair<LaunchID, LaunchID>, obs::EdgeProvenance> prov_;
 };
+
+#if VISRT_PROVENANCE
+/// One-line human rendering of an edge's provenance, resolving the region
+/// index against the forest: "warnock eqset-visit via eqset 3 on
+/// field 1 @ nodes[1] (read-write -> read)".  The engine name comes from
+/// the stamped Algorithm value.
+std::string describe_provenance(const obs::EdgeProvenance& prov,
+                                const RegionTreeForest& forest);
+#endif
 
 } // namespace visrt

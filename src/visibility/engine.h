@@ -21,6 +21,7 @@
 
 #include "common/types.h"
 #include "obs/counters.h"
+#include "obs/provenance.h"
 #include "region/region_data.h"
 #include "region/region_tree.h"
 #include "sim/cost_model.h"
@@ -32,6 +33,7 @@ class Executor;
 
 namespace obs {
 class Recorder;
+class LifecycleLedger;
 } // namespace obs
 
 /// One region requirement of a task launch: a region (by handle), one
@@ -65,6 +67,11 @@ struct MaterializeResult {
   std::vector<LaunchID> dependences;
   /// Attributed analysis work.
   std::vector<AnalysisStep> steps;
+  /// Per-dependence provenance (EngineConfig::provenance only).  One entry
+  /// per *emission*, so a launch found through several sets may appear more
+  /// than once; the runtime keeps the first record per edge.  The engine
+  /// leaves `EdgeProvenance::engine` zero — the runtime stamps it.
+  std::vector<obs::EdgeProvenance> provenance;
 };
 
 /// Aggregate engine state counters, reported by the benchmarks.
@@ -129,6 +136,13 @@ struct EngineConfig {
   /// state mutation (refines, captures, painting, commits) stays on the
   /// calling thread.
   Executor* executor = nullptr;
+  /// Capture per-edge provenance into MaterializeResult::provenance and
+  /// report eq-set lifecycle events to `lifecycle`.  Folds away entirely
+  /// when VISRT_PROVENANCE=0; otherwise one branch per emission site.
+  bool provenance = false;
+  /// Lifecycle ledger to report create/refine/coalesce/migrate events to
+  /// (non-owning; may be null).  Only consulted when `provenance` is set.
+  obs::LifecycleLedger* lifecycle = nullptr;
 };
 
 class CoherenceEngine {

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/executor.h"
+#include "obs/lifecycle.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -17,14 +18,18 @@ constexpr std::size_t kSetGrain = 8;
 /// `dom` restricts the walk; `target` may be null (dependences only).
 /// The per-entry interference tests shard across `ex` (pure reads); the
 /// order-dependent painting replays sequentially, so the result is
-/// bit-identical to an inline walk at any thread count.
+/// bit-identical to an inline walk at any thread count.  When `prov` is
+/// non-null, one HistoryWalk provenance record per hit is appended
+/// (stamped with `region`/`field`; the dep graph keeps the first per edge).
 void walk_history(Executor* ex, const std::vector<HistEntry>& history,
                   const IntervalSet& dom, const Privilege& priv,
                   RegionData<double>* target, std::vector<LaunchID>& deps,
-                  AnalysisCounters& c) {
+                  AnalysisCounters& c,
+                  std::vector<obs::EdgeProvenance>* prov = nullptr,
+                  RegionTreeID region = UINT32_MAX, FieldID field = 0) {
   struct Shard {
     AnalysisCounters counters;
-    std::vector<LaunchID> hits;
+    std::vector<std::uint32_t> hits; ///< indices into `history`
   };
   const std::size_t shards = shard_count(ex, history.size(), kEntryGrain);
   std::vector<Shard> walk(shards);
@@ -33,12 +38,26 @@ void walk_history(Executor* ex, const std::vector<HistEntry>& history,
                 Shard& w = walk[shard];
                 for (std::size_t k = begin; k < end; ++k) {
                   if (entry_depends(history[k], dom, priv, w.counters))
-                    w.hits.push_back(history[k].task);
+                    w.hits.push_back(static_cast<std::uint32_t>(k));
                 }
               });
   for (Shard& w : walk) {
     c += w.counters;
-    for (LaunchID hit : w.hits) add_dependence(deps, hit);
+    for (std::uint32_t h : w.hits) {
+      const HistEntry& e = history[h];
+      add_dependence(deps, e.task);
+      if (prov != nullptr && e.task != kInvalidLaunch) {
+        obs::EdgeProvenance p;
+        p.from = e.task;
+        p.phase = obs::ProvPhase::HistoryWalk;
+        p.region = region;
+        p.eqset = kNoEqSetID;
+        p.field = field;
+        p.prev = e.priv;
+        p.cur = priv;
+        prov->push_back(p);
+      }
+    }
   }
   if (target != nullptr) {
     for (const HistEntry& e : history) {
@@ -95,7 +114,11 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
           dom, reduction_op(req.privilege.redop).identity);
     }
     walk_history(config_.executor, fs.history, dom, req.privilege, nullptr,
-                 out.dependences, c);
+                 out.dependences, c,
+                 obs::kProvenanceEnabled && config_.provenance
+                     ? &out.provenance
+                     : nullptr,
+                 req.region.index, req.field);
   } else {
     RegionData<double> data;
     RegionData<double>* target = nullptr;
@@ -104,7 +127,11 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
       target = &data;
     }
     walk_history(config_.executor, fs.history, dom, req.privilege, target,
-                 out.dependences, c);
+                 out.dependences, c,
+                 obs::kProvenanceEnabled && config_.provenance
+                     ? &out.provenance
+                     : nullptr,
+                 req.region.index, req.field);
     out.data = std::move(data);
   }
   out.steps.push_back(AnalysisStep{fs.home, c, 0});
@@ -228,7 +255,24 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
     // Each split removes one set and creates two, so the net growth equals
     // the number of splits and the number of freshly created sets is twice
     // that.
-    fs.sets_created += 2 * (fs.sets.size() - before);
+    std::size_t splits = fs.sets.size() - before;
+    if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle) {
+      // Naive sets carry no stable ids (refine rebuilds the vector), so
+      // lifecycle events use synthetic ids drawn from the creation counter.
+      for (std::size_t k = 0; k < splits; ++k) {
+        auto id = static_cast<EqSetID>(fs.sets_created + 2 * k);
+        config_.lifecycle->record(obs::LifecycleEventKind::Refine, ctx.task,
+                                  req.field, kNoEqSetID, kNoEqSetID, fs.home,
+                                  before + k);
+        config_.lifecycle->record(obs::LifecycleEventKind::Create, ctx.task,
+                                  req.field, id, kNoEqSetID, fs.home,
+                                  before + k);
+        config_.lifecycle->record(obs::LifecycleEventKind::Create, ctx.task,
+                                  req.field, id + 1, kNoEqSetID, fs.home,
+                                  before + k + 1);
+      }
+    }
+    fs.sets_created += 2 * splits;
   }
 
   RegionData<double> data;
@@ -243,7 +287,7 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
     // bit-identical to the inline loop at any thread count.
     struct VisitSlot {
       AnalysisCounters counters;
-      std::vector<LaunchID> hits;
+      std::vector<std::uint32_t> hits; ///< indices into the set's history
     };
     std::vector<VisitSlot> slots(fs.sets.size());
     sharded_for(config_.executor, fs.sets.size(), kSetGrain,
@@ -252,10 +296,10 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
                     const EqSet& eq = fs.sets[i];
                     if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
                     VisitSlot& slot = slots[i];
-                    for (const HistEntry& e : eq.history) {
-                      if (entry_depends(e, eq.dom, req.privilege,
+                    for (std::size_t h = 0; h < eq.history.size(); ++h) {
+                      if (entry_depends(eq.history[h], eq.dom, req.privilege,
                                         slot.counters))
-                        slot.hits.push_back(e.task);
+                        slot.hits.push_back(static_cast<std::uint32_t>(h));
                     }
                   }
                 });
@@ -264,7 +308,22 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
       if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
       ++c.eqset_visits;
       c += slots[i].counters;
-      for (LaunchID hit : slots[i].hits) add_dependence(out.dependences, hit);
+      for (std::uint32_t h : slots[i].hits) {
+        const HistEntry& e = eq.history[h];
+        add_dependence(out.dependences, e.task);
+        if (obs::kProvenanceEnabled && config_.provenance &&
+            e.task != kInvalidLaunch) {
+          obs::EdgeProvenance p;
+          p.from = e.task;
+          p.phase = obs::ProvPhase::EqSetVisit;
+          p.region = req.region.index;
+          p.eqset = kNoEqSetID; // naive sets have no stable ids
+          p.field = req.field;
+          p.prev = e.priv;
+          p.cur = req.privilege;
+          out.provenance.push_back(p);
+        }
+      }
       if (!build_values) continue;
       RegionData<double> piece;
       if (req.privilege.is_reduce()) {
@@ -347,7 +406,18 @@ MaterializeResult NaiveRayCastEngine::materialize(const Requirement& req,
   std::erase_if(fs.sets, [&](const EqSet& eq) {
     return eq.dom.empty() || dom.contains(eq.dom);
   });
-  c.eqsets_pruned += before - fs.sets.size();
+  std::size_t pruned = before - fs.sets.size();
+  c.eqsets_pruned += pruned;
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle) {
+    for (std::size_t k = 0; k < pruned; ++k)
+      config_.lifecycle->record(obs::LifecycleEventKind::Coalesce, ctx.task,
+                                req.field, kNoEqSetID, kNoEqSetID, fs.home,
+                                before - k - 1);
+    config_.lifecycle->record(obs::LifecycleEventKind::Create, ctx.task,
+                              req.field,
+                              static_cast<EqSetID>(fs.sets_created),
+                              kNoEqSetID, fs.home, fs.sets.size() + 1);
+  }
 
   EqSet fresh;
   fresh.dom = dom;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/executor.h"
+#include "obs/lifecycle.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -32,6 +33,7 @@ void PaintEngine::initialize_field(RegionHandle root, FieldID field,
                                    RegionData<double> initial, NodeID home) {
   FieldState fs;
   fs.root = root;
+  fs.id = field;
   fs.home = home;
   NodeState ns;
   ns.owner = home;
@@ -99,7 +101,8 @@ void PaintEngine::adjust_counts(FieldState& fs, RegionHandle region,
 
 void PaintEngine::flatten_subtree(
     FieldState& fs, RegionHandle region, std::vector<HistEntry>& flat,
-    std::map<NodeID, std::uint64_t>& captured) {
+    std::map<NodeID, std::uint64_t>& captured,
+    std::vector<EqSetID>& dead_views) {
   auto it = fs.nodes.find(region.index);
   if (it != fs.nodes.end()) {
     NodeState& ns = it->second;
@@ -110,6 +113,7 @@ void PaintEngine::flatten_subtree(
         removed += static_cast<std::ptrdiff_t>(el.view->entries.size());
         for (const HistEntry& e : el.view->entries) flat.push_back(e);
         --fs.views_live;
+        dead_views.push_back(el.view->id);
       } else {
         captured[ns.owner] += 1;
         ++removed;
@@ -127,7 +131,7 @@ void PaintEngine::flatten_subtree(
       // Skip subtrees that were never touched: no node state anywhere.
       auto cit = fs.nodes.find(child.index);
       if (cit == fs.nodes.end() || cit->second.subtree_entries == 0) continue;
-      flatten_subtree(fs, child, flat, captured);
+      flatten_subtree(fs, child, flat, captured, dead_views);
     }
   }
   if (it != fs.nodes.end()) it->second.subtree_privs.clear();
@@ -135,6 +139,7 @@ void PaintEngine::flatten_subtree(
 
 void PaintEngine::capture(FieldState& fs, RegionHandle at,
                           std::span<const RegionHandle> children,
+                          const AnalysisContext& ctx,
                           std::vector<AnalysisStep>& steps,
                           AnalysisCounters& local) {
   std::vector<HistEntry> flat;
@@ -142,7 +147,9 @@ void PaintEngine::capture(FieldState& fs, RegionHandle at,
   // order must not depend on hash-table iteration (it decides work-graph op
   // ids, hence simulated timing — repros must replay identically).
   std::map<NodeID, std::uint64_t> captured;
-  for (RegionHandle child : children) flatten_subtree(fs, child, flat, captured);
+  std::vector<EqSetID> dead_views;
+  for (RegionHandle child : children)
+    flatten_subtree(fs, child, flat, captured, dead_views);
   if (flat.empty()) return;
 
   // Launch ids are the global clock: sorting restores sequential order.
@@ -160,6 +167,14 @@ void PaintEngine::capture(FieldState& fs, RegionHandle at,
   NodeState& at_state = node_state(fs, at);
   view->owner = at_state.owner;
   view->replicated_on.push_back(view->owner);
+  view->id = static_cast<EqSetID>(fs.views_created);
+
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle) {
+    for (EqSetID dead : dead_views)
+      config_.lifecycle->record(obs::LifecycleEventKind::Coalesce, ctx.task,
+                                fs.id, dead, kNoEqSetID, at_state.owner,
+                                fs.views_live);
+  }
 
   // Attribute the bottom-up construction: one step per node contributing
   // entries (minimal communication to the view root).
@@ -183,7 +198,14 @@ void PaintEngine::capture(FieldState& fs, RegionHandle at,
       removed_entries += el.view
                              ? static_cast<std::ptrdiff_t>(el.view->entries.size())
                              : 1;
-      if (el.view) --fs.views_live;
+      if (el.view) {
+        --fs.views_live;
+        if (obs::kProvenanceEnabled && config_.provenance &&
+            config_.lifecycle)
+          config_.lifecycle->record(obs::LifecycleEventKind::Coalesce,
+                                    ctx.task, fs.id, el.view->id, kNoEqSetID,
+                                    at_state.owner, fs.views_live);
+      }
       return true;
     });
     (void)before;
@@ -191,16 +213,23 @@ void PaintEngine::capture(FieldState& fs, RegionHandle at,
   }
 
   std::ptrdiff_t added = static_cast<std::ptrdiff_t>(view->entries.size());
+  EqSetID view_id = view->id;
+  NodeID view_owner = view->owner;
   at_state.elements.push_back(Element{HistEntry{}, std::move(view)});
   adjust_counts(fs, at, added);
   ++fs.views_created;
   ++fs.views_live;
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
+    config_.lifecycle->record(obs::LifecycleEventKind::Create, ctx.task,
+                              fs.id, view_id, kNoEqSetID, view_owner,
+                              fs.views_live);
 }
 
 void PaintEngine::close_subtrees(FieldState& fs,
                                  const std::vector<RegionHandle>& path,
                                  const IntervalSet& dom,
                                  const Privilege& priv,
+                                 const AnalysisContext& ctx,
                                  std::vector<AnalysisStep>& steps,
                                  AnalysisCounters& local) {
   const RegionTreeForest& forest = *config_.forest;
@@ -245,7 +274,7 @@ void PaintEngine::close_subtrees(FieldState& fs,
         for (std::size_t k = 0; k < kids.size(); ++k) {
           if (needs[k] == 0) continue;
           RegionHandle one[] = {kids[k]};
-          capture(fs, a, one, steps, local);
+          capture(fs, a, one, ctx, steps, local);
         }
         continue;
       }
@@ -262,7 +291,7 @@ void PaintEngine::close_subtrees(FieldState& fs,
         need = true;
         break;
       }
-      if (need) capture(fs, a, forest.children(ph), steps, local);
+      if (need) capture(fs, a, forest.children(ph), ctx, steps, local);
     }
   }
 }
@@ -289,7 +318,7 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "composite_capture", ctx.task, ctx.analysis_node,
                          &local, &out.steps);
-    close_subtrees(fs, path, dom, req.privilege, out.steps, local);
+    close_subtrees(fs, path, dom, req.privilege, ctx, out.steps, local);
   }
 
   // Traverse the path history root -> R, painting and collecting
@@ -316,6 +345,7 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
       const HistEntry* e;
       NodeID direct_owner; ///< meaningful when !from_view
       bool from_view;
+      EqSetID view_id; ///< id of the enclosing view (kNoEqSetID if direct)
     };
     std::vector<WalkItem> items;
     for (RegionHandle a : path) {
@@ -330,12 +360,18 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
             v.replicated_on.push_back(ctx.analysis_node);
             AnalysisCounters fetch;
             fetch.composite_captures = 1;
-            out.steps.push_back(AnalysisStep{v.owner, fetch, v.bytes()});
+            out.steps.push_back(
+                AnalysisStep{v.owner, fetch, v.bytes(), v.id});
+            if (obs::kProvenanceEnabled && config_.provenance &&
+                config_.lifecycle)
+              config_.lifecycle->record(obs::LifecycleEventKind::Migrate,
+                                        ctx.task, fs.id, v.id, kNoEqSetID,
+                                        ctx.analysis_node, fs.views_live);
           }
           for (const HistEntry& e : v.entries)
-            items.push_back(WalkItem{&e, 0, true});
+            items.push_back(WalkItem{&e, 0, true, v.id});
         } else {
-          items.push_back(WalkItem{&el.op, ns.owner, false});
+          items.push_back(WalkItem{&el.op, ns.owner, false, kNoEqSetID});
         }
       }
     }
@@ -348,7 +384,7 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
     struct WalkShard {
       AnalysisCounters local;
       std::map<NodeID, AnalysisCounters> remote;
-      std::vector<LaunchID> hits;
+      std::vector<std::uint32_t> hits; ///< indices into `items`
     };
     const std::size_t shards =
         shard_count(config_.executor, items.size(), kShardGrain);
@@ -363,21 +399,37 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
               ++w.local.composite_child_tests;
               if (skips_entry(*item.e)) continue;
               if (entry_depends(*item.e, dom, req.privilege, w.local))
-                w.hits.push_back(item.e->task);
+                w.hits.push_back(static_cast<std::uint32_t>(k));
             } else {
               AnalysisCounters& rc = item.direct_owner == ctx.analysis_node
                                          ? w.local
                                          : w.remote[item.direct_owner];
               if (skips_entry(*item.e)) continue;
               if (entry_depends(*item.e, dom, req.privilege, rc))
-                w.hits.push_back(item.e->task);
+                w.hits.push_back(static_cast<std::uint32_t>(k));
             }
           }
         });
     for (WalkShard& w : walk) {
       local += w.local;
       for (const auto& [owner, counters] : w.remote) remote[owner] += counters;
-      for (LaunchID hit : w.hits) add_dependence(out.dependences, hit);
+      for (std::uint32_t k : w.hits) {
+        const WalkItem& item = items[k];
+        add_dependence(out.dependences, item.e->task);
+        if (obs::kProvenanceEnabled && config_.provenance &&
+            item.e->task != kInvalidLaunch) {
+          obs::EdgeProvenance p;
+          p.from = item.e->task;
+          p.phase = item.from_view ? obs::ProvPhase::CompositeView
+                                   : obs::ProvPhase::HistoryWalk;
+          p.region = req.region.index;
+          p.eqset = item.view_id;
+          p.field = req.field;
+          p.prev = item.e->priv;
+          p.cur = req.privilege;
+          out.provenance.push_back(p);
+        }
+      }
     }
 
     // Paint pass (sequential): value application is order-dependent, so

@@ -63,6 +63,7 @@ private:
     IntervalSet full_dom;  ///< union of all entry domains
     NodeID owner = 0;      ///< node that constructed the view
     std::vector<NodeID> replicated_on; ///< nodes holding a replica
+    EqSetID id = kNoEqSetID; ///< lifecycle id (creation order per field)
     std::uint64_t bytes() const;
   };
   using ViewPtr = std::shared_ptr<CompositeView>;
@@ -86,6 +87,7 @@ private:
 
   struct FieldState {
     RegionHandle root;
+    FieldID id = 0;
     NodeID home = 0;
     std::unordered_map<std::uint32_t, NodeState> nodes;
     std::size_t views_created = 0;
@@ -112,6 +114,7 @@ private:
   /// work.
   void close_subtrees(FieldState& fs, const std::vector<RegionHandle>& path,
                       const IntervalSet& dom, const Privilege& priv,
+                      const AnalysisContext& ctx,
                       std::vector<AnalysisStep>& steps,
                       AnalysisCounters& local);
 
@@ -119,15 +122,18 @@ private:
   /// appended to `at`.
   void capture(FieldState& fs, RegionHandle at,
                std::span<const RegionHandle> children,
-               std::vector<AnalysisStep>& steps, AnalysisCounters& local);
+               const AnalysisContext& ctx, std::vector<AnalysisStep>& steps,
+               AnalysisCounters& local);
 
   /// Recursively move all entries below `region` (inclusive) into `flat`,
   /// clearing the subtree.  Returns per-owner capture counts (an ordered
   /// map: the counts become AnalysisSteps, whose order must be
-  /// deterministic across runs and platforms).
+  /// deterministic across runs and platforms).  Ids of views consumed by
+  /// the flatten are appended to `dead_views` (lifecycle ledger).
   void flatten_subtree(FieldState& fs, RegionHandle region,
                        std::vector<HistEntry>& flat,
-                       std::map<NodeID, std::uint64_t>& captured);
+                       std::map<NodeID, std::uint64_t>& captured,
+                       std::vector<EqSetID>& dead_views);
 
   EngineConfig config_;
   Options options_;

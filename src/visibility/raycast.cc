@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/executor.h"
 #include "common/hash.h"
+#include "obs/lifecycle.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -23,6 +24,7 @@ void RayCastEngine::initialize_field(RegionHandle root, FieldID field,
                                      NodeID home) {
   FieldState fs;
   fs.root = root;
+  fs.id = field;
   fs.home = home;
   EqSet eq;
   eq.dom = config_.forest->domain(root);
@@ -42,6 +44,9 @@ void RayCastEngine::initialize_field(RegionHandle root, FieldID field,
   fs.total_created = 1;
   fs.live = 1;
   fs.fallback.insert(fs.sets[0].dom.bounds(), 0);
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
+    config_.lifecycle->record(obs::LifecycleEventKind::Create, kInvalidLaunch,
+                              field, 0, kNoEqSetID, home, fs.live);
   fields_.emplace(field, std::move(fs));
 }
 
@@ -207,7 +212,8 @@ const std::vector<std::uint64_t>& RayCastEngine::colors_for(
 }
 
 std::uint32_t RayCastEngine::create_set(FieldState& fs, IntervalSet dom,
-                                        NodeID owner,
+                                        NodeID owner, LaunchID launch,
+                                        EqSetID parent,
                                         AnalysisCounters& charge) {
   EqSet s;
   s.dom = std::move(dom);
@@ -218,12 +224,15 @@ std::uint32_t RayCastEngine::create_set(FieldState& fs, IntervalSet dom,
   ++fs.live;
   ++charge.eqsets_created;
   accel_insert(fs, id, charge);
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
+    config_.lifecycle->record(obs::LifecycleEventKind::Create, launch, fs.id,
+                              id, parent, owner, fs.live);
   return id;
 }
 
 void RayCastEngine::split_set(FieldState& fs, std::uint32_t id,
                               const IntervalSet& cut, NodeID inside_owner,
-                              std::uint32_t& inside_id,
+                              LaunchID launch, std::uint32_t& inside_id,
                               std::vector<AnalysisStep>& steps) {
   // Equivalence-set refinement, as in Warnock: the old set dies, two new
   // ones inherit the restricted history.  The split is performed by the
@@ -231,6 +240,7 @@ void RayCastEngine::split_set(FieldState& fs, std::uint32_t id,
   // registrations.
   AnalysisStep step;
   step.owner = fs.sets[id].owner;
+  step.eqset = id;
   ++step.counters.eqset_refines;
   const Interval sb = fs.sets[id].dom.bounds();
   const Interval cb = cut.bounds();
@@ -249,9 +259,13 @@ void RayCastEngine::split_set(FieldState& fs, std::uint32_t id,
   IntervalSet in_dom = fs.sets[id].dom.intersect(cut);
   IntervalSet out_dom = fs.sets[id].dom.subtract(cut);
   NodeID old_owner = fs.sets[id].owner;
-  inside_id = create_set(fs, in_dom, inside_owner, step.counters);
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
+    config_.lifecycle->record(obs::LifecycleEventKind::Refine, launch, fs.id,
+                              id, kNoEqSetID, old_owner, fs.live);
+  inside_id = create_set(fs, in_dom, inside_owner, launch, id, step.counters);
   std::uint32_t outside_id =
-      create_set(fs, std::move(out_dom), old_owner, step.counters);
+      create_set(fs, std::move(out_dom), old_owner, launch, id,
+                 step.counters);
   steps.push_back(std::move(step));
 
   for (HistEntry& e : fs.sets[id].history) {
@@ -276,7 +290,7 @@ void RayCastEngine::split_set(FieldState& fs, std::uint32_t id,
 
 std::vector<std::uint32_t> RayCastEngine::split_aligned(
     FieldState& fs, std::uint32_t id, const IntervalSet& dom,
-    NodeID inside_owner, std::vector<AnalysisStep>& steps,
+    NodeID inside_owner, LaunchID launch, std::vector<AnalysisStep>& steps,
     AnalysisCounters& local) {
   if (!fs.accel_partition.valid()) return {};
   const RegionTreeForest& forest = *config_.forest;
@@ -328,9 +342,13 @@ std::vector<std::uint32_t> RayCastEngine::split_aligned(
   AnalysisStep step;
   step.owner = fs.sets[id].owner;
   step.meta_bytes = 64;
+  step.eqset = id;
 
   std::vector<std::uint32_t> out;
   NodeID old_owner = fs.sets[id].owner;
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
+    config_.lifecycle->record(obs::LifecycleEventKind::Refine, launch, fs.id,
+                              id, kNoEqSetID, old_owner, fs.live);
   auto carve = [&](IntervalSet piece_dom) {
     NodeID owner = dom.contains(piece_dom) ? inside_owner : old_owner;
     AnalysisCounters& rc = step.counters;
@@ -339,7 +357,7 @@ std::vector<std::uint32_t> RayCastEngine::split_aligned(
     // not a pairwise refinement of a shrinking remainder.
     rc.interval_ops += piece_dom.interval_count();
     step.meta_bytes += 48;
-    std::uint32_t nid = create_set(fs, piece_dom, owner, rc);
+    std::uint32_t nid = create_set(fs, piece_dom, owner, launch, id, rc);
     for (const HistEntry& e : fs.sets[id].history) {
       HistEntry restricted;
       restricted.task = e.task;
@@ -401,14 +419,14 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
         continue;
       }
       if (!fs.sets[id].dom.overlaps(dom)) continue;
-      std::vector<std::uint32_t> aligned =
-          split_aligned(fs, id, dom, ctx.mapped_node, out.steps, local);
+      std::vector<std::uint32_t> aligned = split_aligned(
+          fs, id, dom, ctx.mapped_node, ctx.task, out.steps, local);
       if (!aligned.empty()) {
         for (std::uint32_t nid : aligned) work.push_back(nid);
         continue;
       }
       std::uint32_t inside = kNone;
-      split_set(fs, id, dom, ctx.mapped_node, inside, out.steps);
+      split_set(fs, id, dom, ctx.mapped_node, ctx.task, inside, out.steps);
       // The split response already carries the inside half's state: its
       // visit merges into the split's round trip.
       visited_by_split[inside] = out.steps.size() - 1;
@@ -436,7 +454,7 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
     // loop.
     struct VisitSlot {
       AnalysisCounters counters;
-      std::vector<LaunchID> hits;
+      std::vector<std::uint32_t> hits; ///< indices into the set's history
     };
     std::vector<VisitSlot> slots(inside_ids.size());
     sharded_for(config_.executor, inside_ids.size(), kSetGrain,
@@ -445,10 +463,10 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
                     const EqSet& s = fs.sets[inside_ids[i]];
                     if (s.dom.empty()) continue;
                     VisitSlot& slot = slots[i];
-                    for (const HistEntry& e : s.history) {
-                      if (entry_depends(e, s.dom, req.privilege,
+                    for (std::size_t h = 0; h < s.history.size(); ++h) {
+                      if (entry_depends(s.history[h], s.dom, req.privilege,
                                         slot.counters))
-                        slot.hits.push_back(e.task);
+                        slot.hits.push_back(static_cast<std::uint32_t>(h));
                     }
                   }
                 });
@@ -458,13 +476,28 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
       if (s.dom.empty()) continue;
       auto vit = visited_by_split.find(id);
       AnalysisStep fresh_step;
+      fresh_step.eqset = id;
       AnalysisCounters& counters = vit != visited_by_split.end()
                                        ? out.steps[vit->second].counters
                                        : fresh_step.counters;
       ++counters.eqset_visits;
       counters += slots[i].counters;
-      for (LaunchID hit : slots[i].hits)
-        add_dependence(out.dependences, hit);
+      for (std::uint32_t h : slots[i].hits) {
+        const HistEntry& e = s.history[h];
+        add_dependence(out.dependences, e.task);
+        if (obs::kProvenanceEnabled && config_.provenance &&
+            e.task != kInvalidLaunch) {
+          obs::EdgeProvenance p;
+          p.from = e.task;
+          p.phase = obs::ProvPhase::EqSetVisit;
+          p.region = req.region.index;
+          p.eqset = id;
+          p.field = req.field;
+          p.prev = e.priv;
+          p.cur = req.privilege;
+          out.provenance.push_back(p);
+        }
+      }
       RegionData<double> piece;
       if (paint_values) {
         piece = RegionData<double>::filled(s.dom, 0.0);
@@ -511,12 +544,17 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
       s.history.clear();
       --fs.live;
       accel_remove(fs, id);
+      if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
+        config_.lifecycle->record(obs::LifecycleEventKind::Coalesce,
+                                  ctx.task, fs.id, id, kNoEqSetID, s.owner,
+                                  fs.live);
     }
     AnalysisStep create_step;
     create_step.owner = ctx.mapped_node;
     create_step.meta_bytes = 64;
-    std::uint32_t fresh =
-        create_set(fs, dom, ctx.mapped_node, create_step.counters);
+    std::uint32_t fresh = create_set(fs, dom, ctx.mapped_node, ctx.task,
+                                     kNoEqSetID, create_step.counters);
+    create_step.eqset = fresh;
     out.steps.push_back(std::move(create_step));
     HistEntry pending;
     pending.task = ctx.task;

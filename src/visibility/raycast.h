@@ -63,6 +63,7 @@ private:
 
   struct FieldState {
     RegionHandle root;
+    FieldID id = 0;
     NodeID home = 0;
     std::vector<EqSet> sets;
     std::size_t total_created = 0;
@@ -118,8 +119,10 @@ private:
 
   /// Create a live set owned by `owner`; creation and index insertion are
   /// charged to `charge` (the owner's counters — the owning node builds
-  /// its own index entries).
+  /// its own index entries).  `launch`/`parent` stamp the lifecycle event
+  /// (parent = the refined set the new one was carved from, or kNoEqSetID).
   std::uint32_t create_set(FieldState& fs, IntervalSet dom, NodeID owner,
+                           LaunchID launch, EqSetID parent,
                            AnalysisCounters& charge);
 
   /// Section 7.1: when a disjoint-complete partition is the acceleration
@@ -130,11 +133,11 @@ private:
   /// the pieces, or empty when alignment does not apply.
   std::vector<std::uint32_t> split_aligned(
       FieldState& fs, std::uint32_t id, const IntervalSet& dom,
-      NodeID inside_owner, std::vector<AnalysisStep>& steps,
+      NodeID inside_owner, LaunchID launch, std::vector<AnalysisStep>& steps,
       AnalysisCounters& local);
   void split_set(FieldState& fs, std::uint32_t id, const IntervalSet& cut,
-                 NodeID inside_owner, std::uint32_t& inside_id,
-                 std::vector<AnalysisStep>& steps);
+                 NodeID inside_owner, LaunchID launch,
+                 std::uint32_t& inside_id, std::vector<AnalysisStep>& steps);
 
   EngineConfig config_;
   Options options_;

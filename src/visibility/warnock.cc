@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/executor.h"
+#include "obs/lifecycle.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -24,6 +25,7 @@ void WarnockEngine::initialize_field(RegionHandle root, FieldID field,
                                      NodeID home) {
   FieldState fs;
   fs.root = root;
+  fs.id = field;
   fs.home = home;
   EqSetNode eq;
   eq.dom = config_.forest->domain(root);
@@ -42,6 +44,9 @@ void WarnockEngine::initialize_field(RegionHandle root, FieldID field,
   fs.nodes.push_back(std::move(eq));
   fs.total_created = 1;
   fs.live = 1;
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
+    config_.lifecycle->record(obs::LifecycleEventKind::Create, kInvalidLaunch,
+                              field, 0, kNoEqSetID, home, fs.live);
   fields_.emplace(field, std::move(fs));
 }
 
@@ -91,6 +96,7 @@ std::vector<std::uint32_t> WarnockEngine::lookup(FieldState& fs,
 
 void WarnockEngine::refine_leaf(FieldState& fs, std::uint32_t id,
                                 const IntervalSet& cut, NodeID inside_owner,
+                                LaunchID launch,
                                 std::vector<AnalysisStep>& steps) {
   EqSetNode& n = fs.nodes[id];
   invariant(n.live, "refining a non-live equivalence set");
@@ -101,6 +107,7 @@ void WarnockEngine::refine_leaf(FieldState& fs, std::uint32_t id,
   step.counters.refine_intervals +=
       n.dom.interval_count() + cut.interval_count();
   step.meta_bytes = 64;
+  step.eqset = id;
   steps.push_back(std::move(step));
 
   EqSetNode inside, outside;
@@ -126,10 +133,25 @@ void WarnockEngine::refine_leaf(FieldState& fs, std::uint32_t id,
   n.live = false;
   n.left = static_cast<std::uint32_t>(fs.nodes.size());
   n.right = n.left + 1;
+  const std::uint32_t left = n.left;
+  const std::uint32_t right = n.right;
+  const NodeID outside_owner = n.owner;
   fs.nodes.push_back(std::move(inside));
   fs.nodes.push_back(std::move(outside));
   fs.total_created += 2;
   fs.live += 1; // one leaf became two
+  if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle) {
+    obs::LifecycleLedger& ledger = *config_.lifecycle;
+    ledger.record(obs::LifecycleEventKind::Refine, launch, fs.id, id,
+                  kNoEqSetID, outside_owner, fs.live);
+    ledger.record(obs::LifecycleEventKind::Create, launch, fs.id, left, id,
+                  inside_owner, fs.live);
+    ledger.record(obs::LifecycleEventKind::Create, launch, fs.id, right, id,
+                  outside_owner, fs.live);
+    if (inside_owner != outside_owner)
+      ledger.record(obs::LifecycleEventKind::Migrate, launch, fs.id, left,
+                    id, inside_owner, fs.live);
+  }
 }
 
 MaterializeResult WarnockEngine::materialize(const Requirement& req,
@@ -159,7 +181,7 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
       if (dom.contains(fs.nodes[id].dom)) {
         inside_ids.push_back(id);
       } else {
-        refine_leaf(fs, id, dom, ctx.mapped_node, out.steps);
+        refine_leaf(fs, id, dom, ctx.mapped_node, ctx.task, out.steps);
         inside_ids.push_back(fs.nodes[id].left);
       }
     }
@@ -183,7 +205,7 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
     // and dependences bit-identical to the inline loop.
     struct VisitSlot {
       AnalysisCounters counters;
-      std::vector<LaunchID> hits;
+      std::vector<std::uint32_t> hits; ///< indices into the set's history
     };
     std::vector<VisitSlot> slots(inside_ids.size());
     sharded_for(config_.executor, inside_ids.size(), kSetGrain,
@@ -192,10 +214,10 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
                     const EqSetNode& n = fs.nodes[inside_ids[i]];
                     if (n.dom.empty()) continue;
                     VisitSlot& slot = slots[i];
-                    for (const HistEntry& e : n.history) {
-                      if (entry_depends(e, n.dom, req.privilege,
+                    for (std::size_t h = 0; h < n.history.size(); ++h) {
+                      if (entry_depends(n.history[h], n.dom, req.privilege,
                                         slot.counters))
-                        slot.hits.push_back(e.task);
+                        slot.hits.push_back(static_cast<std::uint32_t>(h));
                     }
                   }
                 });
@@ -206,8 +228,23 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
       step.owner = n.owner;
       ++step.counters.eqset_visits;
       step.counters += slots[i].counters;
-      for (LaunchID hit : slots[i].hits)
-        add_dependence(out.dependences, hit);
+      step.eqset = inside_ids[i];
+      for (std::uint32_t h : slots[i].hits) {
+        const HistEntry& e = n.history[h];
+        add_dependence(out.dependences, e.task);
+        if (obs::kProvenanceEnabled && config_.provenance &&
+            e.task != kInvalidLaunch) {
+          obs::EdgeProvenance p;
+          p.from = e.task;
+          p.phase = obs::ProvPhase::EqSetVisit;
+          p.region = req.region.index;
+          p.eqset = inside_ids[i];
+          p.field = req.field;
+          p.prev = e.priv;
+          p.cur = req.privilege;
+          out.provenance.push_back(p);
+        }
+      }
       RegionData<double> piece;
       if (paint_values) {
         piece = RegionData<double>::filled(n.dom, 0.0);

@@ -61,6 +61,7 @@ private:
 
   struct FieldState {
     RegionHandle root;
+    FieldID id = 0;
     NodeID home = 0;
     std::vector<EqSetNode> nodes; // node 0 is the initial whole-domain set
     /// region index -> equivalence-set node ids seen last time
@@ -79,9 +80,11 @@ private:
 
   /// Split leaf `id` into (dom ∩ cut, dom − cut); both inherit the history.
   /// The inside child is owned by `inside_owner` (first toucher).  Emits
-  /// one analysis step at the set's owner.
+  /// one analysis step at the set's owner; `launch` stamps the lifecycle
+  /// events.
   void refine_leaf(FieldState& fs, std::uint32_t id, const IntervalSet& cut,
-                   NodeID inside_owner, std::vector<AnalysisStep>& steps);
+                   NodeID inside_owner, LaunchID launch,
+                   std::vector<AnalysisStep>& steps);
 
   EngineConfig config_;
   Options options_;

@@ -13,7 +13,6 @@
 
 #include "json_util.h"
 #include "obs/metrics.h"
-#include "runtime/metrics.h"
 #include "runtime/runtime.h"
 
 namespace visrt {
