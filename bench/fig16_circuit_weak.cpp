@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   bool telemetry = !metrics.empty();
   auto runner = [telemetry, &wc](const SystemConfig& sys,
                                  std::uint32_t nodes) {
-    return run_circuit(sys, nodes, 5, telemetry, wc.threads);
+    return run_circuit(sys, nodes, 5, telemetry, wc.threads,
+                      wall_clock_profiling(wc));
   };
   if (wc.enabled)
     return run_wall_clock("fig16_circuit_weak", "circuit", wc, runner);

@@ -54,6 +54,9 @@ struct RunResult {
   /// Serialized metrics run object (metrics_run_json); collected into the
   /// --metrics-json file when one was requested.
   std::string metrics_json;
+  /// Serialized profile report (Runtime::profile_json); collected into the
+  /// --profile-out file when one was requested.  Empty otherwise.
+  std::string profile_json;
 };
 
 /// Runs one (system, nodes) configuration: the callback constructs the

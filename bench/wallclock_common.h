@@ -39,7 +39,16 @@ struct WallClockOptions {
   /// speedup acceptance runs at.
   std::vector<std::uint32_t> nodes;
   std::string out_path = "BENCH_analysis.json";
+  /// When nonempty, run with the analysis profiler on and write every
+  /// run's schema-v1 profile report (phase attribution, serial fraction,
+  /// lock contention; docs/OBSERVABILITY.md) to this file.
+  std::string profile_out;
 };
+
+/// True when this sweep should run with RuntimeConfig::profile set.
+inline bool wall_clock_profiling(const WallClockOptions& opts) {
+  return !opts.profile_out.empty();
+}
 
 /// Remove the wall-clock flags from argv (compacting it, like
 /// take_metrics_json_arg) and return the parsed options.
@@ -89,6 +98,14 @@ inline WallClockOptions take_wall_clock_args(int& argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--bench-out") == 0 && i + 1 < argc) {
       opts.out_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--profile-out=", 14) == 0) {
+      opts.profile_out = argv[i] + 14;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      opts.profile_out = argv[++i];
       continue;
     }
     argv[out++] = argv[i];
@@ -147,11 +164,18 @@ inline int run_wall_clock(const char* bench, const char* app,
   std::printf("system\tnodes\tthreads\tanalysis_wall_s\tanalysis_cpu_s\t"
               "launches\tdep_edges\n");
   std::ostringstream runs;
+  std::ostringstream profiles;
   bool first = true;
   double total_wall = 0;
   for (const SystemConfig& sys : paper_systems()) {
     for (std::uint32_t nodes : opts.nodes) {
       RunResult result = runner(sys, nodes);
+      if (wall_clock_profiling(opts) && !result.profile_json.empty()) {
+        if (!first) profiles << ",\n  ";
+        profiles << "{\"system\":\"" << sys.label
+                 << "\",\"nodes\":" << nodes
+                 << ",\"profile\":" << result.profile_json << "}";
+      }
       const RunStats& st = result.stats;
       std::printf("%s\t%u\t%u\t%.6f\t%.6f\t%zu\t%zu\n", sys.label, nodes,
                   opts.threads, st.analysis_wall_s, st.analysis_cpu_s,
@@ -181,6 +205,18 @@ inline int run_wall_clock(const char* bench, const char* app,
     return 1;
   }
   std::printf("# appended entry to %s\n", opts.out_path.c_str());
+  if (wall_clock_profiling(opts)) {
+    std::ofstream prof(opts.profile_out, std::ios::trunc);
+    prof << "{\"schema_version\":1,\"bench\":\"" << bench
+         << "\",\"threads\":" << opts.threads << ",\n \"runs\":[\n  "
+         << profiles.str() << "]}\n";
+    if (prof.good())
+      std::printf("# profile reports written to %s\n",
+                  opts.profile_out.c_str());
+    else
+      std::fprintf(stderr, "error: could not write %s\n",
+                   opts.profile_out.c_str());
+  }
   return 0;
 }
 

@@ -9,6 +9,13 @@
 
 namespace visrt {
 
+namespace {
+/// Lane index of the current thread: 0 for any submitter (the calling
+/// thread participates in every group it submits), 1.. for pool workers.
+/// Used only to attribute profiler task events; never for scheduling.
+thread_local unsigned t_lane = 0;
+} // namespace
+
 /// One fork/join task group.  Indices are claimed with a single atomic
 /// counter; `done` reaching `n` is the join condition the submitter waits
 /// on.  Groups live on the shared queue until exhausted so any idle lane
@@ -19,23 +26,29 @@ struct Executor::Group {
   /// ScopedCheckThrows mode of the submitting thread, re-established on
   /// every lane that runs part of this group.
   bool check_throws = false;
+  obs::TaskTag tag; ///< profile label; unused when profiling is off
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  /// Longest single task and summed task time (profiling only; updated
+  /// before the done increment, read by the submitter after the join).
+  std::atomic<std::uint64_t> max_task_ns{0};
+  std::atomic<std::uint64_t> sum_task_ns{0};
   std::mutex m; ///< guards errors and the join wakeup
   std::condition_variable cv;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
 };
 
-Executor::Executor(unsigned lanes) {
+Executor::Executor(unsigned lanes, obs::Profiler* profiler)
+    : profiler_(profiler) {
   const unsigned workers = lanes > 1 ? lanes - 1 : 0;
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -45,14 +58,30 @@ Executor::~Executor() {
 void Executor::run_some(Group& g) {
   std::optional<ScopedCheckThrows> mode;
   if (g.check_throws && !check_failures_throw()) mode.emplace();
+  const bool prof = profiler_ != nullptr && profiler_->enabled();
   for (;;) {
     const std::size_t i = g.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= g.n) return;
+    const std::uint64_t t0 = prof ? obs::prof_now_ns() : 0;
     try {
       (*g.body)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(g.m);
       g.errors.emplace_back(i, std::current_exception());
+    }
+    if (prof) {
+      // All profiler writes land before the done increment below, so the
+      // join's release/acquire chain orders them before any post-join
+      // read (report(), TSan-clean by construction).
+      const std::uint64_t t1 = obs::prof_now_ns();
+      profiler_->task_event(t_lane, g.tag, static_cast<std::uint32_t>(i),
+                            t0, t1);
+      const std::uint64_t d = t1 - t0;
+      g.sum_task_ns.fetch_add(d, std::memory_order_relaxed);
+      std::uint64_t prev = g.max_task_ns.load(std::memory_order_relaxed);
+      while (d > prev && !g.max_task_ns.compare_exchange_weak(
+                             prev, d, std::memory_order_relaxed)) {
+      }
     }
     if (g.done.fetch_add(1, std::memory_order_acq_rel) + 1 == g.n) {
       // Lock-then-notify so the submitter cannot check the predicate and
@@ -63,18 +92,21 @@ void Executor::run_some(Group& g) {
   }
 }
 
-void Executor::worker_loop() {
+void Executor::worker_loop(unsigned lane) {
+  t_lane = lane;
   for (;;) {
     std::shared_ptr<Group> g;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      // Idle wait on the raw mutex: see TimedMutex::raw() for why these
+      // acquisitions are deliberately not contention-accounted.
+      std::unique_lock<std::mutex> lock(mu_.raw());
       work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return; // stop requested and nothing queued
       g = queue_.front();
     }
     run_some(*g);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<obs::TimedMutex> lock(mu_);
       if (g->next.load(std::memory_order_relaxed) >= g->n)
         std::erase(queue_, g);
     }
@@ -82,7 +114,8 @@ void Executor::worker_loop() {
 }
 
 void Executor::parallel_for(std::size_t n,
-                            const std::function<void(std::size_t)>& body) {
+                            const std::function<void(std::size_t)>& body,
+                            obs::TaskTag tag) {
   if (n == 0) return;
   if (!parallel() || n == 1) {
     // Inline: exceptions propagate directly (a single index is already
@@ -90,12 +123,15 @@ void Executor::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  const bool prof = profiler_ != nullptr && profiler_->enabled();
+  const std::uint64_t submit_ns = prof ? obs::prof_now_ns() : 0;
   auto g = std::make_shared<Group>();
   g->body = &body;
   g->n = n;
   g->check_throws = check_failures_throw();
+  g->tag = tag;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     queue_.push_back(g);
   }
   work_cv_.notify_all();
@@ -109,8 +145,14 @@ void Executor::parallel_for(std::size_t n,
       return g->done.load(std::memory_order_acquire) == g->n;
     });
   }
+  if (prof) {
+    profiler_->group_complete(
+        static_cast<std::uint32_t>(n), obs::prof_now_ns() - submit_ns,
+        g->max_task_ns.load(std::memory_order_relaxed),
+        g->sum_task_ns.load(std::memory_order_relaxed));
+  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::TimedMutex> lock(mu_);
     std::erase(queue_, g);
   }
   std::lock_guard<std::mutex> lock(g->m);

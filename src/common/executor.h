@@ -38,13 +38,18 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profile.h"
+
 namespace visrt {
 
 class Executor {
 public:
   /// `lanes` is the total parallelism including the calling thread:
   /// lanes <= 1 creates no workers and every group runs inline.
-  explicit Executor(unsigned lanes);
+  /// `profiler` (optional, non-owning, must outlive the executor) receives
+  /// shard-task begin/end events and fork/join group records; the queue
+  /// mutex is a TimedMutex so its contention is reportable either way.
+  explicit Executor(unsigned lanes, obs::Profiler* profiler = nullptr);
   ~Executor();
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -57,18 +62,30 @@ public:
   bool parallel() const { return !workers_.empty(); }
 
   /// Run body(i) for every i in [0, n); blocks until all have finished.
+  /// `tag` labels the group's shard tasks in profiles (which launch/field
+  /// this fork is scanning); it does not affect execution.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    obs::TaskTag tag = {});
+
+  /// Contention stats source for the work-queue lock (register with a
+  /// Profiler via add_lock).
+  const obs::TimedMutex& queue_mutex() const { return mu_; }
 
 private:
   struct Group;
 
-  void worker_loop();
+  void worker_loop(unsigned lane);
   /// Claim and run indices of `g` until none remain.
   void run_some(Group& g);
 
+  obs::Profiler* profiler_ = nullptr;
   std::vector<std::thread> workers_;
-  std::mutex mu_; ///< guards queue_ and stop_
+  /// Guards queue_ and stop_.  Mutating acquisitions go through the
+  /// TimedMutex interface (contention-accounted); the workers' idle
+  /// waits go through raw() + a plain condition_variable, which keeps
+  /// the wait/wakeup path as cheap as an uninstrumented pool.
+  obs::TimedMutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::shared_ptr<Group>> queue_; ///< groups with unclaimed work
   bool stop_ = false;
@@ -91,9 +108,11 @@ inline std::size_t shard_count(const Executor* ex, std::size_t n,
 /// Deterministically shard [0, n) into shard_count(...) contiguous chunks
 /// and call fn(chunk, begin, end) for each, in parallel when possible.
 /// With one chunk fn runs inline on the caller — the sequential and
-/// parallel modes share a single code path.
+/// parallel modes share a single code path.  `tag` labels the fork in
+/// profiles (see Executor::parallel_for).
 template <typename Fn>
-void sharded_for(Executor* ex, std::size_t n, std::size_t grain, Fn&& fn) {
+void sharded_for(Executor* ex, std::size_t n, std::size_t grain, Fn&& fn,
+                 obs::TaskTag tag = {}) {
   const std::size_t chunks = shard_count(ex, n, grain);
   if (chunks == 0) return;
   if (chunks == 1) {
@@ -102,10 +121,13 @@ void sharded_for(Executor* ex, std::size_t n, std::size_t grain, Fn&& fn) {
   }
   const std::size_t base = n / chunks;
   const std::size_t extra = n % chunks;
-  ex->parallel_for(chunks, [&](std::size_t c) {
-    const std::size_t begin = c * base + std::min(c, extra);
-    fn(c, begin, begin + base + (c < extra ? 1 : 0));
-  });
+  ex->parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * base + std::min(c, extra);
+        fn(c, begin, begin + base + (c < extra ? 1 : 0));
+      },
+      tag);
 }
 
 } // namespace visrt

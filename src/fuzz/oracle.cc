@@ -49,6 +49,7 @@ struct Execution {
   /// provenance of the offending edge; inert when compiled out.
   bool provenance = true;
   bool telemetry = false;
+  bool profile = false;
 
   /// Run the whole program; invariant violations and API errors become
   /// RunResult::crashed instead of aborting the process.
@@ -77,6 +78,7 @@ private:
     config.machine.num_nodes = spec.num_nodes;
     config.provenance = provenance;
     config.telemetry = telemetry;
+    config.profile = profile;
     runtime = std::make_unique<Runtime>(config);
 
     for (const TreeSpec& tree : spec.trees)
@@ -220,6 +222,7 @@ LiveRun run_program_live(const ProgramSpec& spec,
   Execution exec;
   exec.provenance = options.provenance;
   exec.telemetry = options.telemetry;
+  exec.profile = options.profile;
   exec.run(adjusted);
   LiveRun live;
   live.result = std::move(exec.result);

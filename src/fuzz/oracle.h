@@ -87,6 +87,9 @@ struct LiveRunOptions {
   /// ledger (inert when the build has VISRT_PROVENANCE off).
   bool provenance = true;
   bool telemetry = false;
+  /// Enable the analysis profiler (phase attribution, executor/lock
+  /// telemetry; inert when the build has VISRT_PROFILE off).
+  bool profile = false;
   /// Override the spec's analysis_threads when nonzero.
   unsigned analysis_threads = 0;
   /// Override the spec's subject engine.

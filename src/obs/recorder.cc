@@ -74,43 +74,60 @@ SpanID Recorder::begin_span(SpanKind kind, std::string_view name,
                             LaunchID launch, NodeID node,
                             SpanID parent_hint) {
   if (!enabled_) return kInvalidSpan;
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<SpanID>& stack = open_[std::this_thread::get_id()];
-  if (spans_.size() >= max_spans_) {
-    ++dropped_;
-    stack.push_back(kInvalidSpan);
+  ThreadSpans& ts = threads_.local();
+  // The stamp doubles as the span id: recorded stamps stay dense (0..N-1)
+  // because the cap check precedes assignment, so after the stamp-sorted
+  // merge a parent id is also the parent's index — exactly the old
+  // single-vector behavior.
+  const std::uint64_t stamp =
+      next_stamp_.fetch_add(1, std::memory_order_relaxed);
+  if (stamp >= max_spans_ || stamp >= kInvalidSpan) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    ts.open.emplace_back(kInvalidSpan, std::size_t{0});
     return kInvalidSpan;
   }
   Span span;
   span.kind = kind;
   span.name.assign(name);
-  span.parent = stack.empty() ? parent_hint : stack.back();
+  span.parent = ts.open.empty() ? parent_hint : ts.open.back().first;
   span.launch = launch;
   span.node = node;
-  span.stamp = next_stamp_++;
-  SpanID id = static_cast<SpanID>(spans_.size());
-  spans_.push_back(std::move(span));
-  stack.push_back(id);
+  span.stamp = stamp;
+  const SpanID id = static_cast<SpanID>(stamp);
+  ts.log.push_back(std::move(span));
+  ts.open.emplace_back(id, ts.log.size() - 1);
+  spans_dirty_.store(true, std::memory_order_relaxed);
   return id;
 }
 
 void Recorder::end_span(SpanID id, const AnalysisCounters& work) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = open_.find(std::this_thread::get_id());
-  invariant(it != open_.end() && !it->second.empty(),
-            "end_span without a matching begin_span");
-  invariant(it->second.back() == id, "spans must close innermost-first");
-  it->second.pop_back();
-  // Erase drained stacks so a thread id recycled by the OS (or a future
-  // recorder reusing this thread) never inherits stale nesting.
-  if (it->second.empty()) open_.erase(it);
+  ThreadSpans& ts = threads_.local();
+  invariant(!ts.open.empty(), "end_span without a matching begin_span");
+  invariant(ts.open.back().first == id, "spans must close innermost-first");
+  const std::size_t index = ts.open.back().second;
+  ts.open.pop_back();
   if (id == kInvalidSpan) return; // dropped at the cap
-  spans_[id].counters += work;
+  ts.log[index].counters += work;
+  spans_dirty_.store(true, std::memory_order_relaxed);
+}
+
+void Recorder::merge_spans() const {
+  std::lock_guard<TimedMutex> lock(mu_);
+  if (!spans_dirty_.load(std::memory_order_relaxed)) return;
+  // Clear before gathering: emission racing this merge (contractually
+  // excluded, but harmless) re-dirties and the next read re-merges.
+  spans_dirty_.store(false, std::memory_order_relaxed);
+  merged_.clear();
+  threads_.for_each([&](const ThreadSpans& ts) {
+    merged_.insert(merged_.end(), ts.log.begin(), ts.log.end());
+  });
+  std::sort(merged_.begin(), merged_.end(),
+            [](const Span& a, const Span& b) { return a.stamp < b.stamp; });
 }
 
 std::size_t Recorder::series_id(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   auto it = series_ids_.find(std::string(name));
   if (it != series_ids_.end()) return it->second;
   std::size_t id = series_.size();
@@ -121,7 +138,7 @@ std::size_t Recorder::series_id(std::string_view name) {
 
 void Recorder::sample(std::size_t series, LaunchID launch, double value) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   invariant(series < series_.size(), "sample on an unknown series");
   series_[series].push(launch, value);
 }

@@ -26,19 +26,29 @@
 // `stamp` assigned at begin, so interleaved emission still serializes in a
 // well-defined order.  The read accessors (spans(), series()) are meant
 // for after the run, when no emission is in flight.
+//
+// Hot path: span emission writes only the calling thread's own buffer
+// (one atomic stamp fetch_add is the sole shared write), so worker lanes
+// never contend on a global recorder lock — the PR-4 profiler showed the
+// old single-mutex design serializing the sharded scans.  The per-thread
+// logs are merged (sorted by stamp) lazily when spans() is first read
+// after new emission; series keep a shared TimedMutex because samples are
+// per-launch (rare) and the ring/id maps want a coherent order anyway.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
 
 namespace visrt::obs {
 
@@ -135,25 +145,48 @@ public:
   std::size_t series_id(std::string_view name);
   void sample(std::size_t series, LaunchID launch, double value);
 
-  const std::vector<Span>& spans() const { return spans_; }
-  std::uint64_t spans_dropped() const { return dropped_; }
+  /// All recorded spans in stamp order (spans()[i].stamp == i).  Merges
+  /// the per-thread logs on first read after new emission; like every
+  /// read accessor it requires emission to have quiesced (threads joined).
+  const std::vector<Span>& spans() const {
+    if (spans_dirty_.load(std::memory_order_relaxed)) merge_spans();
+    return merged_;
+  }
+  std::uint64_t spans_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   std::size_t series_count() const { return series_.size(); }
   const CounterSeries& series(std::size_t id) const { return series_[id]; }
 
+  /// Contention stats source for the series/merge lock (register with a
+  /// Profiler via add_lock).
+  const TimedMutex& series_mutex() const { return mu_; }
+
 private:
+  /// One thread's slice of the span log: records in local emission order
+  /// plus the thread's open-span stack (span id, index into `log`;
+  /// id == kInvalidSpan marks a span dropped at the cap).
+  struct ThreadSpans {
+    std::vector<Span> log;
+    std::vector<std::pair<SpanID, std::size_t>> open;
+  };
+
+  void merge_spans() const;
+
   bool enabled_ = false;
   std::size_t series_capacity_ = 4096;
   std::size_t max_spans_ = 1u << 20;
-  /// One mutex covers spans, series and the per-thread open stacks: span
-  /// emission is rare enough (telemetry runs only) that contention is a
-  /// non-issue, and a single lock keeps stamps and vector order coherent.
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
-  /// Per-thread stacks of open spans (kInvalidSpan = dropped at the cap);
-  /// entries are erased when their stack empties.
-  std::unordered_map<std::thread::id, std::vector<SpanID>> open_;
-  std::uint64_t next_stamp_ = 0;
-  std::uint64_t dropped_ = 0;
+  /// Span emission is per-thread: the stamp counter is the only shared
+  /// write on the begin/end path.  A stamp is also the span's id; stamps
+  /// at or past max_spans_ are dropped, keeping recorded stamps dense.
+  PerThread<ThreadSpans> threads_;
+  std::atomic<std::uint64_t> next_stamp_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::atomic<bool> spans_dirty_{false};
+  /// Guards series_/series_ids_ and the merged-span cache.  TimedMutex so
+  /// the remaining shared lock is visible in contention reports.
+  mutable TimedMutex mu_;
+  mutable std::vector<Span> merged_;
   std::vector<CounterSeries> series_;
   std::unordered_map<std::string, std::size_t> series_ids_;
 };

@@ -35,17 +35,27 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
     lifecycle_.enable();
     msg_ledger_.enable(config_.machine.num_nodes);
   }
+  // Enabled before the executor exists so worker threads only ever see
+  // the profiler in its final state.
+  if (obs::kProfileEnabled && config_.profile) {
+    profiler_.enable();
+    profiler_.add_lock("recorder.series", &recorder_.series_mutex());
+  }
   // The Reference engine is the sequential oracle every other mode is
   // checked against; it never runs on the pool.
   if (config_.analysis_threads > 1 &&
       config_.algorithm != Algorithm::Reference) {
-    executor_ = std::make_unique<Executor>(config_.analysis_threads);
+    executor_ = std::make_unique<Executor>(config_.analysis_threads,
+                                           &profiler_);
+    if (obs::kProfileEnabled && config_.profile)
+      profiler_.add_lock("executor.queue", &executor_->queue_mutex());
   }
   EngineConfig ec;
   ec.track_values = config_.track_values;
   ec.tuning = config_.tuning;
   ec.forest = &forest_;
   ec.recorder = &recorder_;
+  ec.profiler = &profiler_;
   ec.executor = executor_.get();
   ec.provenance = obs::kProvenanceEnabled && config_.provenance;
   ec.lifecycle = ec.provenance ? &lifecycle_ : nullptr;
@@ -231,6 +241,13 @@ LaunchID Runtime::launch(TaskLaunch launch) {
 
   const auto materialize_start = std::chrono::steady_clock::now();
   std::vector<MaterializeResult> mrs(reqs.size());
+  // Self-time attribution of the fan-out: wall around the fork/join minus
+  // the phase time the engines record inside the forked bodies.  What is
+  // left is the dispatch/join glue (queue wakeups, idle join waits,
+  // recorder span overhead) -- the executor's own serialization cost.
+  const std::uint64_t mat_begin =
+      profiler_.enabled() ? obs::prof_now_ns() : 0;
+  const std::uint64_t mat_inner = profiler_.phase_ns_snapshot();
   for_each_group([&](std::size_t g) {
     for (std::size_t i : field_groups[g]) {
       // The span watches mrs[i].steps, which the engine fills inside the
@@ -242,22 +259,38 @@ LaunchID Runtime::launch(TaskLaunch launch) {
       mrs[i] = engine_->materialize(reqs[i], ctx);
     }
   });
+  if (profiler_.enabled()) {
+    const std::uint64_t wall = obs::prof_now_ns() - mat_begin;
+    const std::uint64_t inner = profiler_.phase_ns_snapshot() - mat_inner;
+    profiler_.phase(obs::PhaseKind::Other, "runtime/materialize_fanout",
+                    wall > inner ? wall - inner : 0);
+  }
 
+  // Provenance installation is its own attribution phase: a serial pass
+  // over every emitted edge, separated from the graph-emission loop below
+  // so the profiler never double-counts the two.
+  if (obs::kProvenanceEnabled && config_.provenance) {
+    obs::ScopedPhase prov_phase(&profiler_, obs::PhaseKind::Provenance,
+                                "runtime/install_provenance");
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      // Engines leave the engine byte unset (they cannot name themselves
+      // without a layering inversion); stamp it here, then install with
+      // first-record-wins semantics.
+      for (obs::EdgeProvenance& p : mrs[i].provenance) {
+        p.engine = static_cast<std::uint8_t>(config_.algorithm);
+        deps_.set_provenance(p.from, id, p);
+      }
+    }
+  }
+
+  const std::uint64_t emit_begin =
+      profiler_.enabled() ? obs::prof_now_ns() : 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const Requirement& req = reqs[i];
     const RegionReq& rr = launch.requirements[i];
     MaterializeResult& mr = mrs[i];
     record_launch_telemetry(id, launch.name, mr.steps);
     for (LaunchID d : mr.dependences) add_dependence(all_deps, d);
-    if (obs::kProvenanceEnabled && config_.provenance) {
-      // Engines leave the engine byte unset (they cannot name themselves
-      // without a layering inversion); stamp it here, then install with
-      // first-record-wins semantics.
-      for (obs::EdgeProvenance& p : mr.provenance) {
-        p.engine = static_cast<std::uint8_t>(config_.algorithm);
-        deps_.set_provenance(p.from, id, p);
-      }
-    }
     // Under trace replay the analysis result is memoized: the engine still
     // runs (semantics stay exact and its state advances) but no analysis
     // work or messages are charged to the machine.
@@ -301,6 +334,13 @@ LaunchID Runtime::launch(TaskLaunch launch) {
     analysis_tails.insert(analysis_tails.end(), req_tails.begin(),
                           req_tails.end());
   }
+  if (profiler_.enabled()) {
+    // The emit loop is a canonical-order merge: per-requirement engine
+    // results fold into the dependence and work graphs sequentially in
+    // requirement order, the determinism contract's serial section.
+    profiler_.phase(obs::PhaseKind::Merge, "runtime/emit_graph",
+                    obs::prof_now_ns() - emit_begin);
+  }
   analysis_wall_s_ += seconds_since(materialize_start);
 
   if (config_.record_launches)
@@ -334,6 +374,9 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   // and work-graph emission stay sequential in requirement order.
   const auto commit_start = std::chrono::steady_clock::now();
   std::vector<std::vector<AnalysisStep>> commit_steps(reqs.size());
+  const std::uint64_t com_begin =
+      profiler_.enabled() ? obs::prof_now_ns() : 0;
+  const std::uint64_t com_inner = profiler_.phase_ns_snapshot();
   for_each_group([&](std::size_t g) {
     for (std::size_t i : field_groups[g]) {
       obs::ScopedSpan span(&recorder_, obs::SpanKind::Commit, "commit", id,
@@ -342,6 +385,14 @@ LaunchID Runtime::launch(TaskLaunch launch) {
       commit_steps[i] = engine_->commit(reqs[i], phys[i].data(), ctx);
     }
   });
+  if (profiler_.enabled()) {
+    const std::uint64_t wall = obs::prof_now_ns() - com_begin;
+    const std::uint64_t inner = profiler_.phase_ns_snapshot() - com_inner;
+    profiler_.phase(obs::PhaseKind::Other, "runtime/commit_fanout",
+                    wall > inner ? wall - inner : 0);
+  }
+  const std::uint64_t commit_emit_begin =
+      profiler_.enabled() ? obs::prof_now_ns() : 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const Requirement& req = reqs[i];
     std::vector<AnalysisStep>& steps = commit_steps[i];
@@ -362,6 +413,10 @@ LaunchID Runtime::launch(TaskLaunch launch) {
       fi.instances.record_reduction(launch.mapped_node, dom,
                                     req.privilege.redop);
     }
+  }
+  if (profiler_.enabled()) {
+    profiler_.phase(obs::PhaseKind::Merge, "runtime/emit_commit",
+                    obs::prof_now_ns() - commit_emit_begin);
   }
   analysis_wall_s_ += seconds_since(commit_start);
   // Program order on the analyzing node is the issue chain alone; the
@@ -501,6 +556,13 @@ RegionData<double> Runtime::observe(RegionHandle region, FieldID field) {
   }
   engine_->commit(req, mr.data, ctx);
   return std::move(mr.data);
+}
+
+std::string Runtime::profile_json() const {
+  const auto wall_ns =
+      static_cast<std::uint64_t>(analysis_wall_s_ * 1e9);
+  const unsigned threads = executor_ != nullptr ? executor_->lanes() : 1;
+  return profiler_.json(wall_ns, threads);
 }
 
 std::vector<std::uint64_t> Runtime::messages_by_node() const {

@@ -30,6 +30,7 @@
 
 #include "common/executor.h"
 #include "obs/lifecycle.h"
+#include "obs/profile.h"
 #include "obs/recorder.h"
 #include "realm/instance_map.h"
 #include "region/region_tree.h"
@@ -71,6 +72,12 @@ struct RuntimeConfig {
   /// default; with -DVISRT_PROVENANCE=OFF the whole layer compiles out
   /// and this flag is inert.
   bool provenance = false;
+  /// Enable the contention-aware analysis profiler (obs/profile.h):
+  /// per-worker shard-task events, lock-contention telemetry and phase
+  /// attribution of the analysis wall time.  Off by default; a disabled
+  /// profiler costs one branch per hook, and with -DVISRT_PROFILE=OFF the
+  /// whole layer compiles out and this flag is inert.
+  bool profile = false;
   /// Ring-buffer capacity of each counter series (memory stays bounded for
   /// arbitrarily long runs).
   std::size_t telemetry_series_capacity = 4096;
@@ -222,6 +229,19 @@ public:
   obs::Recorder& recorder() { return recorder_; }
   const obs::Recorder& recorder() const { return recorder_; }
 
+  /// The analysis profiler (enabled iff RuntimeConfig::profile and the
+  /// build has VISRT_PROFILE).
+  const obs::Profiler& profiler() const { return profiler_; }
+  /// Full schema-v1 profile report for this run's measured analysis wall
+  /// time (see obs::Profiler::json).
+  std::string profile_json() const;
+  /// Per-worker shard-task timeline + lock-contention counter tracks as a
+  /// Chrome trace (wall-clock; separate from the simulated-time trace of
+  /// export_chrome_trace).
+  void export_profile_trace(std::ostream& os) const {
+    profiler_.write_chrome_trace(os);
+  }
+
   /// Eq-set lifecycle ledger (populated iff RuntimeConfig::provenance and
   /// the build has VISRT_PROVENANCE).
   const obs::LifecycleLedger& lifecycle() const { return lifecycle_; }
@@ -311,6 +331,9 @@ private:
   RuntimeConfig config_;
   RegionTreeForest forest_;
   obs::Recorder recorder_;
+  /// Declared before executor_ (which holds a pointer) so the pool is
+  /// destroyed first.
+  obs::Profiler profiler_;
   obs::LifecycleLedger lifecycle_;
   sim::MessageLedger msg_ledger_;
   /// Analysis thread pool (null in sequential mode).  Declared before

@@ -34,6 +34,7 @@ class Executor;
 namespace obs {
 class Recorder;
 class LifecycleLedger;
+class Profiler;
 } // namespace obs
 
 /// One region requirement of a task launch: a region (by handle), one
@@ -129,6 +130,11 @@ struct EngineConfig {
   /// Telemetry recorder the engine opens phase spans on (non-owning; may
   /// be null or disabled, in which case every span is a single branch).
   obs::Recorder* recorder = nullptr;
+  /// Analysis profiler the engine attributes wall time to (non-owning;
+  /// may be null or disabled — then every ScopedPhase is a single
+  /// branch).  Engines classify their sharded interference scans as
+  /// ShardScan and the canonical-order slot merges as Merge.
+  obs::Profiler* profiler = nullptr;
   /// Analysis executor (non-owning; may be null).  Engines shard their
   /// side-effect-free interference scans across it — per-shard results are
   /// merged in canonical order, so the emitted AnalysisSteps, counters and

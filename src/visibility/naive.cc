@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/executor.h"
 #include "obs/lifecycle.h"
+#include "obs/profile.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -21,10 +22,11 @@ constexpr std::size_t kSetGrain = 8;
 /// bit-identical to an inline walk at any thread count.  When `prov` is
 /// non-null, one HistoryWalk provenance record per hit is appended
 /// (stamped with `region`/`field`; the dep graph keeps the first per edge).
-void walk_history(Executor* ex, const std::vector<HistEntry>& history,
+void walk_history(Executor* ex, obs::Profiler* profiler,
+                  const std::vector<HistEntry>& history,
                   const IntervalSet& dom, const Privilege& priv,
                   RegionData<double>* target, std::vector<LaunchID>& deps,
-                  AnalysisCounters& c,
+                  AnalysisCounters& c, obs::TaskTag tag = {},
                   std::vector<obs::EdgeProvenance>* prov = nullptr,
                   RegionTreeID region = UINT32_MAX, FieldID field = 0) {
   struct Shard {
@@ -33,14 +35,22 @@ void walk_history(Executor* ex, const std::vector<HistEntry>& history,
   };
   const std::size_t shards = shard_count(ex, history.size(), kEntryGrain);
   std::vector<Shard> walk(shards);
-  sharded_for(ex, history.size(), kEntryGrain,
-              [&](std::size_t shard, std::size_t begin, std::size_t end) {
-                Shard& w = walk[shard];
-                for (std::size_t k = begin; k < end; ++k) {
-                  if (entry_depends(history[k], dom, priv, w.counters))
-                    w.hits.push_back(static_cast<std::uint32_t>(k));
-                }
-              });
+  {
+    obs::ScopedPhase phase(profiler, obs::PhaseKind::ShardScan,
+                           "naive/history_scan");
+    sharded_for(
+        ex, history.size(), kEntryGrain,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          Shard& w = walk[shard];
+          for (std::size_t k = begin; k < end; ++k) {
+            if (entry_depends(history[k], dom, priv, w.counters))
+              w.hits.push_back(static_cast<std::uint32_t>(k));
+          }
+        },
+        tag);
+  }
+  obs::ScopedPhase merge_phase(profiler, obs::PhaseKind::Merge,
+                               "naive/history_merge");
   for (Shard& w : walk) {
     c += w.counters;
     for (std::uint32_t h : w.hits) {
@@ -113,8 +123,9 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
       out.data = RegionData<double>::filled(
           dom, reduction_op(req.privilege.redop).identity);
     }
-    walk_history(config_.executor, fs.history, dom, req.privilege, nullptr,
-                 out.dependences, c,
+    walk_history(config_.executor, config_.profiler, fs.history, dom,
+                 req.privilege, nullptr, out.dependences, c,
+                 obs::TaskTag{ctx.task, req.field},
                  obs::kProvenanceEnabled && config_.provenance
                      ? &out.provenance
                      : nullptr,
@@ -126,8 +137,9 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
       data = RegionData<double>::filled(dom, 0.0);
       target = &data;
     }
-    walk_history(config_.executor, fs.history, dom, req.privilege, target,
-                 out.dependences, c,
+    walk_history(config_.executor, config_.profiler, fs.history, dom,
+                 req.privilege, target, out.dependences, c,
+                 obs::TaskTag{ctx.task, req.field},
                  obs::kProvenanceEnabled && config_.provenance
                      ? &out.provenance
                      : nullptr,
@@ -145,6 +157,8 @@ std::vector<AnalysisStep> NaivePaintEngine::commit(
   require(it != fields_.end(), "commit on unregistered field");
   FieldState& fs = it->second;
 
+  obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                         "naive/commit_register");
   HistEntry e;
   e.task = ctx.task;
   e.priv = req.privilege;
@@ -250,6 +264,8 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "eqset_refine", ctx.task, ctx.analysis_node, &c,
                          nullptr);
+    obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                           "naive/eqset_refine");
     std::size_t before = fs.sets.size();
     refine(fs, dom, c, config_.track_values);
     // Each split removes one set and creates two, so the net growth equals
@@ -290,19 +306,27 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
       std::vector<std::uint32_t> hits; ///< indices into the set's history
     };
     std::vector<VisitSlot> slots(fs.sets.size());
-    sharded_for(config_.executor, fs.sets.size(), kSetGrain,
-                [&](std::size_t, std::size_t begin, std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i) {
-                    const EqSet& eq = fs.sets[i];
-                    if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
-                    VisitSlot& slot = slots[i];
-                    for (std::size_t h = 0; h < eq.history.size(); ++h) {
-                      if (entry_depends(eq.history[h], eq.dom, req.privilege,
-                                        slot.counters))
-                        slot.hits.push_back(static_cast<std::uint32_t>(h));
-                    }
-                  }
-                });
+    {
+      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
+                             "naive/set_scan");
+      sharded_for(
+          config_.executor, fs.sets.size(), kSetGrain,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const EqSet& eq = fs.sets[i];
+              if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
+              VisitSlot& slot = slots[i];
+              for (std::size_t h = 0; h < eq.history.size(); ++h) {
+                if (entry_depends(eq.history[h], eq.dom, req.privilege,
+                                  slot.counters))
+                  slot.hits.push_back(static_cast<std::uint32_t>(h));
+              }
+            }
+          },
+          obs::TaskTag{ctx.task, req.field});
+    }
+    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
+                                 "naive/visit_merge");
     for (std::size_t i = 0; i < fs.sets.size(); ++i) {
       EqSet& eq = fs.sets[i];
       if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
@@ -354,6 +378,8 @@ std::vector<AnalysisStep> NaiveWarnockEngine::commit(
   const IntervalSet& dom = config_.forest->domain(req.region);
   AnalysisCounters c;
 
+  obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                         "naive/commit_register");
   for (EqSet& eq : fs.sets) {
     // materialize() refined, so each set is inside dom or disjoint from it.
     if (eq.dom.empty() || !dom.contains(eq.dom)) continue;
@@ -402,6 +428,8 @@ MaterializeResult NaiveRayCastEngine::materialize(const Requirement& req,
   obs::ScopedSpan prune_span(config_.recorder, obs::SpanKind::Phase,
                              "eqset_prune", ctx.task, ctx.analysis_node, &c,
                              nullptr);
+  obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                         "naive/eqset_prune");
   std::size_t before = fs.sets.size();
   std::erase_if(fs.sets, [&](const EqSet& eq) {
     return eq.dom.empty() || dom.contains(eq.dom);

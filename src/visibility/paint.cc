@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/executor.h"
 #include "obs/lifecycle.h"
+#include "obs/profile.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -252,24 +253,31 @@ void PaintEngine::close_subtrees(FieldState& fs,
             shard_count(config_.executor, kids.size(), kShardGrain);
         std::vector<AnalysisCounters> scan_counts(shards);
         std::vector<std::uint8_t> needs(kids.size(), 0);
-        sharded_for(config_.executor, kids.size(), kShardGrain,
-                    [&](std::size_t shard, std::size_t begin,
-                        std::size_t end) {
-                      AnalysisCounters& c = scan_counts[shard];
-                      for (std::size_t k = begin; k < end; ++k) {
-                        RegionHandle child = kids[k];
-                        if (child == next) continue;
-                        ++c.composite_child_tests;
-                        auto cit = fs.nodes.find(child.index);
-                        if (cit == fs.nodes.end() ||
-                            cit->second.subtree_entries == 0)
-                          continue;
-                        if (!privs_interfere(cit->second.subtree_privs, priv))
-                          continue;
-                        if (!forest.domain(child).overlaps(dom)) continue;
-                        needs[k] = 1;
-                      }
-                    });
+        {
+          obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
+                                 "paint/kid_scan");
+          sharded_for(
+              config_.executor, kids.size(), kShardGrain,
+              [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                AnalysisCounters& c = scan_counts[shard];
+                for (std::size_t k = begin; k < end; ++k) {
+                  RegionHandle child = kids[k];
+                  if (child == next) continue;
+                  ++c.composite_child_tests;
+                  auto cit = fs.nodes.find(child.index);
+                  if (cit == fs.nodes.end() ||
+                      cit->second.subtree_entries == 0)
+                    continue;
+                  if (!privs_interfere(cit->second.subtree_privs, priv))
+                    continue;
+                  if (!forest.domain(child).overlaps(dom)) continue;
+                  needs[k] = 1;
+                }
+              },
+              obs::TaskTag{ctx.task, fs.id});
+        }
+        obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
+                                     "paint/kid_merge");
         for (const AnalysisCounters& c : scan_counts) local += c;
         for (std::size_t k = 0; k < kids.size(); ++k) {
           if (needs[k] == 0) continue;
@@ -280,6 +288,8 @@ void PaintEngine::close_subtrees(FieldState& fs,
       }
       // Off-path partition subtree: capture the whole partition when any
       // open child interferes and overlaps.
+      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                             "paint/subtree_capture");
       bool need = false;
       for (RegionHandle child : forest.children(ph)) {
         ++local.composite_child_tests;
@@ -348,6 +358,10 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
       EqSetID view_id; ///< id of the enclosing view (kNoEqSetID if direct)
     };
     std::vector<WalkItem> items;
+    const std::uint64_t gather_begin =
+        config_.profiler != nullptr && config_.profiler->enabled()
+            ? obs::prof_now_ns()
+            : 0;
     for (RegionHandle a : path) {
       auto it = fs.nodes.find(a.index);
       if (it == fs.nodes.end()) continue;
@@ -389,27 +403,38 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
     const std::size_t shards =
         shard_count(config_.executor, items.size(), kShardGrain);
     std::vector<WalkShard> walk(shards);
-    sharded_for(
-        config_.executor, items.size(), kShardGrain,
-        [&](std::size_t shard, std::size_t begin, std::size_t end) {
-          WalkShard& w = walk[shard];
-          for (std::size_t k = begin; k < end; ++k) {
-            const WalkItem& item = items[k];
-            if (item.from_view) {
-              ++w.local.composite_child_tests;
-              if (skips_entry(*item.e)) continue;
-              if (entry_depends(*item.e, dom, req.privilege, w.local))
-                w.hits.push_back(static_cast<std::uint32_t>(k));
-            } else {
-              AnalysisCounters& rc = item.direct_owner == ctx.analysis_node
-                                         ? w.local
-                                         : w.remote[item.direct_owner];
-              if (skips_entry(*item.e)) continue;
-              if (entry_depends(*item.e, dom, req.privilege, rc))
-                w.hits.push_back(static_cast<std::uint32_t>(k));
+    if (config_.profiler != nullptr && config_.profiler->enabled()) {
+      config_.profiler->phase(obs::PhaseKind::Other, "paint/item_gather",
+                              obs::prof_now_ns() - gather_begin);
+    }
+    {
+      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
+                             "paint/item_scan");
+      sharded_for(
+          config_.executor, items.size(), kShardGrain,
+          [&](std::size_t shard, std::size_t begin, std::size_t end) {
+            WalkShard& w = walk[shard];
+            for (std::size_t k = begin; k < end; ++k) {
+              const WalkItem& item = items[k];
+              if (item.from_view) {
+                ++w.local.composite_child_tests;
+                if (skips_entry(*item.e)) continue;
+                if (entry_depends(*item.e, dom, req.privilege, w.local))
+                  w.hits.push_back(static_cast<std::uint32_t>(k));
+              } else {
+                AnalysisCounters& rc = item.direct_owner == ctx.analysis_node
+                                           ? w.local
+                                           : w.remote[item.direct_owner];
+                if (skips_entry(*item.e)) continue;
+                if (entry_depends(*item.e, dom, req.privilege, rc))
+                  w.hits.push_back(static_cast<std::uint32_t>(k));
+              }
             }
-          }
-        });
+          },
+          obs::TaskTag{ctx.task, req.field});
+    }
+    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
+                                 "paint/item_merge");
     for (WalkShard& w : walk) {
       local += w.local;
       for (const auto& [owner, counters] : w.remote) remote[owner] += counters;
@@ -469,6 +494,8 @@ std::vector<AnalysisStep> PaintEngine::commit(const Requirement& req,
   FieldState& fs = field_state(req.field);
   const IntervalSet& dom = config_.forest->domain(req.region);
 
+  obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                         "paint/commit_register");
   HistEntry e;
   e.task = ctx.task;
   e.priv = req.privilege;

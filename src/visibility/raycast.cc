@@ -6,6 +6,7 @@
 #include "common/executor.h"
 #include "common/hash.h"
 #include "obs/lifecycle.h"
+#include "obs/profile.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -395,6 +396,8 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "accel_lookup", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
+    obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                           "raycast/accel_lookup");
     select_accel(fs, req.region, local);
     hit = cast(fs, req.region, dom, local);
   }
@@ -410,6 +413,8 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "eqset_refine", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
+    obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                           "raycast/eqset_refine");
     while (!work.empty()) {
       std::uint32_t id = work.back();
       work.pop_back();
@@ -457,19 +462,27 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
       std::vector<std::uint32_t> hits; ///< indices into the set's history
     };
     std::vector<VisitSlot> slots(inside_ids.size());
-    sharded_for(config_.executor, inside_ids.size(), kSetGrain,
-                [&](std::size_t, std::size_t begin, std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i) {
-                    const EqSet& s = fs.sets[inside_ids[i]];
-                    if (s.dom.empty()) continue;
-                    VisitSlot& slot = slots[i];
-                    for (std::size_t h = 0; h < s.history.size(); ++h) {
-                      if (entry_depends(s.history[h], s.dom, req.privilege,
-                                        slot.counters))
-                        slot.hits.push_back(static_cast<std::uint32_t>(h));
-                    }
-                  }
-                });
+    {
+      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
+                             "raycast/set_scan");
+      sharded_for(
+          config_.executor, inside_ids.size(), kSetGrain,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const EqSet& s = fs.sets[inside_ids[i]];
+              if (s.dom.empty()) continue;
+              VisitSlot& slot = slots[i];
+              for (std::size_t h = 0; h < s.history.size(); ++h) {
+                if (entry_depends(s.history[h], s.dom, req.privilege,
+                                  slot.counters))
+                  slot.hits.push_back(static_cast<std::uint32_t>(h));
+              }
+            }
+          },
+          obs::TaskTag{ctx.task, req.field});
+    }
+    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
+                                 "raycast/visit_merge");
     for (std::size_t i = 0; i < inside_ids.size(); ++i) {
       const std::uint32_t id = inside_ids[i];
       EqSet& s = fs.sets[id];
@@ -534,6 +547,8 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "eqset_prune", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
+    obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                           "raycast/eqset_prune");
     for (std::uint32_t id : inside_ids) {
       EqSet& s = fs.sets[id];
       if (!s.live) continue;
@@ -578,6 +593,8 @@ std::vector<AnalysisStep> RayCastEngine::commit(
   FieldState& fs = field_state(req.field);
   const IntervalSet& dom = config_.forest->domain(req.region);
 
+  obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                         "raycast/commit_register");
   AnalysisCounters local;
   std::vector<AnalysisStep> steps;
   // The constituent sets were just discovered by this launch's

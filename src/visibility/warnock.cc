@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/executor.h"
 #include "obs/lifecycle.h"
+#include "obs/profile.h"
 #include "obs/recorder.h"
 
 namespace visrt {
@@ -167,6 +168,8 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "accel_lookup", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
+    obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                           "warnock/accel_lookup");
     leaves = lookup(fs, req, dom, local);
   }
 
@@ -177,6 +180,8 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "eqset_refine", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
+    obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                           "warnock/eqset_refine");
     for (std::uint32_t id : leaves) {
       if (dom.contains(fs.nodes[id].dom)) {
         inside_ids.push_back(id);
@@ -208,19 +213,27 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
       std::vector<std::uint32_t> hits; ///< indices into the set's history
     };
     std::vector<VisitSlot> slots(inside_ids.size());
-    sharded_for(config_.executor, inside_ids.size(), kSetGrain,
-                [&](std::size_t, std::size_t begin, std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i) {
-                    const EqSetNode& n = fs.nodes[inside_ids[i]];
-                    if (n.dom.empty()) continue;
-                    VisitSlot& slot = slots[i];
-                    for (std::size_t h = 0; h < n.history.size(); ++h) {
-                      if (entry_depends(n.history[h], n.dom, req.privilege,
-                                        slot.counters))
-                        slot.hits.push_back(static_cast<std::uint32_t>(h));
-                    }
-                  }
-                });
+    {
+      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
+                             "warnock/set_scan");
+      sharded_for(
+          config_.executor, inside_ids.size(), kSetGrain,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const EqSetNode& n = fs.nodes[inside_ids[i]];
+              if (n.dom.empty()) continue;
+              VisitSlot& slot = slots[i];
+              for (std::size_t h = 0; h < n.history.size(); ++h) {
+                if (entry_depends(n.history[h], n.dom, req.privilege,
+                                  slot.counters))
+                  slot.hits.push_back(static_cast<std::uint32_t>(h));
+              }
+            }
+          },
+          obs::TaskTag{ctx.task, req.field});
+    }
+    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
+                                 "warnock/visit_merge");
     for (std::size_t i = 0; i < inside_ids.size(); ++i) {
       EqSetNode& n = fs.nodes[inside_ids[i]];
       if (n.dom.empty()) continue;
@@ -280,6 +293,8 @@ std::vector<AnalysisStep> WarnockEngine::commit(
   FieldState& fs = field_state(req.field);
   const IntervalSet& dom = config_.forest->domain(req.region);
 
+  obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::Other,
+                         "warnock/commit_register");
   AnalysisCounters local;
   std::vector<AnalysisStep> steps;
   std::vector<std::uint32_t> leaves;

@@ -1,0 +1,196 @@
+// The contention-aware analysis profiler (obs/profile.h): TimedMutex
+// accounting, phase attribution, and the structure/timing split.  The
+// determinism contract under test: every *structure* field (phase kinds,
+// labels, event counts) is byte-identical across analysis thread counts,
+// while *timing* fields (nanoseconds, worker utilization, lock waits) are
+// host state and excluded from any golden.  With -DVISRT_PROFILE=OFF the
+// whole layer compiles to stubs; these tests then skip cleanly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "apps/circuit.h"
+#include "obs/profile.h"
+#include "runtime/runtime.h"
+
+namespace visrt {
+namespace {
+
+/// One fig13-shaped (but small) circuit run with the profiler on.
+struct ProfiledCircuit {
+  std::unique_ptr<Runtime> rt;
+  RunStats stats;
+  obs::ProfileReport report;
+  std::string structure;
+
+  explicit ProfiledCircuit(unsigned threads, std::uint32_t nodes = 16,
+                           bool profile = true) {
+    RuntimeConfig cfg;
+    cfg.algorithm = Algorithm::RayCast;
+    cfg.dcr = true;
+    cfg.track_values = false;
+    cfg.profile = profile;
+    cfg.analysis_threads = threads;
+    cfg.machine.num_nodes = nodes;
+    rt = std::make_unique<Runtime>(cfg);
+    apps::CircuitConfig acfg;
+    acfg.pieces = nodes;
+    acfg.nodes_per_piece = 40;
+    acfg.wires_per_piece = 60;
+    acfg.iterations = 3;
+    apps::CircuitApp app(*rt, acfg);
+    app.run();
+    stats = rt->finish();
+    report = rt->profiler().report(
+        static_cast<std::uint64_t>(stats.analysis_wall_s * 1e9));
+    structure = rt->profiler().structure_json();
+  }
+};
+
+TEST(TimedMutex, CountsUncontendedAcquisitions) {
+  if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
+  obs::TimedMutex mu;
+  for (int i = 0; i < 100; ++i) {
+    std::lock_guard<obs::TimedMutex> lock(mu);
+  }
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+  const obs::ContentionStats st = mu.stats();
+  EXPECT_EQ(st.acquisitions, 101u);
+  EXPECT_EQ(st.contended, 0u);
+  EXPECT_EQ(st.wait_total_ns, 0u);
+  EXPECT_EQ(st.wait_max_ns, 0u);
+}
+
+TEST(TimedMutex, MeasuresContendedWaits) {
+  if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
+  obs::TimedMutex mu;
+  mu.lock();
+  std::thread waiter([&] {
+    std::lock_guard<obs::TimedMutex> lock(mu);
+  });
+  // Hold long enough that the waiter reliably blocks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock();
+  waiter.join();
+  const obs::ContentionStats st = mu.stats();
+  EXPECT_EQ(st.acquisitions, 2u);
+  EXPECT_EQ(st.contended, 1u);
+  EXPECT_GT(st.wait_total_ns, 0u);
+  EXPECT_GE(st.wait_total_ns, st.wait_max_ns);
+  EXPECT_GT(st.wait_max_ns, 1000000u); // waited through most of the sleep
+}
+
+TEST(TimedMutex, FailedTryLockIsNotAnAcquisition) {
+  if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
+  obs::TimedMutex mu;
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_EQ(mu.stats().acquisitions, 1u);
+}
+
+TEST(Profiler, ScopedPhaseIsNullSafe) {
+  obs::ScopedPhase null_phase(nullptr, obs::PhaseKind::Other, "nothing");
+  obs::Profiler off; // never enabled
+  obs::ScopedPhase disabled_phase(&off, obs::PhaseKind::Merge, "nothing");
+  EXPECT_EQ(off.report(0).phases.size(), 0u);
+}
+
+TEST(Profiler, StructureIsByteIdenticalAcrossThreadCounts) {
+  if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
+  ProfiledCircuit t1(1);
+  ProfiledCircuit t8(8);
+  // The analysis itself is thread-count invariant...
+  EXPECT_EQ(t1.stats.launches, t8.stats.launches);
+  EXPECT_EQ(t1.stats.dep_edges, t8.stats.dep_edges);
+  // ...and so is the profile's structure: same phases, same event counts.
+  EXPECT_EQ(t1.structure, t8.structure);
+  ASSERT_EQ(t1.report.phases.size(), t8.report.phases.size());
+  for (std::size_t i = 0; i < t1.report.phases.size(); ++i) {
+    EXPECT_EQ(t1.report.phases[i].kind, t8.report.phases[i].kind);
+    EXPECT_EQ(t1.report.phases[i].label, t8.report.phases[i].label);
+    EXPECT_EQ(t1.report.phases[i].events, t8.report.phases[i].events)
+        << t1.report.phases[i].label;
+  }
+}
+
+TEST(Profiler, PhasesCoverTheAnalysisWall) {
+  if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
+  ProfiledCircuit run(1);
+  ASSERT_GT(run.stats.analysis_wall_s, 0.0);
+  ASSERT_FALSE(run.report.phases.empty());
+  // The named phases must explain at least 90% of the measured wall; the
+  // self-time fan-out attribution is what closes the gap.
+  EXPECT_GE(run.report.coverage, 0.9);
+  EXPECT_GT(run.report.serial_fraction, 0.0);
+  EXPECT_LE(run.report.serial_fraction, 1.0);
+  EXPECT_GE(run.report.amdahl_max_speedup, 1.0);
+  // The canonical-order merge loops and the engine scans are all present.
+  bool has_emit_merge = false, has_scan = false, has_fanout = false;
+  for (const obs::PhaseTotal& p : run.report.phases) {
+    if (p.label == "runtime/emit_graph")
+      has_emit_merge = p.kind == obs::PhaseKind::Merge;
+    if (p.kind == obs::PhaseKind::ShardScan && p.events > 0) has_scan = true;
+    if (p.label == "runtime/materialize_fanout") has_fanout = true;
+  }
+  EXPECT_TRUE(has_emit_merge);
+  EXPECT_TRUE(has_scan);
+  EXPECT_TRUE(has_fanout);
+}
+
+TEST(Profiler, WorkersAndGroupsPopulateInParallelMode) {
+  if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
+  ProfiledCircuit run(4);
+  EXPECT_GT(run.report.groups, 0u);
+  EXPECT_GT(run.report.group_tasks, 0u);
+  EXPECT_GE(run.report.group_tasks, run.report.groups);
+  std::uint64_t tasks = 0;
+  for (const obs::WorkerTotal& w : run.report.workers) tasks += w.tasks;
+  EXPECT_EQ(tasks, run.report.group_tasks);
+  // The lock roster always includes the executor queue in parallel mode.
+  bool has_queue = false;
+  for (const auto& [name, st] : run.report.locks) {
+    if (name == "executor.queue") has_queue = st.acquisitions > 0;
+  }
+  EXPECT_TRUE(has_queue);
+  // The profiler's wall-clock timeline names its worker lanes.
+  std::ostringstream trace;
+  run.rt->export_profile_trace(trace);
+  EXPECT_NE(trace.str().find("analysis profiler"), std::string::npos);
+  EXPECT_NE(trace.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Profiler, TimingJsonCarriesTheAttributionFields) {
+  if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
+  ProfiledCircuit run(2);
+  const std::string json = run.rt->profile_json();
+  for (const char* key :
+       {"\"schema_version\":1", "\"structure\"", "\"timing\"",
+        "\"serial_fraction\"", "\"amdahl_max_speedup\"",
+        "\"critical_path_ns\"", "\"locks\"", "\"events_dropped\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Profiler, DisabledProfilerRecordsNothing) {
+  ProfiledCircuit run(4, 16, /*profile=*/false);
+  EXPECT_FALSE(run.rt->profiler().enabled());
+  EXPECT_TRUE(run.report.phases.empty());
+  EXPECT_EQ(run.report.groups, 0u);
+  EXPECT_EQ(run.structure, "{\"phases\":[]}");
+}
+
+TEST(Profiler, CompiledOutBuildReportsDisabled) {
+  if (obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=ON build";
+  // The stub layer: everything is inert and the JSON says so.
+  ProfiledCircuit run(4);
+  EXPECT_FALSE(run.rt->profiler().enabled());
+  EXPECT_TRUE(run.report.phases.empty());
+  EXPECT_NE(run.rt->profile_json().find("\"enabled\":false"),
+            std::string::npos);
+}
+
+} // namespace
+} // namespace visrt
