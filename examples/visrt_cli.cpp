@@ -80,6 +80,30 @@
 //     --trace-out F        profiler wall-clock Perfetto timeline of the
 //                          last sweep run
 //
+//   visrt_cli serve (--socket PATH | --stdin) [options]
+//     Streaming analysis daemon (docs/SERVING.md): accepts `.visprog` IR
+//     as a line-oriented stream over a local AF_UNIX socket (one session
+//     per connection, concurrent sessions multiplexed) or on stdin, runs
+//     dependence analysis incrementally per arriving launch, and retires
+//     completed dependence-graph prefixes so memory stays bounded over
+//     unbounded streams.  `@metrics` on any connection returns a one-line
+//     schema-v2 metrics JSON with a "serve" section; `@end` (or EOF)
+//     finishes the session and returns its result hashes.  SIGTERM/SIGINT
+//     drain gracefully: in-flight sessions finish and reply.
+//     --engine NAME              engine override (default: each stream's
+//                                configured subject)
+//     --threads N                analysis thread count override
+//     --retire-interval N        retire every N ingested launches
+//                                (default 1024; 0 = only when forced)
+//     --max-resident-launches N  residency cap forcing retirement
+//                                (default 8192; 0 = uncapped)
+//     --max-history-depth N      per-eq-set history depth before value
+//                                payloads collapse into a composite view
+//                                (default 64; 0 = never)
+//     --no-values                analysis-only ingest (skip task bodies)
+//     --metrics-json F           write the final metrics line to file F
+//                                at shutdown
+//
 //   Global: --log-json switches stderr logging to one JSON object per
 //   line.
 //
@@ -91,14 +115,19 @@
 //   visrt_cli inspect tests/corpus/figure5_stream.visprog --metrics-json m.json
 //   visrt_cli profile circuit --dcr --nodes 256 --threads-sweep 1,8
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/lint.h"
@@ -111,6 +140,7 @@
 #include "fuzz/serialize.h"
 #include "obs/lifecycle.h"
 #include "obs/metrics.h"
+#include "serve/server.h"
 
 using namespace visrt;
 
@@ -157,6 +187,10 @@ int usage() {
                "[--dcr] [--nodes N] [--iters N] [--size N] "
                "[--threads-sweep LIST] [--top N] [--json F] "
                "[--trace-out F]\n"
+               "       visrt_cli serve (--socket PATH | --stdin) "
+               "[--engine NAME] [--threads N] [--retire-interval N] "
+               "[--max-resident-launches N] [--max-history-depth N] "
+               "[--no-values] [--metrics-json F]\n"
                "       (any form accepts --log-json)\n");
   return 2;
 }
@@ -1067,6 +1101,102 @@ bool report(Runtime& rt, const Options& opt, bool validated) {
   return spy_ok;
 }
 
+// --- streaming analysis daemon (`visrt_cli serve`) -------------------------
+
+serve::Server* g_serve_instance = nullptr;
+
+void serve_signal_handler(int) {
+  if (g_serve_instance != nullptr) g_serve_instance->request_stop();
+}
+
+int run_serve(std::vector<std::string> args) {
+  std::string socket_path;
+  bool use_stdin = false;
+  std::string metrics_path;
+  serve::SessionOptions session;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> long {
+      return ++i < args.size() ? std::atol(args[i].c_str()) : 0;
+    };
+    if (arg == "--socket" && i + 1 < args.size()) {
+      socket_path = args[++i];
+    } else if (arg == "--stdin") {
+      use_stdin = true;
+    } else if (arg == "--engine" && i + 1 < args.size()) {
+      auto engine = parse_algorithm(args[++i]);
+      if (!engine) {
+        std::fprintf(stderr, "serve: unknown engine '%s'\n", args[i].c_str());
+        return 2;
+      }
+      session.subject = *engine;
+    } else if (arg == "--threads") {
+      session.analysis_threads = static_cast<unsigned>(next());
+    } else if (arg == "--max-resident-launches") {
+      session.max_resident_launches = static_cast<std::size_t>(next());
+    } else if (arg == "--max-history-depth") {
+      session.max_history_depth = static_cast<std::size_t>(next());
+    } else if (arg == "--retire-interval") {
+      session.retire_every = static_cast<std::size_t>(next());
+    } else if (arg == "--no-values") {
+      session.track_values = false;
+    } else if (arg == "--metrics-json" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else {
+      std::fprintf(stderr, "serve: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty() && !use_stdin) {
+    std::fprintf(stderr,
+                 "serve: need --socket PATH or --stdin (see docs/SERVING.md)\n");
+    return 2;
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.session = session;
+  serve::Server server(options);
+
+  if (use_stdin) {
+    server.run_stream(std::cin, std::cout);
+  } else {
+    try {
+      server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: %s\n", e.what());
+      return 1;
+    }
+    g_serve_instance = &server;
+    std::signal(SIGTERM, serve_signal_handler);
+    std::signal(SIGINT, serve_signal_handler);
+    std::fprintf(stderr, "serve: listening on %s\n", socket_path.c_str());
+    while (!server.stopping())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::fprintf(stderr, "serve: draining in-flight sessions\n");
+    server.stop(); // graceful: every session finishes and replies
+    g_serve_instance = nullptr;
+  }
+
+  serve::ServeStats stats = server.stats();
+  std::fprintf(stderr,
+               "serve: done — %llu sessions (%llu failed), %llu launches, "
+               "%llu retired, peak resident %llu\n",
+               static_cast<unsigned long long>(stats.sessions_total),
+               static_cast<unsigned long long>(stats.sessions_failed),
+               static_cast<unsigned long long>(stats.totals.launches),
+               static_cast<unsigned long long>(stats.totals.retired_launches),
+               static_cast<unsigned long long>(
+                   stats.totals.peak_resident_launches));
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    os << server.metrics_json() << "\n";
+    std::fprintf(stderr, "serve: metrics written to %s\n",
+                 metrics_path.c_str());
+  }
+  return stats.sessions_failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -1086,6 +1216,8 @@ int main(int argc, char** argv) {
     return run_inspect({args.begin() + 1, args.end()});
   if (!args.empty() && args[0] == "profile")
     return run_profile({args.begin() + 1, args.end()});
+  if (!args.empty() && args[0] == "serve")
+    return run_serve({args.begin() + 1, args.end()});
   if (args.size() < 2) return usage();
   Options opt;
   opt.app = args[0];

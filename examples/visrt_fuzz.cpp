@@ -1,7 +1,7 @@
 // visrt_fuzz: the differential fuzzing driver.
 //
 //   visrt_fuzz [--seed N] [--runs N] [--time-budget SECONDS]
-//              [--corpus-dir DIR] [--metrics-json FILE]
+//              [--corpus-dir DIR] [--metrics-json FILE] [--stream]
 //              [--replay FILE ...]
 //
 // Each run derives its own seed (base seed + run index), generates a random
@@ -13,22 +13,33 @@
 // are minimized with the delta-debugging shrinker and appended to the
 // corpus directory as .visprog repros; --replay re-checks saved repros.
 //
+// --stream additionally replays each generated program through the
+// streaming ingest path (serve::StreamSession fed in random-sized byte
+// chunks, with randomized retirement interval / residency cap / history
+// depth) and cross-checks every fingerprint — dependence-graph, schedule,
+// per-launch value fold, final field values — against the batch oracle.
+//
 // Exits 0 when every run passed, 1 when any failed, 2 on usage errors.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracle.h"
 #include "fuzz/serialize.h"
 #include "fuzz/shrink.h"
+#include "serve/session.h"
 
 using namespace visrt;
 using namespace visrt::fuzz;
@@ -46,6 +57,9 @@ struct CliOptions {
   /// synthetic test-only bug enabled — a self-test that the whole loop
   /// (detect, shrink, save, replay) works end to end.
   bool inject_paint_bug = false;
+  /// Cross-check streaming ingest (serve::StreamSession) against the
+  /// batch oracle for every generated program.
+  bool stream = false;
 };
 
 int usage() {
@@ -53,7 +67,7 @@ int usage() {
                "usage: visrt_fuzz [--seed N] [--runs N] "
                "[--time-budget SECONDS]\n"
                "                  [--corpus-dir DIR] [--metrics-json FILE]\n"
-               "                  [--replay FILE ...]\n");
+               "                  [--stream] [--replay FILE ...]\n");
   return 2;
 }
 
@@ -89,6 +103,8 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.metrics_json = v;
     } else if (arg == "--inject-paint-bug") {
       opts.inject_paint_bug = true;
+    } else if (arg == "--stream") {
+      opts.stream = true;
     } else if (arg == "--replay") {
       while (i + 1 < argc && argv[i + 1][0] != '-')
         opts.replay_files.push_back(argv[++i]);
@@ -121,6 +137,66 @@ void save_repro(const std::string& dir, std::uint64_t seed,
      << shrunk.attempts << " attempts\n";
   write_visprog(os, shrunk.spec);
   std::printf("  repro saved to %s\n", path.string().c_str());
+}
+
+/// Differential check of the streaming ingest path: serialize the spec,
+/// feed it through a serve::StreamSession in random-sized byte chunks
+/// under aggressive randomized memory bounding, and compare every
+/// fingerprint against the batch oracle.  Returns "" on success.
+std::string stream_check(const ProgramSpec& spec, std::uint64_t run_seed) {
+  RunResult batch = run_program(spec);
+  if (batch.crashed) return ""; // the batch check reports crashes itself
+
+  std::ostringstream text;
+  write_visprog(text, spec);
+  const std::string prog = text.str();
+
+  Rng rng(run_seed ^ 0x5eedf00dULL);
+  static constexpr std::size_t kIntervals[] = {1, 2, 3, 5, 8, 16, 64};
+  serve::SessionOptions so;
+  so.retire_every = kIntervals[rng.below(std::size(kIntervals))];
+  so.max_resident_launches =
+      rng.chance(0.5) ? 0 : kIntervals[rng.below(std::size(kIntervals))];
+  so.max_history_depth = static_cast<std::size_t>(rng.below(5)); // 0..4
+  std::vector<std::string> errors;
+  so.on_error = [&errors](const std::string& e) { errors.push_back(e); };
+  const std::size_t retire_every = so.retire_every;
+  const std::size_t history_depth = so.max_history_depth;
+
+  serve::StreamSession session(std::move(so));
+  try {
+    ScopedCheckThrows guard; // invariant trips become catchable
+    std::size_t off = 0;
+    while (off < prog.size()) {
+      std::size_t n = std::min<std::size_t>(prog.size() - off,
+                                            1 + rng.below(96));
+      session.feed(std::string_view(prog).substr(off, n));
+      off += n;
+    }
+    session.finish();
+  } catch (const std::exception& e) {
+    return std::string("stream session crashed: ") + e.what();
+  }
+  if (!errors.empty())
+    return "stream session rejected a statement: " + errors.front();
+
+  const serve::SessionResult& r = session.result();
+  auto mismatch = [&](const char* what) {
+    return std::string("stream/batch divergence (") + what +
+           ") retire_every=" + std::to_string(retire_every) +
+           " history_depth=" + std::to_string(history_depth);
+  };
+  if (r.launches != batch.launch_hashes.size())
+    return mismatch("launches") + " stream=" + std::to_string(r.launches) +
+           " batch=" + std::to_string(batch.launch_hashes.size());
+  if (r.dep_edges != batch.dep_edges) return mismatch("dep_edges");
+  if (r.dep_graph_hash != batch.dep_graph_hash)
+    return mismatch("dep_graph_hash");
+  if (r.schedule_hash != batch.schedule_hash) return mismatch("schedule_hash");
+  if (r.value_hash != serve::fold_value_hashes(batch.launch_hashes))
+    return mismatch("value_hash");
+  if (r.final_hashes != batch.final_hashes) return mismatch("final_hashes");
+  return "";
 }
 
 int replay_mode(const CliOptions& opts) {
@@ -182,6 +258,17 @@ int main(int argc, char** argv) {
     total_launches += expand_stream(spec).size();
     DiffReport report = check_program(spec);
     ++executed;
+    if (!report && opts.stream) {
+      std::string diverged = stream_check(spec, run_seed);
+      if (!diverged.empty()) {
+        ++failures;
+        ++failures_by_kind["stream"];
+        std::printf("seed %llu: FAIL (stream) subject=%s: %s\n",
+                    static_cast<unsigned long long>(run_seed),
+                    algorithm_name(spec.subject), diverged.c_str());
+        continue; // the shrinker minimizes batch oracles, not stream runs
+      }
+    }
     if (!report) continue;
 
     ++failures;

@@ -85,15 +85,22 @@ struct ExecWindow {
 };
 
 std::vector<ExecWindow> exec_windows(const Runtime& runtime) {
-  sim::ReplayResult replay =
-      sim::replay(runtime.work_graph(), runtime.config().machine);
-  std::span<const sim::OpID> execs = runtime.exec_ops();
-  std::vector<ExecWindow> windows(execs.size());
-  for (std::size_t id = 0; id < execs.size(); ++id) {
-    if (execs[id] == sim::kInvalidOp) continue;
-    SimTime finish = replay.finish_of(execs[id]);
-    windows[id] = {finish - runtime.work_graph().op(execs[id]).cost, finish,
-                   true};
+  sim::ReplayResult replay = runtime.replay_graph();
+  const LaunchID base = runtime.launch_base();
+  std::vector<ExecWindow> windows(runtime.resident_launches());
+  for (std::size_t slot = 0; slot < windows.size(); ++slot) {
+    const LaunchID id = base + static_cast<LaunchID>(slot);
+    sim::OpID e = runtime.exec_of(id);
+    if (e == sim::kInvalidOp) continue;
+    if (e == sim::kFrozenOp) {
+      // Execution op retired out of the work graph; its final window was
+      // frozen at retirement time.
+      windows[slot] = {runtime.frozen_exec_start(id),
+                       runtime.frozen_exec_finish(id), true};
+    } else {
+      SimTime finish = replay.finish_of(e);
+      windows[slot] = {finish - runtime.work_graph().op(e).cost, finish, true};
+    }
   }
   return windows;
 }
@@ -102,9 +109,15 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
                       std::span<const LaunchRecord> launches,
                       const SpyOptions& options,
                       std::span<const ExecWindow> windows) {
+  // `launches` covers the trailing window [base, task_count) of the
+  // dependence graph — the whole program when nothing was retired, the
+  // resident suffix after Runtime::retire.  Verification is over pairs
+  // wholly inside the window; edges reaching below it were proven ordered
+  // by the retirement cut and are skipped.
   const std::size_t n = launches.size();
-  require(deps.task_count() == n,
-          "spy: launch log does not cover the dependence graph");
+  require(deps.task_count() >= n,
+          "spy: launch log is larger than the dependence graph");
+  const LaunchID base = static_cast<LaunchID>(deps.task_count() - n);
 
   SpyReport report;
   report.launches = n;
@@ -134,15 +147,20 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
     }
   }
 
-  // Transitive closure of the dependence DAG: reach(b, a) iff a is ordered
-  // before b through some path.  Dependences always point backwards in
-  // launch-id order, so one forward sweep suffices.
+  // Transitive closure of the dependence DAG: reach(b, a) iff window
+  // launch base+a is ordered before base+b through some path.  Dependences
+  // always point backwards in launch-id order, so one forward sweep
+  // suffices; and any path between two window launches stays inside the
+  // window (every intermediate id lies between the endpoints), so skipping
+  // below-window predecessors loses no intra-window ordering.
   BitMatrix reach(n);
   for (std::size_t b = 0; b < n; ++b) {
-    for (LaunchID p : deps.preds(static_cast<LaunchID>(b))) {
-      invariant(p < b, "spy: dependence edge points forward in the stream");
-      reach.merge_row(b, p);
-      reach.set(b, p);
+    for (LaunchID p : deps.preds(base + static_cast<LaunchID>(b))) {
+      invariant(p < base + b,
+                "spy: dependence edge points forward in the stream");
+      if (p < base) continue;
+      reach.merge_row(b, p - base);
+      reach.set(b, p - base);
     }
   }
 
@@ -164,7 +182,7 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
         if (unordered.size() < options.max_violations) {
           unordered.push_back(
               {SpyViolationKind::UnorderedInterference,
-               static_cast<LaunchID>(a), static_cast<LaunchID>(b),
+               base + static_cast<LaunchID>(a), base + static_cast<LaunchID>(b),
                interference_witness(forest, launches[a], launches[b])});
         }
       }
@@ -179,12 +197,12 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
           ++report.schedule_overlaps;
           if (overlaps.size() < options.max_violations) {
             std::ostringstream os;
-            os << "launch " << b << " starts at " << windows[b].start
-               << "ns before interfering launch " << a << " finishes at "
-               << windows[a].finish << "ns";
+            os << "launch " << base + b << " starts at " << windows[b].start
+               << "ns before interfering launch " << base + a
+               << " finishes at " << windows[a].finish << "ns";
             overlaps.push_back({SpyViolationKind::ScheduleOverlap,
-                                static_cast<LaunchID>(a),
-                                static_cast<LaunchID>(b), os.str()});
+                                base + static_cast<LaunchID>(a),
+                                base + static_cast<LaunchID>(b), os.str()});
           }
         }
       }
@@ -197,21 +215,23 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
   // informational.
   if (options.check_precision) {
     for (std::size_t b = 0; b < n; ++b) {
-      std::span<const LaunchID> preds = deps.preds(static_cast<LaunchID>(b));
+      std::span<const LaunchID> preds =
+          deps.preds(base + static_cast<LaunchID>(b));
       for (LaunchID a : preds) {
-        if (!interf.test(b, a)) {
+        if (a < base) continue; // earlier endpoint's record was retired
+        if (!interf.test(b, a - base)) {
           ++report.imprecise_edges;
           if (imprecise.size() < options.max_violations) {
             std::ostringstream os;
-            os << "edge " << a << " -> " << b
+            os << "edge " << a << " -> " << base + b
                << " joins launches with no interfering requirement pair";
             imprecise.push_back({SpyViolationKind::ImpreciseEdge, a,
-                                 static_cast<LaunchID>(b), os.str()});
+                                 base + static_cast<LaunchID>(b), os.str()});
           }
           continue;
         }
         for (LaunchID q : preds) {
-          if (q != a && reach.test(q, a)) {
+          if (q != a && q >= base && reach.test(q - base, a - base)) {
             ++report.transitive_edges;
             break;
           }

@@ -91,14 +91,19 @@ struct SpyReport {
 
 /// Verify an engine-emitted dependence graph against ground truth
 /// recomputed from the forest's geometry and the launches' privileges.
-/// `launches` must cover every task of `deps` (index = LaunchID).
+/// `launches` covers the trailing window of `deps`: entry i describes
+/// launch `deps.task_count() - launches.size() + i`.  With no retirement
+/// that is the whole program; after Runtime::retire it is the resident
+/// suffix, and pairs/edges reaching below the window (already proven
+/// ordered by the retirement cut) are skipped.
 SpyReport verify(const RegionTreeForest& forest, const DepGraph& deps,
                  std::span<const LaunchRecord> launches,
                  const SpyOptions& options = {});
 
 /// Verify a finished Runtime run (requires RuntimeConfig::record_launches).
 /// Additionally replays the work graph and checks the DES schedule orders
-/// every interfering pair in simulated time.
+/// every interfering pair in simulated time; launches retired out of the
+/// work graph use their frozen execution windows.
 SpyReport verify(const Runtime& runtime, const SpyOptions& options = {});
 
 } // namespace visrt::analysis

@@ -1,10 +1,16 @@
 // visrt/common/hash.h
 //
-// Hash-combining helpers for composite keys used in memoization tables.
+// Hash-combining helpers for composite keys used in memoization tables,
+// plus the FNV-1a fold shared by every result-hash producer (the fuzz
+// oracle, the dependence graph's stream hash, the runtime's schedule
+// hash, the serve sessions).  Keeping one definition is what makes
+// "hashes are bit-identical across modes" hold by construction.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 
 namespace visrt {
 
@@ -22,6 +28,22 @@ std::size_t hash_all(const Ts&... values) {
   std::size_t seed = 0;
   (hash_combine(seed, values), ...);
   return seed;
+}
+
+/// FNV-1a offset basis / prime for 64-bit folds.
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Fold one 64-bit value into a running FNV-1a hash.
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+/// Fold a sequence of 64-bit values, starting from the offset basis.
+inline std::uint64_t fnv1a_all(std::span<const std::uint64_t> values) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::uint64_t v : values) h = fnv1a_u64(h, v);
+  return h;
 }
 
 } // namespace visrt

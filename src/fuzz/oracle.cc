@@ -50,6 +50,10 @@ struct Execution {
   bool provenance = true;
   bool telemetry = false;
   bool profile = false;
+  /// Streaming ingest: retire completed prefixes every N launches
+  /// (0 = batch, never retire).  See LiveRunOptions::retire_every.
+  std::size_t retire_every = 0;
+  std::size_t max_dead_eqsets = 1024;
 
   /// Run the whole program; invariant violations and API errors become
   /// RunResult::crashed instead of aborting the process.
@@ -102,7 +106,12 @@ private:
     }
 
     LaunchID next_expected = 0;
+    LaunchID last_retire = 0;
     for (const StreamItem& item : spec.stream) {
+      if (retire_every != 0 && next_expected >= last_retire + retire_every) {
+        runtime->retire(max_dead_eqsets);
+        last_retire = next_expected;
+      }
       switch (item.kind) {
       case StreamItem::Kind::Task: {
         TaskLaunch launch;
@@ -160,25 +169,14 @@ private:
     result.dep_edges = runtime->dep_graph().edge_count();
     result.traced_launches = runtime->traced_launches();
 
-    // Structural fingerprints for the cross-thread-count equivalence
-    // tests: the dependence DAG (per-launch predecessor lists) and the
-    // replayed DES schedule (finish time of each execution op).
-    const DepGraph& deps = runtime->dep_graph();
-    std::uint64_t dg = 1469598103934665603ULL;
-    for (LaunchID id = 0; id < deps.task_count(); ++id) {
-      dg = hash_u64(dg, 0x9e3779b97f4a7c15ULL + id);
-      for (LaunchID p : deps.preds(id)) dg = hash_u64(dg, p);
-    }
-    result.dep_graph_hash = dg;
-    sim::ReplayResult replay =
-        sim::replay(runtime->work_graph(), runtime->config().machine);
-    std::uint64_t sh = 1469598103934665603ULL;
-    for (sim::OpID op : runtime->exec_ops()) {
-      sh = hash_u64(sh, op == sim::kInvalidOp
-                            ? ~0ULL
-                            : static_cast<std::uint64_t>(replay.finish_of(op)));
-    }
-    result.schedule_hash = sh;
+    // Structural fingerprints for the cross-thread-count and streaming
+    // equivalence tests: the dependence DAG (per-launch predecessor lists)
+    // and the replayed DES schedule (finish time of each execution op).
+    // Both are rolling folds maintained by the dep graph / runtime, so
+    // they cover launches retired out of the resident window too and are
+    // bit-identical between batch and streaming ingest.
+    result.dep_graph_hash = runtime->dep_graph().stream_hash();
+    result.schedule_hash = runtime->schedule_hash();
   }
 
   /// The shared deterministic body: hash the materialized (pre-mutation)
@@ -223,6 +221,8 @@ LiveRun run_program_live(const ProgramSpec& spec,
   exec.provenance = options.provenance;
   exec.telemetry = options.telemetry;
   exec.profile = options.profile;
+  exec.retire_every = options.retire_every;
+  exec.max_dead_eqsets = options.max_dead_eqsets;
   exec.run(adjusted);
   LiveRun live;
   live.result = std::move(exec.result);
@@ -232,20 +232,40 @@ LiveRun run_program_live(const ProgramSpec& spec,
 
 std::string validate_schedule(const Runtime& runtime) {
   const DepGraph& deps = runtime.dep_graph();
-  std::span<const sim::OpID> execs = runtime.exec_ops();
-  sim::ReplayResult replay =
-      sim::replay(runtime.work_graph(), runtime.config().machine);
-  for (LaunchID to = 0; to < deps.task_count(); ++to) {
-    if (to >= execs.size() || execs[to] == sim::kInvalidOp) continue;
-    sim::OpID eto = execs[to];
-    SimTime start = replay.finish_of(eto) - runtime.work_graph().op(eto).cost;
+  const LaunchID base = runtime.launch_base();
+  sim::ReplayResult replay = runtime.replay_graph();
+  // Execution window of a resident launch: from the replay for live ops,
+  // from the frozen side-tables for ops retired out of the work graph.
+  // Returns false for launches with no execution op (pure-analysis ones).
+  auto window = [&](LaunchID id, SimTime& start, SimTime& finish) {
+    sim::OpID e = runtime.exec_of(id);
+    if (e == sim::kInvalidOp) return false;
+    if (e == sim::kFrozenOp) {
+      start = runtime.frozen_exec_start(id);
+      finish = runtime.frozen_exec_finish(id);
+    } else {
+      finish = replay.finish_of(e);
+      start = finish - runtime.work_graph().op(e).cost;
+    }
+    return true;
+  };
+  for (LaunchID to = base; to < deps.task_count(); ++to) {
+    SimTime to_start = 0;
+    SimTime to_finish = 0;
+    if (!window(to, to_start, to_finish)) continue;
     for (LaunchID from : deps.preds(to)) {
-      if (from >= execs.size() || execs[from] == sim::kInvalidOp) continue;
-      if (replay.finish_of(execs[from]) > start) {
+      // Dependences on retired launches fold into the dependent op's
+      // readiness floor (WorkGraph::retire_prefix), so the replay already
+      // enforces them; only resident predecessors need checking here.
+      if (from < base) continue;
+      SimTime from_start = 0;
+      SimTime from_finish = 0;
+      if (!window(from, from_start, from_finish)) continue;
+      if (from_finish > to_start) {
         std::ostringstream os;
-        os << "launch " << to << " starts at " << start
+        os << "launch " << to << " starts at " << to_start
            << "ns before its dependence " << from << " finishes at "
-           << replay.finish_of(execs[from]) << "ns";
+           << from_finish << "ns";
         return os.str();
       }
     }

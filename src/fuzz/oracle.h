@@ -94,6 +94,13 @@ struct LiveRunOptions {
   unsigned analysis_threads = 0;
   /// Override the spec's subject engine.
   std::optional<Algorithm> subject;
+  /// Streaming ingest: call Runtime::retire(max_dead_eqsets) after every
+  /// `retire_every` launches (0 = batch mode, never retire).  All captured
+  /// results — value/dep-graph/schedule hashes, stats — are bit-identical
+  /// to batch mode by construction; the --stream fuzz mode and the serve
+  /// tests assert exactly that.
+  std::size_t retire_every = 0;
+  std::size_t max_dead_eqsets = 1024;
 };
 
 /// A finished run whose Runtime — dependence graph with provenance, the

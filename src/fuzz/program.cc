@@ -67,7 +67,7 @@ void validate_reqs(const ProgramSpec& spec, std::span<const ReqSpec> reqs,
 
 } // namespace
 
-void validate(const ProgramSpec& spec) {
+void validate_decls(const ProgramSpec& spec) {
   require(spec.num_nodes >= 1, "visprog: machine needs at least one node");
   require(!spec.trees.empty(), "visprog: program needs at least one tree");
   for (const TreeSpec& tree : spec.trees)
@@ -93,51 +93,59 @@ void validate(const ProgramSpec& spec) {
             "visprog: field tree out of range");
     require(field.init_mod >= 1, "visprog: field init_mod must be >= 1");
   }
+}
 
-  int trace_depth = 0;
-  for (const StreamItem& item : spec.stream) {
-    switch (item.kind) {
-    case StreamItem::Kind::Task:
-      validate_reqs(spec, item.task.requirements, regions);
-      require(item.task.mapped_node < spec.num_nodes,
-              "visprog: task mapped to a nonexistent node");
-      break;
-    case StreamItem::Kind::Index: {
-      require(!item.index.requirements.empty(),
-              "visprog: an index launch needs at least one requirement");
-      std::size_t colors = 0;
-      for (std::size_t i = 0; i < item.index.requirements.size(); ++i) {
-        const IndexReqSpec& req = item.index.requirements[i];
-        require(req.partition < spec.partitions.size(),
-                "visprog: index-launch partition out of range");
-        std::size_t n = spec.partitions[req.partition].subspaces.size();
-        if (i == 0) colors = n;
-        require(n == colors,
-                "visprog: index-launch partitions must have matching "
-                "color counts");
-        require(req.field < spec.fields.size(),
-                "visprog: index-launch field out of range");
-        require(spec.fields[req.field].tree ==
-                    tree_of_region(spec, spec.partitions[req.partition].parent),
-                "visprog: index-launch partition is not in its field's tree");
-        for (std::size_t j = 0; j < i; ++j)
-          require(item.index.requirements[j].field != req.field,
-                  "visprog: one task may use each field at most once");
-      }
-      break;
+void validate_item(const ProgramSpec& spec, const StreamItem& item,
+                   int& trace_depth) {
+  std::uint32_t regions = region_table_size(spec);
+  switch (item.kind) {
+  case StreamItem::Kind::Task:
+    validate_reqs(spec, item.task.requirements, regions);
+    require(item.task.mapped_node < spec.num_nodes,
+            "visprog: task mapped to a nonexistent node");
+    break;
+  case StreamItem::Kind::Index: {
+    require(!item.index.requirements.empty(),
+            "visprog: an index launch needs at least one requirement");
+    std::size_t colors = 0;
+    for (std::size_t i = 0; i < item.index.requirements.size(); ++i) {
+      const IndexReqSpec& req = item.index.requirements[i];
+      require(req.partition < spec.partitions.size(),
+              "visprog: index-launch partition out of range");
+      std::size_t n = spec.partitions[req.partition].subspaces.size();
+      if (i == 0) colors = n;
+      require(n == colors,
+              "visprog: index-launch partitions must have matching "
+              "color counts");
+      require(req.field < spec.fields.size(),
+              "visprog: index-launch field out of range");
+      require(spec.fields[req.field].tree ==
+                  tree_of_region(spec, spec.partitions[req.partition].parent),
+              "visprog: index-launch partition is not in its field's tree");
+      for (std::size_t j = 0; j < i; ++j)
+        require(item.index.requirements[j].field != req.field,
+                "visprog: one task may use each field at most once");
     }
-    case StreamItem::Kind::BeginTrace:
-      require(trace_depth == 0, "visprog: traces cannot nest");
-      ++trace_depth;
-      break;
-    case StreamItem::Kind::EndTrace:
-      require(trace_depth == 1, "visprog: end_trace without begin_trace");
-      --trace_depth;
-      break;
-    case StreamItem::Kind::EndIteration:
-      break;
-    }
+    break;
   }
+  case StreamItem::Kind::BeginTrace:
+    require(trace_depth == 0, "visprog: traces cannot nest");
+    ++trace_depth;
+    break;
+  case StreamItem::Kind::EndTrace:
+    require(trace_depth == 1, "visprog: end_trace without begin_trace");
+    --trace_depth;
+    break;
+  case StreamItem::Kind::EndIteration:
+    break;
+  }
+}
+
+void validate(const ProgramSpec& spec) {
+  validate_decls(spec);
+  int trace_depth = 0;
+  for (const StreamItem& item : spec.stream)
+    validate_item(spec, item, trace_depth);
   require(trace_depth == 0, "visprog: unterminated trace");
 }
 

@@ -149,6 +149,19 @@ IntervalSet region_domain(const ProgramSpec& spec, std::uint32_t r);
 /// balanced, mapped nodes < num_nodes.  Throws ApiError on violation.
 void validate(const ProgramSpec& spec);
 
+/// Validate only the declaration part (machine config + tree / partition /
+/// field tables) — what a streaming session checks before the first stream
+/// item arrives.  Throws ApiError on violation.
+void validate_decls(const ProgramSpec& spec);
+
+/// Validate one stream item against already-validated declarations.
+/// `trace_depth` carries the open-trace bracket state across calls and is
+/// updated in place; the caller asserts it is zero at end-of-stream.
+/// Together with validate_decls this is exactly validate(), one item at a
+/// time.
+void validate_item(const ProgramSpec& spec, const StreamItem& item,
+                   int& trace_depth);
+
 /// The forest described by a spec, with the region table materialized.
 struct BuiltForest {
   RegionTreeForest forest;

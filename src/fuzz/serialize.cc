@@ -153,6 +153,105 @@ std::vector<std::string> tokenize(const std::string& line) {
   return toks;
 }
 
+/// Parse one tokenized line into a statement.  `saw_header` selects the
+/// header-required mode for the first statement of a document.
+VisprogStatement parse_statement(const std::vector<std::string>& toks,
+                                 bool saw_header) {
+  VisprogStatement st;
+  const std::string& head = toks[0];
+  if (!saw_header) {
+    require(head == "visprog" && toks.size() == 2 && toks[1] == "1",
+            "visprog: missing 'visprog 1' header");
+    st.kind = VisprogStatement::Kind::Header;
+    return st;
+  }
+  if (head == "config") {
+    require(toks.size() == 5, "visprog: config takes 4 settings");
+    st.kind = VisprogStatement::Kind::Config;
+    st.num_nodes =
+        static_cast<std::uint32_t>(parse_u64(expect_kv(toks[1], "nodes")));
+    st.dcr = parse_bool(expect_kv(toks[2], "dcr"));
+    st.tracing = parse_bool(expect_kv(toks[3], "tracing"));
+    st.subject = parse_subject(expect_kv(toks[4], "subject"));
+  } else if (head == "tuning") {
+    require(toks.size() == 6, "visprog: tuning takes 5 knobs");
+    st.kind = VisprogStatement::Kind::Tuning;
+    st.tuning.paint_occlusion_pruning =
+        parse_bool(expect_kv(toks[1], "occlusion"));
+    st.tuning.warnock_memoize = parse_bool(expect_kv(toks[2], "memoize"));
+    st.tuning.raycast_dominating_writes =
+        parse_bool(expect_kv(toks[3], "domwrites"));
+    st.tuning.raycast_force_kd_fallback =
+        parse_bool(expect_kv(toks[4], "kdfallback"));
+    st.tuning.inject_paint_reduce_bug =
+        parse_bool(expect_kv(toks[5], "paintbug"));
+  } else if (head == "threads") {
+    require(toks.size() == 2, "visprog: threads takes a lane count");
+    st.kind = VisprogStatement::Kind::Threads;
+    st.analysis_threads = static_cast<unsigned>(parse_u64(toks[1]));
+    require(st.analysis_threads >= 1, "visprog: threads must be >= 1");
+  } else if (head == "tree") {
+    require(toks.size() == 3, "visprog: tree takes a name and a size");
+    st.kind = VisprogStatement::Kind::Tree;
+    st.tree.name = toks[1];
+    st.tree.size = static_cast<coord_t>(parse_u64(toks[2]));
+  } else if (head == "partition") {
+    require(toks.size() >= 4,
+            "visprog: partition takes a name, parent and subspaces");
+    st.kind = VisprogStatement::Kind::Partition;
+    st.partition.name = toks[1];
+    st.partition.parent =
+        static_cast<std::uint32_t>(parse_u64(expect_kv(toks[2], "parent")));
+    for (std::size_t i = 3; i < toks.size(); ++i)
+      st.partition.subspaces.push_back(parse_interval_set(toks[i]));
+  } else if (head == "field") {
+    require(toks.size() == 4, "visprog: field takes a name, tree and mod");
+    st.kind = VisprogStatement::Kind::Field;
+    st.field.name = toks[1];
+    st.field.tree =
+        static_cast<std::uint32_t>(parse_u64(expect_kv(toks[2], "tree")));
+    st.field.init_mod =
+        static_cast<coord_t>(parse_u64(expect_kv(toks[3], "mod")));
+  } else if (head == "task") {
+    require(toks.size() >= 5, "visprog: truncated task");
+    st.kind = VisprogStatement::Kind::Item;
+    st.item.kind = StreamItem::Kind::Task;
+    st.item.task.mapped_node =
+        static_cast<NodeID>(parse_u64(expect_kv(toks[1], "node")));
+    st.item.task.salt = parse_u64(expect_kv(toks[2], "salt"));
+    st.item.task.requirements = parse_req_groups<ReqSpec>(
+        toks, 3, 'r',
+        [](std::uint32_t region, std::uint32_t field, const Privilege& priv) {
+          return ReqSpec{region, field, priv};
+        });
+  } else if (head == "index") {
+    require(toks.size() >= 4, "visprog: truncated index launch");
+    st.kind = VisprogStatement::Kind::Item;
+    st.item.kind = StreamItem::Kind::Index;
+    st.item.index.salt = parse_u64(expect_kv(toks[1], "salt"));
+    st.item.index.requirements = parse_req_groups<IndexReqSpec>(
+        toks, 2, 'p',
+        [](std::uint32_t partition, std::uint32_t field,
+           const Privilege& priv) {
+          return IndexReqSpec{partition, field, priv};
+        });
+  } else if (head == "begin_trace") {
+    require(toks.size() == 2, "visprog: begin_trace takes an id");
+    st.kind = VisprogStatement::Kind::Item;
+    st.item.kind = StreamItem::Kind::BeginTrace;
+    st.item.trace_id = static_cast<std::uint32_t>(parse_u64(toks[1]));
+  } else if (head == "end_trace") {
+    st.kind = VisprogStatement::Kind::Item;
+    st.item.kind = StreamItem::Kind::EndTrace;
+  } else if (head == "end_iteration") {
+    st.kind = VisprogStatement::Kind::Item;
+    st.item.kind = StreamItem::Kind::EndIteration;
+  } else {
+    throw ApiError("visprog: unknown directive '" + head + "'");
+  }
+  return st;
+}
+
 } // namespace
 
 void write_visprog(std::ostream& os, const ProgramSpec& spec) {
@@ -221,6 +320,67 @@ std::string to_visprog(const ProgramSpec& spec) {
   return os.str();
 }
 
+void apply_statement(ProgramSpec& spec, const VisprogStatement& st) {
+  switch (st.kind) {
+  case VisprogStatement::Kind::Header: break;
+  case VisprogStatement::Kind::Config:
+    spec.num_nodes = st.num_nodes;
+    spec.dcr = st.dcr;
+    spec.tracing = st.tracing;
+    spec.subject = st.subject;
+    break;
+  case VisprogStatement::Kind::Tuning: spec.tuning = st.tuning; break;
+  case VisprogStatement::Kind::Threads:
+    spec.analysis_threads = st.analysis_threads;
+    break;
+  case VisprogStatement::Kind::Tree: spec.trees.push_back(st.tree); break;
+  case VisprogStatement::Kind::Partition:
+    spec.partitions.push_back(st.partition);
+    break;
+  case VisprogStatement::Kind::Field: spec.fields.push_back(st.field); break;
+  case VisprogStatement::Kind::Item: spec.stream.push_back(st.item); break;
+  }
+}
+
+void VisprogStreamParser::feed(std::string_view bytes) {
+  // Drop the consumed prefix before appending so a long-running session
+  // holds at most one partial line plus the newest chunk.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+VisprogStreamParser::Status VisprogStreamParser::next(VisprogStatement& out) {
+  for (;;) {
+    std::size_t nl = buffer_.find('\n', pos_);
+    std::string line;
+    if (nl == std::string::npos) {
+      if (!finished_) return Status::NeedMore;
+      if (pos_ >= buffer_.size()) return Status::End;
+      line = buffer_.substr(pos_);
+      byte_offset_ += buffer_.size() - pos_;
+      pos_ = buffer_.size();
+    } else {
+      line = buffer_.substr(pos_, nl - pos_);
+      byte_offset_ += nl + 1 - pos_;
+      pos_ = nl + 1;
+    }
+    ++line_;
+    std::vector<std::string> toks = tokenize(line);
+    if (toks.empty() || toks[0].starts_with("#")) continue;
+    try {
+      out = parse_statement(toks, saw_header_);
+    } catch (const ApiError& e) {
+      throw ApiError("line " + std::to_string(line_) + ": " + e.what());
+    }
+    out.line = line_;
+    if (out.kind == VisprogStatement::Kind::Header) saw_header_ = true;
+    return Status::Statement;
+  }
+}
+
 ProgramSpec parse_visprog(const std::string& text) {
   std::istringstream is(text);
   return read_visprog(is);
@@ -229,118 +389,19 @@ ProgramSpec parse_visprog(const std::string& text) {
 ProgramSpec read_visprog(std::istream& is) {
   ProgramSpec spec;
   spec.tracing = true;
-  std::string line;
-  std::size_t lineno = 0;
-  bool saw_header = false;
+  VisprogStreamParser parser;
+  char chunk[4096];
+  while (is.read(chunk, sizeof(chunk)) || is.gcount() > 0)
+    parser.feed({chunk, static_cast<std::size_t>(is.gcount())});
+  parser.finish();
+  VisprogStatement st;
+  while (parser.next(st) == VisprogStreamParser::Status::Statement)
+    apply_statement(spec, st);
   try {
-    while (std::getline(is, line)) {
-      ++lineno;
-      std::vector<std::string> toks = tokenize(line);
-      if (toks.empty() || toks[0].starts_with("#")) continue;
-      const std::string& head = toks[0];
-      if (!saw_header) {
-        require(head == "visprog" && toks.size() == 2 && toks[1] == "1",
-                "visprog: missing 'visprog 1' header");
-        saw_header = true;
-        continue;
-      }
-      if (head == "config") {
-        require(toks.size() == 5, "visprog: config takes 4 settings");
-        spec.num_nodes =
-            static_cast<std::uint32_t>(parse_u64(expect_kv(toks[1], "nodes")));
-        spec.dcr = parse_bool(expect_kv(toks[2], "dcr"));
-        spec.tracing = parse_bool(expect_kv(toks[3], "tracing"));
-        spec.subject = parse_subject(expect_kv(toks[4], "subject"));
-      } else if (head == "tuning") {
-        require(toks.size() == 6, "visprog: tuning takes 5 knobs");
-        spec.tuning.paint_occlusion_pruning =
-            parse_bool(expect_kv(toks[1], "occlusion"));
-        spec.tuning.warnock_memoize =
-            parse_bool(expect_kv(toks[2], "memoize"));
-        spec.tuning.raycast_dominating_writes =
-            parse_bool(expect_kv(toks[3], "domwrites"));
-        spec.tuning.raycast_force_kd_fallback =
-            parse_bool(expect_kv(toks[4], "kdfallback"));
-        spec.tuning.inject_paint_reduce_bug =
-            parse_bool(expect_kv(toks[5], "paintbug"));
-      } else if (head == "threads") {
-        require(toks.size() == 2, "visprog: threads takes a lane count");
-        spec.analysis_threads =
-            static_cast<unsigned>(parse_u64(toks[1]));
-        require(spec.analysis_threads >= 1,
-                "visprog: threads must be >= 1");
-      } else if (head == "tree") {
-        require(toks.size() == 3, "visprog: tree takes a name and a size");
-        TreeSpec tree;
-        tree.name = toks[1];
-        tree.size = static_cast<coord_t>(parse_u64(toks[2]));
-        spec.trees.push_back(std::move(tree));
-      } else if (head == "partition") {
-        require(toks.size() >= 4,
-                "visprog: partition takes a name, parent and subspaces");
-        PartitionSpec part;
-        part.name = toks[1];
-        part.parent =
-            static_cast<std::uint32_t>(parse_u64(expect_kv(toks[2], "parent")));
-        for (std::size_t i = 3; i < toks.size(); ++i)
-          part.subspaces.push_back(parse_interval_set(toks[i]));
-        spec.partitions.push_back(std::move(part));
-      } else if (head == "field") {
-        require(toks.size() == 4,
-                "visprog: field takes a name, tree and mod");
-        FieldSpec field;
-        field.name = toks[1];
-        field.tree =
-            static_cast<std::uint32_t>(parse_u64(expect_kv(toks[2], "tree")));
-        field.init_mod =
-            static_cast<coord_t>(parse_u64(expect_kv(toks[3], "mod")));
-        spec.fields.push_back(std::move(field));
-      } else if (head == "task") {
-        require(toks.size() >= 5, "visprog: truncated task");
-        StreamItem item;
-        item.kind = StreamItem::Kind::Task;
-        item.task.mapped_node =
-            static_cast<NodeID>(parse_u64(expect_kv(toks[1], "node")));
-        item.task.salt = parse_u64(expect_kv(toks[2], "salt"));
-        item.task.requirements = parse_req_groups<ReqSpec>(
-            toks, 3, 'r', [](std::uint32_t region, std::uint32_t field,
-                             const Privilege& priv) {
-              return ReqSpec{region, field, priv};
-            });
-        spec.stream.push_back(std::move(item));
-      } else if (head == "index") {
-        require(toks.size() >= 4, "visprog: truncated index launch");
-        StreamItem item;
-        item.kind = StreamItem::Kind::Index;
-        item.index.salt = parse_u64(expect_kv(toks[1], "salt"));
-        item.index.requirements = parse_req_groups<IndexReqSpec>(
-            toks, 2, 'p', [](std::uint32_t partition, std::uint32_t field,
-                             const Privilege& priv) {
-              return IndexReqSpec{partition, field, priv};
-            });
-        spec.stream.push_back(std::move(item));
-      } else if (head == "begin_trace") {
-        require(toks.size() == 2, "visprog: begin_trace takes an id");
-        StreamItem item;
-        item.kind = StreamItem::Kind::BeginTrace;
-        item.trace_id = static_cast<std::uint32_t>(parse_u64(toks[1]));
-        spec.stream.push_back(item);
-      } else if (head == "end_trace") {
-        StreamItem item;
-        item.kind = StreamItem::Kind::EndTrace;
-        spec.stream.push_back(item);
-      } else if (head == "end_iteration") {
-        StreamItem item;
-        item.kind = StreamItem::Kind::EndIteration;
-        spec.stream.push_back(item);
-      } else {
-        throw ApiError("visprog: unknown directive '" + head + "'");
-      }
-    }
-    require(saw_header, "visprog: empty document");
+    require(parser.saw_header(), "visprog: empty document");
     validate(spec);
   } catch (const ApiError& e) {
-    throw ApiError("line " + std::to_string(lineno) + ": " + e.what());
+    throw ApiError("line " + std::to_string(parser.line()) + ": " + e.what());
   }
   return spec;
 }

@@ -46,6 +46,17 @@ std::size_t IntervalTree::remove_at(std::unique_ptr<Node>& node,
   return removed;
 }
 
+void IntervalTree::remap_payloads(std::span<const std::uint64_t> map) {
+  remap_at(root_.get(), map);
+}
+
+void IntervalTree::remap_at(Node* node, std::span<const std::uint64_t> map) {
+  if (node == nullptr) return;
+  for (Item& item : node->straddling) item.payload = map[item.payload];
+  remap_at(node->left.get(), map);
+  remap_at(node->right.get(), map);
+}
+
 void IntervalTree::query_node(const Node* node, const Interval& q,
                               IntervalTreeQueryResult& out) const {
   if (node == nullptr) return;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "geom/interval_set.h"
@@ -40,6 +41,11 @@ public:
   IntervalTreeQueryResult query(const Interval& q) const;
   IntervalTreeQueryResult query(const IntervalSet& q) const;
 
+  /// Replace each item's payload p with `map[p]`.  Payloads never shape
+  /// the tree, so structure — and therefore every future query's traversal
+  /// cost — is unchanged.  Every resident payload must index into `map`.
+  void remap_payloads(std::span<const std::uint64_t> map);
+
 private:
   struct Item {
     Interval bounds;
@@ -54,6 +60,7 @@ private:
 
   void insert_at(std::unique_ptr<Node>& node, const Item& item);
   std::size_t remove_at(std::unique_ptr<Node>& node, std::uint64_t payload);
+  void remap_at(Node* node, std::span<const std::uint64_t> map);
   void query_node(const Node* node, const Interval& q,
                   IntervalTreeQueryResult& out) const;
 

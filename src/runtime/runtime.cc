@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
@@ -59,8 +60,10 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   ec.executor = executor_.get();
   ec.provenance = obs::kProvenanceEnabled && config_.provenance;
   ec.lifecycle = ec.provenance ? &lifecycle_ : nullptr;
+  ec.max_history_depth = config_.max_history_depth;
   engine_ = make_engine(config_.algorithm, ec);
   issue_tail_.assign(config_.machine.num_nodes, sim::kInvalidOp);
+  issue_tail_finish_.assign(config_.machine.num_nodes, 0);
   analysis_busy_ns_.assign(config_.machine.num_nodes, 0);
 }
 
@@ -161,6 +164,8 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   LaunchID id = next_launch_++;
   deps_.add_task(id);
   exec_op_.push_back(sim::kInvalidOp);
+  exec_start_.push_back(0);
+  exec_finish_.push_back(0);
 
   NodeID analysis_node = config_.dcr ? launch.mapped_node : 0;
   AnalysisContext ctx{id, launch.mapped_node, analysis_node};
@@ -200,10 +205,13 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                        static_cast<SimTime>(launch.requirements.size()) +
                    (config_.dcr ? config_.costs.dcr_shard_ns : 0);
   std::vector<sim::OpID> issue_deps;
-  if (issue_tail_[analysis_node] != sim::kInvalidOp)
+  SimTime issue_floor = 0;
+  if (issue_tail_[analysis_node] == sim::kFrozenOp)
+    issue_floor = issue_tail_finish_[analysis_node];
+  else if (issue_tail_[analysis_node] != sim::kInvalidOp)
     issue_deps.push_back(issue_tail_[analysis_node]);
   sim::OpID issue = graph_.compute(analysis_node, issue_cost, issue_deps,
-                                   sim::OpCategory::Runtime);
+                                   sim::OpCategory::Runtime, issue_floor);
 
   // Analyze every requirement: materialize (dependences + current values)
   // and plan the implicit communication.
@@ -310,9 +318,13 @@ LaunchID Runtime::launch(TaskLaunch launch) {
       std::vector<CopyPlan> plans =
           fit->second.instances.plan_read(launch.mapped_node, dom);
       std::vector<sim::OpID> copy_deps = req_tails;
+      SimTime copy_floor = 0;
       for (LaunchID d : mr.dependences) {
-        if (d < exec_op_.size() && exec_op_[d] != sim::kInvalidOp)
-          copy_deps.push_back(exec_op_[d]);
+        sim::OpID e = exec_of(d);
+        if (e == sim::kFrozenOp)
+          copy_floor = std::max(copy_floor, exec_finish_[d - launch_base_]);
+        else if (e != sim::kInvalidOp)
+          copy_deps.push_back(e);
       }
       for (const CopyPlan& plan : plans) {
         std::uint64_t bytes =
@@ -320,7 +332,8 @@ LaunchID Runtime::launch(TaskLaunch launch) {
         sim::OpID copy = graph_.message(
             plan.src, plan.dst, bytes, copy_deps,
             plan.kind == CopyPlan::Kind::Copy ? sim::OpCategory::Copy
-                                              : sim::OpCategory::Reduction);
+                                              : sim::OpCategory::Reduction,
+            copy_floor);
         copy_ops.push_back(copy);
         if (obs::kProvenanceEnabled && msg_ledger_.enabled()) {
           msg_ledger_.record(sim::MessageRecord{
@@ -350,16 +363,21 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   // graph and the work graph.
   deps_.add_edges(id, all_deps);
   std::vector<sim::OpID> exec_deps = analysis_tails;
+  SimTime exec_floor = 0;
   for (sim::OpID c : copy_ops) exec_deps.push_back(c);
   for (LaunchID d : all_deps) {
-    if (exec_op_[d] != sim::kInvalidOp) exec_deps.push_back(exec_op_[d]);
+    sim::OpID e = exec_of(d);
+    if (e == sim::kFrozenOp)
+      exec_floor = std::max(exec_floor, exec_finish_[d - launch_base_]);
+    else if (e != sim::kInvalidOp)
+      exec_deps.push_back(e);
   }
   SimTime exec_cost = config_.costs.task_launch_ns +
                       config_.costs.task_element_ns *
                           static_cast<SimTime>(launch.work_items);
   sim::OpID exec = graph_.compute(launch.mapped_node, exec_cost, exec_deps,
-                                  sim::OpCategory::TaskExec);
-  exec_op_[id] = exec;
+                                  sim::OpCategory::TaskExec, exec_floor);
+  exec_op_[id - launch_base_] = exec;
   current_iteration_execs_.push_back(exec);
 
   // Execute the task body for real.
@@ -522,18 +540,30 @@ void Runtime::end_iteration() {
                    static_cast<SimTime>(launches_this_iteration_);
     for (NodeID n = 0; n < config_.machine.num_nodes; ++n) {
       std::vector<sim::OpID> deps;
-      if (issue_tail_[n] != sim::kInvalidOp) deps.push_back(issue_tail_[n]);
+      SimTime floor = 0;
+      if (issue_tail_[n] == sim::kFrozenOp)
+        floor = issue_tail_finish_[n];
+      else if (issue_tail_[n] != sim::kInvalidOp)
+        deps.push_back(issue_tail_[n]);
       issue_tail_[n] =
-          graph_.compute(n, cost, deps, sim::OpCategory::Runtime);
+          graph_.compute(n, cost, deps, sim::OpCategory::Runtime, floor);
       current_iteration_execs_.push_back(issue_tail_[n]);
     }
   }
   launches_this_iteration_ = 0;
   std::vector<sim::OpID> deps = std::move(current_iteration_execs_);
   current_iteration_execs_.clear();
-  if (last_marker_ != sim::kInvalidOp) deps.push_back(last_marker_);
-  sim::OpID marker = graph_.marker(0, deps);
-  iteration_markers_.push_back(marker);
+  // Retired current-iteration ops and a retired previous marker join
+  // through the readiness floor instead of dependence edges.
+  SimTime floor = iteration_floor_;
+  iteration_floor_ = 0;
+  if (last_marker_ == sim::kFrozenOp)
+    floor = std::max(floor, last_marker_finish_);
+  else if (last_marker_ != sim::kInvalidOp)
+    deps.push_back(last_marker_);
+  sim::OpID marker = graph_.marker(0, deps, floor);
+  ++iteration_count_;
+  if (first_marker_ == sim::kInvalidOp) first_marker_ = marker;
   last_marker_ = marker;
 }
 
@@ -542,6 +572,8 @@ RegionData<double> Runtime::observe(RegionHandle region, FieldID field) {
   LaunchID id = next_launch_++;
   deps_.add_task(id);
   exec_op_.push_back(sim::kInvalidOp);
+  exec_start_.push_back(0);
+  exec_finish_.push_back(0);
   AnalysisContext ctx{id, 0, 0};
   Requirement req{region, field, Privilege::read()};
   if (config_.record_launches)
@@ -566,35 +598,232 @@ std::string Runtime::profile_json() const {
 }
 
 std::vector<std::uint64_t> Runtime::messages_by_node() const {
+  // Running per-source totals survive work-graph retirement.
   std::vector<std::uint64_t> counts(config_.machine.num_nodes, 0);
-  for (sim::OpID id = 0; id < graph_.size(); ++id) {
-    const sim::Op& op = graph_.op(id);
-    if (op.kind == sim::OpKind::Message) ++counts[op.node];
-  }
+  std::span<const std::size_t> by_src = graph_.messages_by_src();
+  for (NodeID n = 0; n < counts.size() && n < by_src.size(); ++n)
+    counts[n] = by_src[n];
   return counts;
 }
 
+sim::OpID Runtime::exec_of(LaunchID id) const {
+  invariant(id >= launch_base_ && id < next_launch_,
+            "launch is not resident");
+  return exec_op_[id - launch_base_];
+}
+
+SimTime Runtime::frozen_exec_start(LaunchID id) const {
+  invariant(exec_of(id) == sim::kFrozenOp,
+            "launch's execution op was not frozen");
+  return exec_start_[id - launch_base_];
+}
+
+SimTime Runtime::frozen_exec_finish(LaunchID id) const {
+  invariant(exec_of(id) == sim::kFrozenOp,
+            "launch's execution op was not frozen");
+  return exec_finish_[id - launch_base_];
+}
+
+sim::ReplayResult Runtime::replay_graph() const {
+  return sim::replay(graph_, config_.machine, &ckpt_);
+}
+
+std::uint64_t Runtime::schedule_hash() const {
+  std::uint64_t h = sched_hash_;
+  if (sched_frontier_ == next_launch_) return h;
+  sim::ReplayResult r = replay_graph();
+  for (LaunchID id = sched_frontier_; id < next_launch_; ++id) {
+    const std::size_t slot = id - launch_base_;
+    sim::OpID e = exec_op_[slot];
+    std::uint64_t v;
+    if (e == sim::kInvalidOp)
+      v = ~0ULL;
+    else if (e == sim::kFrozenOp)
+      // Frozen past the frontier: launches freeze out of launch order
+      // (exec readiness is not monotone in launch id), so a frozen
+      // window can sit beyond a still-live earlier launch.
+      v = static_cast<std::uint64_t>(exec_finish_[slot]);
+    else
+      v = static_cast<std::uint64_t>(r.finish_of(e));
+    h = fnv1a_u64(h, v);
+  }
+  return h;
+}
+
+RetireStats Runtime::retire(std::size_t max_dead_eqsets) {
+  RetireStats out;
+
+  // ---- Work-graph freeze.  Retire the pop-order prefix of the DES
+  // schedule: every resident op whose readiness lies strictly below the
+  // future floor, the earliest time any not-yet-emitted op can become
+  // ready (every future op transitively waits on its launch's issue op,
+  // so the issue tails bound it — frozen tails keep bounding it through
+  // their recorded finishes, which new issue ops inherit as floors).
+  //
+  // Under the earliest-ready-then-id policy those ops pop — and acquire
+  // resources — strictly before every other resident or future op, so
+  // their start and finish times are final, and the resource state after
+  // exactly those pops is a valid checkpoint for replaying the
+  // survivors.  The set is dependence-closed for free: a dependence
+  // finishes before its user becomes ready, and an op's readiness never
+  // precedes its own.  An id-prefix cut would avoid remapping op ids,
+  // but wedges permanently on pipelined streams: the issue chain runs
+  // ahead of the backlogged analysis it feeds, so late issue ops forever
+  // become ready before early analysis ops finish.
+  const sim::OpID old_base = graph_.base();
+  if (graph_.size() > old_base) {
+    sim::ReplayResult r = sim::replay(graph_, config_.machine, &ckpt_);
+
+    SimTime future_floor = std::numeric_limits<SimTime>::max();
+    const NodeID relevant = config_.dcr ? config_.machine.num_nodes : 1;
+    for (NodeID n = 0; n < relevant; ++n) {
+      SimTime t = 0;
+      if (issue_tail_[n] == sim::kFrozenOp)
+        t = issue_tail_finish_[n];
+      else if (issue_tail_[n] != sim::kInvalidOp)
+        t = r.finish_of(issue_tail_[n]);
+      future_floor = std::min(future_floor, t);
+    }
+
+    std::size_t retiring_count = 0;
+    for (SimTime t : r.ready)
+      if (t < future_floor) ++retiring_count;
+
+    if (retiring_count != 0) {
+      auto retiring = [&](sim::OpID t) {
+        return t != sim::kInvalidOp && t != sim::kFrozenOp &&
+               r.ready_of(t) < future_floor;
+      };
+      // Freeze persistent references whose ops are about to retire.
+      for (NodeID n = 0; n < config_.machine.num_nodes; ++n) {
+        if (retiring(issue_tail_[n])) {
+          issue_tail_finish_[n] = r.finish_of(issue_tail_[n]);
+          issue_tail_[n] = sim::kFrozenOp;
+        }
+      }
+      if (retiring(last_marker_)) {
+        last_marker_finish_ = r.finish_of(last_marker_);
+        last_marker_ = sim::kFrozenOp;
+      }
+      if (retiring(first_marker_)) {
+        first_marker_finish_ = r.finish_of(first_marker_);
+        first_marker_ = sim::kFrozenOp;
+      }
+      std::size_t keep = 0;
+      for (sim::OpID opid : current_iteration_execs_) {
+        if (retiring(opid))
+          iteration_floor_ = std::max(iteration_floor_, r.finish_of(opid));
+        else
+          current_iteration_execs_[keep++] = opid;
+      }
+      current_iteration_execs_.resize(keep);
+
+      // Freeze launch execution windows.  Exec readiness is not monotone
+      // in launch id (independent launches execute on different nodes),
+      // so launches can freeze out of order; the schedule frontier below
+      // folds them into the rolling hash strictly in launch order and
+      // stops at the first still-live launch.
+      for (LaunchID id = sched_frontier_; id < next_launch_; ++id) {
+        const std::size_t slot = id - launch_base_;
+        sim::OpID e = exec_op_[slot];
+        if (!retiring(e)) continue;
+        SimTime fin = r.finish_of(e);
+        exec_finish_[slot] = fin;
+        exec_start_[slot] = fin - graph_.op(e).cost;
+        exec_op_[slot] = sim::kFrozenOp;
+      }
+      while (sched_frontier_ < next_launch_) {
+        const std::size_t slot = sched_frontier_ - launch_base_;
+        sim::OpID e = exec_op_[slot];
+        if (e == sim::kInvalidOp)
+          sched_hash_ = fnv1a_u64(sched_hash_, ~0ULL);
+        else if (e == sim::kFrozenOp)
+          sched_hash_ = fnv1a_u64(
+              sched_hash_, static_cast<std::uint64_t>(exec_finish_[slot]));
+        else
+          break;
+        ++sched_frontier_;
+      }
+
+      // Second pass: capture the resource state the retiring pop-prefix
+      // leaves behind, then drop the records and remap every surviving
+      // reference (compaction shifts the survivors' ids).
+      sim::ReplayCheckpoint next_ckpt;
+      sim::replay_split(graph_, config_.machine, &ckpt_, future_floor,
+                        next_ckpt);
+      std::vector<sim::OpID> remap;
+      out.retired_ops =
+          graph_.retire_ready_before(r.ready, future_floor, r.finish, remap);
+      invariant(out.retired_ops == retiring_count,
+                "retirement dropped a different op set than it froze");
+      ckpt_ = std::move(next_ckpt);
+      auto remap_ref = [&](sim::OpID& t) {
+        if (t != sim::kInvalidOp && t != sim::kFrozenOp)
+          t = remap[t - old_base];
+      };
+      for (sim::OpID& t : exec_op_) remap_ref(t);
+      for (sim::OpID& t : issue_tail_) remap_ref(t);
+      for (sim::OpID& t : current_iteration_execs_) remap_ref(t);
+      remap_ref(last_marker_);
+      remap_ref(first_marker_);
+    }
+  }
+
+  // ---- Launch retirement.  The engine watermark bounds every future
+  // dependence source from below; the schedule frontier guarantees the
+  // retired launches' finishes are already folded into sched_hash_.
+  LaunchID watermark = engine_->retire_watermark();
+  if (watermark == kInvalidLaunch) watermark = next_launch_;
+  LaunchID new_base = std::min(watermark, sched_frontier_);
+  if (new_base > launch_base_) {
+    deps_.retire_prefix(new_base);
+    const auto drop = static_cast<std::ptrdiff_t>(new_base - launch_base_);
+    exec_op_.erase(exec_op_.begin(), exec_op_.begin() + drop);
+    exec_start_.erase(exec_start_.begin(), exec_start_.begin() + drop);
+    exec_finish_.erase(exec_finish_.begin(), exec_finish_.begin() + drop);
+    if (!launch_log_.empty())
+      launch_log_.erase(launch_log_.begin(), launch_log_.begin() + drop);
+    out.retired_launches = new_base - launch_base_;
+    launch_base_ = new_base;
+  }
+
+  // ---- Engine-side husk compaction.
+  out.eqset_slots_reclaimed = engine_->compact_husks(max_dead_eqsets);
+  out.launch_base = launch_base_;
+  out.op_base = graph_.base();
+  return out;
+}
+
 void Runtime::export_chrome_trace(std::ostream& os) const {
-  sim::ReplayResult r = sim::replay(graph_, config_.machine);
+  sim::ReplayResult r = replay_graph();
   if (!recorder_.enabled() && lifecycle_.event_count() == 0) {
     sim::export_chrome_trace(graph_, r, config_.machine, os);
     return;
   }
 
+  // Resolve a launch to its live (resident, unfrozen) exec op, or
+  // kInvalidOp: retired work has no slice to attach to.
+  auto live_exec = [&](LaunchID id) -> sim::OpID {
+    if (id == kInvalidLaunch || id < launch_base_ || id >= next_launch_)
+      return sim::kInvalidOp;
+    sim::OpID e = exec_op_[id - launch_base_];
+    return e == sim::kFrozenOp ? sim::kInvalidOp : e;
+  };
+
   sim::TraceEnrichment enrich;
   // Flow arrows for dependence edges: producer execution -> consumer
   // execution.
-  for (LaunchID id = 0; id < exec_op_.size(); ++id) {
-    if (exec_op_[id] == sim::kInvalidOp) continue;
+  for (LaunchID id = launch_base_; id < next_launch_; ++id) {
+    if (live_exec(id) == sim::kInvalidOp) continue;
     for (LaunchID p : deps_.preds(id)) {
-      if (p < exec_op_.size() && exec_op_[p] != sim::kInvalidOp)
+      if (live_exec(p) != sim::kInvalidOp)
         enrich.flows.push_back(
-            sim::TraceFlow{exec_op_[p], exec_op_[id], "dep"});
+            sim::TraceFlow{live_exec(p), live_exec(id), "dep"});
     }
   }
   // Flow arrows for analysis messages: the op that triggered the send ->
   // the message's slice on the destination NIC.
-  for (sim::OpID id = 0; id < graph_.size(); ++id) {
+  for (sim::OpID id = graph_.base(); id < graph_.size(); ++id) {
     const sim::Op& op = graph_.op(id);
     if (op.kind != sim::OpKind::Message ||
         op.category != static_cast<std::uint8_t>(sim::OpCategory::Analysis))
@@ -613,8 +842,8 @@ void Runtime::export_chrome_trace(std::ostream& os) const {
     track.pid = 0;
     for (std::size_t i = 0; i < cs.size(); ++i) {
       const obs::SeriesSample& s = cs.at(i);
-      if (s.launch < exec_op_.size() && exec_op_[s.launch] != sim::kInvalidOp)
-        track.samples.emplace_back(exec_op_[s.launch], s.value);
+      if (live_exec(s.launch) != sim::kInvalidOp)
+        track.samples.emplace_back(live_exec(s.launch), s.value);
     }
     enrich.counters.push_back(std::move(track));
   }
@@ -626,12 +855,10 @@ void Runtime::export_chrome_trace(std::ostream& os) const {
     depth.name = "lifecycle/depth/field" + std::to_string(f);
     live.pid = depth.pid = 0;
     for (const obs::LifecycleEvent& ev : lifecycle_.events(f)) {
-      if (ev.launch == kInvalidLaunch || ev.launch >= exec_op_.size() ||
-          exec_op_[ev.launch] == sim::kInvalidOp)
-        continue;
-      live.samples.emplace_back(exec_op_[ev.launch],
+      if (live_exec(ev.launch) == sim::kInvalidOp) continue;
+      live.samples.emplace_back(live_exec(ev.launch),
                                 static_cast<double>(ev.live_after));
-      depth.samples.emplace_back(exec_op_[ev.launch],
+      depth.samples.emplace_back(live_exec(ev.launch),
                                  static_cast<double>(ev.depth));
     }
     if (!live.samples.empty()) {
@@ -641,9 +868,9 @@ void Runtime::export_chrome_trace(std::ostream& os) const {
   }
   // Per-launch args on the execution slices: task name plus the launch's
   // aggregated analysis counters.
-  for (LaunchID id = 0; id < exec_op_.size() && id < launch_names_.size();
-       ++id) {
-    if (exec_op_[id] == sim::kInvalidOp) continue;
+  for (LaunchID id = launch_base_;
+       id < next_launch_ && id < launch_names_.size(); ++id) {
+    if (live_exec(id) == sim::kInvalidOp) continue;
     std::ostringstream args;
     args << "\"launch\":" << id << ",\"task\":\""
          << obs::json_escape(launch_names_[id]) << "\"";
@@ -651,18 +878,24 @@ void Runtime::export_chrome_trace(std::ostream& os) const {
                      [&](const char* name, std::uint64_t value) {
                        if (value != 0) args << ",\"" << name << "\":" << value;
                      });
-    enrich.op_args.emplace(exec_op_[id], args.str());
+    enrich.op_args.emplace(live_exec(id), args.str());
   }
   sim::export_chrome_trace(graph_, r, config_.machine, os, &enrich);
 }
 
 RunStats Runtime::finish() {
-  if (!current_iteration_execs_.empty()) end_iteration();
-  sim::ReplayResult r = sim::replay(graph_, config_.machine);
+  if (!current_iteration_execs_.empty() || iteration_floor_ > 0 ||
+      launches_this_iteration_ > 0)
+    end_iteration();
+  return stats();
+}
+
+RunStats Runtime::stats() const {
+  sim::ReplayResult r = replay_graph();
 
   RunStats stats;
   stats.launches = next_launch_;
-  stats.iterations = iteration_markers_.size();
+  stats.iterations = iteration_count_;
   stats.dep_edges = deps_.edge_count();
   stats.critical_path = deps_.critical_path();
   stats.messages = graph_.message_count();
@@ -672,16 +905,18 @@ RunStats Runtime::finish() {
   stats.analysis_wall_s = analysis_wall_s_;
   stats.engine = engine_->stats();
   stats.total_time_s = static_cast<double>(r.makespan) * 1e-9;
-  if (!iteration_markers_.empty()) {
-    stats.init_time_s =
-        static_cast<double>(r.finish_of(iteration_markers_.front())) * 1e-9;
-    if (iteration_markers_.size() > 1) {
-      double steady = static_cast<double>(
-                          r.finish_of(iteration_markers_.back()) -
-                          r.finish_of(iteration_markers_.front())) *
-                      1e-9;
-      stats.steady_iter_s =
-          steady / static_cast<double>(iteration_markers_.size() - 1);
+  if (iteration_count_ > 0) {
+    SimTime first_fin = first_marker_ == sim::kFrozenOp
+                            ? first_marker_finish_
+                            : r.finish_of(first_marker_);
+    stats.init_time_s = static_cast<double>(first_fin) * 1e-9;
+    if (iteration_count_ > 1) {
+      SimTime last_fin = last_marker_ == sim::kFrozenOp
+                             ? last_marker_finish_
+                             : r.finish_of(last_marker_);
+      stats.steady_iter_s = static_cast<double>(last_fin - first_fin) *
+                            1e-9 /
+                            static_cast<double>(iteration_count_ - 1);
     }
   }
   return stats;

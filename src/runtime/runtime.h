@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/hash.h"
 #include "obs/lifecycle.h"
 #include "obs/profile.h"
 #include "obs/recorder.h"
@@ -89,6 +90,11 @@ struct RuntimeConfig {
   /// merged in canonical order; see docs/PERFORMANCE.md).  1 = sequential;
   /// Algorithm::Reference always runs sequentially (it is the oracle).
   unsigned analysis_threads = 1;
+  /// Bounded-memory streaming: collapse the value payloads of equivalence
+  ///-set history entries beyond this depth into per-set composite views
+  /// (see EngineConfig::max_history_depth).  Analysis results are
+  /// bit-identical with and without the cap; 0 = never collapse.
+  std::size_t max_history_depth = 0;
   sim::MachineConfig machine;
   sim::CostModel costs;
 };
@@ -182,6 +188,16 @@ struct TaskLaunch {
   coord_t work_items = 0;
 };
 
+/// Result of one Runtime::retire() call: where the resident windows start
+/// afterwards, and how much this call reclaimed.
+struct RetireStats {
+  LaunchID launch_base = 0;   ///< first resident launch after the call
+  sim::OpID op_base = 0;      ///< first resident work-graph op after the call
+  std::size_t retired_launches = 0; ///< launches retired by this call
+  std::size_t retired_ops = 0;      ///< work-graph ops retired by this call
+  std::size_t eqset_slots_reclaimed = 0; ///< dead husk slots compacted away
+};
+
 /// Results of a finished run.
 struct RunStats {
   double init_time_s = 0;    ///< start to end of first iteration
@@ -214,16 +230,32 @@ public:
   EngineStats engine_stats() const { return engine_->stats(); }
   const RuntimeConfig& config() const { return config_; }
 
-  /// Work-graph task-execution op of each launch, indexed by LaunchID
-  /// (kInvalidOp for launches without an execution op, e.g. observe()).
-  /// Lets external validators — the fuzzer's schedule checker — relate the
-  /// dependence DAG to the replayed DES schedule.
+  /// Work-graph task-execution op of each *resident* launch, indexed by
+  /// LaunchID - launch_base() (kInvalidOp for launches without an
+  /// execution op, e.g. observe(); sim::kFrozenOp once retire() froze the
+  /// op — its final window is then exec_of/frozen_exec_*).  Lets external
+  /// validators — the fuzzer's schedule checker — relate the dependence
+  /// DAG to the replayed DES schedule.
   std::span<const sim::OpID> exec_ops() const { return exec_op_; }
 
-  /// Requirements of every analyzed launch, indexed by LaunchID.  Empty
-  /// unless RuntimeConfig::record_launches; the spy verifier
-  /// (analysis/spy.h) recomputes interference from this and the forest.
+  /// Execution op of a resident launch (kInvalidOp / sim::kFrozenOp as in
+  /// exec_ops()).
+  sim::OpID exec_of(LaunchID id) const;
+  /// Final execution window of a launch whose exec op was frozen by
+  /// retire() (only valid when exec_of(id) == sim::kFrozenOp).
+  SimTime frozen_exec_start(LaunchID id) const;
+  SimTime frozen_exec_finish(LaunchID id) const;
+
+  /// Requirements of every *resident* analyzed launch, indexed by
+  /// LaunchID - launch_base().  Empty unless
+  /// RuntimeConfig::record_launches; the spy verifier (analysis/spy.h)
+  /// recomputes interference from this and the forest.
   std::span<const LaunchRecord> launch_log() const { return launch_log_; }
+
+  /// First launch still resident in the dependence graph / launch log
+  /// (0 until the first retire() call).
+  LaunchID launch_base() const { return launch_base_; }
+  std::size_t resident_launches() const { return next_launch_ - launch_base_; }
 
   /// The telemetry recorder (enabled iff RuntimeConfig::telemetry).
   obs::Recorder& recorder() { return recorder_; }
@@ -306,11 +338,44 @@ public:
   /// through the coherence engine (counts as a launch).
   RegionData<double> observe(RegionHandle region, FieldID field);
 
-  /// Replay the work graph onto the machine and compute statistics.
+  /// Replay the work graph onto the machine and compute statistics,
+  /// closing a pending iteration first (the batch entry point).
   RunStats finish();
 
+  /// Same statistics without mutating state: safe to call mid-stream from
+  /// a serving loop.  A pending (un-markered) iteration is simply not
+  /// reflected in init/steady times yet.
+  RunStats stats() const;
+
+  /// Retire everything provably final, bounding resident memory for
+  /// unbounded streams:
+  ///   1. Work-graph freeze — retire the pop-order prefix of the DES
+  ///      schedule (every resident op that becomes ready before any
+  ///      future op possibly can; see docs/SERVING.md for the argument),
+  ///      fold its finish times into the rolling schedule hash and into
+  ///      per-reference floors, then drop the op records and advance the
+  ///      replay checkpoint.
+  ///   2. Launch retirement — drop dep-graph predecessor lists and launch
+  ///      records below min(engine watermark, schedule frontier).
+  ///   3. Engine compaction — collapse dead eq-set husks once more than
+  ///      `max_dead_eqsets` are resident.
+  /// Analysis results, dep/schedule/value hashes and aggregate statistics
+  /// are bit-identical with and without retirement, by construction.
+  RetireStats retire(std::size_t max_dead_eqsets = 0);
+
+  /// Rolling whole-stream schedule hash: the fold, in launch order, of
+  /// each launch's exec-op finish time (~0 for launches without one).
+  /// Equals the batch fold independent of retirement.
+  std::uint64_t schedule_hash() const;
+
+  /// Replay the resident work-graph window from the retirement checkpoint:
+  /// finish times (and cumulative busy/makespan) equal a whole-stream
+  /// replay's.
+  sim::ReplayResult replay_graph() const;
+
   /// Replay the work graph and write it as a Chrome trace
-  /// (chrome://tracing / Perfetto JSON) for timeline inspection.
+  /// (chrome://tracing / Perfetto JSON) for timeline inspection.  After
+  /// retire() the trace covers the resident window only.
   void export_chrome_trace(std::ostream& os) const;
 
 private:
@@ -371,13 +436,38 @@ private:
   std::unordered_map<std::uint32_t, TraceState> traces_;
   std::size_t traced_launches_ = 0;
 
-  std::vector<sim::OpID> exec_op_;        ///< per launch
-  std::vector<LaunchRecord> launch_log_;  ///< per launch (when recording)
-  std::vector<sim::OpID> issue_tail_;     ///< per node: analysis chain tail
-  std::vector<sim::OpID> iteration_markers_;
+  // Per resident launch, indexed by LaunchID - launch_base_.  An exec_op_
+  // entry of sim::kFrozenOp means the op was retired from the work graph;
+  // its final window lives in exec_start_/exec_finish_.
+  std::vector<sim::OpID> exec_op_;
+  std::vector<SimTime> exec_start_;
+  std::vector<SimTime> exec_finish_;
+  std::vector<LaunchRecord> launch_log_;  ///< when recording
+  /// Per node: analysis-chain tail op (sim::kFrozenOp once retired; the
+  /// tail's finish then lives in issue_tail_finish_).
+  std::vector<sim::OpID> issue_tail_;
+  std::vector<SimTime> issue_tail_finish_;
   std::vector<sim::OpID> current_iteration_execs_;
+  /// Fold of the finishes of current-iteration ops already retired: the
+  /// next marker's readiness floor.
+  SimTime iteration_floor_ = 0;
   sim::OpID last_marker_ = sim::kInvalidOp;
+  SimTime last_marker_finish_ = 0;
+  sim::OpID first_marker_ = sim::kInvalidOp;
+  SimTime first_marker_finish_ = 0;
+  std::size_t iteration_count_ = 0;
   std::size_t launches_this_iteration_ = 0;
+
+  /// Retirement frontiers.  launch_base_: first launch resident in deps_ /
+  /// exec_op_ / launch_log_.  sched_frontier_: first launch whose exec-op
+  /// finish has not been folded into sched_hash_ yet (always >=
+  /// launch_base_).
+  LaunchID launch_base_ = 0;
+  LaunchID sched_frontier_ = 0;
+  std::uint64_t sched_hash_ = kFnvOffsetBasis;
+  /// Resource state at the work-graph retirement cut; seeds every replay
+  /// of the resident window.
+  sim::ReplayCheckpoint ckpt_;
 
   /// Cumulative analysis CPU per node (always accumulated: one add per
   /// analysis step).

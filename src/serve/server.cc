@@ -1,0 +1,401 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace visrt::serve {
+
+namespace {
+
+/// Accumulate one session's counters into an aggregate: monotone counts
+/// add, residency peaks take the maximum over sessions (a per-session
+/// bound, not a co-residency sum).
+void merge_counters(SessionCounters& into, const SessionCounters& from) {
+  into.statements += from.statements;
+  into.rejected += from.rejected;
+  into.launches += from.launches;
+  into.iterations += from.iterations;
+  into.retire_calls += from.retire_calls;
+  into.retired_launches += from.retired_launches;
+  into.retired_ops += from.retired_ops;
+  into.eqset_slots_reclaimed += from.eqset_slots_reclaimed;
+  into.peak_resident_launches =
+      std::max(into.peak_resident_launches, from.peak_resident_launches);
+  into.peak_resident_ops =
+      std::max(into.peak_resident_ops, from.peak_resident_ops);
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string error_line(std::string_view what) {
+  return "{\"error\":\"" + obs::json_escape(what) + "\"}";
+}
+
+/// Write `line` + '\n' to a socket, tolerating a vanished client.
+void write_line(int fd, std::string_view line) {
+  std::string buf(line);
+  buf.push_back('\n');
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return; // client gone; the session result is still aggregated
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+} // namespace
+
+/// One client connection.  The connection's worker thread owns `session`
+/// and `inbuf`; the mutable snapshot fields below the comment are the
+/// published view other threads (stats/metrics) read under Server::mu_.
+struct Server::Connection {
+  int fd = -1;
+
+  std::unique_ptr<StreamSession> session; // worker-thread only
+  std::string inbuf;                      // worker-thread only
+
+  // Published under Server::mu_ by publish():
+  SessionCounters snap;
+  std::uint64_t resident_launches = 0;
+  std::uint64_t resident_ops = 0;
+  std::uint64_t live_eqsets = 0;
+  bool counted = false; ///< included in sessions_total_
+  bool active = false;  ///< has a live session not yet merged
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  require(!started_, "server already started");
+  require(!options_.socket_path.empty(), "serve: socket path is empty");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(options_.socket_path.size() < sizeof(addr.sun_path),
+          "serve: socket path too long for AF_UNIX");
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "serve: socket() failed");
+  ::unlink(options_.socket_path.c_str()); // stale socket from a past run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ApiError("serve: cannot bind " + options_.socket_path + ": " +
+                   std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ApiError(std::string("serve: listen() failed: ") +
+                   std::strerror(errno));
+  }
+  int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_); // accept loop is down; no new workers appear
+  }
+  for (std::thread& w : workers)
+    if (w.joinable()) w.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (started_) ::unlink(options_.socket_path.c_str());
+  started_ = false;
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (rc <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.push_back(conn);
+    workers_.emplace_back([this, conn] { handle_connection(conn); });
+  }
+}
+
+void Server::handle_connection(std::shared_ptr<Connection> conn) {
+  bool failed = false;
+  bool replied = false;
+  try {
+    char chunk[65536];
+    bool open = true;
+    while (open) {
+      if (stop_.load(std::memory_order_relaxed)) break; // drain
+      pollfd pfd{conn->fd, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, options_.poll_interval_ms);
+      if (rc < 0 && errno != EINTR) break;
+      if (rc <= 0) continue;
+      ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break; // EOF: behaves like @end below
+      conn->inbuf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        std::size_t nl = conn->inbuf.find('\n', start);
+        if (nl == std::string::npos) break;
+        std::string_view line(conn->inbuf.data() + start, nl - start);
+        std::string reply;
+        open = handle_line(*conn, line, reply);
+        if (!reply.empty()) write_line(conn->fd, reply);
+        start = nl + 1;
+        if (!open) {
+          replied = true;
+          break;
+        }
+      }
+      conn->inbuf.erase(0, start);
+      publish(*conn, /*active=*/true);
+    }
+    // EOF or drain without @end: finish the in-flight session and write
+    // its result line so no analysis state is silently dropped.
+    if (!replied && conn->session != nullptr) {
+      conn->session->finish();
+      write_line(conn->fd, result_json(*conn->session));
+    }
+  } catch (const std::exception& e) {
+    write_line(conn->fd, error_line(e.what()));
+    failed = true;
+  }
+  publish(*conn, /*active=*/false);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conn->counted) {
+      merge_counters(finished_totals_, conn->snap);
+      if (failed)
+        ++sessions_failed_;
+      else
+        ++sessions_completed_;
+    }
+    conn->active = false;
+    conn->resident_launches = conn->resident_ops = conn->live_eqsets = 0;
+  }
+  conn->session.reset(); // release the Runtime promptly
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+bool Server::handle_line(Connection& conn, std::string_view line,
+                         std::string& reply) {
+  if (!line.empty() && line.front() == '@') {
+    if (line == "@metrics") {
+      reply = metrics_json();
+      return true;
+    }
+    if (line == "@end") {
+      if (conn.session != nullptr) {
+        conn.session->finish();
+        reply = result_json(*conn.session);
+      } else {
+        reply = "{\"ok\":true,\"launches\":0}";
+      }
+      return false;
+    }
+    reply = error_line("unknown control line: " + std::string(line));
+    return true;
+  }
+  if (conn.session == nullptr) {
+    SessionOptions so = options_.session;
+    int fd = conn.fd;
+    so.on_error = [fd](const std::string& what) {
+      write_line(fd, error_line(what));
+    };
+    conn.session = std::make_unique<StreamSession>(std::move(so));
+    std::lock_guard<std::mutex> lock(mu_);
+    conn.counted = true;
+    conn.active = true;
+    ++sessions_total_;
+  }
+  std::string stmt(line);
+  stmt.push_back('\n');
+  conn.session->feed(stmt);
+  return true;
+}
+
+void Server::publish(Connection& conn, bool active) {
+  if (conn.session == nullptr) return;
+  SessionCounters snap = conn.session->counters();
+  std::uint64_t rl = 0, ro = 0, le = 0;
+  if (const Runtime* rt = conn.session->runtime()) {
+    rl = rt->resident_launches();
+    ro = rt->work_graph().resident_ops();
+    le = rt->engine_stats().live_eqsets;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  conn.snap = snap;
+  conn.active = active && conn.counted;
+  conn.resident_launches = rl;
+  conn.resident_ops = ro;
+  conn.live_eqsets = le;
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.totals = finished_totals_;
+  s.sessions_total = sessions_total_;
+  s.sessions_completed = sessions_completed_;
+  s.sessions_failed = sessions_failed_;
+  for (const std::shared_ptr<Connection>& c : conns_) {
+    if (!c->active) continue;
+    ++s.sessions_active;
+    merge_counters(s.totals, c->snap);
+    s.resident_launches += c->resident_launches;
+    s.resident_ops += c->resident_ops;
+    s.live_eqsets += c->live_eqsets;
+  }
+  s.uptime_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_time_)
+                   .count();
+  return s;
+}
+
+std::string Server::metrics_json() const {
+  ServeStats s = stats();
+  const SessionCounters& t = s.totals;
+  std::ostringstream os;
+  os << "{\"schema_version\":" << obs::kMetricsSchemaVersion
+     << ",\"binary\":\"visrt_serve\",\"serve\":{"
+     << "\"sessions_total\":" << s.sessions_total
+     << ",\"sessions_active\":" << s.sessions_active
+     << ",\"sessions_completed\":" << s.sessions_completed
+     << ",\"sessions_failed\":" << s.sessions_failed
+     << ",\"statements\":" << t.statements << ",\"rejected\":" << t.rejected
+     << ",\"launches\":" << t.launches << ",\"iterations\":" << t.iterations
+     << ",\"retire_calls\":" << t.retire_calls
+     << ",\"retired_launches\":" << t.retired_launches
+     << ",\"retired_ops\":" << t.retired_ops
+     << ",\"eqset_slots_reclaimed\":" << t.eqset_slots_reclaimed
+     << ",\"peak_resident_launches\":" << t.peak_resident_launches
+     << ",\"peak_resident_ops\":" << t.peak_resident_ops
+     << ",\"resident_launches\":" << s.resident_launches
+     << ",\"resident_ops\":" << s.resident_ops
+     << ",\"live_eqsets\":" << s.live_eqsets << ",\"caps\":{"
+     << "\"max_resident_launches\":" << options_.session.max_resident_launches
+     << ",\"max_history_depth\":" << options_.session.max_history_depth
+     << ",\"retire_every\":" << options_.session.retire_every << "}"
+     << ",\"timing\":{\"uptime_s\":" << obs::json_number(s.uptime_s)
+     << ",\"launches_per_s\":"
+     << obs::json_number(s.uptime_s > 0
+                             ? static_cast<double>(t.launches) / s.uptime_s
+                             : 0.0)
+     << "}}}";
+  return os.str();
+}
+
+std::string Server::result_json(const StreamSession& session) const {
+  const SessionResult& r = session.result();
+  const SessionCounters& c = session.counters();
+  std::ostringstream os;
+  os << "{\"ok\":true,\"launches\":" << r.launches
+     << ",\"dep_edges\":" << r.dep_edges << ",\"statements\":" << c.statements
+     << ",\"rejected\":" << c.rejected
+     << ",\"retire_calls\":" << c.retire_calls
+     << ",\"retired_launches\":" << c.retired_launches
+     << ",\"peak_resident_launches\":" << c.peak_resident_launches
+     << ",\"dep_graph_hash\":\"" << hex_u64(r.dep_graph_hash)
+     << "\",\"schedule_hash\":\"" << hex_u64(r.schedule_hash)
+     << "\",\"value_hash\":\"" << hex_u64(r.value_hash)
+     << "\",\"final_hashes\":[";
+  for (std::size_t i = 0; i < r.final_hashes.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << hex_u64(r.final_hashes[i]) << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Server::run_stream(std::istream& in, std::ostream& out) {
+  SessionOptions so = options_.session;
+  so.on_error = [&out](const std::string& what) {
+    out << error_line(what) << "\n" << std::flush;
+  };
+  StreamSession session(std::move(so));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sessions_total_;
+  }
+  bool ended = false;
+  std::string line;
+  while (!ended && std::getline(in, line)) {
+    if (!line.empty() && line.front() == '@') {
+      if (line == "@metrics") {
+        // The stdin session is not an accepted connection: fold its own
+        // live counters in by hand so the report covers it.
+        SessionCounters snap;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          snap = finished_totals_;
+          merge_counters(finished_totals_, session.counters());
+        }
+        out << metrics_json() << "\n" << std::flush;
+        std::lock_guard<std::mutex> lock(mu_);
+        finished_totals_ = snap;
+      } else if (line == "@end") {
+        ended = true;
+      } else {
+        out << error_line("unknown control line: " + line) << "\n"
+            << std::flush;
+      }
+      continue;
+    }
+    line.push_back('\n');
+    session.feed(line);
+  }
+  session.finish();
+  out << result_json(session) << "\n" << std::flush;
+  std::lock_guard<std::mutex> lock(mu_);
+  merge_counters(finished_totals_, session.counters());
+  ++sessions_completed_;
+}
+
+} // namespace visrt::serve

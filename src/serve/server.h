@@ -1,0 +1,121 @@
+// visrt/serve/server.h
+//
+// The streaming analysis daemon behind `visrt_cli serve`: a local
+// (AF_UNIX) socket server multiplexing concurrent client sessions, each an
+// independent serve::StreamSession (its own Runtime, incremental analysis,
+// epoch retirement).  Sessions share nothing but the aggregated counters,
+// following the Distributed FrameBuffer serving pattern: many producers
+// feed independent analysis state, and observability aggregates
+// asynchronously off the ingest path.
+//
+// Wire protocol (line-oriented, one session per connection):
+//
+//   client -> server   .visprog statements, one per line (fuzz/serialize.h)
+//   client -> server   @metrics   reply with one metrics JSON line
+//   client -> server   @end       finish the session, reply with one
+//                                 result JSON line, close
+//   server -> client   {"error":...}  a rejected statement (session lives)
+//
+// EOF without @end behaves like @end (half-close friendly).  SIGTERM
+// drain: Server::stop() stops accepting, then every connection finishes
+// its in-flight session, writes its result line and closes — no analysis
+// state is dropped.
+//
+// The metrics line is the schema-v2 envelope with a "serve" section
+// (docs/SERVING.md); host-dependent timing lives in its "timing"
+// subobject so tests can strip it and byte-compare the rest.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace visrt::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket.
+  std::string socket_path;
+  /// Per-session execution and memory-bounding knobs.
+  SessionOptions session;
+  /// Stop-flag poll interval for the accept and connection loops.
+  int poll_interval_ms = 200;
+};
+
+/// Point-in-time aggregate across all sessions, ever and active.
+struct ServeStats {
+  std::uint64_t sessions_total = 0;     ///< sessions that saw a statement
+  std::uint64_t sessions_active = 0;
+  std::uint64_t sessions_completed = 0; ///< finished cleanly (incl. drains)
+  std::uint64_t sessions_failed = 0;    ///< died on a non-recoverable error
+  SessionCounters totals;               ///< summed over all sessions
+  std::uint64_t resident_launches = 0;  ///< gauge: sum over active sessions
+  std::uint64_t resident_ops = 0;       ///< gauge: sum over active sessions
+  std::uint64_t live_eqsets = 0;        ///< gauge: sum over active sessions
+  double uptime_s = 0;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  /// Bind + listen + start the accept loop.  Throws ApiError when the
+  /// socket cannot be created.
+  void start();
+
+  /// Graceful drain: stop accepting, finish every in-flight session
+  /// (each writes its result line), join all threads, remove the socket.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Has stop() been requested (e.g. by a signal handler via
+  /// request_stop)?
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+  /// Async-signal-safe stop request; the accept/connection loops notice
+  /// it within one poll interval.  stop() must still be called to join.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Single-session stdin mode: read statements/controls from `in`,
+  /// write replies to `out`; returns when the stream ends.  No threads.
+  void run_stream(std::istream& in, std::ostream& out);
+
+  ServeStats stats() const;
+  /// The schema-v2 metrics envelope with the "serve" section.
+  std::string metrics_json() const;
+
+private:
+  struct Connection;
+  void accept_loop();
+  void handle_connection(std::shared_ptr<Connection> conn);
+  /// One complete input line: control (@...) or statement.  Returns false
+  /// when the connection should close.
+  bool handle_line(Connection& conn, std::string_view line,
+                   std::string& reply);
+  void publish(Connection& conn, bool active);
+  std::string result_json(const StreamSession& session) const;
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  SessionCounters finished_totals_;
+  std::uint64_t sessions_total_ = 0;
+  std::uint64_t sessions_completed_ = 0;
+  std::uint64_t sessions_failed_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+} // namespace visrt::serve

@@ -1,0 +1,163 @@
+// visrt/serve/session.h
+//
+// One streaming-analysis session: the incremental counterpart of the
+// fuzzer's batch oracle execution.  A session accepts `.visprog` IR a
+// chunk of bytes at a time (straight off a socket or stdin), parses it
+// statement-by-statement with VisprogStreamParser, and drives a private
+// Runtime as launches arrive — dependence analysis is incremental per
+// launch, and completed prefixes are retired (Runtime::retire) under the
+// session's residency caps, so memory stays flat over unbounded streams.
+//
+// Everything a session computes is bit-identical to the batch path by
+// construction:
+//
+//   value hash       rolling FNV fold of the per-launch materialized-value
+//                    hashes in launch order (fold of RunResult::launch_hashes),
+//   dep-graph hash   DepGraph::stream_hash (covers retired launches),
+//   schedule hash    Runtime::schedule_hash (frozen prefix + live suffix),
+//   final hashes     per-field observe() at end-of-stream.
+//
+// The serve tests and `visrt_fuzz --stream` assert exactly this
+// equivalence against fuzz::run_program.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/program.h"
+#include "fuzz/serialize.h"
+#include "runtime/runtime.h"
+
+namespace visrt::serve {
+
+/// Memory-bounding and execution knobs of one session.
+struct SessionOptions {
+  /// Retire completed prefixes every N ingested launches (0 = only when
+  /// max_resident_launches forces it).
+  std::size_t retire_every = 1024;
+  /// Residency cap: retire whenever more than this many launches are
+  /// resident (0 = no cap).  The cap is enforced opportunistically — the
+  /// retirement cut can only advance past launches whose schedule is
+  /// provably final — so residency plateaus at the cap plus the
+  /// analysis-dependent tail rather than truncating it.
+  std::size_t max_resident_launches = 8192;
+  /// Per-equivalence-set history depth before value payloads collapse into
+  /// a composite view (RuntimeConfig::max_history_depth; 0 = never).
+  std::size_t max_history_depth = 64;
+  /// Husk-compaction slack forwarded to Runtime::retire.
+  std::size_t max_dead_eqsets = 1024;
+  /// Execute task bodies and track region values (matches the oracle).
+  /// Off for analysis-only ingest, where value hashes stay zero.
+  bool track_values = true;
+  /// Override the stream's `threads` directive when nonzero.
+  unsigned analysis_threads = 0;
+  /// Override the stream's configured engine.
+  std::optional<Algorithm> subject;
+  /// Recoverable statement errors (malformed or semantically invalid
+  /// lines) are reported here and the offending statement is skipped; the
+  /// session keeps parsing.  Unset: errors are silently counted only.
+  std::function<void(const std::string&)> on_error;
+};
+
+/// Monotone per-session (and, summed, per-server) ingest counters.
+struct SessionCounters {
+  std::uint64_t statements = 0; ///< statements applied (excl. rejected)
+  std::uint64_t rejected = 0;   ///< statements rejected as recoverable
+  std::uint64_t launches = 0;   ///< launches ingested (index points incl.)
+  std::uint64_t iterations = 0; ///< end_iteration markers
+  std::uint64_t retire_calls = 0;
+  std::uint64_t retired_launches = 0;
+  std::uint64_t retired_ops = 0;
+  std::uint64_t eqset_slots_reclaimed = 0;
+  /// Maximum resident launches/ops observed *after* each item's retirement
+  /// opportunity — the quantity the residency caps bound.
+  std::uint64_t peak_resident_launches = 0;
+  std::uint64_t peak_resident_ops = 0;
+};
+
+/// Results of a finished session (valid after finish()).
+struct SessionResult {
+  /// FNV fold of the per-launch materialized-value hashes in launch order;
+  /// equals folding fuzz::RunResult::launch_hashes of a batch run.  0 when
+  /// value tracking is off.
+  std::uint64_t value_hash = 0;
+  /// Final observe() hash per field-table entry.
+  std::vector<std::uint64_t> final_hashes;
+  std::uint64_t dep_graph_hash = 0;
+  std::uint64_t schedule_hash = 0;
+  std::size_t launches = 0;
+  std::size_t dep_edges = 0;
+};
+
+class StreamSession {
+public:
+  explicit StreamSession(SessionOptions options = {});
+  ~StreamSession();
+
+  /// Ingest raw bytes: parse complete statements and apply them to the
+  /// session's Runtime.  Recoverable errors go to options.on_error; a
+  /// non-recoverable failure (engine invariant, crash) throws and poisons
+  /// the session.
+  void feed(std::string_view bytes);
+
+  /// End of input: parse any final unterminated line, close the pending
+  /// iteration, run the trailing per-field observes, and capture the
+  /// result hashes.  Idempotent.
+  void finish();
+  bool finished() const { return finished_; }
+
+  /// Valid after finish().
+  const SessionResult& result() const { return result_; }
+  const SessionCounters& counters() const { return counters_; }
+
+  /// The session's runtime; null until the first stream item (or field
+  /// declaration at finish()) instantiates it.
+  Runtime* runtime() { return runtime_.get(); }
+  const Runtime* runtime() const { return runtime_.get(); }
+
+  /// The declaration mirror accumulated so far.
+  const fuzz::ProgramSpec& spec() const { return spec_; }
+
+private:
+  void feed_tail();
+  void apply(const fuzz::VisprogStatement& st);
+  void apply_decl(const fuzz::VisprogStatement& st);
+  void apply_item(const fuzz::StreamItem& item);
+  void instantiate();
+  void maybe_retire(bool force);
+  void note_residency();
+  void body(TaskContext& ctx, std::span<const fuzz::ReqSpec> reqs,
+            std::uint64_t salt);
+
+  SessionOptions options_;
+  fuzz::VisprogStreamParser parser_;
+  fuzz::ProgramSpec spec_; ///< declaration mirror + config (stream not kept)
+  int trace_depth_ = 0;
+  std::size_t launches_since_retire_ = 0;
+  /// Launches to ingest before the over-cap trigger may force another
+  /// retire, set after a retire that failed to get back under the cap.
+  std::size_t retire_backoff_ = 0;
+  LaunchID next_expected_ = 0;
+
+  std::unique_ptr<Runtime> runtime_;
+  std::vector<RegionHandle> regions_;
+  std::vector<PartitionHandle> partitions_;
+
+  SessionCounters counters_;
+  SessionResult result_;
+  std::uint64_t value_hash_;
+  bool finished_ = false;
+};
+
+/// FNV fold of per-launch value hashes in launch order — apply to a batch
+/// run's RunResult::launch_hashes to compare with
+/// SessionResult::value_hash.
+std::uint64_t fold_value_hashes(std::span<const std::uint64_t> hashes);
+
+} // namespace visrt::serve

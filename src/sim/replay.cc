@@ -19,41 +19,81 @@ struct ReadyOp {
 
 } // namespace
 
-ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine) {
+namespace {
+
+ReplayResult replay_impl(const WorkGraph& graph, const MachineConfig& machine,
+                         const ReplayCheckpoint* start,
+                         ReplayCheckpoint* end_state, OpID limit,
+                         SimTime cut_bound, ReplayCheckpoint* cut_state) {
   machine.validate();
-  const std::size_t n = graph.size();
+  const OpID base = graph.base();
+  const OpID end = static_cast<OpID>(
+      std::min<std::size_t>(limit, graph.size()));
+  invariant(end >= base, "replay limit precedes the graph base");
+  const std::size_t n = end - base;
   ReplayResult result;
+  result.base = base;
   result.finish.assign(n, 0);
+  result.ready.assign(n, 0);
   result.node_busy.assign(machine.num_nodes, 0);
 
   // Dependence bookkeeping: count of unfinished deps, and reverse edges.
+  // Dependences always point backwards, so an id-prefix window is closed.
   std::vector<std::uint32_t> pending(n, 0);
   std::vector<std::vector<OpID>> users(n);
-  for (OpID id = 0; id < n; ++id) {
+  for (OpID id = base; id < end; ++id) {
     auto deps = graph.deps(id);
-    pending[id] = static_cast<std::uint32_t>(deps.size());
-    for (OpID d : deps) users[d].push_back(id);
+    pending[id - base] = static_cast<std::uint32_t>(deps.size());
+    for (OpID d : deps) users[d - base].push_back(id);
   }
 
   // Per-resource next-free times.  Each node has a runtime CPU (analysis,
   // handlers), an accelerator for leaf tasks (the paper's evaluation maps
-  // every task to the node's GPU), and a NIC in each direction.
+  // every task to the node's GPU), and a NIC in each direction.  A start
+  // checkpoint resumes from the state a retired prefix left behind.
   std::vector<SimTime> cpu_free(machine.num_nodes, 0);
   std::vector<SimTime> accel_free(machine.num_nodes, 0);
   std::vector<SimTime> nic_out_free(machine.num_nodes, 0);
   std::vector<SimTime> nic_in_free(machine.num_nodes, 0);
+  if (start != nullptr && !start->empty()) {
+    invariant(start->cpu_free.size() == machine.num_nodes,
+              "replay checkpoint does not match the machine");
+    cpu_free = start->cpu_free;
+    accel_free = start->accel_free;
+    nic_out_free = start->nic_out_free;
+    nic_in_free = start->nic_in_free;
+    result.node_busy = start->node_busy;
+    result.makespan = start->makespan;
+  }
 
   std::priority_queue<ReadyOp, std::vector<ReadyOp>, std::greater<ReadyOp>>
       ready;
-  std::vector<SimTime> ready_time(n, 0);
-  for (OpID id = 0; id < n; ++id) {
-    if (pending[id] == 0) ready.push(ReadyOp{0, id});
+  std::vector<SimTime>& ready_time = result.ready;
+  for (OpID id = base; id < end; ++id)
+    ready_time[id - base] = graph.op(id).floor;
+  for (OpID id = base; id < end; ++id) {
+    if (pending[id - base] == 0) ready.push(ReadyOp{ready_time[id - base], id});
   }
+
+  // The pop sequence is ordered by (readiness, id), so the ops below
+  // `cut_bound` form a prefix of it: snapshot the resource state the
+  // moment the first at-or-above-bound op pops.
+  bool cut_taken = cut_state == nullptr;
+  auto take_cut = [&] {
+    cut_state->cpu_free = cpu_free;
+    cut_state->accel_free = accel_free;
+    cut_state->nic_out_free = nic_out_free;
+    cut_state->nic_in_free = nic_in_free;
+    cut_state->node_busy = result.node_busy;
+    cut_state->makespan = result.makespan;
+    cut_taken = true;
+  };
 
   std::size_t executed = 0;
   while (!ready.empty()) {
     auto [at, id] = ready.top();
     ready.pop();
+    if (!cut_taken && at >= cut_bound) take_cut();
     const Op& op = graph.op(id);
     invariant(op.node < machine.num_nodes, "op placed on nonexistent node");
 
@@ -64,8 +104,8 @@ ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine) {
           op.category == static_cast<std::uint8_t>(OpCategory::TaskExec)
               ? accel_free
               : cpu_free;
-      SimTime start = std::max(at, res[op.node]);
-      fin = start + op.cost;
+      SimTime start_at = std::max(at, res[op.node]);
+      fin = start_at + op.cost;
       res[op.node] = fin;
       result.node_busy[op.node] += op.cost;
       break;
@@ -74,8 +114,8 @@ ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine) {
       invariant(op.dst < machine.num_nodes, "message to nonexistent node");
       if (op.dst == op.node) {
         // Intra-node transfer: charge only the handler dispatch.
-        SimTime start = std::max(at, cpu_free[op.node]);
-        fin = start + machine.message_handler_ns;
+        SimTime start_at = std::max(at, cpu_free[op.node]);
+        fin = start_at + machine.message_handler_ns;
         cpu_free[op.node] = fin;
         result.node_busy[op.node] += machine.message_handler_ns;
         break;
@@ -108,18 +148,44 @@ ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine) {
       break;
     }
 
-    result.finish[id] = fin;
+    result.finish[id - base] = fin;
     result.makespan = std::max(result.makespan, fin);
     ++executed;
 
-    for (OpID user : users[id]) {
-      ready_time[user] = std::max(ready_time[user], fin);
-      if (--pending[user] == 0) ready.push(ReadyOp{ready_time[user], user});
+    for (OpID user : users[id - base]) {
+      std::size_t u = user - base;
+      ready_time[u] = std::max(ready_time[u], fin);
+      if (--pending[u] == 0) ready.push(ReadyOp{ready_time[u], user});
     }
   }
 
   invariant(executed == n, "work graph contains a dependence cycle");
+  if (!cut_taken) take_cut();
+
+  if (end_state != nullptr) {
+    end_state->cpu_free = std::move(cpu_free);
+    end_state->accel_free = std::move(accel_free);
+    end_state->nic_out_free = std::move(nic_out_free);
+    end_state->nic_in_free = std::move(nic_in_free);
+    end_state->node_busy = result.node_busy;
+    end_state->makespan = result.makespan;
+  }
   return result;
+}
+
+} // namespace
+
+ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine,
+                    const ReplayCheckpoint* start,
+                    ReplayCheckpoint* end_state, OpID limit) {
+  return replay_impl(graph, machine, start, end_state, limit, 0, nullptr);
+}
+
+ReplayResult replay_split(const WorkGraph& graph, const MachineConfig& machine,
+                          const ReplayCheckpoint* start, SimTime ready_bound,
+                          ReplayCheckpoint& cut_state) {
+  return replay_impl(graph, machine, start, nullptr, kInvalidOp, ready_bound,
+                     &cut_state);
 }
 
 } // namespace visrt::sim

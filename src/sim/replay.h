@@ -6,6 +6,12 @@
 // The result assigns every op a finish time; the makespan (or the finish
 // time of a designated marker) is the simulated wall-clock measurement the
 // benchmarks report.
+//
+// Retired graphs replay incrementally: a ReplayCheckpoint carries the
+// per-resource next-free times (plus cumulative busy/makespan totals) at a
+// retirement cut, so replaying the resident window from the checkpoint
+// yields exactly the finish times a whole-stream replay would have
+// produced for those ops.
 #pragma once
 
 #include <vector>
@@ -15,16 +21,51 @@
 
 namespace visrt::sim {
 
-/// Per-run replay results.
-struct ReplayResult {
-  std::vector<SimTime> finish; ///< finish time per op, indexed by OpID
-  SimTime makespan = 0;        ///< max finish time over all ops
-  std::vector<SimTime> node_busy; ///< CPU busy time per node
-
-  SimTime finish_of(OpID id) const { return finish[id]; }
+/// Resource state at a retirement cut: what the retired prefix left
+/// behind.  Busy times and makespan are cumulative from program start.
+struct ReplayCheckpoint {
+  std::vector<SimTime> cpu_free;
+  std::vector<SimTime> accel_free;
+  std::vector<SimTime> nic_out_free;
+  std::vector<SimTime> nic_in_free;
+  std::vector<SimTime> node_busy;
+  SimTime makespan = 0;
+  bool empty() const { return cpu_free.empty(); }
 };
 
-/// Schedule the graph.  Deterministic: ties broken by op id.
-ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine);
+/// Per-run replay results.  `finish` / `ready` cover the replayed window,
+/// indexed by id - base (base == 0 for never-retired graphs, so plain
+/// `finish[id]` keeps working there).
+struct ReplayResult {
+  OpID base = 0;
+  std::vector<SimTime> finish; ///< finish time per replayed op
+  std::vector<SimTime> ready;  ///< dependence-readiness time per op
+  SimTime makespan = 0;        ///< max finish time (cumulative with start)
+  std::vector<SimTime> node_busy; ///< CPU busy per node (cumulative)
+
+  SimTime finish_of(OpID id) const { return finish[id - base]; }
+  SimTime ready_of(OpID id) const { return ready[id - base]; }
+};
+
+/// Schedule the resident window [graph.base(), min(limit, graph.size())).
+/// Deterministic: ties broken by op id.  `start` seeds resource state from
+/// a prior retirement cut (fresh machine when null); when `end_state` is
+/// non-null the post-window resource state is written there.  `limit`
+/// restricts the replay to an id-prefix of the window (the prefix must be
+/// dependence-closed, which any id-prefix is).
+ReplayResult replay(const WorkGraph& graph, const MachineConfig& machine,
+                    const ReplayCheckpoint* start = nullptr,
+                    ReplayCheckpoint* end_state = nullptr,
+                    OpID limit = kInvalidOp);
+
+/// Replay the whole resident window, additionally capturing in `cut_state`
+/// the resource state after the pop-order prefix of ops whose readiness is
+/// strictly below `ready_bound`.  Pops are ordered by (readiness, id), so
+/// that set is a prefix of the pop sequence and `cut_state` is exactly the
+/// state a replay of those ops alone would leave behind — the retirement
+/// checkpoint (see Runtime::retire for the finality argument).
+ReplayResult replay_split(const WorkGraph& graph, const MachineConfig& machine,
+                          const ReplayCheckpoint* start, SimTime ready_bound,
+                          ReplayCheckpoint& cut_state);
 
 } // namespace visrt::sim

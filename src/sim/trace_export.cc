@@ -93,9 +93,9 @@ void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
     }
   }
 
-  for (OpID id = 0; id < graph.size(); ++id) {
+  for (OpID id = graph.base(); id < graph.size(); ++id) {
     const Op& op = graph.op(id);
-    SliceInfo s = slice_info(op, result.finish[id], machine);
+    SliceInfo s = slice_info(op, result.finish_of(id), machine);
     if (!s.valid) continue;
     std::ostringstream line;
     // Chrome traces use microseconds; keep nanosecond resolution as
@@ -123,9 +123,10 @@ void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
     std::uint64_t flow_id = 0;
     for (const TraceFlow& f : enrich->flows) {
       if (f.src >= graph.size() || f.dst >= graph.size()) continue;
-      SliceInfo src = slice_info(graph.op(f.src), result.finish[f.src],
+      if (f.src < graph.base() || f.dst < graph.base()) continue;
+      SliceInfo src = slice_info(graph.op(f.src), result.finish_of(f.src),
                                  machine);
-      SliceInfo dst = slice_info(graph.op(f.dst), result.finish[f.dst],
+      SliceInfo dst = slice_info(graph.op(f.dst), result.finish_of(f.dst),
                                  machine);
       if (!src.valid || !dst.valid) continue;
       std::uint64_t id = flow_id++;
@@ -146,11 +147,11 @@ void export_chrome_trace(const WorkGraph& graph, const ReplayResult& result,
     // Counter tracks: each sample stamped at its anchor op's finish time.
     for (const TraceCounterTrack& track : enrich->counters) {
       for (const auto& [anchor, value] : track.samples) {
-        if (anchor >= graph.size()) continue;
+        if (anchor >= graph.size() || anchor < graph.base()) continue;
         std::ostringstream line;
         line << "{\"ph\":\"C\",\"name\":\"" << track.name
              << "\",\"pid\":" << track.pid
-             << ",\"ts\":" << us(result.finish[anchor])
+             << ",\"ts\":" << us(result.finish_of(anchor))
              << ",\"args\":{\"value\":" << value << "}}";
         emit(line.str());
       }

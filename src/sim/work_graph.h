@@ -11,8 +11,19 @@
 // This trace-driven split keeps semantic correctness (what depends on what,
 // who reads which values) decoupled from performance modeling, and makes
 // the emitted work itself a testable artifact.
+//
+// For unbounded streams the graph supports *retirement*: once the runtime
+// proves a set of ops' finish times are final (the pop-order prefix of the
+// DES schedule; see Runtime::retire), `retire_ready_before` drops their
+// records, converting surviving dependences on them into per-op `floor`
+// readiness bounds.  Retirement compacts the survivors, so their ids SHIFT
+// (the call reports an old-to-new remap every held reference must go
+// through); aggregate metrics (costs, message counts/bytes) are running
+// totals over everything ever pushed, so retirement never changes reported
+// statistics.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -26,6 +37,10 @@ namespace visrt::sim {
 /// Index of an operation within a WorkGraph.
 using OpID = std::uint32_t;
 inline constexpr OpID kInvalidOp = std::numeric_limits<OpID>::max();
+/// Sentinel for a persistent op reference whose op was retired out of the
+/// graph: the holder keeps the op's final finish time on the side and uses
+/// it as a readiness floor instead of a dependence edge.
+inline constexpr OpID kFrozenOp = kInvalidOp - 1;
 
 enum class OpKind : std::uint8_t {
   Compute, ///< CPU time on one node (analysis step or leaf task)
@@ -43,6 +58,9 @@ struct Op {
   std::uint32_t dep_begin = 0; ///< range into WorkGraph::deps_
   std::uint32_t dep_count = 0;
   std::uint8_t category = 0;   ///< caller-defined bucket for statistics
+  /// Lower bound on readiness: the max finish time of dependences that
+  /// were retired out of the graph (0 when none were).
+  SimTime floor = 0;
 };
 
 /// Caller-defined operation categories used for reporting.
@@ -54,40 +72,78 @@ enum class OpCategory : std::uint8_t {
   Reduction,
   Runtime,
 };
+inline constexpr std::size_t kOpCategoryCount = 6;
 
-/// Append-only DAG of operations.
+/// Append-only DAG of operations with optional prefix retirement.
 class WorkGraph {
 public:
-  /// Record CPU work on a node.  Dependences must refer to earlier ops.
+  /// Record CPU work on a node.  Dependences must refer to earlier,
+  /// still-resident ops; `floor` carries finish times of retired ones.
   OpID compute(NodeID node, SimTime cost, std::span<const OpID> deps,
-               OpCategory category = OpCategory::Analysis);
+               OpCategory category = OpCategory::Analysis, SimTime floor = 0);
 
   /// Record a message.  Finish time (at the destination) includes wire time
   /// and the receive handler cost from the machine config.
   OpID message(NodeID src, NodeID dst, std::uint64_t bytes,
                std::span<const OpID> deps,
-               OpCategory category = OpCategory::Runtime);
+               OpCategory category = OpCategory::Runtime, SimTime floor = 0);
 
   /// Record a zero-cost marker joining its dependences.
-  OpID marker(NodeID node, std::span<const OpID> deps);
+  OpID marker(NodeID node, std::span<const OpID> deps, SimTime floor = 0);
 
-  std::size_t size() const { return ops_.size(); }
-  const Op& op(OpID id) const { return ops_[id]; }
+  /// Total ops ever pushed; resident ops occupy ids [base(), size()).
+  std::size_t size() const { return base_ + ops_.size(); }
+  /// First resident op id (0 until the first retire_prefix call).
+  OpID base() const { return base_; }
+  /// Count of resident (non-retired) ops.
+  std::size_t resident_ops() const { return ops_.size(); }
+
+  const Op& op(OpID id) const { return ops_[id - base_]; }
   std::span<const OpID> deps(OpID id) const {
-    const Op& o = ops_[id];
+    const Op& o = ops_[id - base_];
     return {deps_.data() + o.dep_begin, o.dep_count};
   }
 
+  /// Drop every resident op whose readiness is strictly below
+  /// `ready_bound` — the pop-order prefix of the DES schedule, which is
+  /// dependence-closed by construction (a dependence finishes before its
+  /// user becomes ready).  `ready` and `finish` are window-replay results
+  /// indexed by id - base(); surviving dependences on retired ops fold
+  /// into the survivors' floors.  The caller is responsible for having
+  /// proven those finishes final (see Runtime::retire).
+  ///
+  /// Survivors are compacted, so their ids shift upward: base() advances
+  /// by the retired count (ids keep counting ops ever pushed) and `remap`
+  /// receives the old-to-new id mapping, indexed by old id - old base(),
+  /// with kFrozenOp in retired slots.  Returns the number of retired ops.
+  std::size_t retire_ready_before(std::span<const SimTime> ready,
+                                  SimTime ready_bound,
+                                  std::span<const SimTime> finish,
+                                  std::vector<OpID>& remap);
+
   /// Sum of CPU cost in a category (machine-independent work metric).
-  SimTime total_cost(OpCategory category) const;
-  std::uint64_t total_message_bytes() const;
-  std::size_t message_count() const;
+  /// Running totals over all ops ever pushed, including retired ones.
+  SimTime total_cost(OpCategory category) const {
+    return cost_by_category_[static_cast<std::size_t>(category)];
+  }
+  std::uint64_t total_message_bytes() const { return message_bytes_; }
+  std::size_t message_count() const { return message_count_; }
+  /// Messages ever sent per source node (indexed by NodeID; nodes beyond
+  /// the vector's size sent none).
+  std::span<const std::size_t> messages_by_src() const {
+    return messages_by_src_;
+  }
 
 private:
   OpID push(Op op, std::span<const OpID> deps);
 
   std::vector<Op> ops_;
   std::vector<OpID> deps_;
+  OpID base_ = 0;
+  std::array<SimTime, kOpCategoryCount> cost_by_category_ = {};
+  std::uint64_t message_bytes_ = 0;
+  std::size_t message_count_ = 0;
+  std::vector<std::size_t> messages_by_src_;
 };
 
 } // namespace visrt::sim

@@ -10,45 +10,78 @@
 namespace visrt {
 
 void DepGraph::add_task(LaunchID id) {
-  require(id == preds_.size(), "launches must be registered in order");
+  require(id == task_count(), "launches must be registered in order");
   preds_.emplace_back();
+  depth_.push_back(1);
+  best_depth_ = std::max<std::size_t>(best_depth_, 1);
+  // Same fold the differential oracle always used for its dep-graph hash.
+  stream_hash_ = fnv1a_u64(stream_hash_, 0x9e3779b97f4a7c15ULL + id);
 }
 
 void DepGraph::add_edges(LaunchID to, std::span<const LaunchID> froms) {
-  require(to < preds_.size(), "unknown destination launch");
-  std::vector<LaunchID>& p = preds_[to];
+  require(to >= base_ && to < task_count(), "unknown destination launch");
+  std::vector<LaunchID>& p = preds_[to - base_];
   for (LaunchID f : froms) {
     require(f < to, "dependence must point backwards in program order");
+    require(f >= base_, "dependence names a retired launch");
     if (std::find(p.begin(), p.end(), f) == p.end()) {
       p.push_back(f);
       ++edges_;
     }
   }
   std::sort(p.begin(), p.end());
+  std::size_t& d = depth_[to - base_];
+  for (LaunchID f : p) {
+    stream_hash_ = fnv1a_u64(stream_hash_, f);
+    d = std::max(d, depth_[f - base_] + 1);
+  }
+  best_depth_ = std::max(best_depth_, d);
+}
+
+void DepGraph::retire_prefix(LaunchID new_base) {
+  require(new_base >= base_ && new_base <= task_count(),
+          "dependence-graph retirement point out of range");
+  if (new_base == base_) return;
+  const std::size_t drop = new_base - base_;
+  preds_.erase(preds_.begin(), preds_.begin() + static_cast<std::ptrdiff_t>(drop));
+  depth_.erase(depth_.begin(), depth_.begin() + static_cast<std::ptrdiff_t>(drop));
+#if VISRT_PROVENANCE
+  for (auto it = prov_.begin(); it != prov_.end();) {
+    if (it->first.second < new_base)
+      it = prov_.erase(it);
+    else
+      ++it;
+  }
+#endif
+  base_ = new_base;
 }
 
 std::span<const LaunchID> DepGraph::preds(LaunchID id) const {
-  require(id < preds_.size(), "unknown launch");
-  return preds_[id];
+  require(id >= base_ && id < task_count(), "unknown launch");
+  return preds_[id - base_];
 }
 
 bool DepGraph::has_edge(LaunchID from, LaunchID to) const {
-  require(to < preds_.size(), "unknown launch");
-  return std::binary_search(preds_[to].begin(), preds_[to].end(), from);
+  require(to >= base_ && to < task_count(), "unknown launch");
+  const std::vector<LaunchID>& p = preds_[to - base_];
+  return std::binary_search(p.begin(), p.end(), from);
 }
 
 bool DepGraph::reaches(LaunchID from, LaunchID to) const {
   if (from >= to) return false;
-  // Backwards DFS from `to`; ids below `from` cannot reach it.
+  require(from >= base_, "reachability query names a retired launch");
+  // Backwards DFS from `to`; ids below `from` cannot reach it.  Every
+  // intermediate of a from->to path lies strictly between them, so the
+  // walk never leaves the resident window.
   std::vector<LaunchID> stack{to};
   std::vector<bool> seen(preds_.size(), false);
   while (!stack.empty()) {
     LaunchID cur = stack.back();
     stack.pop_back();
-    for (LaunchID p : preds_[cur]) {
+    for (LaunchID p : preds_[cur - base_]) {
       if (p == from) return true;
-      if (p > from && !seen[p]) {
-        seen[p] = true;
+      if (p > from && !seen[p - base_]) {
+        seen[p - base_] = true;
         stack.push_back(p);
       }
     }
@@ -68,18 +101,6 @@ const obs::EdgeProvenance* DepGraph::provenance(LaunchID from,
   return it == prov_.end() ? nullptr : &it->second;
 }
 #endif
-
-std::size_t DepGraph::critical_path() const {
-  std::vector<std::size_t> depth(preds_.size(), 1);
-  std::size_t best = preds_.empty() ? 0 : 1;
-  for (LaunchID id = 0; id < preds_.size(); ++id) {
-    for (LaunchID p : preds_[id]) {
-      depth[id] = std::max(depth[id], depth[p] + 1);
-    }
-    best = std::max(best, depth[id]);
-  }
-  return best;
-}
 
 #if VISRT_PROVENANCE
 std::string describe_provenance(const obs::EdgeProvenance& prov,

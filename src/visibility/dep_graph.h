@@ -5,15 +5,25 @@
 // Used by the runtime to order task executions in the work graph, and by
 // the tests to check soundness (every interfering pair is transitively
 // ordered) and precision (non-interfering pairs are not directly ordered).
+//
+// For unbounded streams the graph supports *prefix retirement*: once the
+// engine proves no future edge can target launches below a watermark
+// (Runtime::retire), `retire_prefix` drops their predecessor lists.
+// Launch ids stay stable, aggregate counts (task_count, edge_count,
+// critical_path) remain whole-stream totals, and `stream_hash` folds every
+// task and edge as it arrives — so the hash of a retired run is
+// bit-identical to the batch run's by construction.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 #include "obs/provenance.h"
 
@@ -29,21 +39,41 @@ public:
   /// Add edges from each of `froms` to `to`; duplicates are ignored.
   void add_edges(LaunchID to, std::span<const LaunchID> froms);
 
-  std::size_t task_count() const { return preds_.size(); }
+  /// Total launches ever registered; resident ids are [base(), task_count()).
+  std::size_t task_count() const { return base_ + preds_.size(); }
   std::size_t edge_count() const { return edges_; }
+  /// First resident launch (0 until the first retire_prefix call).
+  LaunchID base() const { return base_; }
 
-  /// Direct predecessors of a launch.
+  /// Drop predecessor lists (and edge provenance) of launches below
+  /// `new_base`.  The caller must guarantee no future add_edges call will
+  /// name a retired launch as a source.
+  void retire_prefix(LaunchID new_base);
+
+  /// Direct predecessors of a resident launch.  Retired launches' lists
+  /// are gone; predecessors of resident launches may still name retired
+  /// ids (edges into the retired prefix are kept on the resident side).
   std::span<const LaunchID> preds(LaunchID id) const;
 
-  /// Is there a direct edge from -> to?
+  /// Is there a direct edge from -> to?  `to` must be resident.
   bool has_edge(LaunchID from, LaunchID to) const;
 
-  /// Is `from` ordered before `to` through any path?
+  /// Is `from` ordered before `to` through any path?  Both must be
+  /// resident (every intermediate node of such a path then is too).
   bool reaches(LaunchID from, LaunchID to) const;
 
   /// Length (in tasks) of the longest chain — the analysis' view of the
   /// critical path; a measure of how much parallelism was discovered.
-  std::size_t critical_path() const;
+  /// Maintained incrementally, so it covers the whole stream even after
+  /// retirement.
+  std::size_t critical_path() const { return best_depth_; }
+
+  /// Rolling FNV-1a fold of the stream: each add_task folds its id term,
+  /// each add_edges folds the task's final sorted predecessor list.  With
+  /// the runtime's one-add_edges-per-launch discipline this equals the
+  /// batch fold over (id, sorted preds) pairs in id order, independent of
+  /// retirement.
+  std::uint64_t stream_hash() const { return stream_hash_; }
 
 #if VISRT_PROVENANCE
   /// Attach provenance to the edge from -> to.  First record wins (an edge
@@ -63,8 +93,12 @@ public:
 #endif
 
 private:
-  std::vector<std::vector<LaunchID>> preds_; // indexed by LaunchID
+  std::vector<std::vector<LaunchID>> preds_; // indexed by LaunchID - base_
+  std::vector<std::size_t> depth_;           // longest chain ending at id
+  LaunchID base_ = 0;
   std::size_t edges_ = 0;
+  std::size_t best_depth_ = 0;
+  std::uint64_t stream_hash_ = kFnvOffsetBasis;
   std::map<std::pair<LaunchID, LaunchID>, obs::EdgeProvenance> prov_;
 };
 

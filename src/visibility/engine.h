@@ -82,6 +82,12 @@ struct EngineStats {
   std::size_t live_composite_views = 0;
   std::size_t total_composite_views = 0;
   std::size_t history_entries = 0;
+  /// Storage slots held for equivalence sets, live or collapsed (dead
+  /// husks awaiting compact_husks).  0 when the engine doesn't report it.
+  std::size_t resident_eqset_slots = 0;
+  /// History entries whose value payloads were folded into a composite
+  /// view (EngineConfig::max_history_depth); a subset of history_entries.
+  std::size_t collapsed_entries = 0;
 };
 
 /// The three algorithms of the paper, plus the naive pseudocode versions
@@ -149,6 +155,14 @@ struct EngineConfig {
   /// Lifecycle ledger to report create/refine/coalesce/migrate events to
   /// (non-owning; may be null).  Only consulted when `provenance` is set.
   obs::LifecycleLedger* lifecycle = nullptr;
+  /// Bounded-memory streaming: once a live equivalence set's history grows
+  /// beyond this many entries, fold the value payloads of the older
+  /// entries into one set-level composite view (the paper's
+  /// painter's-algorithm GC), keeping their dependence skeletons.
+  /// Dependences, counters and materialized values are bit-identical to
+  /// the uncollapsed history; only value-payload residency shrinks.
+  /// 0 = never collapse.  Currently honored by RayCast.
+  std::size_t max_history_depth = 0;
 };
 
 class CoherenceEngine {
@@ -173,6 +187,24 @@ public:
                                            const AnalysisContext& ctx) = 0;
 
   virtual EngineStats stats() const = 0;
+
+  /// Retirement watermark: a launch id W such that no *future* materialize
+  /// can ever report a dependence on a launch < W (because every retained
+  /// history entry's writer/reader ids are >= W).  The runtime uses it to
+  /// retire dep-graph prefixes.  kInvalidLaunch means "no retained entry
+  /// constrains retirement at all"; the conservative default, 0, disables
+  /// launch retirement for engines that don't implement it.
+  virtual LaunchID retire_watermark() const { return 0; }
+
+  /// Collapse storage held by dead (already-coalesced) equivalence-set
+  /// husks once more than `max_dead` of them are resident; returns the
+  /// number of slots reclaimed.  Analysis results are unaffected — only
+  /// internal numbering of *future* eq-sets may shift.  Default: engines
+  /// without husk storage reclaim nothing.
+  virtual std::size_t compact_husks(std::size_t max_dead) {
+    (void)max_dead;
+    return 0;
+  }
 };
 
 /// Factory for all algorithm variants.

@@ -20,12 +20,21 @@ namespace visrt {
 /// One committed operation.  `values` is present for read-write and reduce
 /// entries when value tracking is on (reads never change data, so their
 /// entries carry no values).
+///
+/// `collapsed` marks an entry whose value payload was folded into a
+/// set-level composite view (bounded-memory streaming, see
+/// EngineConfig::max_history_depth): the dependence skeleton
+/// (task/priv/dom) stays — dependences and the retirement watermark are
+/// unchanged — and painting charges the entry's modeled cost without
+/// repainting it, so analysis results and counters are bit-identical to
+/// the uncollapsed history.
 struct HistEntry {
   LaunchID task = kInvalidLaunch;
   Privilege priv;
   IntervalSet dom;
   std::optional<RegionData<double>> values;
   NodeID owner = 0; ///< node that performed the operation
+  bool collapsed = false;
 };
 
 /// Apply one history entry to `target` (restricted to target's domain):
@@ -34,6 +43,14 @@ struct HistEntry {
 ///   read:       no-op
 inline void paint_entry(RegionData<double>& target, const HistEntry& e,
                         AnalysisCounters& c) {
+  if (e.collapsed) {
+    // The entry's values already live in the set's composite view, which
+    // the caller painted first.  Charge exactly what painting the entry
+    // would have cost so the modeled work is independent of collapsing.
+    if (e.priv.kind != PrivilegeKind::Read)
+      c.interval_ops += e.dom.interval_count();
+    return;
+  }
   switch (e.priv.kind) {
   case PrivilegeKind::ReadWrite:
     target.overwrite_from(*e.values);

@@ -274,6 +274,7 @@ void RayCastEngine::split_set(FieldState& fs, std::uint32_t id,
     in.task = out.task = e.task;
     in.priv = out.priv = e.priv;
     in.owner = out.owner = e.owner;
+    in.collapsed = out.collapsed = e.collapsed;
     in.dom = fs.sets[inside_id].dom;
     out.dom = fs.sets[outside_id].dom;
     if (config_.track_values && e.values.has_value()) {
@@ -283,8 +284,18 @@ void RayCastEngine::split_set(FieldState& fs, std::uint32_t id,
     fs.sets[inside_id].history.push_back(std::move(in));
     fs.sets[outside_id].history.push_back(std::move(out));
   }
+  if (fs.sets[id].composite.has_value()) {
+    fs.sets[inside_id].composite =
+        fs.sets[id].composite->restricted(fs.sets[inside_id].dom);
+    fs.sets[outside_id].composite =
+        fs.sets[id].composite->restricted(fs.sets[outside_id].dom);
+  }
+  fs.sets[inside_id].collapsed = fs.sets[id].collapsed;
+  fs.sets[outside_id].collapsed = fs.sets[id].collapsed;
   fs.sets[id].live = false;
   fs.sets[id].history.clear();
+  fs.sets[id].composite.reset();
+  fs.sets[id].collapsed = 0;
   --fs.live;
   accel_remove(fs, id);
 }
@@ -364,12 +375,18 @@ std::vector<std::uint32_t> RayCastEngine::split_aligned(
       restricted.task = e.task;
       restricted.priv = e.priv;
       restricted.owner = e.owner;
+      restricted.collapsed = e.collapsed;
       restricted.dom = fs.sets[nid].dom;
       if (config_.track_values && e.values.has_value()) {
         restricted.values = e.values->restricted(fs.sets[nid].dom);
       }
       fs.sets[nid].history.push_back(std::move(restricted));
     }
+    if (fs.sets[id].composite.has_value()) {
+      fs.sets[nid].composite =
+          fs.sets[id].composite->restricted(fs.sets[nid].dom);
+    }
+    fs.sets[nid].collapsed = fs.sets[id].collapsed;
     out.push_back(nid);
   };
   for (auto& [color, piece] : pieces) carve(std::move(piece));
@@ -378,6 +395,8 @@ std::vector<std::uint32_t> RayCastEngine::split_aligned(
 
   fs.sets[id].live = false;
   fs.sets[id].history.clear();
+  fs.sets[id].composite.reset();
+  fs.sets[id].collapsed = 0;
   --fs.live;
   accel_remove(fs, id);
   return out;
@@ -513,9 +532,15 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
       }
       RegionData<double> piece;
       if (paint_values) {
-        piece = RegionData<double>::filled(s.dom, 0.0);
+        // The composite view is the folded value of the collapsed history
+        // prefix; flagged entries then charge their modeled paint cost
+        // inside paint_entry without repainting.
+        piece = s.composite.has_value()
+                    ? *s.composite
+                    : RegionData<double>::filled(s.dom, 0.0);
         for (const HistEntry& e : s.history) {
-          if (e.values.has_value()) paint_entry(piece, e, counters);
+          if (e.collapsed || e.values.has_value())
+            paint_entry(piece, e, counters);
         }
       }
       if (vit == visited_by_split.end()) {
@@ -557,6 +582,8 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
       ++local.eqsets_pruned;
       s.live = false;
       s.history.clear();
+      s.composite.reset();
+      s.collapsed = 0;
       --fs.live;
       accel_remove(fs, id);
       if (obs::kProvenanceEnabled && config_.provenance && config_.lifecycle)
@@ -605,7 +632,9 @@ std::vector<AnalysisStep> RayCastEngine::commit(
     ++local.accel_nodes;
     bool valid = true;
     for (std::uint32_t id : mit->second) {
-      if (!fs.sets[id].live) {
+      // kNone marks a set that died and was then compacted away
+      // (compact_husks); it behaves exactly like a resident dead set.
+      if (id == kNone || !fs.sets[id].live) {
         valid = false;
         break;
       }
@@ -631,12 +660,38 @@ std::vector<AnalysisStep> RayCastEngine::commit(
     if (config_.track_values && !req.privilege.is_read()) {
       e.values = result.restricted(s.dom);
     }
-    if (req.privilege.is_write()) s.history.clear();
+    if (req.privilege.is_write()) {
+      s.history.clear();
+      s.composite.reset();
+      s.collapsed = 0;
+    }
     s.history.push_back(std::move(e));
+    collapse_history(s);
   }
 
   steps.push_back(AnalysisStep{ctx.analysis_node, local, 0});
   return steps;
+}
+
+void RayCastEngine::collapse_history(EqSet& s) {
+  const std::size_t cap = config_.max_history_depth;
+  if (cap == 0 || s.history.size() <= cap) return;
+  const std::size_t frontier = s.history.size() - cap;
+  if (frontier <= s.collapsed) return;
+  if (config_.track_values && !s.composite.has_value())
+    s.composite = RegionData<double>::filled(s.dom, 0.0);
+  // GC work, not analysis work: the fold is uncharged (batch never
+  // collapses, and modeled costs must not depend on the cap).
+  AnalysisCounters scratch;
+  for (std::size_t h = s.collapsed; h < frontier; ++h) {
+    HistEntry& e = s.history[h];
+    if (e.values.has_value()) {
+      paint_entry(*s.composite, e, scratch);
+      e.values.reset();
+    }
+    e.collapsed = true;
+  }
+  s.collapsed = static_cast<std::uint32_t>(frontier);
 }
 
 EngineStats RayCastEngine::stats() const {
@@ -644,11 +699,84 @@ EngineStats RayCastEngine::stats() const {
   for (const auto& [field, fs] : fields_) {
     s.live_eqsets += fs.live;
     s.total_eqsets_created += fs.total_created;
+    s.resident_eqset_slots += fs.sets.size();
     for (const EqSet& eq : fs.sets) {
-      if (eq.live) s.history_entries += eq.history.size();
+      if (!eq.live) continue;
+      s.history_entries += eq.history.size();
+      s.collapsed_entries += eq.collapsed;
+      if (eq.composite.has_value()) ++s.live_composite_views;
     }
   }
   return s;
+}
+
+LaunchID RayCastEngine::retire_watermark() const {
+  LaunchID w = kInvalidLaunch;
+  for (const auto& [field, fs] : fields_) {
+    for (const EqSet& s : fs.sets) {
+      if (!s.live) continue;
+      for (const HistEntry& e : s.history) {
+        if (e.task == kInvalidLaunch) continue;
+        if (w == kInvalidLaunch || e.task < w) w = e.task;
+      }
+    }
+  }
+  return w;
+}
+
+std::size_t RayCastEngine::compact_husks(std::size_t max_dead) {
+  std::size_t dead = 0;
+  for (const auto& [field, fs] : fields_) dead += fs.sets.size() - fs.live;
+  if (dead <= max_dead) return 0;
+
+  std::size_t reclaimed = 0;
+  for (auto& [field, fs] : fields_) {
+    if (fs.sets.size() == fs.live) continue;
+    // New id = rank among live ids: monotone, so the relative order of
+    // surviving ids — the order every index scans them in — is preserved.
+    std::vector<std::uint32_t> remap(fs.sets.size(), kNone);
+    std::vector<EqSet> live_sets;
+    live_sets.reserve(fs.live);
+    for (std::uint32_t id = 0; id < fs.sets.size(); ++id) {
+      if (!fs.sets[id].live) continue;
+      remap[id] = static_cast<std::uint32_t>(live_sets.size());
+      live_sets.push_back(std::move(fs.sets[id]));
+    }
+    reclaimed += fs.sets.size() - live_sets.size();
+    fs.sets = std::move(live_sets);
+
+    // Buckets: dead entries cost nothing in cast() (skipped before any
+    // counter is charged), so dropping them eagerly is counter-identical
+    // to the lazy compaction the scan would have done.
+    for (std::vector<std::uint32_t>& bucket : fs.buckets) {
+      std::size_t keep = 0;
+      for (std::uint32_t id : bucket) {
+        if (remap[id] != kNone) bucket[keep++] = remap[id];
+      }
+      bucket.resize(keep);
+    }
+
+    // Fallback tree: accel_remove already erased dead ids whenever the
+    // fallback is the active structure, so an in-place payload remap (no
+    // structural change — traversal costs stay bit-identical) suffices.
+    if (!fs.fallback.empty()) {
+      std::vector<std::uint64_t> map64(remap.begin(), remap.end());
+      fs.fallback.remap_payloads(map64);
+    }
+
+    // last_sets may still name dead ids (a sibling requirement of the same
+    // launch can kill them between materialize and commit).  Keep the
+    // entry — commit charges one probe before detecting the dead id — but
+    // mark compacted ids with the kNone sentinel.
+    for (auto& [region, ids] : fs.last_sets) {
+      for (std::uint32_t& id : ids) {
+        if (id != kNone) id = remap[id];
+      }
+    }
+    // color_cache / split_signatures / align_cache are keyed by regions
+    // and domain signatures, not set ids: untouched.
+  }
+  return reclaimed;
 }
 
 } // namespace visrt

@@ -51,6 +51,19 @@ public:
                                    const AnalysisContext& ctx) override;
   EngineStats stats() const override;
 
+  /// Least launch id named by any live set's history (kInvalidLaunch when
+  /// no live entry names a task): histories are the sole source of
+  /// dependences, so no future materialize can report anything below it.
+  LaunchID retire_watermark() const override;
+
+  /// Dominating writes leave dead set husks in the per-field slot vectors;
+  /// once more than `max_dead` are resident, rebuild the vectors with an
+  /// order-stable remap (new id = rank among live ids).  Every consumer —
+  /// buckets, the interval-tree fallback, last_sets — scans ids in sorted
+  /// order and dead entries cost no counters, so analysis behaviour is
+  /// bit-identical; only the numbering of *future* sets shifts.
+  std::size_t compact_husks(std::size_t max_dead) override;
+
 private:
   static constexpr std::uint32_t kNone = UINT32_MAX;
 
@@ -59,6 +72,12 @@ private:
     bool live = true;
     NodeID owner = 0;
     std::vector<HistEntry> history;
+    /// Folded value payloads of the collapsed history prefix (the paper's
+    /// composite view); painted before the per-entry history when present.
+    std::optional<RegionData<double>> composite;
+    /// Entries [0, collapsed) of `history` carry the collapsed flag; the
+    /// frontier only advances (a write clears the whole history anyway).
+    std::uint32_t collapsed = 0;
   };
 
   struct FieldState {
@@ -138,6 +157,13 @@ private:
   void split_set(FieldState& fs, std::uint32_t id, const IntervalSet& cut,
                  NodeID inside_owner, LaunchID launch,
                  std::uint32_t& inside_id, std::vector<AnalysisStep>& steps);
+
+  /// Composite-view collapse (EngineConfig::max_history_depth): fold the
+  /// value payloads of all but the newest max_history_depth entries of
+  /// `s.history` into `s.composite`, flagging the folded prefix.  GC work,
+  /// modeled as free — paint_entry charges flagged entries exactly what
+  /// painting them would have cost, so analysis stays bit-identical.
+  void collapse_history(EqSet& s);
 
   EngineConfig config_;
   Options options_;

@@ -144,9 +144,34 @@ TEST(SpyVerify, SameOperatorReductionsCommute) {
 
 TEST(SpyVerify, LaunchLogMustCoverTheGraph) {
   Fixture fx;
-  std::vector<LaunchRecord> launches{fx.rec(fx.root, Privilege::read())};
-  DepGraph deps = graph_with_edges(2, {});
+  std::vector<LaunchRecord> launches{fx.rec(fx.root, Privilege::read()),
+                                     fx.rec(fx.root, Privilege::read())};
+  DepGraph deps = graph_with_edges(1, {});
   EXPECT_THROW(verify(fx.forest, deps, launches), ApiError);
+}
+
+TEST(SpyVerify, ShorterLogVerifiesTheTrailingWindow) {
+  Fixture fx;
+  // Records for launches 1 and 2 of a three-task graph: the spy verifies
+  // the window [1, 3).  The interfering pair (1, 2) must still be caught;
+  // edges reaching below the window (0 -> 1) are skipped, and pairs
+  // involving the retired launch 0 are out of scope.
+  std::vector<LaunchRecord> launches{
+      fx.rec(fx.root, Privilege::read_write()),
+      fx.rec(fx.half0, Privilege::read()),
+  };
+  DepGraph deps = graph_with_edges(3, {{0, 1}, {1, 2}});
+  SpyReport report = verify(fx.forest, deps, launches);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.launches, 2u);
+  EXPECT_EQ(report.interfering_pairs, 1u);
+
+  DepGraph unordered = graph_with_edges(3, {{0, 1}});
+  SpyReport bad = verify(fx.forest, unordered, launches);
+  EXPECT_EQ(bad.unordered_pairs, 1u);
+  ASSERT_FALSE(bad.violations.empty());
+  EXPECT_EQ(bad.violations[0].earlier, 1u); // global launch ids
+  EXPECT_EQ(bad.violations[0].later, 2u);
 }
 
 TEST(SpyVerify, ViolationRecordsAreCappedButCountsStayExact) {

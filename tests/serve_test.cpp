@@ -1,0 +1,315 @@
+// Streaming analysis service tests: serve::StreamSession equivalence with
+// the batch oracle under retirement / history collapsing / chunked feeds,
+// bounded residency under caps, and serve::Server end-to-end over stdin
+// streams and AF_UNIX sockets with concurrent clients.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/serialize.h"
+#include "runtime/runtime.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+using namespace visrt;
+
+namespace {
+
+/// Feed a serialized program through a StreamSession in fixed-size chunks.
+void feed_chunked(serve::StreamSession& session, const std::string& prog,
+                  std::size_t chunk) {
+  for (std::size_t off = 0; off < prog.size(); off += chunk)
+    session.feed(std::string_view(prog).substr(off, chunk));
+  session.finish();
+}
+
+std::string serialize(const fuzz::ProgramSpec& spec) {
+  std::ostringstream os;
+  fuzz::write_visprog(os, spec);
+  return os.str();
+}
+
+/// A long figure-5-shaped ghost-exchange stream: `pieces` disjoint primary
+/// pieces, an aliased ghost partition, two fields swapped per step.
+std::string ghost_stream(std::size_t pieces, std::size_t steps) {
+  std::ostringstream os;
+  os << "visprog 1\n"
+     << "config nodes=4 dcr=0 tracing=0 subject=raycast\n"
+     << "tree A " << 10 * pieces << "\n"
+     << "partition P parent=0";
+  for (std::size_t p = 0; p < pieces; ++p)
+    os << " [" << 10 * p << "," << 10 * p + 9 << "]";
+  os << "\npartition G parent=0";
+  for (std::size_t p = 0; p < pieces; ++p) {
+    if (p == 0)
+      os << " [10,11]";
+    else if (p + 1 == pieces)
+      os << " [" << 10 * p - 2 << "," << 10 * p - 1 << "]";
+    else
+      os << " [" << 10 * p - 2 << "," << 10 * p - 1 << "]+[" << 10 * (p + 1)
+         << "," << 10 * (p + 1) + 1 << "]";
+  }
+  os << "\nfield up tree=0 mod=11\nfield down tree=0 mod=11\n";
+  for (std::size_t s = 0; s < steps; ++s) {
+    os << "index salt=" << s
+       << (s % 2 == 0 ? " p0 f0 rw | p1 f1 red:sum\n"
+                      : " p0 f1 rw | p1 f0 red:sum\n");
+    if (s % 2 == 1) os << "end_iteration\n";
+  }
+  return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// StreamSession equivalence with the batch oracle.
+
+TEST(ServeSession, StreamMatchesBatchOnGeneratedPrograms) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    fuzz::ProgramSpec spec = fuzz::generate_program(rng);
+    fuzz::RunResult batch = fuzz::run_program(spec);
+    if (batch.crashed) continue; // the fuzz oracle's jurisdiction
+
+    serve::SessionOptions so;
+    so.retire_every = 1 + seed % 4;
+    so.max_history_depth = seed % 3;
+    serve::StreamSession session(so);
+    feed_chunked(session, serialize(spec), 1 + seed % 37);
+
+    const serve::SessionResult& r = session.result();
+    EXPECT_EQ(r.launches, batch.launch_hashes.size()) << "seed " << seed;
+    EXPECT_EQ(r.dep_edges, batch.dep_edges) << "seed " << seed;
+    EXPECT_EQ(r.dep_graph_hash, batch.dep_graph_hash) << "seed " << seed;
+    EXPECT_EQ(r.schedule_hash, batch.schedule_hash) << "seed " << seed;
+    EXPECT_EQ(r.value_hash, serve::fold_value_hashes(batch.launch_hashes))
+        << "seed " << seed;
+    EXPECT_EQ(r.final_hashes, batch.final_hashes) << "seed " << seed;
+  }
+}
+
+// Retirement must be invisible in every fingerprint at any thread count:
+// the live-run oracle with retire_every on/off, at 1 and 8 analysis
+// threads, must agree bit-for-bit with plain batch execution.
+TEST(ServeSession, RetirementEquivalenceAcrossThreadCounts) {
+  Rng rng(2026);
+  fuzz::ProgramSpec spec = fuzz::generate_program(rng);
+  fuzz::RunResult batch = fuzz::run_program(spec);
+  ASSERT_FALSE(batch.crashed) << batch.crash_message;
+
+  for (unsigned threads : {1u, 8u}) {
+    for (std::size_t retire_every : {std::size_t{0}, std::size_t{3}}) {
+      fuzz::LiveRunOptions opts;
+      opts.provenance = false;
+      opts.analysis_threads = threads;
+      opts.retire_every = retire_every;
+      fuzz::LiveRun live = fuzz::run_program_live(spec, opts);
+      ASSERT_NE(live.runtime, nullptr)
+          << live.result.crash_message << " threads=" << threads
+          << " retire_every=" << retire_every;
+      EXPECT_EQ(live.result.dep_graph_hash, batch.dep_graph_hash)
+          << "threads=" << threads << " retire_every=" << retire_every;
+      EXPECT_EQ(live.result.schedule_hash, batch.schedule_hash)
+          << "threads=" << threads << " retire_every=" << retire_every;
+      EXPECT_EQ(live.result.launch_hashes, batch.launch_hashes)
+          << "threads=" << threads << " retire_every=" << retire_every;
+      EXPECT_EQ(live.result.final_hashes, batch.final_hashes)
+          << "threads=" << threads << " retire_every=" << retire_every;
+      // The resident window's DES schedule still honors every resident
+      // dependence edge after retirement.
+      EXPECT_EQ(fuzz::validate_schedule(*live.runtime), "")
+          << "threads=" << threads << " retire_every=" << retire_every;
+    }
+  }
+}
+
+TEST(ServeSession, ResidencyCapPlateausUnderLongStreams) {
+  constexpr std::size_t kPieces = 8;
+  constexpr std::size_t kSteps = 400; // 3200 launches
+  serve::SessionOptions so;
+  so.retire_every = 32;
+  so.max_resident_launches = 128;
+  so.max_history_depth = 8;
+  so.track_values = false;
+  serve::StreamSession session(so);
+  feed_chunked(session, ghost_stream(kPieces, kSteps), 512);
+
+  const serve::SessionCounters& c = session.counters();
+  EXPECT_EQ(c.launches, kPieces * kSteps);
+  EXPECT_GT(c.retired_launches, c.launches / 2);
+  // The plateau: the cap plus one retire interval's worth of growth plus
+  // the analysis tail the pop-order cut cannot cross yet.
+  EXPECT_LE(c.peak_resident_launches,
+            so.max_resident_launches + 4 * (so.retire_every + kPieces) + 64);
+  // Retirement actually bounds the op window too, not just launches.
+  EXPECT_LT(c.peak_resident_ops, 16 * c.peak_resident_launches + 4096);
+}
+
+// Composite-view history collapsing must fold old value payloads without
+// perturbing any hash, and must actually collapse something at low depth.
+TEST(ServeSession, HistoryCollapsingPreservesHashes) {
+  const std::string prog = ghost_stream(6, 40);
+
+  serve::SessionOptions base;
+  base.retire_every = 0;
+  base.max_history_depth = 0; // keep everything
+  serve::StreamSession full(base);
+  feed_chunked(full, prog, 256);
+
+  serve::SessionOptions shallow = base;
+  shallow.max_history_depth = 2;
+  serve::StreamSession collapsed(shallow);
+  feed_chunked(collapsed, prog, 256);
+
+  EXPECT_EQ(collapsed.result().dep_graph_hash, full.result().dep_graph_hash);
+  EXPECT_EQ(collapsed.result().schedule_hash, full.result().schedule_hash);
+  EXPECT_EQ(collapsed.result().value_hash, full.result().value_hash);
+  EXPECT_EQ(collapsed.result().final_hashes, full.result().final_hashes);
+  ASSERT_NE(collapsed.runtime(), nullptr);
+  EXPECT_GT(collapsed.runtime()->engine_stats().collapsed_entries, 0u);
+}
+
+TEST(ServeSession, RejectedStatementsDoNotAbortTheSession) {
+  serve::SessionOptions so;
+  std::vector<std::string> errors;
+  so.on_error = [&errors](const std::string& e) { errors.push_back(e); };
+  serve::StreamSession session(so);
+  session.feed("visprog 1\n"
+               "config nodes=2 dcr=0 tracing=0 subject=raycast\n"
+               "tree A 20\n"
+               "this is not a statement\n"
+               "field f tree=0 mod=7\n"
+               "task node=0 salt=1 r0 f0 rw\n"
+               "task node=0 salt=2 r0 f9 rw\n" // unknown field: rejected
+               "task node=0 salt=3 r0 f0 rw\n");
+  session.finish();
+  EXPECT_EQ(errors.size(), 2u);
+  EXPECT_EQ(session.counters().rejected, 2u);
+  EXPECT_EQ(session.result().launches, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Server: stdin-mode stream and AF_UNIX socket with concurrent clients.
+
+TEST(ServeServer, StdinStreamEmitsResultAndMetrics) {
+  serve::ServerOptions options;
+  serve::Server server(options);
+  std::istringstream in(ghost_stream(4, 10) + "@metrics\n@end\n");
+  std::ostringstream out;
+  server.run_stream(in, out);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"schema_version\":2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"serve\""), std::string::npos);
+  EXPECT_NE(text.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"dep_graph_hash\""), std::string::npos);
+  EXPECT_EQ(server.stats().sessions_failed, 0u);
+  EXPECT_EQ(server.stats().sessions_completed, 1u);
+}
+
+namespace {
+
+/// Minimal blocking AF_UNIX client: send `program`, shutdown the write
+/// side when `eof` is set, then read until the server closes.
+std::string client_roundtrip(const std::string& path,
+                             const std::string& program, bool eof) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  // The server binds asynchronously; retry briefly.
+  int rc = -1;
+  for (int attempt = 0; attempt < 100 && rc != 0; ++attempt) {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(rc, 0) << "connect to " << path;
+  std::size_t off = 0;
+  while (off < program.size()) {
+    ssize_t n = ::send(fd, program.data() + off, program.size() - off, 0);
+    EXPECT_GT(n, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  if (eof) ::shutdown(fd, SHUT_WR);
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/visrt_serve_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+} // namespace
+
+TEST(ServeServer, ConcurrentSocketClientsGetIdenticalResults) {
+  serve::ServerOptions options;
+  options.socket_path = test_socket_path("conc");
+  options.poll_interval_ms = 20;
+  serve::Server server(options);
+  server.start();
+
+  const std::string program = ghost_stream(4, 20) + "@end\n";
+  std::vector<std::string> replies(2);
+  std::thread a([&] { replies[0] = client_roundtrip(options.socket_path,
+                                                    program, false); });
+  std::thread b([&] { replies[1] = client_roundtrip(options.socket_path,
+                                                    program, false); });
+  a.join();
+  b.join();
+  server.stop();
+
+  EXPECT_FALSE(replies[0].empty());
+  // Identical program => byte-identical result line (no timing inside).
+  EXPECT_EQ(replies[0], replies[1]);
+  EXPECT_NE(replies[0].find("\"ok\":true"), std::string::npos) << replies[0];
+  EXPECT_EQ(server.stats().sessions_completed, 2u);
+  EXPECT_EQ(server.stats().sessions_failed, 0u);
+}
+
+// A stop() while a client holds an open session must drain it: the client
+// still receives its result line, and the session counts as completed.
+TEST(ServeServer, StopDrainsInFlightSessions) {
+  serve::ServerOptions options;
+  options.socket_path = test_socket_path("drain");
+  options.poll_interval_ms = 20;
+  serve::Server server(options);
+  server.start();
+
+  std::string reply;
+  std::thread client([&] {
+    // Full program but no @end and no EOF: the session stays open until
+    // the server drains it.
+    reply = client_roundtrip(options.socket_path, ghost_stream(4, 6), false);
+  });
+  // Give the worker time to ingest, then ask for a drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  server.request_stop();
+  server.stop();
+  client.join();
+
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+  EXPECT_EQ(server.stats().sessions_completed, 1u);
+  EXPECT_EQ(server.stats().sessions_failed, 0u);
+}
