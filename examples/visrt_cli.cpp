@@ -178,7 +178,7 @@ int usage() {
                "[--no-values] [--size N] [--verify] [--trace-out F] "
                "[--metrics-json F]\n"
                "       visrt_cli verify <file-or-dir>... [--engine NAME] "
-               "[--json F]\n"
+               "[--json F] [--metrics-json F]\n"
                "       visrt_cli explain <prog.visprog> --edge A,B "
                "[--engine NAME] [--threads N]\n"
                "       visrt_cli inspect <prog.visprog> [--engine NAME] "
@@ -190,7 +190,7 @@ int usage() {
                "       visrt_cli serve (--socket PATH | --stdin) "
                "[--engine NAME] [--threads N] [--retire-interval N] "
                "[--max-resident-launches N] [--max-history-depth N] "
-               "[--no-values] [--metrics-json F]\n"
+               "[--no-values] [--verify] [--metrics-json F]\n"
                "       (any form accepts --log-json)\n");
   return 2;
 }
@@ -211,6 +211,7 @@ int run_verify(std::vector<std::string> args) {
   std::vector<fs::path> files;
   std::optional<Algorithm> engine_filter;
   std::string json_path;
+  std::string metrics_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--engine" && i + 1 < args.size()) {
       engine_filter = parse_algorithm(args[++i]);
@@ -221,6 +222,8 @@ int run_verify(std::vector<std::string> args) {
       }
     } else if (args[i] == "--json" && i + 1 < args.size()) {
       json_path = args[++i];
+    } else if (args[i] == "--metrics-json" && i + 1 < args.size()) {
+      metrics_path = args[++i];
     } else if (fs::is_directory(args[i])) {
       for (const auto& entry : fs::directory_iterator(args[i]))
         if (entry.path().extension() == ".visprog")
@@ -249,6 +252,14 @@ int run_verify(std::vector<std::string> args) {
   }
 
   bool all_ok = true;
+  // Aggregate verification-cost counters for --metrics-json.
+  std::size_t total_runs = 0;
+  std::size_t total_nodes = 0;
+  std::size_t total_edges = 0;
+  std::size_t total_interfering = 0;
+  std::size_t total_transitive = 0;
+  std::size_t total_relabels = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
   std::ostringstream json;
   json << "{\"schema_version\":1,\"programs\":[";
   for (std::size_t f = 0; f < files.size(); ++f) {
@@ -305,6 +316,12 @@ int run_verify(std::vector<std::string> args) {
         print_violations(result.report);
         json << ",\"crashed\":false,\"report\":" << result.report.to_json()
              << "}";
+        ++total_runs;
+        total_nodes += result.report.launches;
+        total_edges += result.report.dep_edges;
+        total_interfering += result.report.interfering_pairs;
+        total_transitive += result.report.transitive_edges;
+        total_relabels += result.report.order_relabels;
         if (!result.report.clean()) all_ok = false;
       }
     }
@@ -316,6 +333,23 @@ int run_verify(std::vector<std::string> args) {
     std::ofstream out(json_path);
     out << json.str() << "\n";
     if (out) std::printf("report written to %s\n", json_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    std::ofstream out(metrics_path);
+    out << "{\"schema_version\":" << obs::kMetricsSchemaVersion
+        << ",\"binary\":\"visrt_cli\",\"verify\":{"
+        << "\"programs\":" << files.size() << ",\"runs\":" << total_runs
+        << ",\"nodes\":" << total_nodes << ",\"edges\":" << total_edges
+        << ",\"interfering_pairs\":" << total_interfering
+        << ",\"transitive_edges\":" << total_transitive
+        << ",\"order_relabels\":" << total_relabels
+        << ",\"ok\":" << (all_ok ? "true" : "false")
+        << ",\"timing\":{\"wall_s\":" << obs::json_number(wall_s) << "}}}\n";
+    if (out) std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   std::printf("verify: %s\n", all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;
@@ -1140,6 +1174,8 @@ int run_serve(std::vector<std::string> args) {
       session.retire_every = static_cast<std::size_t>(next());
     } else if (arg == "--no-values") {
       session.track_values = false;
+    } else if (arg == "--verify") {
+      session.verify = true;
     } else if (arg == "--metrics-json" && i + 1 < args.size()) {
       metrics_path = args[++i];
     } else {

@@ -142,7 +142,10 @@ void save_repro(const std::string& dir, std::uint64_t seed,
 /// Differential check of the streaming ingest path: serialize the spec,
 /// feed it through a serve::StreamSession in random-sized byte chunks
 /// under aggressive randomized memory bounding, and compare every
-/// fingerprint against the batch oracle.  Returns "" on success.
+/// fingerprint against the batch oracle.  The session runs with inline
+/// verification on (SessionOptions::verify), so an unsound or imprecise
+/// dependence graph is caught by the stream itself, reference-free — even
+/// when the batch subject shares the same bug.  Returns "" on success.
 std::string stream_check(const ProgramSpec& spec, std::uint64_t run_seed) {
   RunResult batch = run_program(spec);
   if (batch.crashed) return ""; // the batch check reports crashes itself
@@ -158,6 +161,7 @@ std::string stream_check(const ProgramSpec& spec, std::uint64_t run_seed) {
   so.max_resident_launches =
       rng.chance(0.5) ? 0 : kIntervals[rng.below(std::size(kIntervals))];
   so.max_history_depth = static_cast<std::size_t>(rng.below(5)); // 0..4
+  so.verify = true;
   std::vector<std::string> errors;
   so.on_error = [&errors](const std::string& e) { errors.push_back(e); };
   const std::size_t retire_every = so.retire_every;
@@ -177,10 +181,17 @@ std::string stream_check(const ProgramSpec& spec, std::uint64_t run_seed) {
   } catch (const std::exception& e) {
     return std::string("stream session crashed: ") + e.what();
   }
-  if (!errors.empty())
-    return "stream session rejected a statement: " + errors.front();
+  for (const std::string& e : errors)
+    if (e.rfind("verify: ", 0) != 0)
+      return "stream session rejected a statement: " + e;
 
   const serve::SessionResult& r = session.result();
+  if (r.verify.has_value() && !(r.verify->sound() && r.verify->precise())) {
+    std::string msg = "stream verification: " + r.verify->summary();
+    if (!r.verify->violations.empty())
+      msg += " — " + r.verify->violations.front().detail;
+    return msg + " retire_every=" + std::to_string(retire_every);
+  }
   auto mismatch = [&](const char* what) {
     return std::string("stream/batch divergence (") + what +
            ") retire_every=" + std::to_string(retire_every) +
@@ -258,7 +269,11 @@ int main(int argc, char** argv) {
     total_launches += expand_stream(spec).size();
     DiffReport report = check_program(spec);
     ++executed;
-    if (!report && opts.stream) {
+    // The stream check runs regardless of the batch verdict: its inline
+    // verification is reference-free, so it must catch an engine bug even
+    // when the differential oracle already has (or, with the oracle out of
+    // the picture, would be the only detector).
+    if (opts.stream) {
       std::string diverged = stream_check(spec, run_seed);
       if (!diverged.empty()) {
         ++failures;

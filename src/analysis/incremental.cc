@@ -1,0 +1,118 @@
+#include "analysis/incremental.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace visrt::analysis {
+
+namespace {
+
+std::string pair_witness(const RegionTreeForest& forest, const Requirement& ra,
+                         const Requirement& rb) {
+  std::ostringstream os;
+  os << "field " << ra.field << ": " << to_string(ra.privilege) << " on "
+     << forest.name(ra.region) << " " << forest.domain(ra.region).to_string()
+     << " vs " << to_string(rb.privilege) << " on " << forest.name(rb.region)
+     << " " << forest.domain(rb.region).to_string();
+  return os.str();
+}
+
+} // namespace
+
+void IncrementalVerifier::drain(const Runtime& runtime) {
+  require(runtime.config().record_launches,
+          "incremental verification requires RuntimeConfig::record_launches");
+  const DepGraph& deps = runtime.dep_graph();
+  require(deps.order_queries_enabled(),
+          "incremental verification requires RuntimeConfig::order_queries");
+  const RegionTreeForest& forest = runtime.forest();
+  const LaunchID base = deps.base();
+
+  // Retirement since the previous drain invalidated index entries below
+  // the new watermark; they were verified while resident, drop them.
+  if (next_ < base) next_ = base;
+  for (auto& [field, entries] : by_field_) {
+    auto first = std::find_if(entries.begin(), entries.end(),
+                              [&](const Entry& e) { return e.id >= base; });
+    entries.erase(entries.begin(), first);
+  }
+
+  std::span<const LaunchRecord> log = runtime.launch_log();
+  for (LaunchID id = next_; id < deps.task_count(); ++id) {
+    const LaunchRecord& rec = log[id - runtime.launch_base()];
+    ++tally_.launches;
+
+    // Directly interfering resident partners, one witness pair per
+    // earlier launch (the batch verifier's per-pair dedup).
+    std::map<LaunchID, std::pair<Requirement, Requirement>> partners;
+    for (const Requirement& rq : rec.requirements) {
+      auto it = by_field_.find(rq.field);
+      if (it == by_field_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (e.id >= id) continue; // this drain's earlier additions only
+        if (partners.count(e.id)) continue;
+        if (!interferes(e.req.privilege, rq.privilege)) continue;
+        if (!forest.domain(e.req.region).overlaps(forest.domain(rq.region)))
+          continue;
+        partners.emplace(e.id, std::make_pair(e.req, rq));
+      }
+    }
+
+    // Soundness: every interfering partner must already be ordered before
+    // this launch — its edges were emitted when it was analyzed.
+    tally_.interfering_pairs += partners.size();
+    for (const auto& [a, reqs] : partners) {
+      if (deps.reaches(a, id)) continue;
+      ++tally_.unordered_pairs;
+      if (tally_.violations.size() < options_.max_violations)
+        tally_.violations.push_back(
+            {SpyViolationKind::UnorderedInterference, a, id,
+             pair_witness(forest, reqs.first, reqs.second)});
+    }
+
+    // Precision: each direct edge must join a directly interfering pair;
+    // edges implied through another predecessor are counted.
+    if (options_.check_precision) {
+      std::span<const LaunchID> preds = deps.preds(id);
+      for (LaunchID a : preds) {
+        if (a < base) continue;
+        if (!partners.count(a)) {
+          ++tally_.imprecise_edges;
+          if (tally_.violations.size() < options_.max_violations) {
+            std::ostringstream os;
+            os << "edge " << a << " -> " << id
+               << " joins launches with no interfering requirement pair";
+            tally_.violations.push_back(
+                {SpyViolationKind::ImpreciseEdge, a, id, os.str()});
+          }
+          continue;
+        }
+        for (LaunchID q : preds) {
+          if (q != a && q >= base && deps.reaches(a, q)) {
+            ++tally_.transitive_edges;
+            break;
+          }
+        }
+      }
+    }
+
+    for (const Requirement& rq : rec.requirements)
+      by_field_[rq.field].push_back({id, rq});
+  }
+  next_ = static_cast<LaunchID>(deps.task_count());
+}
+
+const SpyReport& IncrementalVerifier::report(const Runtime& runtime) {
+  const DepGraph& deps = runtime.dep_graph();
+  tally_.dep_edges = deps.edge_count();
+  if (deps.order_queries_enabled()) {
+    const OrderStats& stats = deps.order().stats();
+    tally_.order_chains = stats.active_chains;
+    tally_.order_relabels = stats.relabels;
+  }
+  return tally_;
+}
+
+} // namespace visrt::analysis

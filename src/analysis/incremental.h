@@ -1,0 +1,68 @@
+// visrt/analysis/incremental.h
+//
+// Streamed spy verification: the batch verifier (analysis/spy.h) checks a
+// finished run in one sweep, so on an unbounded stream it only ever sees
+// whatever launches happen to be resident at the end.  IncrementalVerifier
+// instead rides along with the run — `drain()` after each ingested
+// statement checks every launch analyzed since the last call *while its
+// interference partners are still resident*, then lets retirement reclaim
+// them.  Across the whole stream that verifies strictly more pairs than a
+// final batch sweep: every launch is checked against its full resident
+// window at arrival time, in O(window) work and O(window) memory per
+// epoch, with transitive order answered by the O(1) order-maintenance
+// labels the dependence graph maintains (RuntimeConfig::order_queries is
+// required, as is record_launches).
+//
+// The tally is a SpyReport with the same verdict semantics as the batch
+// verifier (sound / precise / transitive-edge counts), but aggregated over
+// every epoch rather than the final window — counts are therefore >= the
+// final batch report's on a retired run, and equal on an unretired one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "analysis/spy.h"
+#include "runtime/runtime.h"
+
+namespace visrt::analysis {
+
+class IncrementalVerifier {
+public:
+  explicit IncrementalVerifier(SpyOptions options = {})
+      : options_(options) {}
+
+  /// Check every launch the runtime analyzed since the last drain against
+  /// the launches still resident.  Call after each ingested statement (or
+  /// any batch of them) and once after the final one, always *before* the
+  /// next Runtime::retire so partners are still resident.
+  void drain(const Runtime& runtime);
+
+  /// Launches checked so far.
+  std::size_t drained() const { return tally_.launches; }
+
+  /// Tally so far, without refreshing the graph-derived counters (use
+  /// report() for the publishable form).
+  const SpyReport& peek() const { return tally_; }
+
+  /// Aggregate verdict over every drained epoch.  Refreshes the
+  /// edge/order counters from the runtime's graph.
+  const SpyReport& report(const Runtime& runtime);
+
+private:
+  struct Entry {
+    LaunchID id;
+    Requirement req;
+  };
+
+  SpyOptions options_;
+  /// Resident requirements, grouped by field (the interference relation
+  /// is per-field), each vector in launch order; prefix-pruned as the
+  /// runtime retires.
+  std::map<FieldID, std::vector<Entry>> by_field_;
+  LaunchID next_ = 0; ///< first launch not yet drained
+  SpyReport tally_;
+};
+
+} // namespace visrt::analysis

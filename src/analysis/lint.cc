@@ -1,8 +1,10 @@
 #include "analysis/lint.h"
 
 #include <map>
+#include <set>
 #include <sstream>
 
+#include "common/order_maintenance.h"
 #include "obs/metrics.h"
 
 namespace visrt::analysis {
@@ -15,6 +17,7 @@ const char* lint_rule_id(LintRule rule) {
   case LintRule::OverPrivilege: return "VL004";
   case LintRule::UnusedPrivilege: return "VL005";
   case LintRule::TraceShape: return "VL006";
+  case LintRule::RedundantEdges: return "VL007";
   }
   return "?";
 }
@@ -27,6 +30,7 @@ const char* lint_rule_name(LintRule rule) {
   case LintRule::OverPrivilege: return "over-privilege";
   case LintRule::UnusedPrivilege: return "unused-privilege";
   case LintRule::TraceShape: return "trace-shape";
+  case LintRule::RedundantEdges: return "redundant-edge-producer";
   }
   return "?";
 }
@@ -60,6 +64,7 @@ public:
       }
     }
     check_traces();
+    check_redundant_edges();
 
     LintReport report;
     report.errors = errors_.size();
@@ -293,6 +298,97 @@ private:
       os << "trace " << active_id << " opened at stream position "
          << begin_item << " is never closed";
       add(LintRule::TraceShape, LintSeverity::Error, begin_item, os.str());
+    }
+  }
+
+  /// VL007: a requirement is a pure-redundant edge producer when every
+  /// dependence edge it would induce (against each earlier interfering
+  /// launch) is transitively implied through edges the launch's *other*
+  /// requirements induce.  Dropping it would leave the launch's position
+  /// in the dependence order unchanged — the privilege grants data access
+  /// but re-states ordering that already exists.  Detection replays the
+  /// launch stream into an order-maintenance structure so each implied-by
+  /// test is an O(1) precedes() query.  (The edge from a launch's newest
+  /// partner can never be implied, so a single-requirement launch is
+  /// never flagged; the rule only fires when ordering responsibilities
+  /// split across requirements.)
+  void check_redundant_edges() {
+    OrderMaintenance order;
+    std::vector<std::vector<Requirement>> launches; // node id -> lowered reqs
+    for (std::size_t i = 0; i < stream_.size(); ++i) {
+      const LintEvent& ev = stream_[i];
+      std::vector<Requirement> reqs;
+      const char* what = "task";
+      if (ev.kind == LintEvent::Kind::Task) {
+        reqs = ev.requirements;
+      } else if (ev.kind == LintEvent::Kind::Index) {
+        // For cross-launch ordering an index launch acts as one holder of
+        // each privilege over the partition's parent (the union of its
+        // points).
+        what = "index launch";
+        for (const LintIndexReq& r : ev.index_requirements)
+          reqs.push_back(Requirement{forest_.parent_of(r.partition), r.field,
+                                     r.privilege});
+      } else {
+        continue;
+      }
+
+      const std::uint64_t id = launches.size();
+      // partners[j]: earlier launches requirement j interferes with.
+      std::vector<std::vector<std::uint64_t>> partners(reqs.size());
+      std::set<std::uint64_t> all;
+      for (std::uint64_t a = 0; a < id; ++a) {
+        for (std::size_t j = 0; j < reqs.size(); ++j) {
+          const IntervalSet& dj = forest_.domain(reqs[j].region);
+          for (const Requirement& ra : launches[a]) {
+            if (ra.field != reqs[j].field) continue;
+            if (!interferes(ra.privilege, reqs[j].privilege)) continue;
+            if (!forest_.domain(ra.region).overlaps(dj)) continue;
+            partners[j].push_back(a);
+            all.insert(a);
+            break;
+          }
+        }
+      }
+
+      for (std::size_t j = 0; reqs.size() > 1 && j < reqs.size(); ++j) {
+        if (partners[j].empty()) continue;
+        std::set<std::uint64_t> others;
+        for (std::size_t k = 0; k < reqs.size(); ++k)
+          if (k != j) others.insert(partners[k].begin(), partners[k].end());
+        bool redundant = true;
+        bool used_path = false; // at least one genuinely transitive proof
+        for (std::uint64_t a : partners[j]) {
+          if (others.count(a)) continue; // the edge exists regardless
+          bool implied = false;
+          for (std::uint64_t q : others)
+            if (order.precedes(a, q)) { // a => q -> this launch
+              implied = true;
+              used_path = true;
+              break;
+            }
+          if (!implied) {
+            redundant = false;
+            break;
+          }
+        }
+        // Require a real transitive implication: when the requirements
+        // merely share partners, neither is singled out as the redundant
+        // one and flagging both would invite dropping both.
+        if (!redundant || !used_path) continue;
+        std::ostringstream os;
+        os << what << " requirement " << j << " ("
+           << to_string(reqs[j].privilege) << " on "
+           << forest_.name(reqs[j].region) << " field " << reqs[j].field
+           << ") only induces dependence edges (" << partners[j].size()
+           << ") that are transitively implied by the launch's other "
+              "requirements; it adds data access but no ordering";
+        add(LintRule::RedundantEdges, LintSeverity::Warning, i, os.str());
+      }
+
+      order.add_node(id);
+      for (std::uint64_t a : all) order.add_edge(a, id);
+      launches.push_back(std::move(reqs));
     }
   }
 

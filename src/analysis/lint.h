@@ -21,6 +21,12 @@
 //   VL006 trace-shape             unbalanced/nested/empty traces, or a
 //                                 trace re-executed with a different
 //                                 launch sequence          (error/warning)
+//   VL007 redundant-edge-producer a requirement whose every induced
+//                                 dependence edge is transitively implied
+//                                 by the launch's other requirements — it
+//                                 grants data access but adds no ordering
+//                                 (detected with the order-maintenance
+//                                 structure)                    (warning)
 //
 // The linter is engine-independent: input is the forest plus a stream of
 // LintEvents (the fuzzer's ProgramSpec lowers to it via
@@ -45,6 +51,7 @@ enum class LintRule : std::uint8_t {
   OverPrivilege,
   UnusedPrivilege,
   TraceShape,
+  RedundantEdges,
 };
 
 /// Stable rule id, e.g. "VL001".

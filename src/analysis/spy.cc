@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/order_maintenance.h"
 #include "obs/metrics.h"
 #include "sim/replay.h"
 
@@ -25,8 +26,10 @@ namespace {
 
 /// Square bit matrix over launch ids, row-major in 64-bit words.  Row `b`
 /// holds one bit per launch `a`; the verifier only ever sets bits with
-/// a < b (both the interference relation and reachability point backwards
-/// in program order), so rows double as "prior launches" sets.
+/// a < b (interference is recorded backwards in program order), so rows
+/// double as "prior launches" sets.  Interference is genuinely pairwise —
+/// this stays a matrix; transitive *order* is the order-maintenance
+/// structure's job (common/order_maintenance.h).
 class BitMatrix {
 public:
   explicit BitMatrix(std::size_t n)
@@ -37,12 +40,6 @@ public:
   }
   bool test(std::size_t row, std::size_t bit) const {
     return (bits_[row * words_ + bit / 64] >> (bit % 64)) & 1;
-  }
-  /// row dst |= row src — the transitive-closure work horse.
-  void merge_row(std::size_t dst, std::size_t src) {
-    std::uint64_t* d = &bits_[dst * words_];
-    const std::uint64_t* s = &bits_[src * words_];
-    for (std::size_t w = 0; w < words_; ++w) d[w] |= s[w];
   }
   std::span<const std::uint64_t> row(std::size_t r) const {
     return {&bits_[r * words_], words_};
@@ -147,52 +144,55 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
     }
   }
 
-  // Transitive closure of the dependence DAG: reach(b, a) iff window
-  // launch base+a is ordered before base+b through some path.  Dependences
-  // always point backwards in launch-id order, so one forward sweep
-  // suffices; and any path between two window launches stays inside the
-  // window (every intermediate id lies between the endpoints), so skipping
-  // below-window predecessors loses no intra-window ordering.
-  BitMatrix reach(n);
-  for (std::size_t b = 0; b < n; ++b) {
-    for (LaunchID p : deps.preds(base + static_cast<LaunchID>(b))) {
-      invariant(p < base + b,
-                "spy: dependence edge points forward in the stream");
-      if (p < base) continue;
-      reach.merge_row(b, p - base);
-      reach.set(b, p - base);
+  // Transitive order over the dependence DAG, answered in O(1) per pair by
+  // the order-maintenance labels (common/order_maintenance.h) instead of
+  // the old O(n²)-memory BitMatrix closure.  A runtime configured with
+  // RuntimeConfig::order_queries shares the structure its graph already
+  // maintains; otherwise one is built here by replaying the window.  Any
+  // path between two window launches stays inside the window (every
+  // intermediate id lies between the endpoints), so skipping below-window
+  // predecessors loses no intra-window ordering.
+  OrderMaintenance local_order;
+  const OrderMaintenance* order = nullptr;
+  if (deps.order_queries_enabled()) {
+    order = &deps.order();
+  } else {
+    for (std::size_t b = 0; b < n; ++b) {
+      const LaunchID id = base + static_cast<LaunchID>(b);
+      local_order.add_node(id);
+      for (LaunchID p : deps.preds(id)) {
+        invariant(p < id, "spy: dependence edge points forward in the stream");
+        if (p >= base) local_order.add_edge(p, id);
+      }
     }
+    order = &local_order;
   }
 
-  // Soundness (+ optional schedule) sweep: interfering pairs missing from
-  // the closure, and interfering pairs overlapping in simulated time.
+  // Soundness (+ optional schedule) sweep: interfering pairs left
+  // unordered, and interfering pairs overlapping in simulated time.
   std::vector<SpyViolation> unordered, overlaps, imprecise;
   for (std::size_t b = 0; b < n; ++b) {
     std::span<const std::uint64_t> irow = interf.row(b);
-    std::span<const std::uint64_t> rrow = reach.row(b);
     for (std::size_t w = 0; w < interf.words(); ++w) {
-      report.interfering_pairs +=
-          static_cast<std::size_t>(std::popcount(irow[w]));
-      std::uint64_t missing = irow[w] & ~rrow[w];
-      while (missing != 0) {
-        std::size_t a = w * 64 + static_cast<std::size_t>(
-                                     std::countr_zero(missing));
-        missing &= missing - 1;
-        ++report.unordered_pairs;
-        if (unordered.size() < options.max_violations) {
-          unordered.push_back(
-              {SpyViolationKind::UnorderedInterference,
-               base + static_cast<LaunchID>(a), base + static_cast<LaunchID>(b),
-               interference_witness(forest, launches[a], launches[b])});
-        }
-      }
-      if (windows.empty()) continue;
       std::uint64_t pairs = irow[w];
       while (pairs != 0) {
         std::size_t a =
             w * 64 + static_cast<std::size_t>(std::countr_zero(pairs));
         pairs &= pairs - 1;
-        if (!windows[a].valid || !windows[b].valid) continue;
+        ++report.interfering_pairs;
+        if (!order->precedes(base + static_cast<LaunchID>(a),
+                             base + static_cast<LaunchID>(b))) {
+          ++report.unordered_pairs;
+          if (unordered.size() < options.max_violations) {
+            unordered.push_back(
+                {SpyViolationKind::UnorderedInterference,
+                 base + static_cast<LaunchID>(a),
+                 base + static_cast<LaunchID>(b),
+                 interference_witness(forest, launches[a], launches[b])});
+          }
+        }
+        if (windows.empty() || !windows[a].valid || !windows[b].valid)
+          continue;
         if (windows[b].start < windows[a].finish) {
           ++report.schedule_overlaps;
           if (overlaps.size() < options.max_violations) {
@@ -231,7 +231,7 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
           continue;
         }
         for (LaunchID q : preds) {
-          if (q != a && q >= base && reach.test(q - base, a - base)) {
+          if (q != a && q >= base && order->precedes(a, q)) {
             ++report.transitive_edges;
             break;
           }
@@ -239,6 +239,10 @@ SpyReport verify_impl(const RegionTreeForest& forest, const DepGraph& deps,
       }
     }
   }
+
+  const OrderStats& ostats = order->stats();
+  report.order_chains = ostats.active_chains;
+  report.order_relabels = ostats.relabels;
 
   report.violations = std::move(unordered);
   report.violations.insert(report.violations.end(), overlaps.begin(),
@@ -296,6 +300,8 @@ std::string SpyReport::to_json() const {
      << ",\"imprecise_edges\":" << imprecise_edges
      << ",\"transitive_edges\":" << transitive_edges
      << ",\"schedule_overlaps\":" << schedule_overlaps
+     << ",\"order_chains\":" << order_chains
+     << ",\"order_relabels\":" << order_relabels
      << ",\"sound\":" << (sound() ? "true" : "false")
      << ",\"precise\":" << (precise() ? "true" : "false")
      << ",\"violations\":[";

@@ -13,7 +13,10 @@
 // Against that relation the verifier checks
 //
 //   soundness   every interfering pair is transitively ordered in the
-//               dependence DAG (bitset transitive closure over launch ids),
+//               dependence DAG (O(1) order-maintenance label queries,
+//               common/order_maintenance.h — the old bitset transitive
+//               closure was O(n²) memory and could not reach streamed
+//               million-launch programs),
 //   precision   no direct edge joins a non-interfering pair (and, as an
 //               informational count, how many edges are transitively
 //               implied by other paths), and
@@ -75,6 +78,12 @@ struct SpyReport {
   std::size_t transitive_edges = 0;
   /// Schedule violations: interfering pairs overlapping in sim time.
   std::size_t schedule_overlaps = 0;
+  /// Chains in the order-maintenance structure that answered the order
+  /// queries (a parallelism measure: label width).
+  std::size_t order_chains = 0;
+  /// Suffix-relabel events the structure suffered — nonzero means edges
+  /// arrived out of append order and the O(1) guarantee degraded.
+  std::size_t order_relabels = 0;
   /// First max_violations violations of each kind, most severe first.
   std::vector<SpyViolation> violations;
 

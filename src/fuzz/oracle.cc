@@ -54,6 +54,10 @@ struct Execution {
   /// (0 = batch, never retire).  See LiveRunOptions::retire_every.
   std::size_t retire_every = 0;
   std::size_t max_dead_eqsets = 1024;
+  /// Maintain the order-maintenance structure on the dependence graph.  On
+  /// by default: every check downstream of a run — the spy, the schedule
+  /// validator, explain — answers transitive-order queries in O(1).
+  bool order_queries = true;
 
   /// Run the whole program; invariant violations and API errors become
   /// RunResult::crashed instead of aborting the process.
@@ -83,6 +87,7 @@ private:
     config.provenance = provenance;
     config.telemetry = telemetry;
     config.profile = profile;
+    config.order_queries = order_queries;
     runtime = std::make_unique<Runtime>(config);
 
     for (const TreeSpec& tree : spec.trees)
@@ -221,6 +226,7 @@ LiveRun run_program_live(const ProgramSpec& spec,
   exec.provenance = options.provenance;
   exec.telemetry = options.telemetry;
   exec.profile = options.profile;
+  exec.order_queries = options.order_queries;
   exec.retire_every = options.retire_every;
   exec.max_dead_eqsets = options.max_dead_eqsets;
   exec.run(adjusted);
@@ -269,6 +275,41 @@ std::string validate_schedule(const Runtime& runtime) {
         return os.str();
       }
     }
+  }
+  // Transitive sweep: two launches ordered through *any* path must not
+  // overlap in simulated time, even when every intermediate of the path
+  // has no execution window of its own (an observe launch, say) and the
+  // per-edge check above is blind.  Walk windows in start order keeping
+  // the set still executing; each overlapping pair costs one O(1)
+  // order-maintenance query (DepGraph::reaches).
+  struct Window {
+    SimTime start;
+    SimTime finish;
+    LaunchID id;
+  };
+  std::vector<Window> order;
+  for (LaunchID id = base; id < deps.task_count(); ++id) {
+    SimTime start = 0;
+    SimTime finish = 0;
+    if (window(id, start, finish)) order.push_back({start, finish, id});
+  }
+  std::sort(order.begin(), order.end(), [](const Window& x, const Window& y) {
+    return x.start != y.start ? x.start < y.start : x.id < y.id;
+  });
+  std::vector<Window> active;
+  for (const Window& w : order) {
+    std::erase_if(active,
+                  [&](const Window& a) { return a.finish <= w.start; });
+    for (const Window& a : active) {
+      const LaunchID lo = std::min(a.id, w.id);
+      const LaunchID hi = std::max(a.id, w.id);
+      if (!deps.reaches(lo, hi)) continue;
+      std::ostringstream os;
+      os << "launch " << hi << " overlaps launch " << lo
+         << " in simulated time despite a transitive dependence path";
+      return os.str();
+    }
+    active.push_back(w);
   }
   return {};
 }

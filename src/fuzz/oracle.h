@@ -101,6 +101,10 @@ struct LiveRunOptions {
   /// tests assert exactly that.
   std::size_t retire_every = 0;
   std::size_t max_dead_eqsets = 1024;
+  /// Maintain the order-maintenance structure on the dependence graph so
+  /// post-hoc consumers (explain, the spy, validate_schedule) answer
+  /// transitive-order queries in O(1).
+  bool order_queries = true;
 };
 
 /// A finished run whose Runtime — dependence graph with provenance, the
@@ -114,10 +118,15 @@ struct LiveRun {
 LiveRun run_program_live(const ProgramSpec& spec,
                          const LiveRunOptions& options = {});
 
-/// Replay the runtime's work graph through the DES and check that every
-/// dependence edge is respected: a task's execution op may start only
-/// after each predecessor's execution op has finished.  Returns an empty
-/// string on success, else a description of the first violation.
+/// Replay the runtime's work graph through the DES and check the schedule
+/// against the dependence order: (1) every direct edge is respected — a
+/// task's execution op starts only after each predecessor's execution op
+/// finished — and (2) no two *transitively* ordered launches overlap in
+/// simulated time, checked against O(1) order-maintenance queries over a
+/// start-time sweep (this catches overlaps ordered only through an
+/// intermediate with no execution window, which the per-edge check cannot
+/// see).  Returns an empty string on success, else a description of the
+/// first violation.
 std::string validate_schedule(const Runtime& runtime);
 
 /// The full differential check (reference run + subject run + all five

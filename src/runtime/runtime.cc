@@ -28,6 +28,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   config_.machine.validate();
+  if (config_.order_queries) deps_.enable_order_queries();
   if (config_.telemetry) {
     recorder_.set_series_capacity(config_.telemetry_series_capacity);
     recorder_.enable();

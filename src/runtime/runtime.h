@@ -68,6 +68,12 @@ struct RuntimeConfig {
   /// so the spy verifier (analysis/spy.h) can recompute ground-truth
   /// interference after the run.  Off by default: verification-only memory.
   bool record_launches = false;
+  /// Attach an order-maintenance structure (common/order_maintenance.h) to
+  /// the dependence graph as it grows: DepGraph::reaches and every
+  /// consumer of transitive order (spy verifier, explain, the schedule
+  /// validator) answer in O(1) instead of walking the graph.  Off by
+  /// default; costs O(resident launches * chain width) memory.
+  bool order_queries = false;
   /// Record dependence provenance, the eq-set lifecycle ledger and the
   /// per-node message ledger (visrt_cli explain / inspect).  Off by
   /// default; with -DVISRT_PROVENANCE=OFF the whole layer compiles out

@@ -37,6 +37,8 @@ void merge_counters(SessionCounters& into, const SessionCounters& from) {
       std::max(into.peak_resident_launches, from.peak_resident_launches);
   into.peak_resident_ops =
       std::max(into.peak_resident_ops, from.peak_resident_ops);
+  into.verified_launches += from.verified_launches;
+  into.verify_violations += from.verify_violations;
 }
 
 std::string hex_u64(std::uint64_t v) {
@@ -319,7 +321,13 @@ std::string Server::metrics_json() const {
      << ",\"peak_resident_ops\":" << t.peak_resident_ops
      << ",\"resident_launches\":" << s.resident_launches
      << ",\"resident_ops\":" << s.resident_ops
-     << ",\"live_eqsets\":" << s.live_eqsets << ",\"caps\":{"
+     << ",\"live_eqsets\":" << s.live_eqsets;
+  // Only sessions configured for inline verification report it — keeps
+  // the metrics shape (and the CI golden) stable when verification is off.
+  if (options_.session.verify)
+    os << ",\"verify\":{\"verified_launches\":" << t.verified_launches
+       << ",\"violations\":" << t.verify_violations << "}";
+  os << ",\"caps\":{"
      << "\"max_resident_launches\":" << options_.session.max_resident_launches
      << ",\"max_history_depth\":" << options_.session.max_history_depth
      << ",\"retire_every\":" << options_.session.retire_every << "}"
@@ -350,7 +358,9 @@ std::string Server::result_json(const StreamSession& session) const {
     if (i != 0) os << ",";
     os << "\"" << hex_u64(r.final_hashes[i]) << "\"";
   }
-  os << "]}";
+  os << "]";
+  if (r.verify.has_value()) os << ",\"verify\":" << r.verify->to_json();
+  os << "}";
   return os.str();
 }
 

@@ -70,6 +70,12 @@ void StreamSession::finish() {
     // paths), but they are not part of the launch stream.
     result_.launches = counters_.launches;
     result_.dep_edges = runtime_->dep_graph().edge_count();
+    if (verifier_ != nullptr) {
+      // The trailing observes get launch records too — check them like
+      // the batch spy would.
+      drain_verify();
+      result_.verify = verifier_->report(*runtime_);
+    }
   }
   if (options_.track_values) result_.value_hash = value_hash_;
 }
@@ -149,7 +155,13 @@ void StreamSession::instantiate() {
                                 : spec_.analysis_threads;
   config.machine.num_nodes = spec_.num_nodes;
   config.max_history_depth = options_.max_history_depth;
+  // Inline verification needs the launch log (ground-truth interference)
+  // and the order-maintenance labels (O(1) transitive order).
+  config.record_launches = options_.verify;
+  config.order_queries = options_.verify;
   runtime_ = std::make_unique<Runtime>(config);
+  if (options_.verify)
+    verifier_ = std::make_unique<analysis::IncrementalVerifier>();
 
   for (const fuzz::TreeSpec& tree : spec_.trees)
     regions_.push_back(
@@ -235,8 +247,30 @@ void StreamSession::apply_item(const StreamItem& item) {
     ++counters_.iterations;
     break;
   }
+  // Verify before retirement can reclaim this item's interference
+  // partners (the verifier indexes launches while they are resident).
+  drain_verify();
   maybe_retire(false);
   note_residency();
+}
+
+void StreamSession::drain_verify() {
+  if (verifier_ == nullptr || runtime_ == nullptr) return;
+  const std::size_t before = verifier_->peek().violations.size();
+  verifier_->drain(*runtime_);
+  const analysis::SpyReport& tally = verifier_->peek();
+  counters_.verified_launches = verifier_->drained();
+  counters_.verify_violations = tally.unordered_pairs + tally.imprecise_edges;
+  if (options_.on_error) {
+    for (std::size_t i = before; i < tally.violations.size(); ++i) {
+      const analysis::SpyViolation& v = tally.violations[i];
+      options_.on_error(
+          std::string("verify: ") +
+          analysis::spy_violation_kind_name(v.kind) + ": launch " +
+          std::to_string(v.earlier) + " vs " + std::to_string(v.later) +
+          ": " + v.detail);
+    }
+  }
 }
 
 void StreamSession::maybe_retire(bool force) {

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/incremental.h"
 #include "fuzz/program.h"
 #include "fuzz/serialize.h"
 #include "runtime/runtime.h"
@@ -59,6 +60,13 @@ struct SessionOptions {
   unsigned analysis_threads = 0;
   /// Override the stream's configured engine.
   std::optional<Algorithm> subject;
+  /// Verify each launch's emitted edges on arrival with the incremental
+  /// spy (analysis/incremental.h): interference recomputed from geometry
+  /// + privileges, transitive order answered by the O(1)
+  /// order-maintenance labels, sustained across retirement epochs.
+  /// Violations are reported through on_error as they are found and the
+  /// aggregate report lands in SessionResult::verify.
+  bool verify = false;
   /// Recoverable statement errors (malformed or semantically invalid
   /// lines) are reported here and the offending statement is skipped; the
   /// session keeps parsing.  Unset: errors are silently counted only.
@@ -79,6 +87,9 @@ struct SessionCounters {
   /// opportunity — the quantity the residency caps bound.
   std::uint64_t peak_resident_launches = 0;
   std::uint64_t peak_resident_ops = 0;
+  /// Inline verification progress (zero unless SessionOptions::verify).
+  std::uint64_t verified_launches = 0;
+  std::uint64_t verify_violations = 0; ///< unordered + imprecise so far
 };
 
 /// Results of a finished session (valid after finish()).
@@ -93,6 +104,8 @@ struct SessionResult {
   std::uint64_t schedule_hash = 0;
   std::size_t launches = 0;
   std::size_t dep_edges = 0;
+  /// Aggregate incremental-verification report (SessionOptions::verify).
+  std::optional<analysis::SpyReport> verify;
 };
 
 class StreamSession {
@@ -130,6 +143,7 @@ private:
   void apply_decl(const fuzz::VisprogStatement& st);
   void apply_item(const fuzz::StreamItem& item);
   void instantiate();
+  void drain_verify();
   void maybe_retire(bool force);
   void note_residency();
   void body(TaskContext& ctx, std::span<const fuzz::ReqSpec> reqs,
@@ -146,6 +160,7 @@ private:
   LaunchID next_expected_ = 0;
 
   std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<analysis::IncrementalVerifier> verifier_;
   std::vector<RegionHandle> regions_;
   std::vector<PartitionHandle> partitions_;
 

@@ -16,6 +16,7 @@ void DepGraph::add_task(LaunchID id) {
   best_depth_ = std::max<std::size_t>(best_depth_, 1);
   // Same fold the differential oracle always used for its dep-graph hash.
   stream_hash_ = fnv1a_u64(stream_hash_, 0x9e3779b97f4a7c15ULL + id);
+  if (order_) order_->add_node(id);
 }
 
 void DepGraph::add_edges(LaunchID to, std::span<const LaunchID> froms) {
@@ -27,6 +28,7 @@ void DepGraph::add_edges(LaunchID to, std::span<const LaunchID> froms) {
     if (std::find(p.begin(), p.end(), f) == p.end()) {
       p.push_back(f);
       ++edges_;
+      if (order_) order_->add_edge(f, to);
     }
   }
   std::sort(p.begin(), p.end());
@@ -54,6 +56,7 @@ void DepGraph::retire_prefix(LaunchID new_base) {
   }
 #endif
   base_ = new_base;
+  if (order_) order_->retire_prefix(new_base);
 }
 
 std::span<const LaunchID> DepGraph::preds(LaunchID id) const {
@@ -70,6 +73,7 @@ bool DepGraph::has_edge(LaunchID from, LaunchID to) const {
 bool DepGraph::reaches(LaunchID from, LaunchID to) const {
   if (from >= to) return false;
   require(from >= base_, "reachability query names a retired launch");
+  if (order_) return order_->precedes(from, to);
   // Backwards DFS from `to`; ids below `from` cannot reach it.  Every
   // intermediate of a from->to path lies strictly between them, so the
   // walk never leaves the resident window.
@@ -87,6 +91,24 @@ bool DepGraph::reaches(LaunchID from, LaunchID to) const {
     }
   }
   return false;
+}
+
+void DepGraph::enable_order_queries() {
+  if (order_) return;
+  order_.emplace();
+  // Replay node-then-its-edges so every edge targets the newest node — the
+  // relabel-free fast path.
+  for (LaunchID id = base_; id < task_count(); ++id) {
+    order_->add_node(id);
+    for (LaunchID f : preds_[id - base_])
+      if (f >= base_) order_->add_edge(f, id);
+  }
+}
+
+const OrderMaintenance& DepGraph::order() const {
+  require(order_.has_value(),
+          "order queries are not enabled on this dependence graph");
+  return *order_;
 }
 
 #if VISRT_PROVENANCE

@@ -18,12 +18,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/order_maintenance.h"
 #include "common/types.h"
 #include "obs/provenance.h"
 
@@ -60,7 +62,18 @@ public:
 
   /// Is `from` ordered before `to` through any path?  Both must be
   /// resident (every intermediate node of such a path then is too).
+  /// Backward DFS by default; O(1) once enable_order_queries is on.
   bool reaches(LaunchID from, LaunchID to) const;
+
+  /// Attach an order-maintenance structure (common/order_maintenance.h):
+  /// replays the resident window, then shadows every add_task / add_edges /
+  /// retire_prefix, turning `reaches` into an O(1) label compare.
+  /// Idempotent; adds O(resident * chain-width) memory.
+  void enable_order_queries();
+  bool order_queries_enabled() const { return order_.has_value(); }
+
+  /// The attached order structure (enable_order_queries must have run).
+  const OrderMaintenance& order() const;
 
   /// Length (in tasks) of the longest chain — the analysis' view of the
   /// critical path; a measure of how much parallelism was discovered.
@@ -99,6 +112,7 @@ private:
   std::size_t edges_ = 0;
   std::size_t best_depth_ = 0;
   std::uint64_t stream_hash_ = kFnvOffsetBasis;
+  std::optional<OrderMaintenance> order_;
   std::map<std::pair<LaunchID, LaunchID>, obs::EdgeProvenance> prov_;
 };
 

@@ -1,4 +1,4 @@
-// The program linter: each rule of the VL001–VL006 catalog on a planted
+// The program linter: each rule of the VL001–VL007 catalog on a planted
 // program shape, plus report ordering, capping and the JSON rendering.
 #include "analysis/lint.h"
 
@@ -260,6 +260,66 @@ TEST(Lint, VL006FlagsTraceReplayedWithDifferentBody) {
   EXPECT_TRUE(report.ok()); // warning: legal, just re-captures
 }
 
+TEST(Lint, VL007FlagsRequirementWhoseEdgesAreAllImplied) {
+  // 0: write A, 1: write root (edge 0->1), 2: write B (edge 1->2), then a
+  // reader of both A and B.  Its read-A requirement induces edges to 0
+  // and 1; 1 is also a partner of read-B, and 0's edge is implied through
+  // the path 0 -> 1 -> reader.  So read-A adds no ordering: VL007.  The
+  // read-B requirement's edge to 2 is implied by nothing — not flagged.
+  Fixture fx;
+  RegionHandle a = fx.sub(fx.halves, 0);
+  RegionHandle b = fx.sub(fx.halves, 1);
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{a, 0, Privilege::read_write()}}),
+      fx.task({Requirement{fx.root, 0, Privilege::read_write()}}),
+      fx.task({Requirement{b, 0, Privilege::read_write()}}),
+      fx.task({Requirement{b, 0, Privilege::read()},
+               Requirement{a, 0, Privilege::read()}}),
+  };
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_TRUE(report.ok()); // a warning, not an error
+  ASSERT_EQ(count_rule(report, LintRule::RedundantEdges), 1u)
+      << report.to_json();
+  const LintFinding& f = report.findings.front();
+  EXPECT_EQ(f.rule, LintRule::RedundantEdges);
+  EXPECT_EQ(f.item, 3u);
+  EXPECT_NE(f.message.find("requirement 1"), std::string::npos) << f.message;
+  EXPECT_NE(f.message.find("no ordering"), std::string::npos) << f.message;
+}
+
+TEST(Lint, VL007NeverFlagsSingleRequirementLaunches) {
+  // A serial chain of whole-region writers followed by a reader: every
+  // launch holds one requirement, so however redundant the induced edges
+  // are there is no "other requirement" to carry the ordering.
+  Fixture fx;
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{fx.root, 0, Privilege::read_write()}}),
+      fx.task({Requirement{fx.root, 0, Privilege::read_write()}}),
+      fx.task({Requirement{fx.root, 0, Privilege::read_write()}}),
+      fx.task({Requirement{fx.root, 0, Privilege::read()}}),
+  };
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_EQ(count_rule(report, LintRule::RedundantEdges), 0u)
+      << report.to_json();
+}
+
+TEST(Lint, VL007SkipsLoadBearingRequirements) {
+  // Two disjoint chains: the reader's two requirements each carry a
+  // distinct un-implied edge, so neither is redundant.
+  Fixture fx;
+  RegionHandle a = fx.sub(fx.halves, 0);
+  RegionHandle b = fx.sub(fx.halves, 1);
+  std::vector<LintEvent> stream{
+      fx.task({Requirement{a, 0, Privilege::read_write()}}),
+      fx.task({Requirement{b, 0, Privilege::read_write()}}),
+      fx.task({Requirement{a, 0, Privilege::read()},
+               Requirement{b, 0, Privilege::read()}}),
+  };
+  LintReport report = lint(fx.forest, stream);
+  EXPECT_EQ(count_rule(report, LintRule::RedundantEdges), 0u)
+      << report.to_json();
+}
+
 TEST(Lint, ReportOrdersErrorsFirstAndCapsFindings) {
   Fixture fx;
   std::vector<LintEvent> stream{
@@ -304,6 +364,9 @@ TEST(Lint, RuleIdsAreStable) {
   EXPECT_STREQ(lint_rule_id(LintRule::OverPrivilege), "VL004");
   EXPECT_STREQ(lint_rule_id(LintRule::UnusedPrivilege), "VL005");
   EXPECT_STREQ(lint_rule_id(LintRule::TraceShape), "VL006");
+  EXPECT_STREQ(lint_rule_id(LintRule::RedundantEdges), "VL007");
+  EXPECT_STREQ(lint_rule_name(LintRule::RedundantEdges),
+               "redundant-edge-producer");
 }
 
 } // namespace
