@@ -43,6 +43,7 @@
 //     --engine NAME    explain one engine only (default: all, with the
 //                      spec's subject engine reported in detail)
 //     --threads N      analysis thread count override
+//     --shard-batch N  shard batch granularity override (0 = default)
 //
 //   visrt_cli inspect <prog.visprog> [options]
 //     Equivalence-set lifecycle introspection: per-field population /
@@ -51,6 +52,7 @@
 //     executor (threads, shard groups, serial fraction).
 //     --engine NAME    engine override (default: the spec's subject)
 //     --threads N      analysis thread count override
+//     --shard-batch N  shard batch granularity override (0 = default)
 //     --metrics-json F deterministic schema-v2 metrics (bit-identical
 //                      across --threads values except the "executor"
 //                      section, which reports host execution)
@@ -75,6 +77,7 @@
 //     --size N             per-piece problem scale (default app-specific)
 //     --threads-sweep LIST analysis thread counts, e.g. 1,2,4,8
 //                          (default 1)
+//     --shard-batch N      shard batch granularity override (0 = default)
 //     --top N              serialization sources to name (default 5)
 //     --json F             machine-readable report (schema v1)
 //     --trace-out F        profiler wall-clock Perfetto timeline of the
@@ -93,6 +96,8 @@
 //     --engine NAME              engine override (default: each stream's
 //                                configured subject)
 //     --threads N                analysis thread count override
+//     --shard-batch N            shard batch granularity override
+//                                (0 = default)
 //     --retire-interval N        retire every N ingested launches
 //                                (default 1024; 0 = only when forced)
 //     --max-resident-launches N  residency cap forcing retirement
@@ -180,15 +185,17 @@ int usage() {
                "       visrt_cli verify <file-or-dir>... [--engine NAME] "
                "[--json F] [--metrics-json F]\n"
                "       visrt_cli explain <prog.visprog> --edge A,B "
-               "[--engine NAME] [--threads N]\n"
+               "[--engine NAME] [--threads N] [--shard-batch N]\n"
                "       visrt_cli inspect <prog.visprog> [--engine NAME] "
-               "[--threads N] [--metrics-json F] [--trace-out F]\n"
+               "[--threads N] [--shard-batch N] [--metrics-json F] "
+               "[--trace-out F]\n"
                "       visrt_cli profile <app|prog.visprog> [--engine NAME] "
                "[--dcr] [--nodes N] [--iters N] [--size N] "
-               "[--threads-sweep LIST] [--top N] [--json F] "
+               "[--threads-sweep LIST] [--shard-batch N] [--top N] [--json F] "
                "[--trace-out F]\n"
                "       visrt_cli serve (--socket PATH | --stdin) "
-               "[--engine NAME] [--threads N] [--retire-interval N] "
+               "[--engine NAME] [--threads N] [--shard-batch N] "
+               "[--retire-interval N] "
                "[--max-resident-launches N] [--max-history-depth N] "
                "[--no-values] [--verify] [--metrics-json F]\n"
                "       (any form accepts --log-json)\n");
@@ -476,6 +483,7 @@ int run_explain(std::vector<std::string> args) {
   std::string prog;
   std::optional<Algorithm> engine_override;
   unsigned threads = 0;
+  std::size_t shard_batch = 0;
   LaunchID edge_a = kInvalidLaunch, edge_b = kInvalidLaunch;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--edge" && i + 1 < args.size()) {
@@ -495,6 +503,8 @@ int run_explain(std::vector<std::string> args) {
       }
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       threads = static_cast<unsigned>(std::atol(args[++i].c_str()));
+    } else if (args[i] == "--shard-batch" && i + 1 < args.size()) {
+      shard_batch = static_cast<std::size_t>(std::atol(args[++i].c_str()));
     } else if (prog.empty() && args[i][0] != '-') {
       prog = args[i];
     } else {
@@ -523,6 +533,7 @@ int run_explain(std::vector<std::string> args) {
     fuzz::LiveRunOptions options;
     options.provenance = true;
     options.analysis_threads = threads;
+    options.shard_batch = shard_batch;
     options.subject = engines[e];
     fuzz::LiveRun live = fuzz::run_program_live(spec, options);
     if (live.runtime == nullptr) {
@@ -592,6 +603,7 @@ int run_inspect(std::vector<std::string> args) {
   std::string prog, metrics_json, trace_out;
   std::optional<Algorithm> engine_override;
   unsigned threads = 0;
+  std::size_t shard_batch = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--engine" && i + 1 < args.size()) {
       engine_override = parse_algorithm(args[++i]);
@@ -602,6 +614,8 @@ int run_inspect(std::vector<std::string> args) {
       }
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       threads = static_cast<unsigned>(std::atol(args[++i].c_str()));
+    } else if (args[i] == "--shard-batch" && i + 1 < args.size()) {
+      shard_batch = static_cast<std::size_t>(std::atol(args[++i].c_str()));
     } else if (args[i] == "--metrics-json" && i + 1 < args.size()) {
       metrics_json = args[++i];
     } else if ((args[i] == "--trace-out" || args[i] == "--chrome-trace") &&
@@ -623,6 +637,7 @@ int run_inspect(std::vector<std::string> args) {
   options.telemetry = !trace_out.empty();
   options.profile = true;
   options.analysis_threads = threads;
+  options.shard_batch = shard_batch;
   options.subject = engine_override;
   fuzz::LiveRun live = fuzz::run_program_live(spec, options);
   if (live.runtime == nullptr) {
@@ -806,6 +821,7 @@ int run_profile(std::vector<std::string> args) {
   int iters = 5;
   coord_t size = 0;
   std::size_t top = 5;
+  std::size_t shard_batch = 0;
   std::vector<unsigned> sweep;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--engine" && i + 1 < args.size()) {
@@ -825,6 +841,8 @@ int run_profile(std::vector<std::string> args) {
       size = std::atol(args[++i].c_str());
     } else if (args[i] == "--top" && i + 1 < args.size()) {
       top = static_cast<std::size_t>(std::atol(args[++i].c_str()));
+    } else if (args[i] == "--shard-batch" && i + 1 < args.size()) {
+      shard_batch = static_cast<std::size_t>(std::atol(args[++i].c_str()));
     } else if (args[i] == "--threads-sweep" && i + 1 < args.size()) {
       for (const char* p = args[++i].c_str(); *p != '\0';) {
         char* end = nullptr;
@@ -869,6 +887,7 @@ int run_profile(std::vector<std::string> args) {
       cfg.track_values = false; // analysis-only, like the scaling benches
       cfg.profile = true;
       cfg.analysis_threads = threads;
+      cfg.shard_batch = shard_batch;
       cfg.machine.num_nodes = nodes;
       owned = std::make_unique<Runtime>(cfg);
       if (target == "circuit") {
@@ -909,6 +928,7 @@ int run_profile(std::vector<std::string> args) {
       options.provenance = false;
       options.profile = true;
       options.analysis_threads = threads;
+      options.shard_batch = shard_batch;
       options.subject = engine_override;
       fuzz::LiveRun live = fuzz::run_program_live(spec, options);
       if (live.runtime == nullptr) {
@@ -1166,6 +1186,8 @@ int run_serve(std::vector<std::string> args) {
       session.subject = *engine;
     } else if (arg == "--threads") {
       session.analysis_threads = static_cast<unsigned>(next());
+    } else if (arg == "--shard-batch") {
+      session.shard_batch = static_cast<std::size_t>(next());
     } else if (arg == "--max-resident-launches") {
       session.max_resident_launches = static_cast<std::size_t>(next());
     } else if (arg == "--max-history-depth") {

@@ -134,7 +134,12 @@ void Executor::parallel_for(std::size_t n,
     std::lock_guard<obs::TimedMutex> lock(mu_);
     queue_.push_back(g);
   }
-  work_cv_.notify_all();
+  // Wake at most n-1 workers: the submitter claims indices too, so a
+  // group of k tasks can never use more than k-1 helpers.  notify_all
+  // here made every tiny fork stampede the whole pool awake (the
+  // profiler showed it as fan-out self time on fine-grained sharding).
+  const std::size_t wake = std::min<std::size_t>(n - 1, workers_.size());
+  for (std::size_t i = 0; i < wake; ++i) work_cv_.notify_one();
   // The submitter is a lane too: claim indices until none remain, then
   // join.  For small groups this usually finishes the whole group before
   // a worker even wakes, keeping tiny forks cheap.

@@ -95,8 +95,15 @@ private:
 /// `ex` is null/sequential or the range is too small to be worth forking
 /// (fewer than two grains), else ~n/grain capped at 4 chunks per lane.
 /// Callers size their per-shard slot arrays with this.
+///
+/// `batch` is the coarse-shard override (RuntimeConfig::shard_batch): when
+/// nonzero it *replaces* the call site's grain, so one knob re-tunes every
+/// sharded loop in the analysis stack — batch=1 forces the finest legal
+/// sharding (adversarial for the equivalence tests), a batch larger than
+/// the work forces everything inline.  0 keeps the site's default grain.
 inline std::size_t shard_count(const Executor* ex, std::size_t n,
-                               std::size_t grain) {
+                               std::size_t grain, std::size_t batch = 0) {
+  if (batch != 0) grain = batch;
   if (n == 0) return 0;
   if (ex == nullptr || !ex->parallel()) return 1;
   if (grain == 0) grain = 1;
@@ -105,29 +112,99 @@ inline std::size_t shard_count(const Executor* ex, std::size_t n,
                                static_cast<std::size_t>(ex->lanes()) * 4);
 }
 
+/// Half-open index range of chunk `c` when [0, n) is cut into `chunks`
+/// contiguous pieces (sizes differ by at most one, longer pieces first).
+/// The partition every sharded loop and every combine pass below share —
+/// geometry is a pure function of (n, chunks), never of thread timing.
+inline std::pair<std::size_t, std::size_t>
+shard_range(std::size_t n, std::size_t chunks, std::size_t c) {
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  const std::size_t begin = c * base + std::min(c, extra);
+  return {begin, begin + base + (c < extra ? 1 : 0)};
+}
+
 /// Deterministically shard [0, n) into shard_count(...) contiguous chunks
 /// and call fn(chunk, begin, end) for each, in parallel when possible.
 /// With one chunk fn runs inline on the caller — the sequential and
 /// parallel modes share a single code path.  `tag` labels the fork in
-/// profiles (see Executor::parallel_for).
+/// profiles (see Executor::parallel_for).  `batch`, when nonzero,
+/// overrides `grain` (see shard_count).
 template <typename Fn>
-void sharded_for(Executor* ex, std::size_t n, std::size_t grain, Fn&& fn,
-                 obs::TaskTag tag = {}) {
-  const std::size_t chunks = shard_count(ex, n, grain);
+void sharded_for(Executor* ex, std::size_t n, std::size_t grain,
+                 std::size_t batch, Fn&& fn, obs::TaskTag tag = {}) {
+  const std::size_t chunks = shard_count(ex, n, grain, batch);
   if (chunks == 0) return;
   if (chunks == 1) {
     fn(std::size_t{0}, std::size_t{0}, n);
     return;
   }
-  const std::size_t base = n / chunks;
-  const std::size_t extra = n % chunks;
   ex->parallel_for(
       chunks,
       [&](std::size_t c) {
-        const std::size_t begin = c * base + std::min(c, extra);
-        fn(c, begin, begin + base + (c < extra ? 1 : 0));
+        const auto [begin, end] = shard_range(n, chunks, c);
+        fn(c, begin, end);
       },
       tag);
+}
+
+/// sharded_for without a batch override (site default grain only).
+template <typename Fn>
+void sharded_for(Executor* ex, std::size_t n, std::size_t grain, Fn&& fn,
+                 obs::TaskTag tag = {}) {
+  sharded_for(ex, n, grain, /*batch=*/0, std::forward<Fn>(fn), tag);
+}
+
+/// Profiler attribution labels for sharded_reduce: the parallel scan is
+/// recorded as one ShardScan phase event, the sequential combine as one
+/// Merge event — per *call*, so structure reports stay thread-count- and
+/// batch-invariant.  Leave `profiler` null to skip attribution.
+struct ReducePhases {
+  obs::Profiler* profiler = nullptr;
+  std::string_view scan;
+  std::string_view combine;
+};
+
+/// Deterministic lock-free reduction over [0, n): every shard gets a
+/// private, default-constructed Slot; scan(slot, begin, end) runs across
+/// the executor and appends whatever the shard produced into its slot
+/// (never touching shared state — that is what makes the scan lock-free);
+/// then combine(slot, chunk, begin, end) folds the slots *sequentially in
+/// chunk order* on the calling thread.  Because the chunk geometry is a
+/// pure function of (n, chunks) and the combine order is the index order,
+/// the folded result is bit-identical to an inline left-to-right loop at
+/// any thread count and any batch granularity.
+///
+/// Exceptions follow parallel_for's contract: every shard still runs, the
+/// lowest-index shard's exception is rethrown after the join, and the
+/// combine pass is skipped entirely.
+template <typename Slot, typename Scan, typename Combine>
+void sharded_reduce(Executor* ex, std::size_t n, std::size_t grain,
+                    std::size_t batch, Scan&& scan, Combine&& combine,
+                    obs::TaskTag tag = {}, ReducePhases phases = {}) {
+  const std::size_t chunks = shard_count(ex, n, grain, batch);
+  std::vector<Slot> slots(chunks);
+  {
+    obs::ScopedPhase scan_phase(phases.profiler, obs::PhaseKind::ShardScan,
+                                phases.scan);
+    if (chunks == 1) {
+      scan(slots[0], std::size_t{0}, n);
+    } else if (chunks > 1) {
+      ex->parallel_for(
+          chunks,
+          [&](std::size_t c) {
+            const auto [begin, end] = shard_range(n, chunks, c);
+            scan(slots[c], begin, end);
+          },
+          tag);
+    }
+  }
+  obs::ScopedPhase combine_phase(phases.profiler, obs::PhaseKind::Merge,
+                                 phases.combine);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const auto [begin, end] = shard_range(n, chunks, c);
+    combine(slots[c], c, begin, end);
+  }
 }
 
 } // namespace visrt

@@ -83,6 +83,7 @@ private:
     config.track_values = true;
     config.record_launches = true; // the spy verifier reads the launch log
     config.analysis_threads = spec.analysis_threads;
+    config.shard_batch = spec.shard_batch;
     config.machine.num_nodes = spec.num_nodes;
     config.provenance = provenance;
     config.telemetry = telemetry;
@@ -221,6 +222,7 @@ LiveRun run_program_live(const ProgramSpec& spec,
   ProgramSpec adjusted = spec;
   if (options.analysis_threads != 0)
     adjusted.analysis_threads = options.analysis_threads;
+  if (options.shard_batch != 0) adjusted.shard_batch = options.shard_batch;
   if (options.subject.has_value()) adjusted.subject = *options.subject;
   Execution exec;
   exec.provenance = options.provenance;
@@ -325,6 +327,7 @@ DiffReport check_program(const ProgramSpec& spec) {
   ref_spec.tracing = false;
   ref_spec.tuning = EngineTuning{};
   ref_spec.analysis_threads = 1;
+  ref_spec.shard_batch = 0;
   RunResult ref = run_program(ref_spec);
   if (ref.crashed)
     return {FailureKind::Crash, "reference engine: " + ref.crash_message};

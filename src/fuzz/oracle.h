@@ -92,6 +92,9 @@ struct LiveRunOptions {
   bool profile = false;
   /// Override the spec's analysis_threads when nonzero.
   unsigned analysis_threads = 0;
+  /// Override the spec's shard_batch when nonzero (RuntimeConfig docs the
+  /// semantics: 1 = finest sharding, larger-than-work = inline).
+  std::size_t shard_batch = 0;
   /// Override the spec's subject engine.
   std::optional<Algorithm> subject;
   /// Streaming ingest: call Runtime::retire(max_dead_eqsets) after every

@@ -122,6 +122,10 @@ struct ProgramSpec {
   /// always runs sequentially); serialized as an optional `threads N`
   /// directive so existing corpora parse unchanged.
   unsigned analysis_threads = 1;
+  /// Shard batch granularity override (RuntimeConfig::shard_batch; 0 keeps
+  /// each loop's default grain); serialized as an optional `shard_batch N`
+  /// directive so existing corpora parse unchanged.
+  std::size_t shard_batch = 0;
 
   // --- structure ---
   std::vector<TreeSpec> trees;

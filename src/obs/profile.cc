@@ -48,10 +48,12 @@ ProfileReport Profiler::report(std::uint64_t analysis_wall_ns) const {
     case PhaseKind::ShardScan: r.parallel_ns += p.wall_ns; break;
     case PhaseKind::Merge: r.merge_ns += p.wall_ns; break;
     case PhaseKind::Provenance: r.provenance_ns += p.wall_ns; break;
+    case PhaseKind::Combine: r.combine_ns += p.wall_ns; break;
     case PhaseKind::Other: r.other_ns += p.wall_ns; break;
     }
   }
-  const std::uint64_t serial_ns = r.merge_ns + r.provenance_ns + r.other_ns;
+  const std::uint64_t serial_ns =
+      r.merge_ns + r.provenance_ns + r.combine_ns + r.other_ns;
   const std::uint64_t attributed = r.parallel_ns + serial_ns;
   r.unattributed_ns =
       analysis_wall_ns > attributed ? analysis_wall_ns - attributed : 0;
@@ -137,6 +139,7 @@ std::string Profiler::timing_json(std::uint64_t analysis_wall_ns,
      << ",\"parallel_ns\":" << r.parallel_ns
      << ",\"merge_ns\":" << r.merge_ns
      << ",\"provenance_ns\":" << r.provenance_ns
+     << ",\"combine_ns\":" << r.combine_ns
      << ",\"other_ns\":" << r.other_ns
      << ",\"unattributed_ns\":" << r.unattributed_ns
      << ",\"coverage\":" << json_number(r.coverage)

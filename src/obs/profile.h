@@ -152,15 +152,25 @@ struct ContentionSample {
 /// How a phase's wall time scales: ShardScan work spreads across the
 /// executor; everything else serializes on the calling thread.  Merge is
 /// called out separately because the canonical-order merge loops are the
-/// determinism contract's mandatory serial section; Provenance because
-/// the ISSUE-6 attribution asks for it by name.
-enum class PhaseKind : std::uint8_t { ShardScan = 0, Merge, Provenance, Other };
+/// determinism contract's mandatory serial section; Combine is the new,
+/// slimmer flavor of that section — the index-order fold of per-shard
+/// reduction buffers after the parallel scan (what remains serial once
+/// the heavy per-requirement work moved into the shards); Provenance
+/// because the ISSUE-6 attribution asks for it by name.
+enum class PhaseKind : std::uint8_t {
+  ShardScan = 0,
+  Merge,
+  Provenance,
+  Combine,
+  Other,
+};
 
 inline const char* phase_kind_name(PhaseKind kind) {
   switch (kind) {
   case PhaseKind::ShardScan: return "shard_scan";
   case PhaseKind::Merge: return "merge";
   case PhaseKind::Provenance: return "provenance";
+  case PhaseKind::Combine: return "combine";
   case PhaseKind::Other: return "other";
   }
   return "?";
@@ -196,6 +206,7 @@ struct ProfileReport {
   std::uint64_t parallel_ns = 0;    ///< ShardScan phases
   std::uint64_t merge_ns = 0;       ///< Merge phases
   std::uint64_t provenance_ns = 0;  ///< Provenance phases
+  std::uint64_t combine_ns = 0;     ///< Combine phases (reduction folds)
   std::uint64_t other_ns = 0;       ///< Other phases
   std::uint64_t unattributed_ns = 0;
   double coverage = 0;          ///< attributed / wall

@@ -62,6 +62,7 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   ec.provenance = obs::kProvenanceEnabled && config_.provenance;
   ec.lifecycle = ec.provenance ? &lifecycle_ : nullptr;
   ec.max_history_depth = config_.max_history_depth;
+  ec.shard_batch = config_.shard_batch;
   engine_ = make_engine(config_.algorithm, ec);
   issue_tail_.assign(config_.machine.num_nodes, sim::kInvalidOp);
   issue_tail_finish_.assign(config_.machine.num_nodes, 0);
@@ -196,6 +197,14 @@ LaunchID Runtime::launch(TaskLaunch launch) {
     }
   }
 
+  // Per-launch scratch: every short-lived id/op list below lives on the
+  // arena and dies at return; resetting here recycles the previous
+  // launch's chunks, so steady-state launches allocate without malloc.
+  // (launch() is not reentrant — task bodies do not launch subtasks.)
+  scratch_arena_.reset();
+  const ArenaAllocator<LaunchID> scratch_ids(&scratch_arena_);
+  const ArenaAllocator<sim::OpID> scratch_ops(&scratch_arena_);
+
   // Launch issue: serialized on the analyzing node in program order (the
   // top-level task enumerates subtasks sequentially; with DCR each shard
   // enumerates only its own).  A traced replay pays only the template
@@ -205,7 +214,7 @@ LaunchID Runtime::launch(TaskLaunch launch) {
              : config_.costs.requirement_base_ns *
                        static_cast<SimTime>(launch.requirements.size()) +
                    (config_.dcr ? config_.costs.dcr_shard_ns : 0);
-  std::vector<sim::OpID> issue_deps;
+  std::vector<sim::OpID, ArenaAllocator<sim::OpID>> issue_deps(scratch_ops);
   SimTime issue_floor = 0;
   if (issue_tail_[analysis_node] == sim::kFrozenOp)
     issue_floor = issue_tail_finish_[analysis_node];
@@ -218,19 +227,31 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   // and plan the implicit communication.
   std::vector<Requirement> reqs;
   std::vector<PhysicalRegion> phys;
-  std::vector<LaunchID> all_deps;
-  std::vector<sim::OpID> analysis_tails;
-  std::vector<sim::OpID> copy_ops;
+  std::vector<LaunchID, ArenaAllocator<LaunchID>> all_deps(scratch_ids);
+  std::vector<sim::OpID, ArenaAllocator<sim::OpID>> analysis_tails(
+      scratch_ops);
+  std::vector<sim::OpID, ArenaAllocator<sim::OpID>> copy_ops(scratch_ops);
 
   reqs.reserve(launch.requirements.size());
   for (const RegionReq& rr : launch.requirements)
     reqs.push_back(Requirement{rr.region, rr.field, rr.privilege});
 
+  // Resolve field infos once, in requirement order: the require fires
+  // deterministically before any fan-out, and the shard bodies below
+  // reach their per-field InstanceMaps without a hash lookup.
+  std::vector<FieldInfo*> finfos(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    auto fit = field_info_.find(reqs[i].field);
+    require(fit != field_info_.end(), "launch uses an unregistered field");
+    finfos[i] = &fit->second;
+  }
+
   // Group requirement indices by field, first-occurrence order.  Engine
-  // state is strictly per field, so groups materialize/commit concurrently
-  // on the executor; within a group, program order is preserved.  The
-  // work-graph/dep-graph merge below runs sequentially in requirement
-  // order, so the emitted graphs are identical at any thread count.
+  // and instance state is strictly per field, so groups analyze
+  // concurrently on the executor; within a group, program order is
+  // preserved.  The work-graph/dep-graph combine below runs sequentially
+  // in requirement order, so the emitted graphs are identical at any
+  // thread count.
   std::vector<std::vector<std::size_t>> field_groups;
   {
     std::unordered_map<FieldID, std::size_t> group_of;
@@ -240,16 +261,23 @@ LaunchID Runtime::launch(TaskLaunch launch) {
       field_groups[it->second].push_back(i);
     }
   }
+  // One shard task per kGroupGrain field groups (shard_batch overrides
+  // the grain): the common one/two-field launch runs inline instead of
+  // paying a fork/join per field — within-launch parallelism then comes
+  // from the engines' inner scans.  Bodies touch only per-field engine +
+  // instance state, so batching groups into one shard adds no sharing.
+  static constexpr std::size_t kGroupGrain = 2;
   auto for_each_group = [&](const std::function<void(std::size_t)>& body) {
-    if (executor_ != nullptr && field_groups.size() > 1) {
-      executor_->parallel_for(field_groups.size(), body);
-    } else {
-      for (std::size_t g = 0; g < field_groups.size(); ++g) body(g);
-    }
+    sharded_for(executor_.get(), field_groups.size(), kGroupGrain,
+                config_.shard_batch,
+                [&](std::size_t, std::size_t gb, std::size_t ge) {
+                  for (std::size_t g = gb; g < ge; ++g) body(g);
+                });
   };
 
   const auto materialize_start = std::chrono::steady_clock::now();
   std::vector<MaterializeResult> mrs(reqs.size());
+  std::vector<std::vector<CopyPlan>> plans(reqs.size());
   // Self-time attribution of the fan-out: wall around the fork/join minus
   // the phase time the engines record inside the forked bodies.  What is
   // left is the dispatch/join glue (queue wakeups, idle join waits,
@@ -266,6 +294,18 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                            "materialize", id, analysis_node, nullptr,
                            &mrs[i].steps, launch_span.id());
       mrs[i] = engine_->materialize(reqs[i], ctx);
+    }
+    // Copy planning is per-field InstanceMap work — the bulk of what the
+    // old emit_graph serial section paid.  It rides the same shard as the
+    // materialize: group order preserves the per-field plan_read order,
+    // so validity evolution and the planned copies match the sequential
+    // schedule exactly.
+    for (std::size_t i : field_groups[g]) {
+      if (reqs[i].privilege.is_reduce()) continue;
+      obs::ScopedPhase plan_phase(&profiler_, obs::PhaseKind::ShardScan,
+                                  "runtime/plan_copies");
+      plans[i] = finfos[i]->instances.plan_read(
+          launch.mapped_node, forest_.domain(reqs[i].region));
     }
   });
   if (profiler_.enabled()) {
@@ -296,7 +336,6 @@ LaunchID Runtime::launch(TaskLaunch launch) {
       profiler_.enabled() ? obs::prof_now_ns() : 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const Requirement& req = reqs[i];
-    const RegionReq& rr = launch.requirements[i];
     MaterializeResult& mr = mrs[i];
     record_launch_telemetry(id, launch.name, mr.steps);
     for (LaunchID d : mr.dependences) add_dependence(all_deps, d);
@@ -310,14 +349,10 @@ LaunchID Runtime::launch(TaskLaunch launch) {
 
     // Data movement: reads and read-writes need the current version at the
     // mapped node; reductions accumulate locally into a fresh buffer.
-    // Copies start once this requirement's analysis and the producing
-    // tasks (its dependences) have finished.
-    auto fit = field_info_.find(rr.field);
-    require(fit != field_info_.end(), "launch uses an unregistered field");
+    // Copies (planned per field inside the fan-out above) start once this
+    // requirement's analysis and the producing tasks (its dependences)
+    // have finished.
     if (!req.privilege.is_reduce()) {
-      const IntervalSet& dom = forest_.domain(req.region);
-      std::vector<CopyPlan> plans =
-          fit->second.instances.plan_read(launch.mapped_node, dom);
       std::vector<sim::OpID> copy_deps = req_tails;
       SimTime copy_floor = 0;
       for (LaunchID d : mr.dependences) {
@@ -327,7 +362,7 @@ LaunchID Runtime::launch(TaskLaunch launch) {
         else if (e != sim::kInvalidOp)
           copy_deps.push_back(e);
       }
-      for (const CopyPlan& plan : plans) {
+      for (const CopyPlan& plan : plans[i]) {
         std::uint64_t bytes =
             static_cast<std::uint64_t>(plan.points.volume()) * kElementBytes;
         sim::OpID copy = graph_.message(
@@ -349,10 +384,11 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                           req_tails.end());
   }
   if (profiler_.enabled()) {
-    // The emit loop is a canonical-order merge: per-requirement engine
-    // results fold into the dependence and work graphs sequentially in
-    // requirement order, the determinism contract's serial section.
-    profiler_.phase(obs::PhaseKind::Merge, "runtime/emit_graph",
+    // The emit loop is the canonical-order combine: per-requirement
+    // engine results and pre-planned copies fold into the dependence and
+    // work graphs sequentially in requirement order — the determinism
+    // contract's mandatory serial section, now free of InstanceMap work.
+    profiler_.phase(obs::PhaseKind::Combine, "runtime/emit_graph",
                     obs::prof_now_ns() - emit_begin);
   }
   analysis_wall_s_ += seconds_since(materialize_start);
@@ -363,7 +399,7 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   // Dependence edges (program-order semantics) into both the dependence
   // graph and the work graph.
   deps_.add_edges(id, all_deps);
-  std::vector<sim::OpID> exec_deps = analysis_tails;
+  auto exec_deps = analysis_tails; // arena-backed copy, same scratch arena
   SimTime exec_floor = 0;
   for (sim::OpID c : copy_ops) exec_deps.push_back(c);
   for (LaunchID d : all_deps) {
@@ -389,8 +425,10 @@ LaunchID Runtime::launch(TaskLaunch launch) {
 
   // Commit results and update instance validity.  Commit messages are
   // asynchronous too; the iteration marker (not the next launch) joins
-  // them.  Commits shard by field like materializes; instance-map updates
-  // and work-graph emission stay sequential in requirement order.
+  // them.  Commits shard by field like materializes, and the instance-map
+  // validity updates ride the same shard (per-field order is requirement
+  // order, identical to the sequential schedule); only work-graph
+  // emission stays sequential in requirement order.
   const auto commit_start = std::chrono::steady_clock::now();
   std::vector<std::vector<AnalysisStep>> commit_steps(reqs.size());
   const std::uint64_t com_begin =
@@ -403,6 +441,21 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                            launch_span.id());
       commit_steps[i] = engine_->commit(reqs[i], phys[i].data(), ctx);
     }
+    for (std::size_t i : field_groups[g]) {
+      const Requirement& req = reqs[i];
+      if (req.privilege.is_write()) {
+        obs::ScopedPhase apply_phase(&profiler_, obs::PhaseKind::ShardScan,
+                                     "runtime/apply_instances");
+        finfos[i]->instances.record_write(launch.mapped_node,
+                                          forest_.domain(req.region));
+      } else if (req.privilege.is_reduce()) {
+        obs::ScopedPhase apply_phase(&profiler_, obs::PhaseKind::ShardScan,
+                                     "runtime/apply_instances");
+        finfos[i]->instances.record_reduction(launch.mapped_node,
+                                              forest_.domain(req.region),
+                                              req.privilege.redop);
+      }
+    }
   });
   if (profiler_.enabled()) {
     const std::uint64_t wall = obs::prof_now_ns() - com_begin;
@@ -413,7 +466,6 @@ LaunchID Runtime::launch(TaskLaunch launch) {
   const std::uint64_t commit_emit_begin =
       profiler_.enabled() ? obs::prof_now_ns() : 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
-    const Requirement& req = reqs[i];
     std::vector<AnalysisStep>& steps = commit_steps[i];
     record_launch_telemetry(id, launch.name, steps);
     if (!replay) {
@@ -423,18 +475,9 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                                       commit_tails.begin(),
                                       commit_tails.end());
     }
-
-    FieldInfo& fi = field_info_.at(req.field);
-    const IntervalSet& dom = forest_.domain(req.region);
-    if (req.privilege.is_write()) {
-      fi.instances.record_write(launch.mapped_node, dom);
-    } else if (req.privilege.is_reduce()) {
-      fi.instances.record_reduction(launch.mapped_node, dom,
-                                    req.privilege.redop);
-    }
   }
   if (profiler_.enabled()) {
-    profiler_.phase(obs::PhaseKind::Merge, "runtime/emit_commit",
+    profiler_.phase(obs::PhaseKind::Combine, "runtime/emit_commit",
                     obs::prof_now_ns() - commit_emit_begin);
   }
   analysis_wall_s_ += seconds_since(commit_start);

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/executor.h"
 #include "common/hash.h"
 #include "obs/lifecycle.h"
@@ -90,12 +91,23 @@ struct RuntimeConfig {
   std::size_t telemetry_series_capacity = 4096;
   /// Worker lanes (including the calling thread) for sharding each
   /// launch's analysis across an Executor: requirements on distinct fields
-  /// materialize/commit concurrently and the engines shard their inner
-  /// walks.  Results — dependence graph, DES timings, painted values — are
-  /// bit-identical to sequential mode by construction (per-shard slots
-  /// merged in canonical order; see docs/PERFORMANCE.md).  1 = sequential;
-  /// Algorithm::Reference always runs sequentially (it is the oracle).
+  /// materialize/plan/commit concurrently and the engines shard their
+  /// inner walks, with each shard appending into a private buffer that is
+  /// folded in index order afterwards (sharded_reduce).  Results —
+  /// dependence graph, DES timings, painted values, provenance — are
+  /// bit-identical to sequential mode by construction (see
+  /// docs/PERFORMANCE.md).  1 = sequential; Algorithm::Reference always
+  /// runs sequentially (it is the oracle).
   unsigned analysis_threads = 1;
+  /// Shard batch granularity: how many work items (field groups in the
+  /// launch fan-out, set/entry indices in the engines' inner scans) one
+  /// shard task claims.  0 picks each site's tuned default — coarse
+  /// enough that a typical launch's two-field fan-out runs inline instead
+  /// of paying two fork/joins.  Output is bit-identical across every
+  /// value (the equivalence tests sweep adversarial granularities);
+  /// shard_batch=1 forces the finest sharding, a value larger than the
+  /// work forces everything inline.
+  std::size_t shard_batch = 0;
   /// Bounded-memory streaming: collapse the value payloads of equivalence
   ///-set history entries beyond this depth into per-set composite views
   /// (see EngineConfig::max_history_depth).  Analysis results are
@@ -401,6 +413,12 @@ private:
 
   RuntimeConfig config_;
   RegionTreeForest forest_;
+  /// Per-launch scratch memory: launch() resets it on entry and carves its
+  /// short-lived dependence/op-id lists out of it (common/arena.h), so the
+  /// per-launch malloc traffic of the hot path collapses to pointer bumps
+  /// into retained chunks.  Single-owner: only touched from launch()'s
+  /// calling thread, never from shard tasks.
+  Arena scratch_arena_;
   obs::Recorder recorder_;
   /// Declared before executor_ (which holds a pointer) so the pool is
   /// destroyed first.

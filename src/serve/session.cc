@@ -105,6 +105,7 @@ void StreamSession::apply(const VisprogStatement& st) {
     case VisprogStatement::Kind::Config:
     case VisprogStatement::Kind::Tuning:
     case VisprogStatement::Kind::Threads:
+    case VisprogStatement::Kind::ShardBatch:
     case VisprogStatement::Kind::Tree:
     case VisprogStatement::Kind::Partition:
     case VisprogStatement::Kind::Field: apply_decl(st); break;
@@ -153,6 +154,8 @@ void StreamSession::instantiate() {
   config.analysis_threads = options_.analysis_threads != 0
                                 ? options_.analysis_threads
                                 : spec_.analysis_threads;
+  config.shard_batch =
+      options_.shard_batch != 0 ? options_.shard_batch : spec_.shard_batch;
   config.machine.num_nodes = spec_.num_nodes;
   config.max_history_depth = options_.max_history_depth;
   // Inline verification needs the launch log (ground-truth interference)

@@ -58,6 +58,9 @@ struct SessionOptions {
   bool track_values = true;
   /// Override the stream's `threads` directive when nonzero.
   unsigned analysis_threads = 0;
+  /// Override the stream's `shard_batch` directive when nonzero
+  /// (RuntimeConfig::shard_batch granularity).
+  std::size_t shard_batch = 0;
   /// Override the stream's configured engine.
   std::optional<Algorithm> subject;
   /// Verify each launch's emitted edges on arrival with the incremental

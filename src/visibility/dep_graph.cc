@@ -21,17 +21,27 @@ void DepGraph::add_task(LaunchID id) {
 
 void DepGraph::add_edges(LaunchID to, std::span<const LaunchID> froms) {
   require(to >= base_ && to < task_count(), "unknown destination launch");
-  std::vector<LaunchID>& p = preds_[to - base_];
+  std::span<LaunchID>& p = preds_[to - base_];
+  // Merge into the scratch list, then persist it with one arena copy; a
+  // re-finalized list abandons its old span (reclaimed at the next
+  // retirement compaction).
+  merge_scratch_.assign(p.begin(), p.end());
+  bool grew = false;
   for (LaunchID f : froms) {
     require(f < to, "dependence must point backwards in program order");
     require(f >= base_, "dependence names a retired launch");
-    if (std::find(p.begin(), p.end(), f) == p.end()) {
-      p.push_back(f);
+    if (std::find(merge_scratch_.begin(), merge_scratch_.end(), f) ==
+        merge_scratch_.end()) {
+      merge_scratch_.push_back(f);
+      grew = true;
       ++edges_;
       if (order_) order_->add_edge(f, to);
     }
   }
-  std::sort(p.begin(), p.end());
+  std::sort(merge_scratch_.begin(), merge_scratch_.end());
+  if (grew)
+    p = arena_.copy_span<LaunchID>(
+        std::span<const LaunchID>(merge_scratch_));
   std::size_t& d = depth_[to - base_];
   for (LaunchID f : p) {
     stream_hash_ = fnv1a_u64(stream_hash_, f);
@@ -47,6 +57,13 @@ void DepGraph::retire_prefix(LaunchID new_base) {
   const std::size_t drop = new_base - base_;
   preds_.erase(preds_.begin(), preds_.begin() + static_cast<std::ptrdiff_t>(drop));
   depth_.erase(depth_.begin(), depth_.begin() + static_cast<std::ptrdiff_t>(drop));
+  // Compact the surviving lists into a fresh arena so the retired
+  // prefix's memory (and any abandoned pre-merge spans) is released —
+  // the streaming service's bounded-residency contract.
+  Arena compacted;
+  for (std::span<LaunchID>& s : preds_)
+    s = compacted.copy_span<LaunchID>(std::span<const LaunchID>(s));
+  arena_ = std::move(compacted);
 #if VISRT_PROVENANCE
   for (auto it = prov_.begin(); it != prov_.end();) {
     if (it->first.second < new_base)
@@ -66,7 +83,7 @@ std::span<const LaunchID> DepGraph::preds(LaunchID id) const {
 
 bool DepGraph::has_edge(LaunchID from, LaunchID to) const {
   require(to >= base_ && to < task_count(), "unknown launch");
-  const std::vector<LaunchID>& p = preds_[to - base_];
+  std::span<const LaunchID> p = preds_[to - base_];
   return std::binary_search(p.begin(), p.end(), from);
 }
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/hash.h"
 #include "common/order_maintenance.h"
 #include "common/types.h"
@@ -106,8 +107,14 @@ public:
 #endif
 
 private:
-  std::vector<std::vector<LaunchID>> preds_; // indexed by LaunchID - base_
-  std::vector<std::size_t> depth_;           // longest chain ending at id
+  /// Predecessor lists live in an arena (one allocation per finalized
+  /// list, no per-edge malloc): add_edges merges into merge_scratch_ and
+  /// persists the result with one copy_span; retire_prefix compacts the
+  /// survivors into a fresh arena, releasing the retired lists' memory.
+  Arena arena_;
+  std::vector<LaunchID> merge_scratch_;
+  std::vector<std::span<LaunchID>> preds_; // indexed by LaunchID - base_
+  std::vector<std::size_t> depth_;         // longest chain ending at id
   LaunchID base_ = 0;
   std::size_t edges_ = 0;
   std::size_t best_depth_ = 0;

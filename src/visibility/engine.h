@@ -163,6 +163,11 @@ struct EngineConfig {
   /// the uncollapsed history; only value-payload residency shrinks.
   /// 0 = never collapse.  Currently honored by RayCast.
   std::size_t max_history_depth = 0;
+  /// Shard batch granularity for the engines' inner scans
+  /// (RuntimeConfig::shard_batch): nonzero replaces each scan's tuned
+  /// grain — 1 forces the finest sharding, larger-than-work runs inline.
+  /// Results are bit-identical across every value.
+  std::size_t shard_batch = 0;
 };
 
 class CoherenceEngine {

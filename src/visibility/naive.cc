@@ -22,7 +22,7 @@ constexpr std::size_t kSetGrain = 8;
 /// bit-identical to an inline walk at any thread count.  When `prov` is
 /// non-null, one HistoryWalk provenance record per hit is appended
 /// (stamped with `region`/`field`; the dep graph keeps the first per edge).
-void walk_history(Executor* ex, obs::Profiler* profiler,
+void walk_history(Executor* ex, obs::Profiler* profiler, std::size_t batch,
                   const std::vector<HistEntry>& history,
                   const IntervalSet& dom, const Privilege& priv,
                   RegionData<double>* target, std::vector<LaunchID>& deps,
@@ -33,42 +33,34 @@ void walk_history(Executor* ex, obs::Profiler* profiler,
     AnalysisCounters counters;
     std::vector<std::uint32_t> hits; ///< indices into `history`
   };
-  const std::size_t shards = shard_count(ex, history.size(), kEntryGrain);
-  std::vector<Shard> walk(shards);
-  {
-    obs::ScopedPhase phase(profiler, obs::PhaseKind::ShardScan,
-                           "naive/history_scan");
-    sharded_for(
-        ex, history.size(), kEntryGrain,
-        [&](std::size_t shard, std::size_t begin, std::size_t end) {
-          Shard& w = walk[shard];
-          for (std::size_t k = begin; k < end; ++k) {
-            if (entry_depends(history[k], dom, priv, w.counters))
-              w.hits.push_back(static_cast<std::uint32_t>(k));
+  sharded_reduce<Shard>(
+      ex, history.size(), kEntryGrain, batch,
+      [&](Shard& w, std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          if (entry_depends(history[k], dom, priv, w.counters))
+            w.hits.push_back(static_cast<std::uint32_t>(k));
+        }
+      },
+      [&](Shard& w, std::size_t, std::size_t, std::size_t) {
+        c += w.counters;
+        for (std::uint32_t h : w.hits) {
+          const HistEntry& e = history[h];
+          add_dependence(deps, e.task);
+          if (prov != nullptr && e.task != kInvalidLaunch) {
+            obs::EdgeProvenance p;
+            p.from = e.task;
+            p.phase = obs::ProvPhase::HistoryWalk;
+            p.region = region;
+            p.eqset = kNoEqSetID;
+            p.field = field;
+            p.prev = e.priv;
+            p.cur = priv;
+            prov->push_back(p);
           }
-        },
-        tag);
-  }
-  obs::ScopedPhase merge_phase(profiler, obs::PhaseKind::Merge,
-                               "naive/history_merge");
-  for (Shard& w : walk) {
-    c += w.counters;
-    for (std::uint32_t h : w.hits) {
-      const HistEntry& e = history[h];
-      add_dependence(deps, e.task);
-      if (prov != nullptr && e.task != kInvalidLaunch) {
-        obs::EdgeProvenance p;
-        p.from = e.task;
-        p.phase = obs::ProvPhase::HistoryWalk;
-        p.region = region;
-        p.eqset = kNoEqSetID;
-        p.field = field;
-        p.prev = e.priv;
-        p.cur = priv;
-        prov->push_back(p);
-      }
-    }
-  }
+        }
+      },
+      tag, ReducePhases{profiler, "naive/history_scan",
+                        "naive/history_merge"});
   if (target != nullptr) {
     for (const HistEntry& e : history) {
       if (e.values.has_value()) paint_entry(*target, e, c);
@@ -123,8 +115,8 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
       out.data = RegionData<double>::filled(
           dom, reduction_op(req.privilege.redop).identity);
     }
-    walk_history(config_.executor, config_.profiler, fs.history, dom,
-                 req.privilege, nullptr, out.dependences, c,
+    walk_history(config_.executor, config_.profiler, config_.shard_batch,
+                 fs.history, dom, req.privilege, nullptr, out.dependences, c,
                  obs::TaskTag{ctx.task, req.field},
                  obs::kProvenanceEnabled && config_.provenance
                      ? &out.provenance
@@ -137,8 +129,8 @@ MaterializeResult NaivePaintEngine::materialize(const Requirement& req,
       data = RegionData<double>::filled(dom, 0.0);
       target = &data;
     }
-    walk_history(config_.executor, config_.profiler, fs.history, dom,
-                 req.privilege, target, out.dependences, c,
+    walk_history(config_.executor, config_.profiler, config_.shard_batch,
+                 fs.history, dom, req.privilege, target, out.dependences, c,
                  obs::TaskTag{ctx.task, req.field},
                  obs::kProvenanceEnabled && config_.provenance
                      ? &out.provenance
@@ -297,70 +289,73 @@ MaterializeResult NaiveWarnockEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "history_walk", ctx.task, ctx.analysis_node, &c,
                          nullptr);
-    // The per-set interference tests are pure reads, so they shard across
-    // the executor into per-set slots; counter accumulation, painting and
-    // data merging stay sequential in set order, making the result
-    // bit-identical to the inline loop at any thread count.
-    struct VisitSlot {
-      AnalysisCounters counters;
-      std::vector<std::uint32_t> hits; ///< indices into the set's history
+    // Deterministic reduction: the pure per-set interference tests append
+    // into per-shard buffers across the executor; counter accumulation,
+    // painting and data merging fold the buffers sequentially in set
+    // order, making the result bit-identical to the inline loop at any
+    // thread count.
+    struct VisitShard {
+      std::vector<AnalysisCounters> counters; ///< one per set in the shard
+      /// (set index, history entry) pairs, appended in scan order.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> hits;
     };
-    std::vector<VisitSlot> slots(fs.sets.size());
-    {
-      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
-                             "naive/set_scan");
-      sharded_for(
-          config_.executor, fs.sets.size(), kSetGrain,
-          [&](std::size_t, std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-              const EqSet& eq = fs.sets[i];
-              if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
-              VisitSlot& slot = slots[i];
-              for (std::size_t h = 0; h < eq.history.size(); ++h) {
-                if (entry_depends(eq.history[h], eq.dom, req.privilege,
-                                  slot.counters))
-                  slot.hits.push_back(static_cast<std::uint32_t>(h));
+    sharded_reduce<VisitShard>(
+        config_.executor, fs.sets.size(), kSetGrain, config_.shard_batch,
+        [&](VisitShard& shard, std::size_t begin, std::size_t end) {
+          shard.counters.resize(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            const EqSet& eq = fs.sets[i];
+            if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
+            AnalysisCounters& cc = shard.counters[i - begin];
+            for (std::size_t h = 0; h < eq.history.size(); ++h) {
+              if (entry_depends(eq.history[h], eq.dom, req.privilege, cc))
+                shard.hits.emplace_back(static_cast<std::uint32_t>(i),
+                                        static_cast<std::uint32_t>(h));
+            }
+          }
+        },
+        [&](VisitShard& shard, std::size_t, std::size_t begin,
+            std::size_t end) {
+          std::size_t cursor = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            EqSet& eq = fs.sets[i];
+            if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
+            ++c.eqset_visits;
+            c += shard.counters[i - begin];
+            for (; cursor < shard.hits.size() && shard.hits[cursor].first == i;
+                 ++cursor) {
+              const HistEntry& e = eq.history[shard.hits[cursor].second];
+              add_dependence(out.dependences, e.task);
+              if (obs::kProvenanceEnabled && config_.provenance &&
+                  e.task != kInvalidLaunch) {
+                obs::EdgeProvenance p;
+                p.from = e.task;
+                p.phase = obs::ProvPhase::EqSetVisit;
+                p.region = req.region.index;
+                p.eqset = kNoEqSetID; // naive sets have no stable ids
+                p.field = req.field;
+                p.prev = e.priv;
+                p.cur = req.privilege;
+                out.provenance.push_back(p);
               }
             }
-          },
-          obs::TaskTag{ctx.task, req.field});
-    }
-    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
-                                 "naive/visit_merge");
-    for (std::size_t i = 0; i < fs.sets.size(); ++i) {
-      EqSet& eq = fs.sets[i];
-      if (!dom.contains(eq.dom) || eq.dom.empty()) continue;
-      ++c.eqset_visits;
-      c += slots[i].counters;
-      for (std::uint32_t h : slots[i].hits) {
-        const HistEntry& e = eq.history[h];
-        add_dependence(out.dependences, e.task);
-        if (obs::kProvenanceEnabled && config_.provenance &&
-            e.task != kInvalidLaunch) {
-          obs::EdgeProvenance p;
-          p.from = e.task;
-          p.phase = obs::ProvPhase::EqSetVisit;
-          p.region = req.region.index;
-          p.eqset = kNoEqSetID; // naive sets have no stable ids
-          p.field = req.field;
-          p.prev = e.priv;
-          p.cur = req.privilege;
-          out.provenance.push_back(p);
-        }
-      }
-      if (!build_values) continue;
-      RegionData<double> piece;
-      if (req.privilege.is_reduce()) {
-        piece = RegionData<double>::filled(
-            eq.dom, reduction_op(req.privilege.redop).identity);
-      } else {
-        piece = RegionData<double>::filled(eq.dom, 0.0);
-        for (const HistEntry& e : eq.history) {
-          if (e.values.has_value()) paint_entry(piece, e, c);
-        }
-      }
-      data = data.empty() ? std::move(piece) : data.merged_with(piece);
-    }
+            if (!build_values) continue;
+            RegionData<double> piece;
+            if (req.privilege.is_reduce()) {
+              piece = RegionData<double>::filled(
+                  eq.dom, reduction_op(req.privilege.redop).identity);
+            } else {
+              piece = RegionData<double>::filled(eq.dom, 0.0);
+              for (const HistEntry& e : eq.history) {
+                if (e.values.has_value()) paint_entry(piece, e, c);
+              }
+            }
+            data = data.empty() ? std::move(piece) : data.merged_with(piece);
+          }
+        },
+        obs::TaskTag{ctx.task, req.field},
+        ReducePhases{config_.profiler, "naive/set_scan",
+                     "naive/visit_merge"});
   }
   if (build_values && data.empty() && !dom.empty()) {
     // Domain with no equivalence sets can't happen: sets cover the root.

@@ -249,41 +249,37 @@ void PaintEngine::close_subtrees(FieldState& fs,
         // themselves mutate and run afterwards, sequentially in child
         // order — exactly the order the inline loop produces.
         std::span<const RegionHandle> kids = forest.children(ph);
-        const std::size_t shards =
-            shard_count(config_.executor, kids.size(), kShardGrain);
-        std::vector<AnalysisCounters> scan_counts(shards);
-        std::vector<std::uint8_t> needs(kids.size(), 0);
-        {
-          obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
-                                 "paint/kid_scan");
-          sharded_for(
-              config_.executor, kids.size(), kShardGrain,
-              [&](std::size_t shard, std::size_t begin, std::size_t end) {
-                AnalysisCounters& c = scan_counts[shard];
-                for (std::size_t k = begin; k < end; ++k) {
-                  RegionHandle child = kids[k];
-                  if (child == next) continue;
-                  ++c.composite_child_tests;
-                  auto cit = fs.nodes.find(child.index);
-                  if (cit == fs.nodes.end() ||
-                      cit->second.subtree_entries == 0)
-                    continue;
-                  if (!privs_interfere(cit->second.subtree_privs, priv))
-                    continue;
-                  if (!forest.domain(child).overlaps(dom)) continue;
-                  needs[k] = 1;
-                }
-              },
-              obs::TaskTag{ctx.task, fs.id});
-        }
-        obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
-                                     "paint/kid_merge");
-        for (const AnalysisCounters& c : scan_counts) local += c;
-        for (std::size_t k = 0; k < kids.size(); ++k) {
-          if (needs[k] == 0) continue;
-          RegionHandle one[] = {kids[k]};
-          capture(fs, a, one, ctx, steps, local);
-        }
+        struct KidShard {
+          AnalysisCounters counters;
+          std::vector<std::uint32_t> needs; ///< child indices to capture
+        };
+        sharded_reduce<KidShard>(
+            config_.executor, kids.size(), kShardGrain, config_.shard_batch,
+            [&](KidShard& shard, std::size_t begin, std::size_t end) {
+              for (std::size_t k = begin; k < end; ++k) {
+                RegionHandle child = kids[k];
+                if (child == next) continue;
+                ++shard.counters.composite_child_tests;
+                auto cit = fs.nodes.find(child.index);
+                if (cit == fs.nodes.end() ||
+                    cit->second.subtree_entries == 0)
+                  continue;
+                if (!privs_interfere(cit->second.subtree_privs, priv))
+                  continue;
+                if (!forest.domain(child).overlaps(dom)) continue;
+                shard.needs.push_back(static_cast<std::uint32_t>(k));
+              }
+            },
+            [&](KidShard& shard, std::size_t, std::size_t, std::size_t) {
+              local += shard.counters;
+              for (std::uint32_t k : shard.needs) {
+                RegionHandle one[] = {kids[k]};
+                capture(fs, a, one, ctx, steps, local);
+              }
+            },
+            obs::TaskTag{ctx.task, fs.id},
+            ReducePhases{config_.profiler, "paint/kid_scan",
+                         "paint/kid_merge"});
         continue;
       }
       // Off-path partition subtree: capture the whole partition when any
@@ -390,72 +386,66 @@ MaterializeResult PaintEngine::materialize(const Requirement& req,
       }
     }
 
-    // Test pass: per-item interference tests are pure, so they shard
-    // across the executor.  Each shard accumulates into private slots;
-    // the merge below runs in shard (= item) order, and because counter
-    // sums are commutative and the dependence list is a sorted set, the
-    // result is bit-identical to the inline walk at any thread count.
+    // Test pass: per-item interference tests are pure, so they run as a
+    // deterministic reduction — each shard accumulates into a private
+    // buffer, and the combine folds the buffers in shard (= item) order.
+    // Counter sums are commutative and the dependence list is a sorted
+    // set, so the result is bit-identical to the inline walk at any
+    // thread count.
     struct WalkShard {
       AnalysisCounters local;
       std::map<NodeID, AnalysisCounters> remote;
       std::vector<std::uint32_t> hits; ///< indices into `items`
     };
-    const std::size_t shards =
-        shard_count(config_.executor, items.size(), kShardGrain);
-    std::vector<WalkShard> walk(shards);
     if (config_.profiler != nullptr && config_.profiler->enabled()) {
       config_.profiler->phase(obs::PhaseKind::Other, "paint/item_gather",
                               obs::prof_now_ns() - gather_begin);
     }
-    {
-      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
-                             "paint/item_scan");
-      sharded_for(
-          config_.executor, items.size(), kShardGrain,
-          [&](std::size_t shard, std::size_t begin, std::size_t end) {
-            WalkShard& w = walk[shard];
-            for (std::size_t k = begin; k < end; ++k) {
-              const WalkItem& item = items[k];
-              if (item.from_view) {
-                ++w.local.composite_child_tests;
-                if (skips_entry(*item.e)) continue;
-                if (entry_depends(*item.e, dom, req.privilege, w.local))
-                  w.hits.push_back(static_cast<std::uint32_t>(k));
-              } else {
-                AnalysisCounters& rc = item.direct_owner == ctx.analysis_node
-                                           ? w.local
-                                           : w.remote[item.direct_owner];
-                if (skips_entry(*item.e)) continue;
-                if (entry_depends(*item.e, dom, req.privilege, rc))
-                  w.hits.push_back(static_cast<std::uint32_t>(k));
-              }
+    sharded_reduce<WalkShard>(
+        config_.executor, items.size(), kShardGrain, config_.shard_batch,
+        [&](WalkShard& w, std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const WalkItem& item = items[k];
+            if (item.from_view) {
+              ++w.local.composite_child_tests;
+              if (skips_entry(*item.e)) continue;
+              if (entry_depends(*item.e, dom, req.privilege, w.local))
+                w.hits.push_back(static_cast<std::uint32_t>(k));
+            } else {
+              AnalysisCounters& rc = item.direct_owner == ctx.analysis_node
+                                         ? w.local
+                                         : w.remote[item.direct_owner];
+              if (skips_entry(*item.e)) continue;
+              if (entry_depends(*item.e, dom, req.privilege, rc))
+                w.hits.push_back(static_cast<std::uint32_t>(k));
             }
-          },
-          obs::TaskTag{ctx.task, req.field});
-    }
-    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
-                                 "paint/item_merge");
-    for (WalkShard& w : walk) {
-      local += w.local;
-      for (const auto& [owner, counters] : w.remote) remote[owner] += counters;
-      for (std::uint32_t k : w.hits) {
-        const WalkItem& item = items[k];
-        add_dependence(out.dependences, item.e->task);
-        if (obs::kProvenanceEnabled && config_.provenance &&
-            item.e->task != kInvalidLaunch) {
-          obs::EdgeProvenance p;
-          p.from = item.e->task;
-          p.phase = item.from_view ? obs::ProvPhase::CompositeView
-                                   : obs::ProvPhase::HistoryWalk;
-          p.region = req.region.index;
-          p.eqset = item.view_id;
-          p.field = req.field;
-          p.prev = item.e->priv;
-          p.cur = req.privilege;
-          out.provenance.push_back(p);
-        }
-      }
-    }
+          }
+        },
+        [&](WalkShard& w, std::size_t, std::size_t, std::size_t) {
+          local += w.local;
+          for (const auto& [owner, counters] : w.remote)
+            remote[owner] += counters;
+          for (std::uint32_t k : w.hits) {
+            const WalkItem& item = items[k];
+            add_dependence(out.dependences, item.e->task);
+            if (obs::kProvenanceEnabled && config_.provenance &&
+                item.e->task != kInvalidLaunch) {
+              obs::EdgeProvenance p;
+              p.from = item.e->task;
+              p.phase = item.from_view ? obs::ProvPhase::CompositeView
+                                       : obs::ProvPhase::HistoryWalk;
+              p.region = req.region.index;
+              p.eqset = item.view_id;
+              p.field = req.field;
+              p.prev = item.e->priv;
+              p.cur = req.privilege;
+              out.provenance.push_back(p);
+            }
+          }
+        },
+        obs::TaskTag{ctx.task, req.field},
+        ReducePhases{config_.profiler, "paint/item_scan",
+                     "paint/item_merge"});
 
     // Paint pass (sequential): value application is order-dependent, so
     // it replays the items in history order on the calling thread.

@@ -471,88 +471,91 @@ MaterializeResult RayCastEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "history_walk", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
-    // Shard the pure per-set interference tests across the executor; the
-    // step bookkeeping (including merging a set's visit into its split's
-    // round trip), painting and data merging run sequentially in set
-    // order afterwards, so the output is bit-identical to the inline
-    // loop.
-    struct VisitSlot {
-      AnalysisCounters counters;
-      std::vector<std::uint32_t> hits; ///< indices into the set's history
+    // Deterministic reduction: each shard tests its sets' histories into
+    // a private buffer; the combine folds the buffers in set order on the
+    // calling thread (step bookkeeping — including merging a set's visit
+    // into its split's round trip — painting and data merging), so the
+    // output is bit-identical to the inline loop.
+    struct VisitShard {
+      std::vector<AnalysisCounters> counters; ///< one per set in the shard
+      /// (set index, history entry) pairs — appended in scan order, so
+      /// already sorted by set index then entry.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> hits;
     };
-    std::vector<VisitSlot> slots(inside_ids.size());
-    {
-      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
-                             "raycast/set_scan");
-      sharded_for(
-          config_.executor, inside_ids.size(), kSetGrain,
-          [&](std::size_t, std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-              const EqSet& s = fs.sets[inside_ids[i]];
-              if (s.dom.empty()) continue;
-              VisitSlot& slot = slots[i];
-              for (std::size_t h = 0; h < s.history.size(); ++h) {
-                if (entry_depends(s.history[h], s.dom, req.privilege,
-                                  slot.counters))
-                  slot.hits.push_back(static_cast<std::uint32_t>(h));
+    sharded_reduce<VisitShard>(
+        config_.executor, inside_ids.size(), kSetGrain, config_.shard_batch,
+        [&](VisitShard& shard, std::size_t begin, std::size_t end) {
+          shard.counters.resize(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            const EqSet& s = fs.sets[inside_ids[i]];
+            if (s.dom.empty()) continue;
+            AnalysisCounters& c = shard.counters[i - begin];
+            for (std::size_t h = 0; h < s.history.size(); ++h) {
+              if (entry_depends(s.history[h], s.dom, req.privilege, c))
+                shard.hits.emplace_back(static_cast<std::uint32_t>(i),
+                                        static_cast<std::uint32_t>(h));
+            }
+          }
+        },
+        [&](VisitShard& shard, std::size_t, std::size_t begin,
+            std::size_t end) {
+          std::size_t cursor = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t id = inside_ids[i];
+            EqSet& s = fs.sets[id];
+            if (s.dom.empty()) continue;
+            auto vit = visited_by_split.find(id);
+            AnalysisStep fresh_step;
+            fresh_step.eqset = id;
+            AnalysisCounters& counters = vit != visited_by_split.end()
+                                             ? out.steps[vit->second].counters
+                                             : fresh_step.counters;
+            ++counters.eqset_visits;
+            counters += shard.counters[i - begin];
+            for (; cursor < shard.hits.size() && shard.hits[cursor].first == i;
+                 ++cursor) {
+              const HistEntry& e = s.history[shard.hits[cursor].second];
+              add_dependence(out.dependences, e.task);
+              if (obs::kProvenanceEnabled && config_.provenance &&
+                  e.task != kInvalidLaunch) {
+                obs::EdgeProvenance p;
+                p.from = e.task;
+                p.phase = obs::ProvPhase::EqSetVisit;
+                p.region = req.region.index;
+                p.eqset = id;
+                p.field = req.field;
+                p.prev = e.priv;
+                p.cur = req.privilege;
+                out.provenance.push_back(p);
               }
             }
-          },
-          obs::TaskTag{ctx.task, req.field});
-    }
-    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
-                                 "raycast/visit_merge");
-    for (std::size_t i = 0; i < inside_ids.size(); ++i) {
-      const std::uint32_t id = inside_ids[i];
-      EqSet& s = fs.sets[id];
-      if (s.dom.empty()) continue;
-      auto vit = visited_by_split.find(id);
-      AnalysisStep fresh_step;
-      fresh_step.eqset = id;
-      AnalysisCounters& counters = vit != visited_by_split.end()
-                                       ? out.steps[vit->second].counters
-                                       : fresh_step.counters;
-      ++counters.eqset_visits;
-      counters += slots[i].counters;
-      for (std::uint32_t h : slots[i].hits) {
-        const HistEntry& e = s.history[h];
-        add_dependence(out.dependences, e.task);
-        if (obs::kProvenanceEnabled && config_.provenance &&
-            e.task != kInvalidLaunch) {
-          obs::EdgeProvenance p;
-          p.from = e.task;
-          p.phase = obs::ProvPhase::EqSetVisit;
-          p.region = req.region.index;
-          p.eqset = id;
-          p.field = req.field;
-          p.prev = e.priv;
-          p.cur = req.privilege;
-          out.provenance.push_back(p);
-        }
-      }
-      RegionData<double> piece;
-      if (paint_values) {
-        // The composite view is the folded value of the collapsed history
-        // prefix; flagged entries then charge their modeled paint cost
-        // inside paint_entry without repainting.
-        piece = s.composite.has_value()
-                    ? *s.composite
-                    : RegionData<double>::filled(s.dom, 0.0);
-        for (const HistEntry& e : s.history) {
-          if (e.collapsed || e.values.has_value())
-            paint_entry(piece, e, counters);
-        }
-      }
-      if (vit == visited_by_split.end()) {
-        fresh_step.owner = s.owner;
-        fresh_step.meta_bytes = 64 + 32 * s.history.size();
-        out.steps.push_back(std::move(fresh_step));
-      } else {
-        out.steps[vit->second].meta_bytes += 32 * s.history.size();
-      }
-      if (paint_values)
-        data = data.empty() ? std::move(piece) : data.merged_with(piece);
-    }
+            RegionData<double> piece;
+            if (paint_values) {
+              // The composite view is the folded value of the collapsed
+              // history prefix; flagged entries then charge their modeled
+              // paint cost inside paint_entry without repainting.
+              piece = s.composite.has_value()
+                          ? *s.composite
+                          : RegionData<double>::filled(s.dom, 0.0);
+              for (const HistEntry& e : s.history) {
+                if (e.collapsed || e.values.has_value())
+                  paint_entry(piece, e, counters);
+              }
+            }
+            if (vit == visited_by_split.end()) {
+              fresh_step.owner = s.owner;
+              fresh_step.meta_bytes = 64 + 32 * s.history.size();
+              out.steps.push_back(std::move(fresh_step));
+            } else {
+              out.steps[vit->second].meta_bytes += 32 * s.history.size();
+            }
+            if (paint_values)
+              data = data.empty() ? std::move(piece) : data.merged_with(piece);
+          }
+        },
+        obs::TaskTag{ctx.task, req.field},
+        ReducePhases{config_.profiler, "raycast/set_scan",
+                     "raycast/visit_merge"});
   }
 
   if (config_.track_values) {

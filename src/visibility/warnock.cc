@@ -204,72 +204,75 @@ MaterializeResult WarnockEngine::materialize(const Requirement& req,
     obs::ScopedSpan span(config_.recorder, obs::SpanKind::Phase,
                          "history_walk", ctx.task, ctx.analysis_node, &local,
                          &out.steps);
-    // The per-set interference tests are pure reads, so they shard across
-    // the executor into per-set slots; step construction, painting and
-    // data merging stay sequential in set order, making the emitted steps
-    // and dependences bit-identical to the inline loop.
-    struct VisitSlot {
-      AnalysisCounters counters;
-      std::vector<std::uint32_t> hits; ///< indices into the set's history
+    // Deterministic reduction: the pure per-set interference tests append
+    // into per-shard buffers across the executor; step construction,
+    // painting and data merging fold the buffers sequentially in set
+    // order, making the emitted steps and dependences bit-identical to
+    // the inline loop.
+    struct VisitShard {
+      std::vector<AnalysisCounters> counters; ///< one per set in the shard
+      /// (set index, history entry) pairs, appended in scan order.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> hits;
     };
-    std::vector<VisitSlot> slots(inside_ids.size());
-    {
-      obs::ScopedPhase phase(config_.profiler, obs::PhaseKind::ShardScan,
-                             "warnock/set_scan");
-      sharded_for(
-          config_.executor, inside_ids.size(), kSetGrain,
-          [&](std::size_t, std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-              const EqSetNode& n = fs.nodes[inside_ids[i]];
-              if (n.dom.empty()) continue;
-              VisitSlot& slot = slots[i];
-              for (std::size_t h = 0; h < n.history.size(); ++h) {
-                if (entry_depends(n.history[h], n.dom, req.privilege,
-                                  slot.counters))
-                  slot.hits.push_back(static_cast<std::uint32_t>(h));
+    sharded_reduce<VisitShard>(
+        config_.executor, inside_ids.size(), kSetGrain, config_.shard_batch,
+        [&](VisitShard& shard, std::size_t begin, std::size_t end) {
+          shard.counters.resize(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            const EqSetNode& n = fs.nodes[inside_ids[i]];
+            if (n.dom.empty()) continue;
+            AnalysisCounters& c = shard.counters[i - begin];
+            for (std::size_t h = 0; h < n.history.size(); ++h) {
+              if (entry_depends(n.history[h], n.dom, req.privilege, c))
+                shard.hits.emplace_back(static_cast<std::uint32_t>(i),
+                                        static_cast<std::uint32_t>(h));
+            }
+          }
+        },
+        [&](VisitShard& shard, std::size_t, std::size_t begin,
+            std::size_t end) {
+          std::size_t cursor = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            EqSetNode& n = fs.nodes[inside_ids[i]];
+            if (n.dom.empty()) continue;
+            AnalysisStep step;
+            step.owner = n.owner;
+            ++step.counters.eqset_visits;
+            step.counters += shard.counters[i - begin];
+            step.eqset = inside_ids[i];
+            for (; cursor < shard.hits.size() && shard.hits[cursor].first == i;
+                 ++cursor) {
+              const HistEntry& e = n.history[shard.hits[cursor].second];
+              add_dependence(out.dependences, e.task);
+              if (obs::kProvenanceEnabled && config_.provenance &&
+                  e.task != kInvalidLaunch) {
+                obs::EdgeProvenance p;
+                p.from = e.task;
+                p.phase = obs::ProvPhase::EqSetVisit;
+                p.region = req.region.index;
+                p.eqset = inside_ids[i];
+                p.field = req.field;
+                p.prev = e.priv;
+                p.cur = req.privilege;
+                out.provenance.push_back(p);
               }
             }
-          },
-          obs::TaskTag{ctx.task, req.field});
-    }
-    obs::ScopedPhase merge_phase(config_.profiler, obs::PhaseKind::Merge,
-                                 "warnock/visit_merge");
-    for (std::size_t i = 0; i < inside_ids.size(); ++i) {
-      EqSetNode& n = fs.nodes[inside_ids[i]];
-      if (n.dom.empty()) continue;
-      AnalysisStep step;
-      step.owner = n.owner;
-      ++step.counters.eqset_visits;
-      step.counters += slots[i].counters;
-      step.eqset = inside_ids[i];
-      for (std::uint32_t h : slots[i].hits) {
-        const HistEntry& e = n.history[h];
-        add_dependence(out.dependences, e.task);
-        if (obs::kProvenanceEnabled && config_.provenance &&
-            e.task != kInvalidLaunch) {
-          obs::EdgeProvenance p;
-          p.from = e.task;
-          p.phase = obs::ProvPhase::EqSetVisit;
-          p.region = req.region.index;
-          p.eqset = inside_ids[i];
-          p.field = req.field;
-          p.prev = e.priv;
-          p.cur = req.privilege;
-          out.provenance.push_back(p);
-        }
-      }
-      RegionData<double> piece;
-      if (paint_values) {
-        piece = RegionData<double>::filled(n.dom, 0.0);
-        for (const HistEntry& e : n.history) {
-          if (e.values.has_value()) paint_entry(piece, e, step.counters);
-        }
-      }
-      step.meta_bytes = 64 + kEntryMetaBytes * n.history.size();
-      out.steps.push_back(std::move(step));
-      if (paint_values)
-        data = data.empty() ? std::move(piece) : data.merged_with(piece);
-    }
+            RegionData<double> piece;
+            if (paint_values) {
+              piece = RegionData<double>::filled(n.dom, 0.0);
+              for (const HistEntry& e : n.history) {
+                if (e.values.has_value()) paint_entry(piece, e, step.counters);
+              }
+            }
+            step.meta_bytes = 64 + kEntryMetaBytes * n.history.size();
+            out.steps.push_back(std::move(step));
+            if (paint_values)
+              data = data.empty() ? std::move(piece) : data.merged_with(piece);
+          }
+        },
+        obs::TaskTag{ctx.task, req.field},
+        ReducePhases{config_.profiler, "warnock/set_scan",
+                     "warnock/visit_merge"});
   }
 
   if (config_.track_values) {

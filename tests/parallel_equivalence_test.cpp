@@ -1,20 +1,25 @@
 // Cross-mode equivalence: the parallel analysis executor must be
 // invisible in every observable result.  Each corpus program runs through
-// all six engines, with and without DCR, at 1, 2 and 8 analysis lanes;
-// the dependence DAG, the replayed DES schedule, the per-launch
+// all six engines, with and without DCR, across analysis lane counts and
+// adversarial shard batch granularities (finest, prime, larger than any
+// loop); the dependence DAG, the replayed DES schedule, the per-launch
 // materialized values and the final field values must be bit-identical to
-// the sequential run, and the spy verifier must stay clean in parallel
-// mode.  This is the lockdown for the determinism-by-construction
-// argument in docs/PERFORMANCE.md.
+// the sequential run, the provenance and lifecycle ledgers must be
+// byte-identical, and the spy verifier must stay clean in parallel mode.
+// This is the lockdown for the determinism-by-construction argument in
+// docs/PERFORMANCE.md.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "fuzz/oracle.h"
 #include "fuzz/serialize.h"
+#include "runtime/runtime.h"
+#include "visibility/dep_graph.h"
 
 #ifndef VISRT_CORPUS_DIR
 #error "VISRT_CORPUS_DIR must point at tests/corpus"
@@ -23,7 +28,12 @@
 namespace visrt::fuzz {
 namespace {
 
-constexpr unsigned kThreadCounts[] = {1, 2, 8};
+constexpr unsigned kThreadCounts[] = {1, 2, 3, 5, 8};
+
+// Adversarial shard batch granularities: finest possible (every index its
+// own shard), a prime that never divides the loop sizes evenly, and one
+// larger than any loop in the corpus (forces every loop inline).
+constexpr std::size_t kBatchGranularities[] = {1, 7, std::size_t{1} << 20};
 
 constexpr Algorithm kSubjects[] = {
     Algorithm::Paint,        Algorithm::Warnock,
@@ -51,6 +61,18 @@ TEST(ParallelEquivalence, ThreadsDirectiveRoundTrips) {
   ProgramSpec again = parse_visprog(to_visprog(spec));
   EXPECT_EQ(again.analysis_threads, 8u);
   EXPECT_EQ(again, spec);
+}
+
+TEST(ParallelEquivalence, ShardBatchDirectiveRoundTrips) {
+  ProgramSpec spec = load(corpus_files().front());
+  spec.shard_batch = 7;
+  ProgramSpec again = parse_visprog(to_visprog(spec));
+  EXPECT_EQ(again.shard_batch, 7u);
+  EXPECT_EQ(again, spec);
+  // The default (0 = site-chosen grain) is not serialized, so existing
+  // corpora keep parsing and re-serializing byte-identically.
+  spec.shard_batch = 0;
+  EXPECT_EQ(to_visprog(spec).find("shard_batch"), std::string::npos);
 }
 
 TEST(ParallelEquivalence, EveryEngineIsBitIdenticalAcrossThreadCounts) {
@@ -90,6 +112,113 @@ TEST(ParallelEquivalence, EveryEngineIsBitIdenticalAcrossThreadCounts) {
               << label;
           EXPECT_EQ(parallel.final_hashes, sequential.final_hashes) << label;
         }
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, AdversarialBatchGranularitiesAreBitIdentical) {
+  // The shard batch knob changes only how work is chunked, never what is
+  // computed: every granularity must reproduce the sequential results.
+  for (const std::filesystem::path& path : corpus_files()) {
+    ProgramSpec spec = load(path);
+    for (Algorithm subject : kSubjects) {
+      for (bool dcr : {false, true}) {
+        ProgramSpec variant = spec;
+        variant.subject = subject;
+        variant.dcr = dcr;
+
+        variant.analysis_threads = 1;
+        variant.shard_batch = 0;
+        RunResult sequential = run_program(variant);
+        ASSERT_FALSE(sequential.crashed)
+            << path.filename() << " on " << algorithm_name(subject)
+            << (dcr ? "+dcr" : "") << ": " << sequential.crash_message;
+
+        for (unsigned threads : {3u, 8u}) {
+          for (std::size_t batch : kBatchGranularities) {
+            variant.analysis_threads = threads;
+            variant.shard_batch = batch;
+            RunResult parallel = run_program(variant);
+            std::string label = std::string(path.filename()) + " on " +
+                                algorithm_name(subject) +
+                                (dcr ? "+dcr" : "") + " threads=" +
+                                std::to_string(threads) + " batch=" +
+                                std::to_string(batch);
+            ASSERT_FALSE(parallel.crashed)
+                << label << ": " << parallel.crash_message;
+            EXPECT_EQ(parallel.dep_graph_hash, sequential.dep_graph_hash)
+                << label;
+            EXPECT_EQ(parallel.schedule_hash, sequential.schedule_hash)
+                << label;
+            EXPECT_EQ(parallel.dep_edges, sequential.dep_edges) << label;
+            EXPECT_EQ(parallel.launch_hashes, sequential.launch_hashes)
+                << label;
+            EXPECT_EQ(parallel.final_hashes, sequential.final_hashes)
+                << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Every dependence edge with its provenance record, serialized in
+/// canonical (to, from) order — the byte-compare target for the
+/// provenance ledger.  Empty when the build has VISRT_PROVENANCE off.
+std::string provenance_ledger(const Runtime& rt) {
+  std::ostringstream os;
+  const DepGraph& g = rt.dep_graph();
+  for (LaunchID to = g.base(); to < g.task_count(); ++to) {
+    for (LaunchID from : g.preds(to)) {
+      os << from << "->" << to;
+      if (const obs::EdgeProvenance* p = g.provenance(from, to)) {
+        os << " engine=" << static_cast<unsigned>(p->engine)
+           << " phase=" << static_cast<unsigned>(p->phase)
+           << " region=" << p->region << " eqset=" << p->eqset
+           << " field=" << p->field << " prev=" << to_string(p->prev)
+           << " cur=" << to_string(p->cur);
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+TEST(ParallelEquivalence, ProvenanceAndLifecycleLedgersAreByteIdentical) {
+  // Provenance records and lifecycle events are emitted from the
+  // sequential canonical-order combine loops, so the full ledgers — not
+  // just hashes — must be byte-identical across thread counts and batch
+  // granularities.
+  const std::filesystem::path path = corpus_files().front();
+  ProgramSpec spec = load(path);
+  spec.dcr = true;
+  for (Algorithm subject : kSubjects) {
+    ProgramSpec variant = spec;
+    variant.subject = subject;
+
+    LiveRunOptions base_opts;
+    base_opts.analysis_threads = 1;
+    LiveRun base = run_program_live(variant, base_opts);
+    ASSERT_NE(base.runtime, nullptr)
+        << algorithm_name(subject) << ": " << base.result.crash_message;
+    const std::string base_prov = provenance_ledger(*base.runtime);
+    const std::string base_life = base.runtime->lifecycle().json();
+    if (obs::kProvenanceEnabled) EXPECT_FALSE(base_prov.empty());
+
+    for (unsigned threads : kThreadCounts) {
+      for (std::size_t batch : kBatchGranularities) {
+        LiveRunOptions opts;
+        opts.analysis_threads = threads;
+        opts.shard_batch = batch;
+        LiveRun run = run_program_live(variant, opts);
+        std::string label = std::string(algorithm_name(subject)) +
+                            " threads=" + std::to_string(threads) +
+                            " batch=" + std::to_string(batch);
+        ASSERT_NE(run.runtime, nullptr)
+            << label << ": " << run.result.crash_message;
+        EXPECT_EQ(provenance_ledger(*run.runtime), base_prov) << label;
+        EXPECT_EQ(run.runtime->lifecycle().json(), base_life) << label;
       }
     }
   }

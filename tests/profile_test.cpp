@@ -25,13 +25,14 @@ struct ProfiledCircuit {
   std::string structure;
 
   explicit ProfiledCircuit(unsigned threads, std::uint32_t nodes = 16,
-                           bool profile = true) {
+                           bool profile = true, std::size_t shard_batch = 0) {
     RuntimeConfig cfg;
     cfg.algorithm = Algorithm::RayCast;
     cfg.dcr = true;
     cfg.track_values = false;
     cfg.profile = profile;
     cfg.analysis_threads = threads;
+    cfg.shard_batch = shard_batch;
     cfg.machine.num_nodes = nodes;
     rt = std::make_unique<Runtime>(cfg);
     apps::CircuitConfig acfg;
@@ -127,11 +128,11 @@ TEST(Profiler, PhasesCoverTheAnalysisWall) {
   EXPECT_GT(run.report.serial_fraction, 0.0);
   EXPECT_LE(run.report.serial_fraction, 1.0);
   EXPECT_GE(run.report.amdahl_max_speedup, 1.0);
-  // The canonical-order merge loops and the engine scans are all present.
+  // The canonical-order combine loops and the engine scans are all present.
   bool has_emit_merge = false, has_scan = false, has_fanout = false;
   for (const obs::PhaseTotal& p : run.report.phases) {
     if (p.label == "runtime/emit_graph")
-      has_emit_merge = p.kind == obs::PhaseKind::Merge;
+      has_emit_merge = p.kind == obs::PhaseKind::Combine;
     if (p.kind == obs::PhaseKind::ShardScan && p.events > 0) has_scan = true;
     if (p.label == "runtime/materialize_fanout") has_fanout = true;
   }
@@ -142,7 +143,9 @@ TEST(Profiler, PhasesCoverTheAnalysisWall) {
 
 TEST(Profiler, WorkersAndGroupsPopulateInParallelMode) {
   if (!obs::kProfileEnabled) GTEST_SKIP() << "VISRT_PROFILE=OFF";
-  ProfiledCircuit run(4);
+  // shard_batch=1 forces the finest sharding so even this small circuit's
+  // two-field launches dispatch to the worker pool.
+  ProfiledCircuit run(4, 16, true, 1);
   EXPECT_GT(run.report.groups, 0u);
   EXPECT_GT(run.report.group_tasks, 0u);
   EXPECT_GE(run.report.group_tasks, run.report.groups);

@@ -1,0 +1,216 @@
+// The deterministic lock-free reduction primitive (common/executor.h:
+// shard_range / sharded_reduce): a randomized differential suite pinning
+// the contract the engines' slot merges and the runtime's canonical-order
+// combines are built on — shard geometry is a pure function of (n,
+// chunks), every index lands in exactly one shard, combine folds the
+// per-shard buffers sequentially in chunk index order, and a scan
+// exception is rethrown from the lowest-index shard with the combine pass
+// skipped.  Runs under ThreadSanitizer in CI (label: concurrency).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/executor.h"
+
+namespace visrt {
+namespace {
+
+TEST(ShardRange, PartitionsExactlyWithUnevenSizes) {
+  std::mt19937 rng(20230801);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng() % 1000 + 1;
+    const std::size_t chunks = rng() % n + 1;
+    std::size_t expect_begin = 0;
+    std::size_t min_len = n, max_len = 0;
+    std::size_t prev_len = n + 1;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = shard_range(n, chunks, c);
+      ASSERT_EQ(begin, expect_begin) << "n=" << n << " chunks=" << chunks;
+      ASSERT_LE(begin, end);
+      const std::size_t len = end - begin;
+      // Longer pieces come first, sizes differ by at most one.
+      ASSERT_LE(len, prev_len);
+      prev_len = len;
+      min_len = std::min(min_len, len);
+      max_len = std::max(max_len, len);
+      expect_begin = end;
+    }
+    ASSERT_EQ(expect_begin, n) << "n=" << n << " chunks=" << chunks;
+    EXPECT_LE(max_len - min_len, 1u);
+  }
+}
+
+TEST(ShardCount, BatchOverridesTheSiteGrain) {
+  Executor ex(8);
+  // batch replaces the grain: 1 = finest legal sharding (capped at
+  // 4*lanes), larger-than-work = inline, 0 = keep the site's grain.
+  EXPECT_EQ(shard_count(&ex, 100, 64, 0), 1u);
+  EXPECT_EQ(shard_count(&ex, 100, 64, 1), 32u); // capped at 4 * 8 lanes
+  EXPECT_EQ(shard_count(&ex, 100, 64, 25), 4u);
+  EXPECT_EQ(shard_count(&ex, 100, 64, 1 << 20), 1u);
+  EXPECT_EQ(shard_count(&ex, 0, 64, 1), 0u);
+  EXPECT_EQ(shard_count(nullptr, 100, 64, 1), 1u);
+}
+
+/// One reduction shard: the values this shard scanned, in scan order.
+struct VecSlot {
+  std::vector<std::uint64_t> out;
+};
+
+/// Differential harness: sharded_reduce over items must equal the inline
+/// left-to-right fold for any (threads, batch) — uneven shard sizes and
+/// empty shards (chunks > n never happens by construction, but n == 0 and
+/// n == 1 do) included.
+void expect_reduce_matches_fold(Executor* ex,
+                                const std::vector<std::uint64_t>& items,
+                                std::size_t grain, std::size_t batch) {
+  std::vector<std::uint64_t> expected;
+  std::uint64_t expected_fold = 0;
+  for (std::uint64_t v : items) {
+    expected.push_back(v * 2654435761u);
+    // Deliberately non-commutative / non-associative fold: any combine
+    // reordering changes the answer.
+    expected_fold = expected_fold * 31 + v;
+  }
+  std::vector<std::uint64_t> got;
+  std::uint64_t got_fold = 0;
+  std::vector<std::size_t> combine_order;
+  sharded_reduce<VecSlot>(
+      ex, items.size(), grain, batch,
+      [&](VecSlot& slot, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          slot.out.push_back(items[i] * 2654435761u);
+      },
+      [&](VecSlot& slot, std::size_t chunk, std::size_t begin,
+          std::size_t end) {
+        ASSERT_EQ(slot.out.size(), end - begin);
+        combine_order.push_back(chunk);
+        got.insert(got.end(), slot.out.begin(), slot.out.end());
+        for (std::size_t i = begin; i < end; ++i)
+          got_fold = got_fold * 31 + items[i];
+      });
+  const std::string label = "n=" + std::to_string(items.size()) +
+                            " grain=" + std::to_string(grain) +
+                            " batch=" + std::to_string(batch);
+  EXPECT_EQ(got, expected) << label;
+  EXPECT_EQ(got_fold, expected_fold) << label;
+  // Combine runs strictly in chunk index order — the ordering half of the
+  // determinism argument (the geometry half is ShardRange above).
+  EXPECT_TRUE(std::is_sorted(combine_order.begin(), combine_order.end()))
+      << label;
+}
+
+TEST(ShardedReduce, RandomizedDifferentialAgainstInlineFold) {
+  std::mt19937 rng(4242);
+  for (unsigned lanes : {1u, 2u, 3u, 5u, 8u}) {
+    Executor ex(lanes);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<std::uint64_t> items(rng() % 257);
+      for (std::uint64_t& v : items) v = rng();
+      const std::size_t grain = rng() % 16 + 1;
+      for (std::size_t batch : {std::size_t{0}, std::size_t{1},
+                                std::size_t{7}, std::size_t{1} << 20})
+        expect_reduce_matches_fold(&ex, items, grain, batch);
+    }
+  }
+}
+
+TEST(ShardedReduce, EmptyAndSingletonRanges) {
+  Executor ex(8);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}}) {
+    std::vector<std::uint64_t> items(n, 7);
+    expect_reduce_matches_fold(&ex, items, 1, 1);
+  }
+  // n == 0 must not call scan or combine at all.
+  int calls = 0;
+  sharded_reduce<VecSlot>(
+      &ex, 0, 1, 1, [&](VecSlot&, std::size_t, std::size_t) { ++calls; },
+      [&](VecSlot&, std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ShardedReduce, ScanExceptionRethrownFromLowestIndexSkipsCombine) {
+  Executor ex(8);
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Several shards throw; the caller must always see the lowest-index
+    // shard's exception, and the combine pass must never start.
+    const std::size_t n = 64;
+    std::vector<bool> throws(n, false);
+    std::size_t lowest = n;
+    for (int k = 0; k < 5; ++k) {
+      std::size_t i = rng() % n;
+      throws[i] = true;
+      lowest = std::min(lowest, i);
+    }
+    bool combined = false;
+    try {
+      sharded_reduce<VecSlot>(
+          &ex, n, /*grain=*/1, /*batch=*/1,
+          [&](VecSlot& slot, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              slot.out.push_back(i); // mid-shard progress before the throw
+              if (throws[i])
+                throw std::runtime_error("shard " + std::to_string(i));
+            }
+          },
+          [&](VecSlot&, std::size_t, std::size_t, std::size_t) {
+            combined = true;
+          });
+      FAIL() << "expected the shard exception to propagate";
+    } catch (const std::runtime_error& e) {
+      // Shards are contiguous ascending ranges and each scans in order,
+      // so the lowest-index shard's exception is always the one raised at
+      // the globally lowest throwing index.
+      EXPECT_EQ(e.what(), "shard " + std::to_string(lowest));
+    }
+    EXPECT_FALSE(combined);
+  }
+}
+
+/// Counter-shaped slot: commutative totals plus an append-only log, the
+/// shape the engines' AnalysisCounters merges use.
+struct CounterSlot {
+  std::uint64_t visits = 0;
+  std::uint64_t steps = 0;
+  std::vector<std::uint32_t> hits;
+};
+
+TEST(ShardedReduce, CounterMergeOrderingIsChunkOrder) {
+  std::vector<std::uint32_t> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  for (unsigned lanes : {1u, 3u, 8u}) {
+    Executor ex(lanes);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{7},
+                              std::size_t{333}, std::size_t{1} << 20}) {
+      std::uint64_t visits = 0, steps = 0;
+      std::vector<std::uint32_t> hits;
+      sharded_reduce<CounterSlot>(
+          &ex, items.size(), /*grain=*/8, batch,
+          [&](CounterSlot& slot, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              ++slot.visits;
+              slot.steps += items[i];
+              if (items[i] % 3 == 0) slot.hits.push_back(items[i]);
+            }
+          },
+          [&](CounterSlot& slot, std::size_t, std::size_t, std::size_t) {
+            visits += slot.visits;
+            steps += slot.steps;
+            hits.insert(hits.end(), slot.hits.begin(), slot.hits.end());
+          });
+      EXPECT_EQ(visits, items.size());
+      EXPECT_EQ(steps, 999u * 1000u / 2);
+      // Chunk-order combine of in-order scans preserves global order.
+      EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+      EXPECT_EQ(hits.size(), 334u);
+    }
+  }
+}
+
+} // namespace
+} // namespace visrt

@@ -100,6 +100,49 @@ TEST(ServeSession, StreamMatchesBatchOnGeneratedPrograms) {
   }
 }
 
+// The executor must be invisible through the service layer too: a session
+// ingesting at 8 analysis threads, across adversarial shard batch
+// granularities, must reproduce the sequential batch run bit-for-bit —
+// both via SessionOptions overrides and via `threads` / `shard_batch`
+// directives carried in the stream itself.
+TEST(ServeSession, EightThreadStreamMatchesBatchAcrossShardBatches) {
+  const std::string prog = ghost_stream(/*pieces=*/6, /*steps=*/40);
+  fuzz::ProgramSpec spec = fuzz::parse_visprog(prog);
+  ASSERT_EQ(spec.analysis_threads, 1u);
+  fuzz::RunResult batch = fuzz::run_program(spec);
+  ASSERT_FALSE(batch.crashed) << batch.crash_message;
+
+  for (std::size_t shard_batch : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{1} << 20}) {
+    serve::SessionOptions so;
+    so.analysis_threads = 8;
+    so.shard_batch = shard_batch;
+    so.retire_every = 16;
+    serve::StreamSession session(so);
+    feed_chunked(session, prog, 64);
+    const serve::SessionResult& r = session.result();
+    EXPECT_EQ(r.dep_edges, batch.dep_edges) << "batch=" << shard_batch;
+    EXPECT_EQ(r.dep_graph_hash, batch.dep_graph_hash)
+        << "batch=" << shard_batch;
+    EXPECT_EQ(r.schedule_hash, batch.schedule_hash)
+        << "batch=" << shard_batch;
+    EXPECT_EQ(r.value_hash, serve::fold_value_hashes(batch.launch_hashes))
+        << "batch=" << shard_batch;
+    EXPECT_EQ(r.final_hashes, batch.final_hashes) << "batch=" << shard_batch;
+  }
+
+  // Same knobs as stream directives instead of server-side options.
+  fuzz::ProgramSpec directive_spec = spec;
+  directive_spec.analysis_threads = 8;
+  directive_spec.shard_batch = 7;
+  serve::StreamSession session{serve::SessionOptions{}};
+  feed_chunked(session, serialize(directive_spec), 37);
+  const serve::SessionResult& r = session.result();
+  EXPECT_EQ(r.dep_graph_hash, batch.dep_graph_hash);
+  EXPECT_EQ(r.schedule_hash, batch.schedule_hash);
+  EXPECT_EQ(r.final_hashes, batch.final_hashes);
+}
+
 // Retirement must be invisible in every fingerprint at any thread count:
 // the live-run oracle with retire_every on/off, at 1 and 8 analysis
 // threads, must agree bit-for-bit with plain batch execution.
