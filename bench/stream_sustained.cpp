@@ -157,12 +157,21 @@ int main(int argc, char** argv) {
   const serve::SessionCounters& c = session.counters();
   const serve::SessionResult& r = session.result();
   const double rate = wall > 0 ? static_cast<double>(c.launches) / wall : 0;
+  // Per-launch analysis latency percentiles from the session's always-on
+  // histogram (the telemetry the serve daemon exports via @metrics).
+  const obs::HistogramSnapshot lat = session.latency().launch_analysis.snapshot();
+  const std::uint64_t p50 = lat.quantile(0.50);
+  const std::uint64_t p99 = lat.quantile(0.99);
+  const std::uint64_t p999 = lat.quantile(0.999);
   std::printf("launches\twall_s\tlaunches_per_s\tpeak_resident\tretired\t"
-              "dep_edges\n");
-  std::printf("%llu\t%.3f\t%.0f\t%llu\t%llu\t%zu\n",
+              "dep_edges\tp50_ns\tp99_ns\tp999_ns\n");
+  std::printf("%llu\t%.3f\t%.0f\t%llu\t%llu\t%zu\t%llu\t%llu\t%llu\n",
               static_cast<unsigned long long>(c.launches), wall, rate,
               static_cast<unsigned long long>(c.peak_resident_launches),
-              static_cast<unsigned long long>(c.retired_launches), r.dep_edges);
+              static_cast<unsigned long long>(c.retired_launches), r.dep_edges,
+              static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p99),
+              static_cast<unsigned long long>(p999));
 
   // The bounded-memory acceptance: the plateau is the cap plus the
   // analysis-dependent tail the cut cannot cross yet (at most one retire
@@ -193,7 +202,9 @@ int main(int argc, char** argv) {
         << ",\"peak_resident_ops\":" << c.peak_resident_ops
         << ",\"retired_launches\":" << c.retired_launches
         << ",\"retire_calls\":" << c.retire_calls
-        << ",\"eqset_slots_reclaimed\":" << c.eqset_slots_reclaimed << "}]}";
+        << ",\"eqset_slots_reclaimed\":" << c.eqset_slots_reclaimed
+        << ",\"launch_p50_ns\":" << p50 << ",\"launch_p99_ns\":" << p99
+        << ",\"launch_p999_ns\":" << p999 << "}]}";
   if (!bench::append_bench_entry(opt.bench_out, entry.str())) {
     std::fprintf(stderr, "error: could not write %s\n", opt.bench_out.c_str());
     return 1;

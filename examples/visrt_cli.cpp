@@ -143,6 +143,7 @@
 #include "common/log.h"
 #include "fuzz/oracle.h"
 #include "fuzz/serialize.h"
+#include "obs/flight.h"
 #include "obs/lifecycle.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -1167,6 +1168,8 @@ int run_serve(std::vector<std::string> args) {
   std::string socket_path;
   bool use_stdin = false;
   std::string metrics_path;
+  std::string flight_dump_dir = ".";
+  int sampler_interval_ms = 1000;
   serve::SessionOptions session;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -1200,6 +1203,14 @@ int run_serve(std::vector<std::string> args) {
       session.verify = true;
     } else if (arg == "--metrics-json" && i + 1 < args.size()) {
       metrics_path = args[++i];
+    } else if (arg == "--flight-dump-dir" && i + 1 < args.size()) {
+      flight_dump_dir = args[++i];
+    } else if (arg == "--sampler-interval-ms") {
+      sampler_interval_ms = static_cast<int>(next());
+    } else if (arg == "--inject-check-failure") {
+      // Test hook (CI crash-dump smoke): trip an invariant after N
+      // ingested launches so the flight recorder's dump path runs.
+      session.inject_check_failure_after = static_cast<std::uint64_t>(next());
     } else {
       std::fprintf(stderr, "serve: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -1214,7 +1225,11 @@ int run_serve(std::vector<std::string> args) {
   serve::ServerOptions options;
   options.socket_path = socket_path;
   options.session = session;
+  options.sampler_interval_ms = sampler_interval_ms;
   serve::Server server(options);
+  // Always-on crash forensics: any invariant failure or fatal signal in
+  // the daemon leaves a flight-recorder dump behind (docs/SERVING.md).
+  obs::flight_arm_crash_dumps(flight_dump_dir);
 
   if (use_stdin) {
     server.run_stream(std::cin, std::cout);

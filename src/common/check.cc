@@ -1,5 +1,6 @@
 #include "common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,12 @@ namespace visrt {
 
 namespace {
 thread_local bool g_check_throws = false;
+std::atomic<CheckFailureHook> g_failure_hook{nullptr};
 } // namespace
+
+CheckFailureHook set_check_failure_hook(CheckFailureHook hook) {
+  return g_failure_hook.exchange(hook, std::memory_order_acq_rel);
+}
 
 ScopedCheckThrows::ScopedCheckThrows() : previous_(g_check_throws) {
   g_check_throws = true;
@@ -22,6 +28,8 @@ bool check_failures_throw() { return g_check_throws; }
   std::string message = "visrt invariant violated: " + std::string(what) +
                         " at " + loc.file_name() + ":" +
                         std::to_string(loc.line());
+  if (CheckFailureHook hook = g_failure_hook.load(std::memory_order_acquire))
+    hook(message);
   if (g_check_throws) throw CheckFailure(message);
   std::fprintf(stderr, "%s\n", message.c_str());
   std::abort();

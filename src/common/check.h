@@ -59,8 +59,20 @@ inline void require(bool cond, std::string_view what,
   }
 }
 
+/// Observer invoked from invariant_failure with the formatted message
+/// before the failure propagates (throw or abort).  The flight recorder
+/// installs one to leave a breadcrumb and write its crash dump; the hook
+/// must be reentrancy-safe (it runs on the failing thread, which may be
+/// holding arbitrary locks) and must not throw.
+using CheckFailureHook = void (*)(std::string_view message);
+
+/// Install (or clear, with nullptr) the process-wide failure hook.
+/// Returns the previous hook.
+CheckFailureHook set_check_failure_hook(CheckFailureHook hook);
+
 /// Report an invariant violation: throws CheckFailure in catchable mode,
-/// aborts otherwise.
+/// aborts otherwise.  The installed hook (if any) runs first in both
+/// modes.
 [[noreturn]] void invariant_failure(
     std::string_view what,
     std::source_location loc = std::source_location::current());

@@ -1,0 +1,81 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace visrt::obs {
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile, 1-based: ceil(q * count), clamped to [1,count].
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::bucket_upper(i);
+  }
+  return max; // racy snapshot where count > sum of buckets: degrade to max
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.size() < other.buckets.size())
+    buckets.resize(other.buckets.size(), 0);
+  for (std::size_t i = 0; i < other.buckets.size(); ++i)
+    buckets[i] += other.buckets[i];
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount, 0);
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 || min == ~std::uint64_t{0} ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::merge(const Histogram& other) { merge(other.snapshot()); }
+
+void Histogram::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < other.buckets.size() && i < kBucketCount; ++i) {
+    if (other.buckets[i] != 0)
+      buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  update_min(other.min);
+  update_max(other.max);
+}
+
+std::string histogram_timing_json(const HistogramSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"sum_ns\":" << snap.sum << ",\"min_ns\":" << snap.min
+     << ",\"max_ns\":" << snap.max << ",\"p50_ns\":" << snap.quantile(0.50)
+     << ",\"p90_ns\":" << snap.quantile(0.90)
+     << ",\"p99_ns\":" << snap.quantile(0.99)
+     << ",\"p999_ns\":" << snap.quantile(0.999) << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "[" << Histogram::bucket_upper(i) << "," << snap.buckets[i] << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+} // namespace visrt::obs

@@ -1,0 +1,151 @@
+// visrt/obs/histogram.h
+//
+// A lock-free log-bucketed latency histogram for service-grade telemetry.
+// The serving layer records nanosecond durations (per-launch analysis
+// latency, per-statement parse latency, retirement pauses, control-line
+// request latency) on its hot path, so recording must be wait-free and
+// allocation-free: one relaxed fetch_add into a fixed bucket array plus
+// the count/sum accumulators.
+//
+// Bucket layout (HdrHistogram-style log-linear): values 0..15 get exact
+// unit buckets; above that each power-of-two octave is split into 16
+// sub-buckets, so the bucket holding `v` has width 2^(bit_width(v)-1-4)
+// and the relative quantization error is bounded by 1/16 (the percentile
+// accuracy test pins this against a sorted-vector oracle).  The full
+// 64-bit range is covered by 976 buckets (~8 KB of atomics), so one
+// histogram per latency source is cheap enough to keep always-on.
+//
+// Histograms are mergeable (bucket-wise addition) and snapshots are plain
+// structs, which keeps the representation wire-friendly: a multi-process
+// worker can ship its snapshot and the aggregator adds arrays — exactly
+// how Server folds per-session histograms today.
+//
+// Readers (snapshot/quantile) run concurrently with writers and see a
+// slightly torn but monotone view — each bucket is individually atomic.
+// That is the right contract for live metrics endpoints; tests that want
+// exact counts quiesce writers first.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace visrt::obs {
+
+/// Plain-struct copy of a histogram's state, safe to keep, merge and
+/// serialize after the source moved on.  `buckets[i]` counts recorded
+/// values v with Histogram::bucket_index(v) == i.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0; ///< 0 when count == 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets; ///< size Histogram::kBucketCount
+
+  /// Upper bound of the bucket holding the q-quantile value (q in [0,1]):
+  /// at least the exact quantile and at most ~1/16 above it.  0 when
+  /// empty.
+  std::uint64_t quantile(double q) const;
+
+  /// Bucket-wise accumulate `other` into this snapshot.
+  void merge(const HistogramSnapshot& other);
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+class Histogram {
+public:
+  /// Sub-buckets per power-of-two octave (16 => <= 1/16 relative error).
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSubCount = 1u << kSubBits;
+  /// Unit buckets 0..15 plus 16 sub-buckets for each octave 2^4..2^63.
+  static constexpr std::size_t kBucketCount =
+      kSubCount + (64 - kSubBits) * kSubCount;
+
+  /// Bucket index of a value (total order preserving: v <= w implies
+  /// bucket_index(v) <= bucket_index(w)).
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned b = static_cast<unsigned>(std::bit_width(v)) - 1;
+    const unsigned shift = b - kSubBits;
+    const std::uint64_t sub = (v >> shift) & (kSubCount - 1);
+    return static_cast<std::size_t>((b - kSubBits + 1)) * kSubCount +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Largest value mapping to bucket `index` (the quantile
+  /// representative).
+  static std::uint64_t bucket_upper(std::size_t index) {
+    if (index < kSubCount) return index;
+    const std::size_t group = index / kSubCount; // >= 1
+    const std::uint64_t sub = index % kSubCount;
+    const unsigned shift = static_cast<unsigned>(group) - 1;
+    if (shift + kSubBits + 1 >= 64) {
+      // Top octave: (kSubCount + sub + 1) << shift would overflow.
+      if (sub == kSubCount - 1) return ~std::uint64_t{0};
+    }
+    return ((kSubCount + sub + 1) << shift) - 1;
+  }
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one value.  Wait-free: relaxed atomic adds plus a CAS loop
+  /// each for min/max (contended only while the extremum is still
+  /// moving).
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    update_min(value);
+    update_max(value);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Copy the current state (see the header comment for the concurrent
+  /// read contract).
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket-wise accumulate another histogram's current state into this
+  /// one (used when folding a finished session into server totals).
+  void merge(const Histogram& other);
+  void merge(const HistogramSnapshot& other);
+
+private:
+  void update_min(std::uint64_t v) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// The latency timing subobject of one histogram as compact JSON —
+/// everything host-dependent about it:
+///   {"sum_ns":..,"min_ns":..,"max_ns":..,"p50_ns":..,"p90_ns":..,
+///    "p99_ns":..,"p999_ns":..,"buckets":[[upper_ns,count],...]}
+/// (nonzero buckets only).  The deterministic `count` stays outside, so
+/// metrics consumers can strip timing and byte-compare the rest.
+std::string histogram_timing_json(const HistogramSnapshot& snap);
+
+} // namespace visrt::obs

@@ -275,6 +275,7 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                 });
   };
 
+  const double analysis_wall_before = analysis_wall_s_;
   const auto materialize_start = std::chrono::steady_clock::now();
   std::vector<MaterializeResult> mrs(reqs.size());
   std::vector<std::vector<CopyPlan>> plans(reqs.size());
@@ -481,6 +482,10 @@ LaunchID Runtime::launch(TaskLaunch launch) {
                     obs::prof_now_ns() - commit_emit_begin);
   }
   analysis_wall_s_ += seconds_since(commit_start);
+  if (config_.launch_latency != nullptr) {
+    config_.launch_latency->record(static_cast<std::uint64_t>(
+        (analysis_wall_s_ - analysis_wall_before) * 1e9));
+  }
   // Program order on the analyzing node is the issue chain alone; the
   // remote analysis traffic of one launch overlaps the next launch's
   // analysis, as in Legion's asynchronous runtime.

@@ -31,6 +31,7 @@
 #include "common/arena.h"
 #include "common/executor.h"
 #include "common/hash.h"
+#include "obs/histogram.h"
 #include "obs/lifecycle.h"
 #include "obs/profile.h"
 #include "obs/recorder.h"
@@ -113,6 +114,11 @@ struct RuntimeConfig {
   /// (see EngineConfig::max_history_depth).  Analysis results are
   /// bit-identical with and without the cap; 0 = never collapse.
   std::size_t max_history_depth = 0;
+  /// Optional per-launch analysis-latency sink: each launch() records the
+  /// nanoseconds it added to analysis_wall_s (materialize + commit, task
+  /// bodies excluded) into this histogram.  Must outlive the Runtime; the
+  /// serve layer points every session at its shared latency block.
+  obs::Histogram* launch_latency = nullptr;
   sim::MachineConfig machine;
   sim::CostModel costs;
 };

@@ -15,11 +15,24 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace visrt::serve {
 
 namespace {
+
+/// The server whose state flight-recorder crash dumps should attach as
+/// context (last constructed wins; cleared by its destructor).  A plain
+/// function pointer is all obs::flight accepts — it must be callable
+/// from a crash frame with no captured state.
+std::atomic<Server*> g_flight_context_server{nullptr};
+
+std::string flight_context_thunk() {
+  Server* server = g_flight_context_server.load(std::memory_order_acquire);
+  return server != nullptr ? server->flight_context_json() : "null";
+}
 
 /// Accumulate one session's counters into an aggregate: monotone counts
 /// add, residency peaks take the maximum over sessions (a per-session
@@ -83,15 +96,28 @@ struct Server::Connection {
   std::uint64_t resident_launches = 0;
   std::uint64_t resident_ops = 0;
   std::uint64_t live_eqsets = 0;
+  std::uint64_t retire_backoff = 0;
   bool counted = false; ///< included in sessions_total_
   bool active = false;  ///< has a live session not yet merged
 };
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      start_time_(std::chrono::steady_clock::now()) {}
+      start_time_(std::chrono::steady_clock::now()) {
+  // Every session (socket or stdin) records into the server's shared
+  // latency block; recording is wait-free, so sessions never serialize
+  // on telemetry.
+  options_.session.latency = &latency_;
+  g_flight_context_server.store(this, std::memory_order_release);
+  obs::flight_set_context_provider(&flight_context_thunk);
+}
 
-Server::~Server() { stop(); }
+Server::~Server() {
+  stop();
+  Server* self = this;
+  if (g_flight_context_server.compare_exchange_strong(self, nullptr))
+    obs::flight_set_context_provider(nullptr);
+}
 
 void Server::start() {
   require(!started_, "server already started");
@@ -126,11 +152,13 @@ void Server::start() {
   started_ = true;
   start_time_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { accept_loop(); });
+  sampler_start();
 }
 
 void Server::stop() {
   stop_.store(true, std::memory_order_relaxed);
   if (accept_thread_.joinable()) accept_thread_.join();
+  sampler_stop();
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -226,14 +254,33 @@ void Server::handle_connection(std::shared_ptr<Connection> conn) {
   conn->fd = -1;
 }
 
+Server::ControlAction Server::dispatch_control(std::string_view line,
+                                               const StreamSession* fold,
+                                               std::string& reply) {
+  if (line.empty() || line.front() != '@') return ControlAction::NotControl;
+  if (line == "@end") return ControlAction::End;
+  if (line == "@metrics") {
+    const std::uint64_t begin = obs::prof_now_ns();
+    reply = metrics_json(fold);
+    latency_.metrics_request.record(obs::prof_now_ns() - begin);
+  } else if (line == "@health") {
+    reply = health_json(fold);
+  } else if (line == "@prometheus") {
+    reply = prometheus_text(fold);
+  } else {
+    reply = error_line("unknown control line: " + std::string(line));
+  }
+  obs::flight_record(obs::FlightKind::Control, line.size(), reply.size());
+  return ControlAction::Replied;
+}
+
 bool Server::handle_line(Connection& conn, std::string_view line,
                          std::string& reply) {
   if (!line.empty() && line.front() == '@') {
-    if (line == "@metrics") {
-      reply = metrics_json();
-      return true;
-    }
-    if (line == "@end") {
+    // Freshen this connection's published counters first, so a control
+    // reply covers the statements this very connection just ingested.
+    if (conn.session != nullptr) publish(conn, /*active=*/true);
+    if (dispatch_control(line, nullptr, reply) == ControlAction::End) {
       if (conn.session != nullptr) {
         conn.session->finish();
         reply = result_json(*conn.session);
@@ -242,7 +289,6 @@ bool Server::handle_line(Connection& conn, std::string_view line,
       }
       return false;
     }
-    reply = error_line("unknown control line: " + std::string(line));
     return true;
   }
   if (conn.session == nullptr) {
@@ -272,28 +318,42 @@ void Server::publish(Connection& conn, bool active) {
     ro = rt->work_graph().resident_ops();
     le = rt->engine_stats().live_eqsets;
   }
+  const std::uint64_t backoff = conn.session->retire_backoff();
   std::lock_guard<std::mutex> lock(mu_);
   conn.snap = snap;
   conn.active = active && conn.counted;
   conn.resident_launches = rl;
   conn.resident_ops = ro;
   conn.live_eqsets = le;
+  conn.retire_backoff = backoff;
 }
 
-ServeStats Server::stats() const {
+ServeStats Server::stats() const { return stats(nullptr); }
+
+ServeStats Server::stats(const StreamSession* fold) const {
   ServeStats s;
-  std::lock_guard<std::mutex> lock(mu_);
-  s.totals = finished_totals_;
-  s.sessions_total = sessions_total_;
-  s.sessions_completed = sessions_completed_;
-  s.sessions_failed = sessions_failed_;
-  for (const std::shared_ptr<Connection>& c : conns_) {
-    if (!c->active) continue;
-    ++s.sessions_active;
-    merge_counters(s.totals, c->snap);
-    s.resident_launches += c->resident_launches;
-    s.resident_ops += c->resident_ops;
-    s.live_eqsets += c->live_eqsets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.totals = finished_totals_;
+    s.sessions_total = sessions_total_;
+    s.sessions_completed = sessions_completed_;
+    s.sessions_failed = sessions_failed_;
+    for (const std::shared_ptr<Connection>& c : conns_) {
+      if (!c->active) continue;
+      ++s.sessions_active;
+      merge_counters(s.totals, c->snap);
+      s.resident_launches += c->resident_launches;
+      s.resident_ops += c->resident_ops;
+      s.live_eqsets += c->live_eqsets;
+      if (c->retire_backoff > 0) ++s.sessions_in_backoff;
+    }
+  }
+  if (fold != nullptr) {
+    // The stdin session is not an accepted connection: fold its live
+    // counters in so the report covers it (its residency gauges are not
+    // published — gauges cover accepted connections only).
+    merge_counters(s.totals, fold->counters());
+    if (fold->retire_backoff() > 0) ++s.sessions_in_backoff;
   }
   s.uptime_s = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - start_time_)
@@ -301,8 +361,10 @@ ServeStats Server::stats() const {
   return s;
 }
 
-std::string Server::metrics_json() const {
-  ServeStats s = stats();
+std::string Server::metrics_json() const { return metrics_json(nullptr); }
+
+std::string Server::metrics_json(const StreamSession* fold) const {
+  ServeStats s = stats(fold);
   const SessionCounters& t = s.totals;
   std::ostringstream os;
   os << "{\"schema_version\":" << obs::kMetricsSchemaVersion
@@ -331,6 +393,7 @@ std::string Server::metrics_json() const {
      << "\"max_resident_launches\":" << options_.session.max_resident_launches
      << ",\"max_history_depth\":" << options_.session.max_history_depth
      << ",\"retire_every\":" << options_.session.retire_every << "}"
+     << ",\"latency\":" << latency_section_json()
      << ",\"timing\":{\"uptime_s\":" << obs::json_number(s.uptime_s)
      << ",\"launches_per_s\":"
      << obs::json_number(s.uptime_s > 0
@@ -339,6 +402,267 @@ std::string Server::metrics_json() const {
      << "}}}";
   return os.str();
 }
+
+std::string Server::latency_section_json() const {
+  // Deterministic counts outside, host-dependent nanoseconds inside the
+  // strippable "timing" subobject — mirroring the profiler's
+  // structure/timing split so golden comparisons stay byte-exact.
+  auto one = [](std::ostringstream& os, const char* key,
+                const obs::HistogramSnapshot& snap) {
+    os << "\"" << key << "\":{\"count\":" << snap.count
+       << ",\"timing\":" << obs::histogram_timing_json(snap) << "}";
+  };
+  std::ostringstream os;
+  os << "{";
+  one(os, "launch_analysis", latency_.launch_analysis.snapshot());
+  os << ",";
+  one(os, "statement_parse", latency_.statement_parse.snapshot());
+  os << ",";
+  one(os, "retire_pause", latency_.retire_pause.snapshot());
+  os << ",";
+  one(os, "metrics_request", latency_.metrics_request.snapshot());
+  os << "}";
+  return os.str();
+}
+
+std::string Server::health_json() const { return health_json(nullptr); }
+
+std::string Server::health_json(const StreamSession* fold) const {
+  ServeStats s = stats(fold);
+  const std::size_t cap = options_.session.max_resident_launches;
+  // Residency is summed over sessions and the cap is per-session, so the
+  // fleet-level bound is cap * active sessions; per-session over-cap
+  // pressure additionally surfaces as a nonzero retire backoff.
+  const bool over_cap =
+      cap != 0 && s.resident_launches >
+                      static_cast<std::uint64_t>(cap) *
+                          std::max<std::uint64_t>(1, s.sessions_active);
+  const bool draining = stopping();
+  const bool degraded = s.sessions_in_backoff > 0 || over_cap;
+  const char* status = draining ? "draining" : degraded ? "degraded" : "ok";
+  std::ostringstream os;
+  os << "{\"status\":\"" << status << "\",\"draining\":"
+     << (draining ? "true" : "false")
+     << ",\"sessions_active\":" << s.sessions_active
+     << ",\"sessions_total\":" << s.sessions_total
+     << ",\"sessions_failed\":" << s.sessions_failed
+     << ",\"sessions_in_backoff\":" << s.sessions_in_backoff
+     << ",\"resident_launches\":" << s.resident_launches
+     << ",\"max_resident_launches\":" << cap
+     << ",\"launches\":" << s.totals.launches
+     << ",\"uptime_s\":" << obs::json_number(s.uptime_s);
+#if VISRT_FLIGHT
+  {
+    std::ostringstream tail;
+    std::uint64_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      taken = samples_taken_;
+    }
+    std::vector<ServeSample> recent = samples();
+    const std::size_t show = std::min<std::size_t>(recent.size(), 5);
+    for (std::size_t i = recent.size() - show; i < recent.size(); ++i) {
+      const ServeSample& smp = recent[i];
+      if (tail.tellp() > 0) tail << ",";
+      tail << "{\"uptime_s\":" << obs::json_number(smp.uptime_s)
+           << ",\"launches\":" << smp.launches
+           << ",\"sessions_active\":" << smp.sessions_active
+           << ",\"resident_launches\":" << smp.resident_launches
+           << ",\"launch_p99_ns\":" << smp.launch_p99_ns << "}";
+    }
+    os << ",\"sampler\":{\"samples\":" << taken
+       << ",\"capacity\":" << options_.sampler_capacity
+       << ",\"interval_ms\":" << options_.sampler_interval_ms
+       << ",\"series_tail\":[" << tail.str() << "]}";
+  }
+#endif
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+/// One histogram in Prometheus text exposition: cumulative `le` buckets
+/// at each populated octave boundary (seconds), then +Inf, _sum, _count.
+void prometheus_histogram(std::ostringstream& os, const char* name,
+                          const obs::HistogramSnapshot& snap) {
+  os << "# TYPE " << name << " histogram\n";
+  std::size_t last_nonzero = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] != 0) {
+      last_nonzero = i;
+      any = true;
+    }
+  }
+  std::uint64_t cum = 0;
+  if (any) {
+    for (std::size_t i = 0; i <= last_nonzero; ++i) {
+      cum += snap.buckets[i];
+      const bool octave_end = i % obs::Histogram::kSubCount ==
+                              obs::Histogram::kSubCount - 1;
+      if (octave_end || i == last_nonzero) {
+        os << name << "_bucket{le=\""
+           << obs::json_number(
+                  static_cast<double>(obs::Histogram::bucket_upper(i)) / 1e9)
+           << "\"} " << cum << "\n";
+      }
+    }
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n"
+     << name << "_sum " << obs::json_number(static_cast<double>(snap.sum) / 1e9)
+     << "\n"
+     << name << "_count " << snap.count << "\n";
+}
+
+void prometheus_counter(std::ostringstream& os, const char* name,
+                        const char* type, std::uint64_t value) {
+  os << "# TYPE " << name << " " << type << "\n" << name << " " << value
+     << "\n";
+}
+
+} // namespace
+
+std::string Server::prometheus_text() const { return prometheus_text(nullptr); }
+
+std::string Server::prometheus_text(const StreamSession* fold) const {
+  ServeStats s = stats(fold);
+  const SessionCounters& t = s.totals;
+  std::ostringstream os;
+  prometheus_counter(os, "visrt_serve_sessions_total", "counter",
+                     s.sessions_total);
+  prometheus_counter(os, "visrt_serve_sessions_completed_total", "counter",
+                     s.sessions_completed);
+  prometheus_counter(os, "visrt_serve_sessions_failed_total", "counter",
+                     s.sessions_failed);
+  prometheus_counter(os, "visrt_serve_statements_total", "counter",
+                     t.statements);
+  prometheus_counter(os, "visrt_serve_rejected_total", "counter", t.rejected);
+  prometheus_counter(os, "visrt_serve_launches_total", "counter", t.launches);
+  prometheus_counter(os, "visrt_serve_iterations_total", "counter",
+                     t.iterations);
+  prometheus_counter(os, "visrt_serve_retire_calls_total", "counter",
+                     t.retire_calls);
+  prometheus_counter(os, "visrt_serve_retired_launches_total", "counter",
+                     t.retired_launches);
+  prometheus_counter(os, "visrt_serve_retired_ops_total", "counter",
+                     t.retired_ops);
+  prometheus_counter(os, "visrt_serve_sessions_active", "gauge",
+                     s.sessions_active);
+  prometheus_counter(os, "visrt_serve_sessions_in_backoff", "gauge",
+                     s.sessions_in_backoff);
+  prometheus_counter(os, "visrt_serve_resident_launches", "gauge",
+                     s.resident_launches);
+  prometheus_counter(os, "visrt_serve_resident_ops", "gauge", s.resident_ops);
+  prometheus_counter(os, "visrt_serve_live_eqsets", "gauge", s.live_eqsets);
+  prometheus_histogram(os, "visrt_serve_launch_analysis_seconds",
+                       latency_.launch_analysis.snapshot());
+  prometheus_histogram(os, "visrt_serve_statement_parse_seconds",
+                       latency_.statement_parse.snapshot());
+  prometheus_histogram(os, "visrt_serve_retire_pause_seconds",
+                       latency_.retire_pause.snapshot());
+  prometheus_histogram(os, "visrt_serve_metrics_request_seconds",
+                       latency_.metrics_request.snapshot());
+  os << "# EOF";
+  return os.str();
+}
+
+std::vector<ServeSample> Server::samples() const {
+#if VISRT_FLIGHT
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServeSample> out;
+  if (samples_.empty()) return out;
+  const std::uint64_t taken = samples_taken_;
+  const std::size_t cap = samples_.size();
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(taken, cap));
+  out.reserve(n);
+  // Oldest first: the ring cursor points at the next (oldest) slot once
+  // the ring has wrapped.
+  const std::size_t first = taken >= cap ? samples_next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(samples_[(first + i) % cap]);
+  return out;
+#else
+  return {};
+#endif
+}
+
+std::string Server::flight_context_json() const {
+  // Runs during crash handling: the latency section reads lock-free
+  // atomics; the session summary is try-lock so a crash while holding
+  // mu_ still produces a dump.
+  std::ostringstream os;
+  os << "{\"latency\":" << latency_section_json();
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (lock.owns_lock()) {
+    os << ",\"sessions\":{\"total\":" << sessions_total_
+       << ",\"completed\":" << sessions_completed_
+       << ",\"failed\":" << sessions_failed_ << ",\"active\":[";
+    bool first = true;
+    for (const std::shared_ptr<Connection>& c : conns_) {
+      if (!c->active) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"statements\":" << c->snap.statements
+         << ",\"launches\":" << c->snap.launches
+         << ",\"resident_launches\":" << c->resident_launches
+         << ",\"retire_backoff\":" << c->retire_backoff << "}";
+    }
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+void Server::sampler_start() {
+#if VISRT_FLIGHT
+  if (options_.sampler_interval_ms <= 0 || options_.sampler_capacity == 0)
+    return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.assign(options_.sampler_capacity, ServeSample{});
+    samples_next_ = 0;
+    samples_taken_ = 0;
+  }
+  sampler_thread_ = std::thread([this] { sampler_loop(); });
+#endif
+}
+
+void Server::sampler_stop() {
+#if VISRT_FLIGHT
+  if (sampler_thread_.joinable()) sampler_thread_.join();
+#endif
+}
+
+#if VISRT_FLIGHT
+void Server::sampler_loop() {
+  const auto interval = std::chrono::milliseconds(options_.sampler_interval_ms);
+  const auto poll = std::chrono::milliseconds(
+      std::max(1, std::min(options_.poll_interval_ms,
+                           options_.sampler_interval_ms)));
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (std::chrono::steady_clock::now() < next) {
+      std::this_thread::sleep_for(poll);
+      continue;
+    }
+    next += interval;
+    ServeStats s = stats(nullptr);
+    ServeSample smp;
+    smp.uptime_s = s.uptime_s;
+    smp.statements = s.totals.statements;
+    smp.launches = s.totals.launches;
+    smp.sessions_active = s.sessions_active;
+    smp.resident_launches = s.resident_launches;
+    smp.launch_p99_ns = latency_.launch_analysis.snapshot().quantile(0.99);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) continue;
+    samples_[samples_next_] = smp;
+    samples_next_ = (samples_next_ + 1) % samples_.size();
+    ++samples_taken_;
+  }
+}
+#endif
 
 std::string Server::result_json(const StreamSession& session) const {
   const SessionResult& r = session.result();
@@ -377,29 +701,15 @@ void Server::run_stream(std::istream& in, std::ostream& out) {
   bool ended = false;
   std::string line;
   while (!ended && std::getline(in, line)) {
-    if (!line.empty() && line.front() == '@') {
-      if (line == "@metrics") {
-        // The stdin session is not an accepted connection: fold its own
-        // live counters in by hand so the report covers it.
-        SessionCounters snap;
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          snap = finished_totals_;
-          merge_counters(finished_totals_, session.counters());
-        }
-        out << metrics_json() << "\n" << std::flush;
-        std::lock_guard<std::mutex> lock(mu_);
-        finished_totals_ = snap;
-      } else if (line == "@end") {
-        ended = true;
-      } else {
-        out << error_line("unknown control line: " + line) << "\n"
-            << std::flush;
-      }
-      continue;
+    std::string reply;
+    switch (dispatch_control(line, &session, reply)) {
+    case ControlAction::End: ended = true; break;
+    case ControlAction::Replied: out << reply << "\n" << std::flush; break;
+    case ControlAction::NotControl:
+      line.push_back('\n');
+      session.feed(line);
+      break;
     }
-    line.push_back('\n');
-    session.feed(line);
   }
   session.finish();
   out << result_json(session) << "\n" << std::flush;

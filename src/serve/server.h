@@ -11,9 +11,12 @@
 // Wire protocol (line-oriented, one session per connection):
 //
 //   client -> server   .visprog statements, one per line (fuzz/serialize.h)
-//   client -> server   @metrics   reply with one metrics JSON line
-//   client -> server   @end       finish the session, reply with one
-//                                 result JSON line, close
+//   client -> server   @metrics     reply with one metrics JSON line
+//   client -> server   @health      reply with one health-verdict JSON line
+//   client -> server   @prometheus  reply with a text-exposition block
+//                                   terminated by a "# EOF" line
+//   client -> server   @end         finish the session, reply with one
+//                                   result JSON line, close
 //   server -> client   {"error":...}  a rejected statement (session lives)
 //
 // EOF without @end behaves like @end (half-close friendly).  SIGTERM
@@ -47,6 +50,22 @@ struct ServerOptions {
   SessionOptions session;
   /// Stop-flag poll interval for the accept and connection loops.
   int poll_interval_ms = 200;
+  /// Background sampler cadence (daemon mode, VISRT_FLIGHT builds): every
+  /// interval the sampler thread snapshots counters/latency/residency into
+  /// the bounded time-series ring.  0 disables the sampler.
+  int sampler_interval_ms = 1000;
+  /// Time-series ring capacity (oldest samples overwritten).
+  std::size_t sampler_capacity = 600;
+};
+
+/// One time-series point the sampler records (daemon mode).
+struct ServeSample {
+  double uptime_s = 0;
+  std::uint64_t statements = 0;
+  std::uint64_t launches = 0;
+  std::uint64_t sessions_active = 0;
+  std::uint64_t resident_launches = 0;
+  std::uint64_t launch_p99_ns = 0; ///< running launch-analysis p99
 };
 
 /// Point-in-time aggregate across all sessions, ever and active.
@@ -59,6 +78,7 @@ struct ServeStats {
   std::uint64_t resident_launches = 0;  ///< gauge: sum over active sessions
   std::uint64_t resident_ops = 0;       ///< gauge: sum over active sessions
   std::uint64_t live_eqsets = 0;        ///< gauge: sum over active sessions
+  std::uint64_t sessions_in_backoff = 0; ///< gauge: active, over-cap backoff
   double uptime_s = 0;
 };
 
@@ -88,19 +108,61 @@ public:
   void run_stream(std::istream& in, std::ostream& out);
 
   ServeStats stats() const;
-  /// The schema-v2 metrics envelope with the "serve" section.
+  /// The schema-v2 metrics envelope with the "serve" section (including
+  /// the "latency" histogram section; docs/SERVING.md).
   std::string metrics_json() const;
+  /// One-line up/degraded/draining verdict (the @health reply).
+  std::string health_json() const;
+  /// Prometheus/OpenMetrics text exposition of every counter, gauge and
+  /// latency histogram, terminated by a "# EOF" line (the @prometheus
+  /// reply).
+  std::string prometheus_text() const;
+
+  /// The shared latency block every session of this server records into.
+  const SessionLatency& latency() const { return latency_; }
+
+  /// Copy of the sampler's time-series ring, oldest first (empty when the
+  /// sampler is disabled or compiled out).
+  std::vector<ServeSample> samples() const;
+
+  /// Context JSON attached to flight-recorder crash dumps: the latency
+  /// section plus (best-effort, try-lock) live session gauges.  Safe to
+  /// call from crash handlers on any thread.
+  std::string flight_context_json() const;
 
 private:
   struct Connection;
+  /// How dispatch_control classified one input line.
+  enum class ControlAction {
+    NotControl, ///< a statement: feed it to the session
+    Replied,    ///< control handled; `reply` holds the full response
+    End,        ///< @end: caller finishes the session and closes
+  };
+
   void accept_loop();
   void handle_connection(std::shared_ptr<Connection> conn);
   /// One complete input line: control (@...) or statement.  Returns false
   /// when the connection should close.
   bool handle_line(Connection& conn, std::string_view line,
                    std::string& reply);
+  /// The single control-line dispatcher both transports share (stdin and
+  /// socket).  `fold` is a session whose counters are not published as a
+  /// connection (the stdin session): its live counters are summed into
+  /// the reported totals.
+  ControlAction dispatch_control(std::string_view line,
+                                 const StreamSession* fold,
+                                 std::string& reply);
+  ServeStats stats(const StreamSession* fold) const;
+  std::string metrics_json(const StreamSession* fold) const;
+  std::string health_json(const StreamSession* fold) const;
+  std::string prometheus_text(const StreamSession* fold) const;
+  /// The "latency" section body (deterministic counts + strippable
+  /// "timing" subobjects).
+  std::string latency_section_json() const;
   void publish(Connection& conn, bool active);
   std::string result_json(const StreamSession& session) const;
+  void sampler_start();
+  void sampler_stop();
 
   ServerOptions options_;
   int listen_fd_ = -1;
@@ -116,6 +178,19 @@ private:
   std::uint64_t sessions_completed_ = 0;
   std::uint64_t sessions_failed_ = 0;
   std::chrono::steady_clock::time_point start_time_;
+
+  /// Shared latency sink (ServerOptions::session.latency points here, so
+  /// every session — socket or stdin — records into it wait-free).
+  SessionLatency latency_;
+
+#if VISRT_FLIGHT
+  /// Sampler state: a bounded ring of ServeSample, guarded by mu_.
+  std::thread sampler_thread_;
+  std::vector<ServeSample> samples_;
+  std::size_t samples_next_ = 0;
+  std::uint64_t samples_taken_ = 0;
+  void sampler_loop();
+#endif
 };
 
 } // namespace visrt::serve

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "obs/profile.h"
 
 namespace visrt::serve {
 
@@ -13,7 +14,15 @@ using fuzz::StreamItem;
 using fuzz::VisprogStatement;
 
 StreamSession::StreamSession(SessionOptions options)
-    : options_(std::move(options)), value_hash_(kFnvOffsetBasis) {}
+    : options_(std::move(options)), value_hash_(kFnvOffsetBasis) {
+  if (options_.latency != nullptr) {
+    latency_ = options_.latency;
+  } else {
+    owned_latency_ = std::make_unique<SessionLatency>();
+    latency_ = owned_latency_.get();
+  }
+  obs::flight_record(obs::FlightKind::SessionBegin);
+}
 
 StreamSession::~StreamSession() = default;
 
@@ -23,6 +32,7 @@ void StreamSession::feed(std::string_view bytes) {
   VisprogStatement st;
   for (;;) {
     fuzz::VisprogStreamParser::Status status;
+    const std::uint64_t parse_begin = obs::prof_now_ns();
     try {
       status = parser_.next(st);
     } catch (const ApiError& e) {
@@ -32,6 +42,7 @@ void StreamSession::feed(std::string_view bytes) {
       continue;
     }
     if (status != fuzz::VisprogStreamParser::Status::Statement) break;
+    latency_->statement_parse.record(obs::prof_now_ns() - parse_begin);
     apply(st);
   }
 }
@@ -78,6 +89,8 @@ void StreamSession::finish() {
     }
   }
   if (options_.track_values) result_.value_hash = value_hash_;
+  obs::flight_record(obs::FlightKind::SessionEnd, counters_.launches,
+                     counters_.statements);
 }
 
 void StreamSession::feed_tail() {
@@ -86,6 +99,7 @@ void StreamSession::feed_tail() {
   VisprogStatement st;
   for (;;) {
     fuzz::VisprogStreamParser::Status status;
+    const std::uint64_t parse_begin = obs::prof_now_ns();
     try {
       status = parser_.next(st);
     } catch (const ApiError& e) {
@@ -94,6 +108,7 @@ void StreamSession::feed_tail() {
       continue;
     }
     if (status != fuzz::VisprogStreamParser::Status::Statement) break;
+    latency_->statement_parse.record(obs::prof_now_ns() - parse_begin);
     apply(st);
   }
 }
@@ -158,6 +173,7 @@ void StreamSession::instantiate() {
       options_.shard_batch != 0 ? options_.shard_batch : spec_.shard_batch;
   config.machine.num_nodes = spec_.num_nodes;
   config.max_history_depth = options_.max_history_depth;
+  config.launch_latency = &latency_->launch_analysis;
   // Inline verification needs the launch log (ground-truth interference)
   // and the order-maintenance labels (O(1) transitive order).
   config.record_launches = options_.verify;
@@ -204,6 +220,7 @@ void StreamSession::apply_item(const StreamItem& item) {
       body(ctx, item.task.requirements, item.task.salt);
     };
     LaunchID id = runtime_->launch(std::move(launch));
+    obs::flight_record(obs::FlightKind::Launch, id, counters_.statements);
     invariant(id == next_expected_, "launch id misaligned with the stream");
     ++next_expected_;
     ++counters_.launches;
@@ -234,6 +251,7 @@ void StreamSession::apply_item(const StreamItem& item) {
     };
     std::vector<LaunchID> ids = runtime_->index_launch(launch);
     for (LaunchID id : ids) {
+      obs::flight_record(obs::FlightKind::Launch, id, counters_.statements);
       invariant(id == next_expected_, "launch id misaligned with the stream");
       ++next_expected_;
     }
@@ -249,6 +267,12 @@ void StreamSession::apply_item(const StreamItem& item) {
     runtime_->end_iteration();
     ++counters_.iterations;
     break;
+  }
+  if (options_.inject_check_failure_after != 0 &&
+      counters_.launches >= options_.inject_check_failure_after) {
+    // Test hook: exercises the check-failure hook -> flight dump path with
+    // real launch breadcrumbs in the ring.
+    invariant_failure("injected check failure (serve telemetry test hook)");
   }
   // Verify before retirement can reclaim this item's interference
   // partners (the verifier indexes launches while they are resident).
@@ -285,7 +309,11 @@ void StreamSession::maybe_retire(bool force) {
   const bool interval_due = options_.retire_every != 0 &&
                             launches_since_retire_ >= options_.retire_every;
   if (!force && !interval_due && !(over_cap && retire_backoff_ == 0)) return;
+  const std::uint64_t retire_begin = obs::prof_now_ns();
   RetireStats r = runtime_->retire(options_.max_dead_eqsets);
+  latency_->retire_pause.record(obs::prof_now_ns() - retire_begin);
+  obs::flight_record(obs::FlightKind::RetireEpoch, counters_.retire_calls + 1,
+                     runtime_->resident_launches());
   ++counters_.retire_calls;
   counters_.retired_launches += r.retired_launches;
   counters_.retired_ops += r.retired_ops;

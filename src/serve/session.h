@@ -33,9 +33,24 @@
 #include "analysis/incremental.h"
 #include "fuzz/program.h"
 #include "fuzz/serialize.h"
+#include "obs/flight.h"
+#include "obs/histogram.h"
 #include "runtime/runtime.h"
 
 namespace visrt::serve {
+
+/// The serving layer's latency histograms (docs/OBSERVABILITY.md): one
+/// block of always-on log-bucketed histograms recording the session hot
+/// paths.  The server owns one shared block that every session records
+/// into (wait-free, so sessions never serialize on telemetry); a session
+/// constructed without one owns a private block (bench/stream_sustained
+/// reads per-run percentiles that way).
+struct SessionLatency {
+  obs::Histogram launch_analysis;  ///< per-launch analysis ns (runtime tap)
+  obs::Histogram statement_parse;  ///< per-statement parse ns
+  obs::Histogram retire_pause;     ///< Runtime::retire pause ns
+  obs::Histogram metrics_request;  ///< @metrics reply-build ns
+};
 
 /// Memory-bounding and execution knobs of one session.
 struct SessionOptions {
@@ -70,6 +85,13 @@ struct SessionOptions {
   /// Violations are reported through on_error as they are found and the
   /// aggregate report lands in SessionResult::verify.
   bool verify = false;
+  /// Shared latency sink (see SessionLatency).  Null: the session owns a
+  /// private block.  Must outlive the session.
+  SessionLatency* latency = nullptr;
+  /// Test hook: trip an internal invariant once this many launches have
+  /// been ingested (0 = never).  Exercises the flight-recorder crash-dump
+  /// path end-to-end (tests and the CI crash-dump smoke).
+  std::uint64_t inject_check_failure_after = 0;
   /// Recoverable statement errors (malformed or semantically invalid
   /// lines) are reported here and the offending statement is skipped; the
   /// session keeps parsing.  Unset: errors are silently counted only.
@@ -140,6 +162,15 @@ public:
   /// The declaration mirror accumulated so far.
   const fuzz::ProgramSpec& spec() const { return spec_; }
 
+  /// The latency block this session records into (shared or private).
+  SessionLatency& latency() { return *latency_; }
+  const SessionLatency& latency() const { return *latency_; }
+
+  /// Launches left in the current over-cap retire backoff window (0 =
+  /// not backing off).  The @health verdict degrades while any session
+  /// is backing off: its live analysis tail exceeds the residency cap.
+  std::size_t retire_backoff() const { return retire_backoff_; }
+
 private:
   void feed_tail();
   void apply(const fuzz::VisprogStatement& st);
@@ -166,6 +197,9 @@ private:
   std::unique_ptr<analysis::IncrementalVerifier> verifier_;
   std::vector<RegionHandle> regions_;
   std::vector<PartitionHandle> partitions_;
+
+  std::unique_ptr<SessionLatency> owned_latency_;
+  SessionLatency* latency_ = nullptr;
 
   SessionCounters counters_;
   SessionResult result_;

@@ -1,0 +1,190 @@
+// Tests for obs::Histogram (obs/histogram.h): bucket-boundary geometry,
+// merge associativity, concurrent recording (run under tsan by the
+// concurrency label), and percentile accuracy against a sorted-vector
+// oracle — the <= 1/16 relative quantization error the header promises.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/histogram.h"
+#include "json_util.h"
+
+using visrt::Rng;
+using visrt::obs::Histogram;
+using visrt::obs::HistogramSnapshot;
+
+namespace {
+
+std::vector<std::uint64_t> boundary_samples() {
+  std::vector<std::uint64_t> vs;
+  for (std::uint64_t v = 0; v < 64; ++v) vs.push_back(v);
+  for (unsigned b = 4; b < 64; ++b) {
+    const std::uint64_t base = std::uint64_t{1} << b;
+    vs.push_back(base - 1);
+    vs.push_back(base);
+    vs.push_back(base + 1);
+    vs.push_back(base + (base >> 1)); // mid-octave
+  }
+  vs.push_back(~std::uint64_t{0});
+  return vs;
+}
+
+} // namespace
+
+TEST(Histogram, BucketIndexIsMonotoneAndUpperBoundsAreTight) {
+  std::size_t prev_index = 0;
+  std::uint64_t prev_value = 0;
+  for (std::uint64_t v : boundary_samples()) {
+    const std::size_t index = Histogram::bucket_index(v);
+    ASSERT_LT(index, Histogram::kBucketCount) << v;
+    // Order-preserving.
+    if (v > prev_value) {
+      EXPECT_GE(index, prev_index) << v;
+    }
+    prev_index = index;
+    prev_value = v;
+    // The value lands at or below its bucket's upper bound...
+    const std::uint64_t upper = Histogram::bucket_upper(index);
+    EXPECT_LE(v, upper) << v;
+    // ...and above the previous bucket's (bucket_upper is the *largest*
+    // value mapping to the bucket).
+    if (index > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(index - 1)) << v;
+    }
+    // Relative quantization error <= 1/16.
+    if (v >= 16) {
+      EXPECT_LE(upper - v, v / 16 + 1) << v;
+    } else {
+      EXPECT_EQ(upper, v); // unit buckets are exact
+    }
+  }
+}
+
+TEST(Histogram, EveryBucketUpperMapsBackToItsOwnBucket) {
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t upper = Histogram::bucket_upper(i);
+    EXPECT_EQ(Histogram::bucket_index(upper), i) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, CountSumMinMaxTrackRecords) {
+  Histogram h;
+  h.record(7);
+  h.record(1000);
+  h.record(3);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 1010u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 1000u);
+}
+
+TEST(Histogram, EmptySnapshotIsInert) {
+  Histogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.quantile(0.99), 0u);
+  HistogramSnapshot other = s;
+  other.merge(s); // merging empties stays empty
+  EXPECT_EQ(other.count, 0u);
+}
+
+TEST(Histogram, MergeIsAssociativeAndMatchesSingleRecorder) {
+  Rng rng(0x5eedu);
+  Histogram a, b, c, all;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = rng.next() >> rng.below(60);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    all.record(v);
+  }
+  // (a + b) + c
+  HistogramSnapshot left = a.snapshot();
+  left.merge(b.snapshot());
+  left.merge(c.snapshot());
+  // a + (b + c)
+  HistogramSnapshot right_inner = b.snapshot();
+  right_inner.merge(c.snapshot());
+  HistogramSnapshot right = a.snapshot();
+  right.merge(right_inner);
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, all.snapshot());
+  // Histogram::merge agrees with snapshot merge.
+  Histogram folded;
+  folded.merge(a);
+  folded.merge(b);
+  folded.merge(c);
+  EXPECT_EQ(folded.snapshot(), left);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(0x1234u + t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        h.record(rng.below(1u << 20));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_LT(s.max, 1u << 20);
+}
+
+TEST(Histogram, QuantilesMatchSortedOracleWithinBucketError) {
+  Rng rng(0xfeedu);
+  Histogram h;
+  std::vector<std::uint64_t> oracle;
+  for (int i = 0; i < 20000; ++i) {
+    // Mixed scales: exercises unit buckets through high octaves (top
+    // octaves excluded so `exact + exact/16` below cannot overflow).
+    const std::uint64_t v = rng.next() >> (8 + rng.below(48));
+    h.record(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  const HistogramSnapshot s = h.snapshot();
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(oracle.size()))));
+    const std::uint64_t exact = oracle[rank - 1];
+    const std::uint64_t approx = s.quantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact + exact / 16 + 1) << "q=" << q;
+  }
+  EXPECT_EQ(s.quantile(1.0), s.quantile(1.5)); // clamped
+}
+
+TEST(Histogram, TimingJsonParsesAndCarriesPercentiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v * 1000);
+  const std::string json = visrt::obs::histogram_timing_json(h.snapshot());
+  auto doc = visrt::testjson::parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("sum_ns").number(), 1000.0 * 1001.0 / 2.0 * 1000.0);
+  EXPECT_EQ(doc->at("min_ns").number(), 1000.0);
+  EXPECT_GE(doc->at("p99_ns").number(), 990000.0);
+  EXPECT_GE(doc->at("p999_ns").number(), doc->at("p99_ns").number());
+  EXPECT_GE(doc->at("p90_ns").number(), doc->at("p50_ns").number());
+  ASSERT_TRUE(doc->at("buckets").is_array());
+  double bucket_count = 0;
+  for (const auto& pair : doc->at("buckets").array()) {
+    ASSERT_TRUE(pair.is_array());
+    ASSERT_EQ(pair.array().size(), 2u);
+    bucket_count += pair.array()[1].number();
+  }
+  EXPECT_EQ(bucket_count, 1000.0);
+}

@@ -15,10 +15,16 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
 #include "common/rng.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracle.h"
 #include "fuzz/serialize.h"
+#include "json_util.h"
+#include "obs/flight.h"
 #include "runtime/runtime.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -355,4 +361,138 @@ TEST(ServeServer, StopDrainsInFlightSessions) {
   EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
   EXPECT_EQ(server.stats().sessions_completed, 1u);
   EXPECT_EQ(server.stats().sessions_failed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: @health / @prometheus, deterministic latency counts, and the
+// flight-recorder crash-dump round trip.
+
+TEST(ServeServer, HealthAndPrometheusAnswerOverTheSocket) {
+  serve::ServerOptions options;
+  options.socket_path = test_socket_path("health");
+  options.poll_interval_ms = 20;
+  options.sampler_interval_ms = 10; // exercise the sampler thread too
+  serve::Server server(options);
+  server.start();
+
+  const std::string program =
+      ghost_stream(4, 10) + "@health\n@prometheus\n@end\n";
+  const std::string reply =
+      client_roundtrip(options.socket_path, program, false);
+  server.stop();
+
+  // Health verdict: a live, uncapped single-session server is "ok".
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"draining\":false"), std::string::npos);
+  EXPECT_NE(reply.find("\"sessions_in_backoff\":0"), std::string::npos);
+  // Prometheus exposition: typed counters, latency histograms with
+  // cumulative buckets, and the "# EOF" terminator for the block reply.
+  EXPECT_NE(reply.find("# TYPE visrt_serve_launches_total counter"),
+            std::string::npos);
+  EXPECT_NE(reply.find("visrt_serve_launch_analysis_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(reply.find("visrt_serve_launch_analysis_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(reply.find("# EOF"), std::string::npos);
+  // The session still finishes normally after the control lines.
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos);
+}
+
+namespace {
+
+/// The four latency-histogram counts out of one @metrics reply, in
+/// declaration order (launch_analysis, statement_parse, retire_pause,
+/// metrics_request).
+std::vector<double> latency_counts(const std::string& out) {
+  const std::size_t pos = out.find("\"schema_version\":2");
+  EXPECT_NE(pos, std::string::npos) << out;
+  const std::size_t begin = out.rfind('{', pos);
+  const std::size_t end = out.find('\n', pos);
+  auto doc = testjson::parse(out.substr(begin, end - begin));
+  EXPECT_TRUE(doc.has_value()) << out;
+  std::vector<double> counts;
+  const testjson::Value& lat = doc->at("serve").at("latency");
+  for (const char* key :
+       {"launch_analysis", "statement_parse", "retire_pause",
+        "metrics_request"}) {
+    EXPECT_TRUE(lat.at(key).at("timing").is_object()) << key;
+    counts.push_back(lat.at(key).at("count").number());
+  }
+  return counts;
+}
+
+} // namespace
+
+// The latency section's structural half (the per-histogram counts) is a
+// function of the stream alone: byte-identical across analysis thread
+// counts once the host-dependent "timing" subobjects are stripped.
+TEST(ServeServer, LatencyCountsAreDeterministicAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    serve::ServerOptions options;
+    options.session.analysis_threads = threads;
+    serve::Server server(options);
+    std::istringstream in(ghost_stream(6, 16) + "@metrics\n@end\n");
+    std::ostringstream out;
+    server.run_stream(in, out);
+    return latency_counts(out.str());
+  };
+  const std::vector<double> one = run(1);
+  const std::vector<double> eight = run(8);
+  EXPECT_EQ(one, eight);
+  EXPECT_GT(one[0], 0) << "launch_analysis must have recorded launches";
+  EXPECT_GT(one[1], 0) << "statement_parse must have recorded statements";
+}
+
+TEST(ServeFlight, InjectedCheckFailureWritesParseableDump) {
+#if !VISRT_FLIGHT
+  GTEST_SKIP() << "flight recorder compiled out (VISRT_FLIGHT=0)";
+#else
+  const std::string dir = "/tmp"; // dump lands as /tmp/visrt-flight-*.json
+  obs::flight_arm_crash_dumps(dir);
+
+  ScopedCheckThrows catchable; // hook fires, then the failure throws
+  serve::SessionOptions so;
+  so.inject_check_failure_after = 10;
+  serve::StreamSession session(so);
+  bool threw = false;
+  try {
+    session.feed(ghost_stream(4, 20));
+    session.finish();
+  } catch (const CheckFailure& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("injected"), std::string::npos);
+  }
+  ASSERT_TRUE(threw) << "the injected check failure must surface";
+  // Launch ids are the stream position: the last launch before the
+  // injected failure is launches - 1.
+  ASSERT_GE(session.counters().launches, 10u);
+  const double failing = static_cast<double>(session.counters().launches - 1);
+
+  const std::string path = obs::flight_last_dump_path();
+  ASSERT_FALSE(path.empty()) << "check-failure hook must write a dump";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << path;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  auto doc = testjson::parse(buf.str());
+  ASSERT_TRUE(doc.has_value()) << "dump must be valid JSON: " << path;
+
+  EXPECT_NE(doc->at("reason").str().find("injected"), std::string::npos);
+  EXPECT_EQ(doc->at("last_launch").number(), failing);
+  bool saw_check_failure = false;
+  bool saw_failing_launch = false;
+  for (const testjson::Value& ev : doc->at("events").array()) {
+    const std::string& kind = ev.at("kind").str();
+    if (kind == "check_failure") {
+      saw_check_failure = true;
+      // The breadcrumb: the failing launch id rides in the event payload.
+      EXPECT_EQ(ev.at("a").number(), failing);
+    }
+    if (kind == "launch" && ev.at("a").number() == failing)
+      saw_failing_launch = true;
+  }
+  EXPECT_TRUE(saw_check_failure);
+  EXPECT_TRUE(saw_failing_launch);
+  std::remove(path.c_str());
+#endif
 }
